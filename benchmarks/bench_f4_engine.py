@@ -1,0 +1,89 @@
+"""F4 (Figure 4) — relational-engine scaling (ablation A5).
+
+Latency of point lookup, equi-join and grouped aggregate as the ship
+table grows, with indexes on and off.  The shape to reproduce: indexed
+lookup stays flat while unindexed lookup grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import fleet
+from repro.evalkit import format_series
+from repro.sqlengine import Database, Engine
+
+from benchmarks.conftest import emit
+
+SIZES = (100, 500, 2000, 8000)
+
+LOOKUP = "SELECT name FROM ship WHERE id = 37"
+JOIN = (
+    "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+    "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'"
+)
+AGGREGATE = (
+    "SELECT fleet_id, AVG(displacement) FROM ship GROUP BY fleet_id"
+)
+
+
+def _median_ms(engine: Engine, sql: str, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.execute(sql)
+        times.append((time.perf_counter() - start) * 1000.0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _scaled_database(rows: int) -> Database:
+    return fleet.build_database(seed=7, ships=rows)
+
+
+def _sweep():
+    points = []
+    for size in SIZES:
+        db = _scaled_database(size)
+        indexed = Engine(db, use_indexes=True)  # PK hash index exists
+        unindexed = Engine(db, use_indexes=False)
+        points.append((
+            size,
+            [
+                f"{_median_ms(indexed, LOOKUP):.2f}",
+                f"{_median_ms(unindexed, LOOKUP):.2f}",
+                f"{_median_ms(indexed, JOIN):.2f}",
+                f"{_median_ms(indexed, AGGREGATE):.2f}",
+            ],
+        ))
+    return points
+
+
+def test_f4_engine_scaling(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("F4", format_series(
+        "rows",
+        ["lookup idx ms", "lookup scan ms", "join ms", "group-agg ms"],
+        points,
+        title="F4: engine latency vs ship-table cardinality",
+    ))
+    # Index keeps point lookups roughly flat; the full scan does not.
+    small_idx = float(points[0][1][0])
+    large_idx = float(points[-1][1][0])
+    small_scan = float(points[0][1][1])
+    large_scan = float(points[-1][1][1])
+    scan_growth = large_scan / max(small_scan, 1e-6)
+    idx_growth = large_idx / max(small_idx, 1e-6)
+    assert scan_growth > idx_growth * 2
+
+
+def test_f4_lookup_benchmark(benchmark):
+    db = _scaled_database(2000)
+    engine = Engine(db)
+    benchmark(engine.execute, LOOKUP)
+
+
+def test_f4_join_benchmark(benchmark):
+    db = _scaled_database(2000)
+    engine = Engine(db)
+    benchmark(engine.execute, JOIN)

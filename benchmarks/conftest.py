@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints its paper-style table through :func:`emit`, which
+bypasses pytest's capture (so tables always appear in the console/tee)
+and archives a copy under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_bundle
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_EMITTED: list[tuple[str, str]] = []
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Queue a report table for the terminal summary and archive it."""
+    _EMITTED.append((experiment_id, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{experiment_id}.txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every experiment table after the run (survives fd capture)."""
+    if not _EMITTED:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper tables & figures", sep="=")
+    for experiment_id, text in _EMITTED:
+        terminalreporter.write_line(f"\n### {experiment_id} ###")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def fleet_bundle():
+    return load_bundle("fleet")
+
+
+@pytest.fixture(scope="session")
+def company_bundle():
+    return load_bundle("company")
+
+
+@pytest.fixture(scope="session")
+def geography_bundle():
+    return load_bundle("geography")
+
+
+@pytest.fixture(scope="session")
+def all_bundles(fleet_bundle, company_bundle, geography_bundle):
+    return [fleet_bundle, company_bundle, geography_bundle]

@@ -1,0 +1,41 @@
+"""A multi-turn "morning briefing" dialogue over the fleet database.
+
+Demonstrates the 1978-style conversational features: elliptical
+follow-ups ("what about ..."), pronouns ("how many of them ..."),
+constraint refinement ("only the ones ...") and the paraphrase echo.
+
+Run:  python examples/fleet_briefing.py
+"""
+
+from repro import build_interface
+from repro.core import Session
+from repro.datasets import fleet
+
+
+def main() -> None:
+    nli = build_interface(fleet.build_database(), domain=fleet.domain())
+    session = Session()
+
+    briefing = [
+        "how many ships are in the pacific fleet?",
+        "what about the atlantic fleet?",
+        "how many of them are submarines?",
+        "show the carriers",
+        "only the ones commissioned after 1970",
+        "what is the total crew of the carriers?",
+        "which ship has the largest displacement?",
+        "ships heavier than the enterprise",
+    ]
+    for question in briefing:
+        answer = nli.ask(question, session=session)
+        print(f"\nADMIRAL: {question}")
+        print(f"SYSTEM:  {answer.paraphrase}")
+        print(answer.result.pretty(max_rows=6))
+
+    print("\n--- session transcript ---")
+    for question, paraphrase in session.transcript:
+        print(f"  {question}  =>  {paraphrase}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""GEOBASE-style geography Q&A, plus direct use of the SQL engine.
+
+Demonstrates that the NLI and the underlying from-scratch relational
+engine are both public API: the same database answers English questions
+and hand-written SQL.
+
+Run:  python examples/geography_explorer.py
+"""
+
+from repro import build_interface
+from repro.datasets import geography
+from repro.sqlengine import Engine
+
+
+def main() -> None:
+    database = geography.build_database()
+    nli = build_interface(database, domain=geography.domain())
+
+    print("=== English ===")
+    for question in [
+        "which country has the largest population?",
+        "the longest river",
+        "rivers longer than the rhine",
+        "how many countries are in each continent?",
+        "cities in france or spain",
+        "mountains higher than 6000 meters",
+        "what is the population of china?",
+    ]:
+        answer = nli.ask(question)
+        print(f"\nQ: {question}")
+        print(f"   SQL: {answer.sql}")
+        print(answer.result.pretty(max_rows=6))
+
+    print("\n=== the same database, raw SQL ===")
+    engine = Engine(database)
+    result = engine.execute(
+        "SELECT continent, COUNT(*) AS countries, SUM(population) AS people "
+        "FROM country GROUP BY continent ORDER BY people DESC"
+    )
+    print(result.pretty())
+    print("\nplan for a joined query:")
+    print(engine.explain(
+        "SELECT city.name FROM city JOIN country ON city.country_id = country.id "
+        "WHERE country.name = 'usa' AND city.population > 1000"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Quickstart: ask English questions against the bundled navy database.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_interface
+from repro.datasets import fleet
+
+
+def main() -> None:
+    database = fleet.build_database()
+    nli = build_interface(database, domain=fleet.domain())
+
+    questions = [
+        "how many ships are there?",
+        "show the ships in the pacific fleet",
+        "what is the displacement of the enterprise?",
+        "which ship has the largest displacement?",
+        "ships with crew between 100 and 300",
+        "how many shps are in the pacifc fleet",  # typos on purpose
+    ]
+    for question in questions:
+        answer = nli.ask(question)
+        print(f"\nQ: {question}")
+        print(f"   {answer.paraphrase}")
+        if answer.corrections:
+            fixed = ", ".join(f"{a!r}->{b!r}" for a, b in answer.corrections)
+            print(f"   (corrected spelling: {fixed})")
+        print(f"   SQL: {answer.sql}")
+        print(answer.result.pretty(max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Business-analytics questions over the company database.
+
+Shows aggregate/grouping questions (the database community's analytical
+use case), ambiguity alternatives, and the explain() pipeline trace.
+
+Run:  python examples/sales_analysis.py
+"""
+
+from repro import build_interface
+from repro.datasets import company
+
+
+def main() -> None:
+    nli = build_interface(company.build_database(), domain=company.domain())
+
+    print("=== analytical questions ===")
+    for question in [
+        "what is the average salary of the engineers?",
+        "how many employees are in each department?",
+        "average salary per department",
+        "the 3 highest paid employees",
+        "employees with salary above average",
+        "how many employees per title",
+    ]:
+        answer = nli.ask(question)
+        print(f"\nQ: {question}")
+        print(f"   {answer.paraphrase}")
+        print(answer.result.pretty(max_rows=8))
+
+    print("\n=== pipeline trace for one question ===")
+    print(nli.explain("total salary of the employees in the sales department"))
+
+    print("\n=== surviving alternatives (ambiguity) ===")
+    answer = nli.ask("show the employees in chicago")
+    print(f"chosen: {answer.paraphrase}")
+    for paraphrase, sql in answer.alternatives:
+        print(f"  also considered: {paraphrase}\n    {sql}")
+
+
+if __name__ == "__main__":
+    main()

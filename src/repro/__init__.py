@@ -1,0 +1,51 @@
+"""repro — a 1978-era natural language interface to databases (NLIDB).
+
+The package reproduces the first generation of NLIDB systems (LADDER,
+ROBOT, RENDEZVOUS era): a semantic-grammar front end with a lexicon
+auto-generated from the database, spelling correction, join-path
+inference, elliptical dialogue, paraphrase echo — and a from-scratch
+relational engine underneath.
+
+Quickstart::
+
+    from repro import build_interface
+    from repro.datasets import fleet
+
+    db = fleet.build_database()
+    nli = build_interface(db, domain=fleet.domain())
+    answer = nli.ask("how many ships are in the pacific fleet?")
+    print(answer.paraphrase)
+    print(answer.result.pretty())
+"""
+
+from repro.errors import (
+    AmbiguityError,
+    EngineError,
+    InterpretationError,
+    NliError,
+    ParseFailure,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmbiguityError",
+    "EngineError",
+    "InterpretationError",
+    "NliError",
+    "ParseFailure",
+    "ReproError",
+    "build_interface",
+    "__version__",
+]
+
+
+def build_interface(database, domain=None, config=None):
+    """Construct a ready-to-ask :class:`repro.core.pipeline.NaturalLanguageInterface`.
+
+    Imported lazily so that ``repro.sqlengine`` stays usable on its own.
+    """
+    from repro.core.pipeline import NaturalLanguageInterface
+
+    return NaturalLanguageInterface(database, domain=domain, config=config)

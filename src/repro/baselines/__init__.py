@@ -1,0 +1,6 @@
+"""Baseline systems: keyword lookup and pattern templates."""
+
+from repro.baselines.keyword_search import KeywordBaseline
+from repro.baselines.template_nli import TemplateBaseline
+
+__all__ = ["KeywordBaseline", "TemplateBaseline"]

@@ -1,0 +1,114 @@
+"""Interactive console for the NLIDB — the 1978 terminal experience.
+
+Run one of the bundled domains::
+
+    python -m repro.cli fleet
+    python -m repro.cli geography --explain
+
+Commands inside the session: ``\\q`` quit, ``\\reset`` clear dialogue
+context, ``\\explain <question>`` show the pipeline trace, ``\\sql
+<statement>`` run raw SQL, ``\\schema`` print the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.dialogue import Session
+from repro.core.pipeline import NaturalLanguageInterface
+from repro.datasets import ALL_DOMAINS, load_bundle
+from repro.errors import ReproError
+from repro.sqlengine.executor import Engine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Ask English questions against a bundled database.",
+    )
+    parser.add_argument(
+        "domain", choices=ALL_DOMAINS, nargs="?", default="fleet",
+        help="which bundled domain to load (default: fleet)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the pipeline trace for every question",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=15,
+        help="result rows displayed per answer (default: 15)",
+    )
+    return parser
+
+
+def answer_one(
+    nli: NaturalLanguageInterface,
+    engine: Engine,
+    session: Session,
+    line: str,
+    explain: bool,
+    max_rows: int,
+    out,
+) -> None:
+    """Process one console line (question or backslash command)."""
+    if line.startswith("\\sql "):
+        try:
+            print(engine.execute(line[5:]).pretty(max_rows=max_rows), file=out)
+        except ReproError as exc:
+            print(f"SQL error: {exc}", file=out)
+        return
+    if line.startswith("\\explain "):
+        print(nli.explain(line[9:], session=session), file=out)
+        return
+    if line == "\\schema":
+        print(nli.database.summary(), file=out)
+        return
+    if line == "\\reset":
+        session.reset()
+        print("(context cleared)", file=out)
+        return
+    try:
+        answer = nli.ask(line, session=session)
+    except ReproError as exc:
+        print(f"Sorry — {exc}", file=out)
+        return
+    if explain:
+        print(nli.explain(line), file=out)
+    print(answer.paraphrase, file=out)
+    if answer.corrections:
+        fixes = ", ".join(f"{a!r}->{b!r}" for a, b in answer.corrections)
+        print(f"(spelling: {fixes})", file=out)
+    print(answer.result.pretty(max_rows=max_rows), file=out)
+    if answer.alternatives:
+        print(f"(other readings considered: {len(answer.alternatives)})", file=out)
+
+
+def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
+    args = build_parser().parse_args(argv)
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+
+    bundle = load_bundle(args.domain)
+    nli = NaturalLanguageInterface(bundle.database, domain=bundle.model)
+    engine = Engine(bundle.database)
+    session = Session()
+
+    print(f"repro NLIDB — domain: {args.domain}", file=stdout)
+    print(bundle.database.summary(), file=stdout)
+    print('Type an English question, or "\\q" to quit.', file=stdout)
+
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        if line in ("\\q", "quit", "exit"):
+            break
+        answer_one(nli, engine, session, line, args.explain, args.max_rows, stdout)
+        print("", file=stdout)
+    print("goodbye.", file=stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The core NLI pipeline: tagger, interpreter, SQL generation, dialogue."""
+
+from repro.core.answer import Answer
+from repro.core.config import NliConfig
+from repro.core.dialogue import Session, merge_fragment
+from repro.core.interpret import Interpretation, Interpreter
+from repro.core.paraphrase import paraphrase
+from repro.core.pipeline import NaturalLanguageInterface
+from repro.core.sqlgen import SqlGenerator
+from repro.core.tagger import QuestionTagger
+
+__all__ = [
+    "Answer",
+    "Interpretation",
+    "Interpreter",
+    "NaturalLanguageInterface",
+    "NliConfig",
+    "QuestionTagger",
+    "Session",
+    "SqlGenerator",
+    "merge_fragment",
+    "paraphrase",
+]

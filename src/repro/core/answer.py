@@ -1,0 +1,45 @@
+"""The Answer object returned by the interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interpret import Interpretation
+from repro.logical.forms import LogicalQuery
+from repro.sqlengine.result import ResultSet
+
+
+@dataclass
+class Answer:
+    """Everything the system produced for one question.
+
+    ``alternatives`` lists other surviving interpretations (paraphrase +
+    SQL), so a caller can build a clarification menu.
+    """
+
+    question: str
+    normalized_words: list[str]
+    corrections: list[tuple[str, str]]  # (typed, corrected)
+    interpretation: Interpretation
+    sql: str
+    result: ResultSet
+    paraphrase: str
+    alternatives: list[tuple[str, str]] = field(default_factory=list)
+    was_fragment: bool = False
+
+    @property
+    def query(self) -> LogicalQuery:
+        return self.interpretation.query
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return bool(self.alternatives)
+
+    def render(self, max_rows: int = 20) -> str:
+        """Full console rendering: paraphrase + table."""
+        lines = [self.paraphrase]
+        if self.corrections:
+            fixes = ", ".join(f"{a!r} -> {b!r}" for a, b in self.corrections)
+            lines.append(f"(spelling: {fixes})")
+        lines.append(self.result.pretty(max_rows=max_rows))
+        return "\n".join(lines)

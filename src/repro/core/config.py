@@ -1,0 +1,32 @@
+"""Pipeline configuration (all the ablation knobs in one place)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NliConfig:
+    """Knobs for the NL pipeline.
+
+    Every field maps to an ablation documented in DESIGN.md:
+
+    * ``spelling_correction`` — A1 (figure F3)
+    * ``synonym_fraction`` — A2 (figure F2)
+    * ``use_value_index`` — A3
+    * ``join_inference`` — A4 ("steiner" or "pairwise")
+    """
+
+    spelling_correction: bool = True
+    synonym_fraction: float = 1.0
+    use_value_index: bool = True
+    join_inference: str = "steiner"  # steiner | pairwise
+    max_parses: int = 24
+    max_interpretations: int = 8
+    max_values_per_column: int | None = None
+    #: When more than one interpretation remains and the best two scores are
+    #: within this margin, the interface reports ambiguity instead of
+    #: silently picking one.
+    clarification_margin: float = 0.0
+    #: Maximum rows echoed in Answer.paraphrase result summaries.
+    answer_rows: int = 25

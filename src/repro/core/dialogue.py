@@ -1,0 +1,166 @@
+"""Dialogue context: elliptical follow-ups and pronoun references.
+
+LADDER accepted fragments like "what about the atlantic fleet?" after a
+full question, re-running the previous query with the new constraint
+substituted.  The merge rules here implement that behaviour:
+
+* a fragment **condition on the same column** replaces the old condition
+  on that column ("the pacific fleet" -> "the atlantic fleet");
+* a condition on a **new column** is added ("built after 1970?");
+* a fragment **entity** switches what is being asked about, keeping the
+  surviving constraints ("what about the carriers?");
+* a fragment **superlative** replaces the previous superlative;
+* pronouns ("them", "those", "it") simply re-use the previous result's
+  constraints, so "how many of them ..." works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import DialogueError
+from repro.grammar.sketch import Sketch
+from repro.logical.forms import (
+    BetweenCondition,
+    CompareCondition,
+    CompareToAggregate,
+    CompareToInstance,
+    Condition,
+    LogicalQuery,
+    MembershipCondition,
+    NullCondition,
+    ValueCondition,
+)
+
+PRONOUNS = frozenset({"them", "those", "these", "they", "it", "ones", "one"})
+
+
+def condition_column(condition: Condition) -> tuple[str, str]:
+    """The (table, column) a condition constrains — the substitution key."""
+    if isinstance(condition, ValueCondition):
+        return (condition.value.table, condition.value.column)
+    if isinstance(condition, MembershipCondition):
+        first = condition.values[0]
+        return (first.table, first.column)
+    if isinstance(
+        condition,
+        (CompareCondition, BetweenCondition, NullCondition,
+         CompareToAggregate, CompareToInstance),
+    ):
+        return (condition.attr.table, condition.attr.column)
+    raise DialogueError(f"unknown condition type {type(condition).__name__}")
+
+
+def merge_fragment(previous: LogicalQuery, fragment: Sketch) -> Sketch:
+    """Merge an elliptical fragment sketch with the previous logical query.
+
+    Returns a *full* sketch (fragment=False) ready for interpretation.
+    """
+    entity = fragment.entity or previous.target
+    penalty = fragment.penalty
+    if fragment.entity is not None and fragment.entity.table != previous.target.table:
+        # Switching what is being asked about is possible but dispreferred;
+        # a fragment is usually a constraint on the same question.
+        penalty += 3.5
+
+    conditions: list[Condition] = list(previous.conditions)
+    for new_condition in fragment.conditions:
+        key = condition_column(new_condition)
+        survivors = [c for c in conditions if condition_column(c) != key]
+        if len(survivors) < len(conditions):
+            # Replacing an existing constraint on the same column is the
+            # classic "what about X instead" move — reward that reading.
+            penalty -= 2.0
+        conditions = survivors
+        conditions.append(new_condition)
+
+    superlative = fragment.superlative or previous.superlative
+    if fragment.superlative is not None:
+        superlative = fragment.superlative
+
+    agg_function = fragment.agg_function
+    agg_attr = fragment.agg_attr
+    qtype = fragment.qtype if fragment.agg_function or fragment.projections else "inherit"
+    if qtype == "inherit":
+        if previous.aggregate is not None:
+            agg_function = previous.aggregate.function
+            agg_attr = previous.aggregate.attr
+            qtype = "count" if agg_function == "count" else "agg"
+        else:
+            qtype = "attr" if previous.projections else "list"
+
+    projections = fragment.projections or previous.projections
+
+    # Switching entity invalidates projections/superlatives bound to the
+    # old entity's table when they no longer apply.
+    if fragment.entity is not None and fragment.entity.table != previous.target.table:
+        projections = tuple(
+            p for p in projections if p.table != previous.target.table
+        )
+        if superlative is not None and superlative.attr.table == previous.target.table:
+            superlative = fragment.superlative
+        if agg_attr is not None and agg_attr.table == previous.target.table:
+            agg_attr = None
+            if agg_function not in (None, "count"):
+                agg_function = None
+                qtype = "list"
+
+    return Sketch(
+        qtype=qtype,
+        entity=entity,
+        projections=projections,
+        agg_function=agg_function,
+        agg_attr=agg_attr,
+        conditions=tuple(conditions),
+        superlative=superlative,
+        group_by=fragment.group_by or previous.group_by,
+        order_by=fragment.order_by or previous.order_by,
+        limit=fragment.limit if fragment.limit is not None else previous.limit,
+        fragment=False,
+        penalty=penalty,
+    )
+
+
+@dataclass
+class Session:
+    """Multi-turn dialogue state."""
+
+    history: list[LogicalQuery] = field(default_factory=list)
+    transcript: list[tuple[str, str]] = field(default_factory=list)  # (q, paraphrase)
+
+    @property
+    def last_query(self) -> LogicalQuery | None:
+        return self.history[-1] if self.history else None
+
+    def remember(self, question: str, query: LogicalQuery, paraphrase: str) -> None:
+        self.history.append(query)
+        self.transcript.append((question, paraphrase))
+
+    def resolve_fragment(self, fragment: Sketch) -> Sketch:
+        """Complete a fragment against the previous turn (or raise)."""
+        if self.last_query is None:
+            raise DialogueError(
+                "that looks like a follow-up, but there is no previous question"
+            )
+        return merge_fragment(self.last_query, fragment)
+
+    def resolve_pronoun_sketch(self, sketch: Sketch) -> Sketch:
+        """Inject the previous constraints when the sketch's entity was
+        reached via a pronoun ("how many of them ...")."""
+        if self.last_query is None:
+            raise DialogueError("pronoun with no antecedent")
+        previous = self.last_query
+        conditions = list(previous.conditions)
+        for condition in sketch.conditions:
+            key = condition_column(condition)
+            conditions = [c for c in conditions if condition_column(c) != key]
+            conditions.append(condition)
+        return replace(
+            sketch,
+            entity=sketch.entity or previous.target,
+            conditions=tuple(conditions),
+        )
+
+    def reset(self) -> None:
+        self.history.clear()
+        self.transcript.clear()

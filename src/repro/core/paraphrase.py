@@ -1,0 +1,108 @@
+"""Paraphrase generation: echo the interpretation back in English.
+
+RENDEZVOUS made this famous: before (or along with) answering, restate
+the system's reading of the question so the user can verify it.  The
+paraphraser is template-based, deterministic and covers every logical
+form the grammar can produce.
+"""
+
+from __future__ import annotations
+
+from repro.logical.forms import (
+    BetweenCondition,
+    CompareCondition,
+    CompareToAggregate,
+    CompareToInstance,
+    Condition,
+    LogicalQuery,
+    MembershipCondition,
+    NullCondition,
+    ValueCondition,
+)
+from repro.nlg.realize import join_words, op_phrase, pluralize
+
+
+def _condition_phrase(condition: Condition) -> str:
+    if isinstance(condition, ValueCondition):
+        ref = condition.value
+        verb = "is not" if condition.negated else "is"
+        return f"whose {ref.column.replace('_', ' ')} {verb} '{ref.value}'"
+    if isinstance(condition, MembershipCondition):
+        column = condition.values[0].column.replace("_", " ")
+        names = join_words([f"'{v.value}'" for v in condition.values], "or")
+        verb = "is not one of" if condition.negated else "is one of"
+        return f"whose {column} {verb} {names}"
+    if isinstance(condition, CompareCondition):
+        attr = condition.attr.describe()
+        phrase = f"whose {attr} is {op_phrase(condition.op)} {condition.operand}"
+        return f"not ({phrase[6:]})" if condition.negated else phrase
+    if isinstance(condition, BetweenCondition):
+        attr = condition.attr.describe()
+        middle = "is not between" if condition.negated else "is between"
+        return f"whose {attr} {middle} {condition.low} and {condition.high}"
+    if isinstance(condition, NullCondition):
+        attr = condition.attr.describe()
+        state = "is known" if condition.negated else "is not recorded"
+        return f"whose {attr} {state}"
+    if isinstance(condition, CompareToAggregate):
+        attr = condition.attr.describe()
+        return (
+            f"whose {attr} is {op_phrase(condition.op)} the "
+            f"{condition.aggregate} {condition.agg_attr.describe()}"
+        )
+    if isinstance(condition, CompareToInstance):
+        attr = condition.attr.describe()
+        return (
+            f"whose {attr} is {op_phrase(condition.op)} that of "
+            f"'{condition.instance.value}'"
+        )
+    return str(condition)  # pragma: no cover - defensive
+
+
+def paraphrase(query: LogicalQuery) -> str:
+    """One English sentence describing the interpretation.
+
+    >>> # "I am listing the ships whose fleet is 'Pacific'."
+    """
+    entity = query.target.phrase or query.target.table
+    noun = pluralize(entity)
+
+    if query.aggregate is not None and query.aggregate.function == "count":
+        head = f"counting the {noun}"
+    elif query.aggregate is not None:
+        agg_word = {
+            "avg": "average",
+            "sum": "total",
+            "min": "minimum",
+            "max": "maximum",
+        }[query.aggregate.function]
+        attr = query.aggregate.attr.describe() if query.aggregate.attr else ""
+        head = f"finding the {agg_word} {attr} of the {noun}"
+    elif query.projections:
+        attrs = join_words([p.describe() for p in query.projections])
+        head = f"finding the {attrs} of the {noun}"
+    else:
+        head = f"listing the {noun}"
+
+    clauses = [_condition_phrase(c) for c in query.conditions]
+    sentence = f"I am {head}"
+    if clauses:
+        sentence += " " + join_words(clauses)
+
+    if query.superlative is not None:
+        sup = query.superlative
+        direction = "highest" if sup.direction == "max" else "lowest"
+        which = f"the {sup.k} with the {direction}" if sup.k != 1 else f"the one with the {direction}"
+        sentence += f", keeping {which} {sup.attr.describe()}"
+
+    if query.group_by is not None:
+        sentence += f", for each {query.group_by.describe()}"
+
+    if query.order_by is not None:
+        direction = "descending" if query.order_by.descending else "ascending"
+        sentence += f", ordered by {query.order_by.attr.describe()} {direction}"
+
+    if query.limit is not None and query.superlative is None:
+        sentence += f", showing at most {query.limit}"
+
+    return sentence + "."

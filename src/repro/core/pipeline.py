@@ -1,0 +1,270 @@
+"""The end-to-end natural language interface.
+
+Pipeline per question::
+
+    tokenize -> spell-correct -> tag (lexicon + value index)
+             -> Earley parse (semantic grammar) -> interpret + rank
+             -> SQL generation -> execute -> paraphrase
+
+Dialogue: pass a :class:`~repro.core.dialogue.Session` to :meth:`ask` and
+elliptical follow-ups / pronouns resolve against the previous turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.answer import Answer
+from repro.core.config import NliConfig
+from repro.core.dialogue import PRONOUNS, Session
+from repro.core.interpret import Interpretation, Interpreter
+from repro.core.paraphrase import paraphrase as make_paraphrase
+from repro.core.sqlgen import SqlGenerator
+from repro.core.tagger import QuestionTagger
+from repro.errors import (
+    AmbiguityError,
+    DialogueError,
+    InterpretationError,
+    ParseFailure,
+)
+from repro.grammar.earley import EarleyParser, TerminalMatch
+from repro.grammar.english import build_english_grammar, grammar_literal_words
+from repro.grammar.sketch import Sketch
+from repro.lexicon.builder import build_lexicon
+from repro.lexicon.domain import DomainModel
+from repro.logical.forms import EntityRef
+from repro.nlp.stopwords import PROTECTED_WORDS
+from repro.nlp.tokenizer import Token, tokenize
+from repro.schemagraph.graph import SchemaGraph
+from repro.sqlengine.database import Database
+from repro.sqlengine.executor import Engine
+from repro.valueindex.index import ValueIndex
+
+
+class _SessionTagger:
+    """Wraps the tagger, adding pronoun -> previous-entity matches."""
+
+    def __init__(self, tagger: QuestionTagger, pronoun_entity: EntityRef | None):
+        self._tagger = tagger
+        self._pronoun_entity = pronoun_entity
+
+    def matches_at(self, position: int):
+        matches = list(self._tagger.matches_at(position))
+        if self._pronoun_entity is not None and position < len(self._tagger.tokens):
+            token = self._tagger.tokens[position]
+            if token.text in PRONOUNS:
+                matches.append(
+                    TerminalMatch(
+                        "ENTITY", position, position + 1, self._pronoun_entity, 1.0
+                    )
+                )
+        return matches
+
+
+class NaturalLanguageInterface:
+    """The public NLIDB API.
+
+    >>> from repro.datasets import fleet                     # doctest: +SKIP
+    >>> nli = NaturalLanguageInterface(fleet.build_database(),
+    ...                                domain=fleet.domain())  # doctest: +SKIP
+    >>> nli.ask("how many ships are there").result.scalar()   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        domain: DomainModel | None = None,
+        config: NliConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.domain = domain
+        self.config = config or NliConfig()
+        self.engine = Engine(database)
+        self.graph = SchemaGraph(database)
+        self.lexicon = build_lexicon(
+            database, domain, synonym_fraction=self.config.synonym_fraction
+        )
+        self.value_index = (
+            ValueIndex(database, self.config.max_values_per_column)
+            if self.config.use_value_index
+            else None
+        )
+        self.grammar = build_english_grammar()
+        self.parser = EarleyParser(self.grammar)
+        self._literal_words = grammar_literal_words(self.grammar)
+        self._protected = frozenset(PROTECTED_WORDS | self._literal_words | PRONOUNS)
+        self.interpreter = Interpreter(
+            database, self.graph, domain, self.config.join_inference
+        )
+        self.sqlgen = SqlGenerator(
+            database, self.graph, domain, self.config.join_inference
+        )
+
+    # -- pipeline stages (public for tests/diagnostics) -------------------------
+
+    def normalize(self, question: str) -> tuple[list[Token], list[tuple[str, str]]]:
+        """Tokenize + spelling-correct; returns tokens and corrections."""
+        tokens = list(tokenize(question).tokens)
+        corrections: list[tuple[str, str]] = []
+        if not self.config.spelling_correction:
+            return tokens, corrections
+        for i, token in enumerate(tokens):
+            word = token.text
+            if token.is_number or word in self._protected:
+                continue
+            if self.lexicon.knows_word(word):
+                continue
+            if self.value_index is not None and self.value_index.contains_word(word):
+                continue
+            corrected = self.lexicon.correct_word(word)
+            if corrected is None and self.value_index is not None:
+                corrected = self.value_index.fuzzy_word(word)
+            if corrected is not None and corrected != word:
+                corrections.append((word, corrected))
+                tokens[i] = replace(token, text=corrected, corrected_from=word)
+        return tokens, corrections
+
+    def tag(self, tokens: list[Token]) -> QuestionTagger:
+        return QuestionTagger(tokens, self.lexicon, self.value_index, self._protected)
+
+    def parse(self, question: str, session: Session | None = None) -> list[Sketch]:
+        """Tokenize/correct/tag/parse; returns all sketches."""
+        tokens, _ = self.normalize(question)
+        return self._parse_tokens(tokens, session)
+
+    def _parse_tokens(
+        self, tokens: list[Token], session: Session | None
+    ) -> list[Sketch]:
+        tagger = self.tag(tokens)
+        pronoun_entity = None
+        if session is not None and session.last_query is not None:
+            if any(t.text in PRONOUNS for t in tokens):
+                pronoun_entity = session.last_query.target
+        matcher = _SessionTagger(tagger, pronoun_entity)
+        words = [t.text for t in tokens]
+        results = self.parser.parse(words, matcher, max_parses=self.config.max_parses)
+        return [r.value for r in results if isinstance(r.value, Sketch)]
+
+    # -- the main entry point ------------------------------------------------------
+
+    def ask(
+        self,
+        question: str,
+        session: Session | None = None,
+        clarify: bool = False,
+    ) -> Answer:
+        """Answer an English question.
+
+        Raises :class:`ParseFailure`, :class:`InterpretationError` or
+        :class:`DialogueError` on failure; with ``clarify=True`` raises
+        :class:`AmbiguityError` when several readings tie instead of
+        picking the best.
+        """
+        tokens, corrections = self.normalize(question)
+        if not tokens:
+            raise ParseFailure("empty question")
+        sketches = self._parse_tokens(tokens, session)
+
+        full = [s for s in sketches if not s.fragment]
+        fragments = [s for s in sketches if s.fragment]
+        used_fragment = False
+
+        candidates: list[Sketch] = []
+        pronoun_used = session is not None and session.last_query is not None and any(
+            t.text in PRONOUNS for t in tokens
+        )
+        if full:
+            if pronoun_used:
+                candidates = [session.resolve_pronoun_sketch(s) for s in full]
+            else:
+                candidates = full
+        elif fragments:
+            if session is None or session.last_query is None:
+                raise DialogueError(
+                    "this looks like a follow-up fragment, but there is no "
+                    "previous question to complete it from"
+                )
+            candidates = [session.resolve_fragment(s) for s in fragments]
+            used_fragment = True
+        else:  # pragma: no cover - parser always yields one kind
+            raise ParseFailure("no usable parse", tokens=[t.text for t in tokens])
+
+        interpretations = self.interpreter.interpret(candidates)
+        best = interpretations[0]
+        runners_up = interpretations[1 : self.config.max_interpretations]
+
+        if clarify and runners_up:
+            margin = best.score - runners_up[0].score
+            if margin <= self.config.clarification_margin:
+                choices = [i.describe() for i in interpretations]
+                raise AmbiguityError(
+                    "the question is ambiguous; candidate readings: "
+                    + " | ".join(choices),
+                    choices=choices,
+                )
+
+        select = self.sqlgen.generate(best.query)
+        sql = select.render()
+        result = self.engine.execute(select)
+        text = make_paraphrase(best.query)
+
+        alternatives = []
+        for other in runners_up:
+            try:
+                alternatives.append(
+                    (make_paraphrase(other.query), self.sqlgen.generate_sql(other.query))
+                )
+            except InterpretationError:  # pragma: no cover - defensive
+                continue
+
+        answer = Answer(
+            question=question,
+            normalized_words=[t.text for t in tokens],
+            corrections=corrections,
+            interpretation=best,
+            sql=sql,
+            result=result,
+            paraphrase=text,
+            alternatives=alternatives,
+            was_fragment=used_fragment,
+        )
+        if session is not None:
+            session.remember(question, best.query, text)
+        return answer
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def explain(self, question: str, session: Session | None = None) -> str:
+        """Multi-line trace of the pipeline for one question."""
+        tokens, corrections = self.normalize(question)
+        lines = [f"question: {question}"]
+        lines.append("tokens:   " + " ".join(t.text for t in tokens))
+        if corrections:
+            lines.append(
+                "spelling: " + ", ".join(f"{a}->{b}" for a, b in corrections)
+            )
+        tagger = self.tag(tokens)
+        for match in sorted(tagger.all_matches(), key=lambda m: (m.start, m.end)):
+            payload = getattr(match.payload, "describe", lambda: match.payload)()
+            lines.append(
+                f"  tag {match.category:7s} [{match.start}:{match.end}] {payload}"
+            )
+        try:
+            sketches = self._parse_tokens(tokens, session)
+        except ParseFailure as exc:
+            lines.append(f"parse:    FAILED ({exc})")
+            return "\n".join(lines)
+        lines.append(f"parses:   {len(sketches)}")
+        try:
+            interpretations = self.interpreter.interpret(
+                [s for s in sketches if not s.fragment] or sketches
+            )
+        except InterpretationError as exc:
+            lines.append(f"interpret: FAILED ({exc})")
+            return "\n".join(lines)
+        for i, interp in enumerate(interpretations):
+            marker = "*" if i == 0 else " "
+            lines.append(f" {marker} [{interp.score:5.2f}] {interp.describe()}")
+        best = interpretations[0]
+        lines.append("sql:      " + self.sqlgen.generate_sql(best.query))
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Synthetic evaluation domains: fleet (navy), company, geography."""
+
+from repro.datasets import company, fleet, geography
+from repro.datasets.corpus import (
+    ALL_DOMAINS,
+    DialogueTurn,
+    DomainBundle,
+    QuestionExample,
+    load_all_bundles,
+    load_bundle,
+)
+
+__all__ = [
+    "ALL_DOMAINS",
+    "DialogueTurn",
+    "DomainBundle",
+    "QuestionExample",
+    "company",
+    "fleet",
+    "geography",
+    "load_all_bundles",
+    "load_bundle",
+]

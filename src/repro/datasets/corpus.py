@@ -1,0 +1,1164 @@
+"""Question corpora with gold SQL, tagged by construct.
+
+Each example pairs an English question with a gold SQL query (executable
+on the bundled engine).  Correctness is judged by *answer-set equality*,
+the standard for NLIDB evaluation: column names may differ, row order is
+ignored (except both sides apply their own ORDER BY/LIMIT).
+
+Feature tags (driving the Table-3 construct breakdown):
+
+``select``  plain listing            ``join``        needs a join path
+``count``   counting                 ``agg``         sum/avg/min/max
+``attr``    attribute lookup         ``group``       group-by
+``super``   superlative/top-k        ``compare``     numeric comparison
+``negation`` negated condition       ``member``      or-lists (IN)
+``nested``  nested subquery          ``order``       explicit ordering
+``dialogue`` requires session context
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import company as company_mod
+from repro.datasets import fleet as fleet_mod
+from repro.datasets import geography as geography_mod
+from repro.datasets.base import rng_for
+from repro.lexicon.domain import DomainModel
+from repro.sqlengine.database import Database
+
+
+@dataclass(frozen=True)
+class QuestionExample:
+    """One evaluation item."""
+
+    question: str
+    gold_sql: str
+    features: frozenset[str]
+    domain: str
+
+    def has(self, feature: str) -> bool:
+        return feature in self.features
+
+
+@dataclass(frozen=True)
+class DialogueTurn:
+    """One turn of a scripted session."""
+
+    question: str
+    gold_sql: str
+    is_followup: bool
+
+
+@dataclass
+class DomainBundle:
+    """Database + domain model + corpora for one domain."""
+
+    name: str
+    database: Database
+    model: DomainModel
+    corpus: list[QuestionExample] = field(default_factory=list)
+    dialogues: list[list[DialogueTurn]] = field(default_factory=list)
+    wild: list[QuestionExample] = field(default_factory=list)
+
+
+def _ex(domain: str, question: str, sql: str, *features: str) -> QuestionExample:
+    return QuestionExample(question, sql, frozenset(features), domain)
+
+
+# ==========================================================================
+# Fleet corpus
+# ==========================================================================
+
+
+def fleet_corpus(database: Database, seed: int = 3) -> list[QuestionExample]:
+    rng = rng_for(seed, "fleet-corpus")
+    examples: list[QuestionExample] = []
+    add = examples.append
+    d = "fleet"
+
+    fleets = [r[0] for r in database.table("fleet").lookup_equal("id", 1)] and [
+        row[1] for row in database.table("fleet").rows()
+    ]
+    types = [row[1] for row in database.table("shiptype").rows()]
+    officer_names = {row[1] for row in database.table("officer").rows()}
+    ship_names = [row[1] for row in database.table("ship").rows()]
+    safe_ships = sorted(
+        name for name in ship_names
+        if name not in officer_names and " " not in name
+    )
+    ports = [row[1] for row in database.table("port").rows()]
+    hq_names = {row[3] for row in database.table("fleet").rows()}
+    safe_ports = sorted(p for p in ports if p not in hq_names and " " not in p)
+
+    # --- plain listings -----------------------------------------------------
+    add(_ex(d, "show all ships", "SELECT name FROM ship", "select"))
+    add(_ex(d, "list the fleets", "SELECT name FROM fleet", "select"))
+    add(_ex(d, "show me the ports", "SELECT name FROM port", "select"))
+    add(_ex(d, "list all officers", "SELECT name FROM officer", "select"))
+    for t in types:
+        add(_ex(
+            d, f"show the {t}s",
+            "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+            f"ship.type_id = shiptype.id WHERE shiptype.name = '{t}'",
+            "select", "join",
+        ))
+
+    # --- selection via joins ---------------------------------------------------
+    for f in fleets:
+        add(_ex(
+            d, f"show the ships in the {f.lower()} fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            f"ship.fleet_id = fleet.id WHERE fleet.name = '{f}'",
+            "select", "join",
+        ))
+        add(_ex(
+            d, f"which ships are in the {f.lower()} fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            f"ship.fleet_id = fleet.id WHERE fleet.name = '{f}'",
+            "select", "join",
+        ))
+    for p in safe_ports[:6]:
+        add(_ex(
+            d, f"ships from {p.lower()}",
+            "SELECT DISTINCT ship.name FROM ship JOIN port ON "
+            f"ship.home_port_id = port.id WHERE port.name = '{p}'",
+            "select", "join",
+        ))
+    for t, f in [(types[0], fleets[0]), (types[4], fleets[1]), (types[2], fleets[2])]:
+        add(_ex(
+            d, f"{t}s in the {f.lower()} fleet",
+            "SELECT DISTINCT ship.name FROM ship "
+            "JOIN fleet ON ship.fleet_id = fleet.id "
+            "JOIN shiptype ON ship.type_id = shiptype.id "
+            f"WHERE fleet.name = '{f}' AND shiptype.name = '{t}'",
+            "select", "join",
+        ))
+
+    # --- counting -----------------------------------------------------------------
+    add(_ex(d, "how many ships are there", "SELECT COUNT(*) FROM ship", "count"))
+    add(_ex(d, "how many officers are there", "SELECT COUNT(*) FROM officer", "count"))
+    for t in types:
+        add(_ex(
+            d, f"how many {t}s are there",
+            "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN shiptype ON "
+            f"ship.type_id = shiptype.id WHERE shiptype.name = '{t}'",
+            "count", "join",
+        ))
+    for f in fleets:
+        add(_ex(
+            d, f"how many ships does the {f.lower()} fleet have",
+            "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+            f"ship.fleet_id = fleet.id WHERE fleet.name = '{f}'",
+            "count", "join",
+        ))
+
+    # --- aggregates ------------------------------------------------------------------
+    for t in types[:3]:
+        add(_ex(
+            d, f"what is the average displacement of the {t}s",
+            "SELECT AVG(ship.displacement) FROM ship JOIN shiptype ON "
+            f"ship.type_id = shiptype.id WHERE shiptype.name = '{t}'",
+            "agg", "join",
+        ))
+    add(_ex(
+        d, "what is the total crew of the carriers",
+        "SELECT SUM(ship.crew) FROM ship JOIN shiptype ON "
+        "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'",
+        "agg", "join",
+    ))
+    add(_ex(
+        d, "what is the maximum speed of the submarines",
+        "SELECT MAX(ship.speed) FROM ship JOIN shiptype ON "
+        "ship.type_id = shiptype.id WHERE shiptype.name = 'submarine'",
+        "agg", "join",
+    ))
+    add(_ex(
+        d, "average crew of the ships",
+        "SELECT AVG(crew) FROM ship", "agg",
+    ))
+    for f in fleets[:2]:
+        add(_ex(
+            d, f"total displacement of the ships in the {f.lower()} fleet",
+            "SELECT SUM(ship.displacement) FROM ship JOIN fleet ON "
+            f"ship.fleet_id = fleet.id WHERE fleet.name = '{f}'",
+            "agg", "join",
+        ))
+
+    # --- attribute lookup ---------------------------------------------------------------
+    for name in rng.sample(safe_ships, 8):
+        add(_ex(
+            d, f"what is the displacement of the {name.lower()}",
+            f"SELECT displacement FROM ship WHERE name = '{name}'",
+            "attr",
+        ))
+    for name in rng.sample(safe_ships, 4):
+        add(_ex(
+            d, f"what is the speed and length of the {name.lower()}",
+            f"SELECT speed, length FROM ship WHERE name = '{name}'",
+            "attr",
+        ))
+    for name in rng.sample(safe_ships, 4):
+        add(_ex(
+            d, f"the crew of the {name.lower()}",
+            f"SELECT crew FROM ship WHERE name = '{name}'",
+            "attr",
+        ))
+
+    # --- superlatives ----------------------------------------------------------------------
+    add(_ex(
+        d, "which ship has the largest displacement",
+        "SELECT name FROM ship ORDER BY displacement DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the fastest ship",
+        "SELECT name FROM ship ORDER BY speed DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the 3 oldest ships",
+        "SELECT name FROM ship ORDER BY commissioned ASC LIMIT 3",
+        "super",
+    ))
+    add(_ex(
+        d, "the 5 largest ships",
+        "SELECT name FROM ship ORDER BY displacement DESC LIMIT 5",
+        "super",
+    ))
+    add(_ex(
+        d, "the fastest submarine",
+        "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+        "ship.type_id = shiptype.id WHERE shiptype.name = 'submarine' "
+        "ORDER BY ship.speed DESC LIMIT 1",
+        "super", "join",
+    ))
+    add(_ex(
+        d, "which officer has the highest rank",
+        "SELECT name FROM officer ORDER BY rank DESC LIMIT 1",
+        "super",
+    ))
+
+    # --- comparisons ------------------------------------------------------------------------
+    for n in (3000, 9000, 50000):
+        add(_ex(
+            d, f"ships with displacement over {n} tons",
+            f"SELECT name FROM ship WHERE displacement > {n}",
+            "compare",
+        ))
+    add(_ex(
+        d, "ships with crew less than 150",
+        "SELECT name FROM ship WHERE crew < 150", "compare",
+    ))
+    add(_ex(
+        d, "ships faster than 32 knots",
+        "SELECT name FROM ship WHERE speed > 32", "compare",
+    ))
+    add(_ex(
+        d, "ships commissioned after 1970",
+        "SELECT name FROM ship WHERE commissioned > 1970", "compare",
+    ))
+    add(_ex(
+        d, "ships commissioned before 1960",
+        "SELECT name FROM ship WHERE commissioned < 1960", "compare",
+    ))
+    add(_ex(
+        d, "ships with crew between 100 and 300",
+        "SELECT name FROM ship WHERE crew BETWEEN 100 AND 300", "compare",
+    ))
+    add(_ex(
+        d, "ships with length of at least 1000 feet",
+        "SELECT name FROM ship WHERE length >= 1000", "compare",
+    ))
+    add(_ex(
+        d, "ships with more than 4000 men",
+        "SELECT name FROM ship WHERE crew > 4000", "compare",
+    ))
+
+    # --- negation ------------------------------------------------------------------------------
+    for f in fleets[:2]:
+        add(_ex(
+            d, f"ships that are not in the {f.lower()} fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            f"ship.fleet_id = fleet.id WHERE fleet.name != '{f}'",
+            "negation", "join",
+        ))
+    add(_ex(
+        d, "officers who are not admirals",
+        "SELECT name FROM officer WHERE rank != 'admiral'",
+        "negation",
+    ))
+
+    # --- membership -------------------------------------------------------------------------------
+    p1, p2 = safe_ports[0], safe_ports[1]
+    add(_ex(
+        d, f"ships from {p1.lower()} or {p2.lower()}",
+        "SELECT DISTINCT ship.name FROM ship JOIN port ON "
+        f"ship.home_port_id = port.id WHERE port.name IN ('{p1}', '{p2}')",
+        "member", "join",
+    ))
+    add(_ex(
+        d, f"carriers in the {fleets[0].lower()} or {fleets[1].lower()} fleet",
+        "SELECT DISTINCT ship.name FROM ship "
+        "JOIN fleet ON ship.fleet_id = fleet.id "
+        "JOIN shiptype ON ship.type_id = shiptype.id "
+        f"WHERE fleet.name IN ('{fleets[0]}', '{fleets[1]}') "
+        "AND shiptype.name = 'carrier'",
+        "member", "join",
+    ))
+
+    # --- nested ------------------------------------------------------------------------------------
+    for name in rng.sample(safe_ships, 3):
+        add(_ex(
+            d, f"ships heavier than the {name.lower()}",
+            "SELECT name FROM ship WHERE displacement > "
+            f"(SELECT displacement FROM ship WHERE name = '{name}')",
+            "nested", "compare",
+        ))
+    add(_ex(
+        d, "ships heavier than average",
+        "SELECT name FROM ship WHERE displacement > "
+        "(SELECT AVG(displacement) FROM ship)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "ships with displacement above average",
+        "SELECT name FROM ship WHERE displacement > "
+        "(SELECT AVG(displacement) FROM ship)",
+        "nested", "compare",
+    ))
+
+    # --- grouping -------------------------------------------------------------------------------------
+    add(_ex(
+        d, "how many ships are in each fleet",
+        "SELECT fleet.name, COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+        "ship.fleet_id = fleet.id GROUP BY fleet.name ORDER BY fleet.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "how many ships per type",
+        "SELECT shiptype.name, COUNT(DISTINCT ship.id) FROM ship JOIN shiptype "
+        "ON ship.type_id = shiptype.id GROUP BY shiptype.name "
+        "ORDER BY shiptype.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "how many officers per rank",
+        "SELECT rank, COUNT(id) FROM officer GROUP BY rank ORDER BY rank",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "average displacement per fleet",
+        "SELECT fleet.name, AVG(ship.displacement) FROM ship JOIN fleet ON "
+        "ship.fleet_id = fleet.id GROUP BY fleet.name ORDER BY fleet.name",
+        "group", "agg", "join",
+    ))
+
+    # --- ordering ----------------------------------------------------------------------------------------
+    add(_ex(
+        d, "list the ships sorted by displacement descending",
+        "SELECT name FROM ship ORDER BY displacement DESC",
+        "order",
+    ))
+    add(_ex(
+        d, "list the submarines sorted by speed descending",
+        "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+        "ship.type_id = shiptype.id WHERE shiptype.name = 'submarine' "
+        "ORDER BY ship.speed DESC",
+        "order", "join",
+    ))
+    add(_ex(
+        d, "show the officers ordered by name",
+        "SELECT name FROM officer ORDER BY name",
+        "order",
+    ))
+
+    return examples
+
+
+def fleet_dialogues(database: Database) -> list[list[DialogueTurn]]:
+    """Scripted fleet sessions for the dialogue benchmark (T4)."""
+    ships_in = (
+        "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet "
+        "ON ship.fleet_id = fleet.id WHERE fleet.name = '{f}'"
+    )
+    return [
+        [
+            DialogueTurn(
+                "how many ships are in the pacific fleet",
+                ships_in.format(f="Pacific"), False,
+            ),
+            DialogueTurn(
+                "what about the atlantic fleet",
+                ships_in.format(f="Atlantic"), True,
+            ),
+            DialogueTurn(
+                "and the mediterranean fleet",
+                ships_in.format(f="Mediterranean"), True,
+            ),
+            DialogueTurn(
+                "how many of them are submarines",
+                "SELECT COUNT(DISTINCT ship.id) FROM ship "
+                "JOIN fleet ON ship.fleet_id = fleet.id "
+                "JOIN shiptype ON ship.type_id = shiptype.id "
+                "WHERE fleet.name = 'Mediterranean' "
+                "AND shiptype.name = 'submarine'",
+                True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "show the carriers",
+                "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+                "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'",
+                False,
+            ),
+            DialogueTurn(
+                "only the ones commissioned after 1970",
+                "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+                "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier' "
+                "AND ship.commissioned > 1970",
+                True,
+            ),
+            DialogueTurn(
+                "what about the cruisers",
+                "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+                "ship.type_id = shiptype.id WHERE shiptype.name = 'cruiser' "
+                "AND ship.commissioned > 1970",
+                True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "list the ships in the pacific fleet",
+                "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+                "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'",
+                False,
+            ),
+            DialogueTurn(
+                "with displacement over 8000 tons",
+                "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+                "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific' "
+                "AND ship.displacement > 8000",
+                True,
+            ),
+            DialogueTurn(
+                "how many of them are there",
+                "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+                "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific' "
+                "AND ship.displacement > 8000",
+                True,
+            ),
+        ],
+    ]
+
+
+# ==========================================================================
+# Company corpus
+# ==========================================================================
+
+
+def company_corpus(database: Database, seed: int = 5) -> list[QuestionExample]:
+    rng = rng_for(seed, "company-corpus")
+    examples: list[QuestionExample] = []
+    add = examples.append
+    d = "company"
+
+    departments = [row[1] for row in database.table("department").rows()]
+    titles = sorted({row[2] for row in database.table("employee").rows()})
+    employee_names = [row[1] for row in database.table("employee").rows()]
+    products = [row[1] for row in database.table("product").rows()]
+    customers = [row[1] for row in database.table("customer").rows()]
+    simple_customers = [c for c in customers if " " not in c]
+
+    add(_ex(d, "list all employees", "SELECT name FROM employee", "select"))
+    add(_ex(d, "show the departments", "SELECT name FROM department", "select"))
+    add(_ex(d, "show me the products", "SELECT name FROM product", "select"))
+    add(_ex(d, "list the customers", "SELECT name FROM customer", "select"))
+
+    for dept in departments:
+        add(_ex(
+            d, f"show the employees in the {dept.lower()} department",
+            "SELECT DISTINCT employee.name FROM employee JOIN department ON "
+            f"employee.dept_id = department.id WHERE department.name = '{dept}'",
+            "select", "join",
+        ))
+    for title in titles:
+        add(_ex(
+            d, f"list the {title}s",
+            f"SELECT name FROM employee WHERE title = '{title}'",
+            "select",
+        ))
+
+    add(_ex(d, "how many employees are there", "SELECT COUNT(*) FROM employee", "count"))
+    add(_ex(d, "how many customers are there", "SELECT COUNT(*) FROM customer", "count"))
+    for dept in departments[:4]:
+        add(_ex(
+            d, f"how many employees are in the {dept.lower()} department",
+            "SELECT COUNT(DISTINCT employee.id) FROM employee JOIN department "
+            f"ON employee.dept_id = department.id WHERE department.name = '{dept}'",
+            "count", "join",
+        ))
+    for title in titles[:3]:
+        add(_ex(
+            d, f"how many {title}s are there",
+            f"SELECT COUNT(*) FROM employee WHERE title = '{title}'",
+            "count",
+        ))
+
+    add(_ex(
+        d, "what is the average salary of the employees",
+        "SELECT AVG(salary) FROM employee", "agg",
+    ))
+    for title in titles[:3]:
+        add(_ex(
+            d, f"what is the average salary of the {title}s",
+            f"SELECT AVG(salary) FROM employee WHERE title = '{title}'",
+            "agg",
+        ))
+    add(_ex(
+        d, "total salary of the employees in the sales department",
+        "SELECT SUM(employee.salary) FROM employee JOIN department ON "
+        "employee.dept_id = department.id WHERE department.name = 'Sales'",
+        "agg", "join",
+    ))
+    add(_ex(
+        d, "what is the maximum price of the products",
+        "SELECT MAX(price) FROM product", "agg",
+    ))
+
+    for name in rng.sample(employee_names, 6):
+        add(_ex(
+            d, f"what is the salary of {name.lower()}",
+            f"SELECT salary FROM employee WHERE name = '{name}'",
+            "attr",
+        ))
+    for name in rng.sample(products, 4):
+        add(_ex(
+            d, f"what is the price of the {name.lower()}",
+            f"SELECT price FROM product WHERE name = '{name}'",
+            "attr",
+        ))
+    for name in rng.sample(employee_names, 3):
+        add(_ex(
+            d, f"what is the title of {name.lower()}",
+            f"SELECT title FROM employee WHERE name = '{name}'",
+            "attr",
+        ))
+
+    add(_ex(
+        d, "which employee has the highest salary",
+        "SELECT name FROM employee ORDER BY salary DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the cheapest product",
+        "SELECT name FROM product ORDER BY price ASC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the most expensive product",
+        "SELECT name FROM product ORDER BY price DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the 3 highest paid employees",
+        "SELECT name FROM employee ORDER BY salary DESC LIMIT 3",
+        "super",
+    ))
+    add(_ex(
+        d, "the longest serving employee",
+        "SELECT name FROM employee ORDER BY hired ASC LIMIT 1",
+        "super",
+    ))
+
+    for n in (50000, 60000, 70000):
+        add(_ex(
+            d, f"employees with salary over {n}",
+            f"SELECT name FROM employee WHERE salary > {n}",
+            "compare",
+        ))
+    add(_ex(
+        d, "employees hired after 1970",
+        "SELECT name FROM employee WHERE hired > 1970", "compare",
+    ))
+    add(_ex(
+        d, "employees hired before 1965",
+        "SELECT name FROM employee WHERE hired < 1965", "compare",
+    ))
+    add(_ex(
+        d, "products with price under 50",
+        "SELECT name FROM product WHERE price < 50", "compare",
+    ))
+    add(_ex(
+        d, "employees with salary between 40000 and 60000",
+        "SELECT name FROM employee WHERE salary BETWEEN 40000 AND 60000",
+        "compare",
+    ))
+
+    add(_ex(
+        d, "employees who are not managers",
+        "SELECT name FROM employee WHERE title != 'manager'",
+        "negation",
+    ))
+    add(_ex(
+        d, "employees that are not in the sales department",
+        "SELECT DISTINCT employee.name FROM employee JOIN department ON "
+        "employee.dept_id = department.id WHERE department.name != 'Sales'",
+        "negation", "join",
+    ))
+
+    add(_ex(
+        d, "employees in the sales or marketing department",
+        "SELECT DISTINCT employee.name FROM employee JOIN department ON "
+        "employee.dept_id = department.id "
+        "WHERE department.name IN ('Sales', 'Marketing')",
+        "member", "join",
+    ))
+    c1, c2 = simple_customers[0], simple_customers[1]
+    add(_ex(
+        d, f"customers in the software or finance industry",
+        "SELECT name FROM customer WHERE industry IN ('software', 'finance')",
+        "member",
+    ))
+
+    for name in rng.sample(employee_names, 3):
+        add(_ex(
+            d, f"employees richer than {name.lower()}",
+            "SELECT name FROM employee WHERE salary > "
+            f"(SELECT salary FROM employee WHERE name = '{name}')",
+            "nested", "compare",
+        ))
+    add(_ex(
+        d, "employees with salary above average",
+        "SELECT name FROM employee WHERE salary > "
+        "(SELECT AVG(salary) FROM employee)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "products pricier than average",
+        "SELECT name FROM product WHERE price > (SELECT AVG(price) FROM product)",
+        "nested", "compare",
+    ))
+
+    add(_ex(
+        d, "how many employees are in each department",
+        "SELECT department.name, COUNT(DISTINCT employee.id) FROM employee "
+        "JOIN department ON employee.dept_id = department.id "
+        "GROUP BY department.name ORDER BY department.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "how many employees per title",
+        "SELECT title, COUNT(id) FROM employee GROUP BY title ORDER BY title",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "average salary per department",
+        "SELECT department.name, AVG(employee.salary) FROM employee "
+        "JOIN department ON employee.dept_id = department.id "
+        "GROUP BY department.name ORDER BY department.name",
+        "group", "agg", "join",
+    ))
+    add(_ex(
+        d, "average price per category",
+        "SELECT category, AVG(price) FROM product GROUP BY category "
+        "ORDER BY category",
+        "group", "agg",
+    ))
+
+    add(_ex(
+        d, "list the employees sorted by salary descending",
+        "SELECT name FROM employee ORDER BY salary DESC",
+        "order",
+    ))
+    add(_ex(
+        d, "show the products ordered by price",
+        "SELECT name FROM product ORDER BY price",
+        "order",
+    ))
+
+    return examples
+
+
+def company_dialogues(database: Database) -> list[list[DialogueTurn]]:
+    return [
+        [
+            DialogueTurn(
+                "how many employees are in the sales department",
+                "SELECT COUNT(DISTINCT employee.id) FROM employee JOIN department "
+                "ON employee.dept_id = department.id WHERE department.name = 'Sales'",
+                False,
+            ),
+            DialogueTurn(
+                "what about the engineering department",
+                "SELECT COUNT(DISTINCT employee.id) FROM employee JOIN department "
+                "ON employee.dept_id = department.id "
+                "WHERE department.name = 'Engineering'",
+                True,
+            ),
+            DialogueTurn(
+                "how many of them are engineers",
+                "SELECT COUNT(DISTINCT employee.id) FROM employee JOIN department "
+                "ON employee.dept_id = department.id "
+                "WHERE department.name = 'Engineering' "
+                "AND employee.title = 'engineer'",
+                True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "show the managers",
+                "SELECT name FROM employee WHERE title = 'manager'",
+                False,
+            ),
+            DialogueTurn(
+                "only the ones hired after 1970",
+                "SELECT name FROM employee WHERE title = 'manager' "
+                "AND hired > 1970",
+                True,
+            ),
+            DialogueTurn(
+                "with salary over 60000",
+                "SELECT name FROM employee WHERE title = 'manager' "
+                "AND hired > 1970 AND salary > 60000",
+                True,
+            ),
+        ],
+    ]
+
+
+# ==========================================================================
+# Geography corpus
+# ==========================================================================
+
+
+def geography_corpus(database: Database, seed: int = 9) -> list[QuestionExample]:
+    rng = rng_for(seed, "geo-corpus")
+    examples: list[QuestionExample] = []
+    add = examples.append
+    d = "geography"
+
+    continents = sorted({row[2] for row in database.table("country").rows()})
+    countries = [row[1] for row in database.table("country").rows()]
+    simple_countries = [c for c in countries if " " not in c]
+    rivers = [row[1] for row in database.table("river").rows()]
+    simple_rivers = [r for r in rivers if " " not in r]
+    mountains = [row[1] for row in database.table("mountain").rows()]
+    simple_mountains = [m for m in mountains if " " not in m]
+
+    add(_ex(d, "list all countries", "SELECT name FROM country", "select"))
+    add(_ex(d, "show the rivers", "SELECT name FROM river", "select"))
+    add(_ex(d, "show me the mountains", "SELECT name FROM mountain", "select"))
+    add(_ex(d, "list the cities", "SELECT name FROM city", "select"))
+
+    for continent in continents:
+        add(_ex(
+            d, f"show the countries in {continent}",
+            f"SELECT name FROM country WHERE continent = '{continent}'",
+            "select",
+        ))
+    for country in rng.sample(simple_countries, 6):
+        add(_ex(
+            d, f"show the cities in {country}",
+            "SELECT DISTINCT city.name FROM city JOIN country ON "
+            f"city.country_id = country.id WHERE country.name = '{country}'",
+            "select", "join",
+        ))
+        add(_ex(
+            d, f"which rivers are in {country}",
+            "SELECT DISTINCT river.name FROM river JOIN country ON "
+            f"river.country_id = country.id WHERE country.name = '{country}'",
+            "select", "join",
+        ))
+
+    add(_ex(d, "how many countries are there", "SELECT COUNT(*) FROM country", "count"))
+    add(_ex(d, "how many rivers are there", "SELECT COUNT(*) FROM river", "count"))
+    for country in rng.sample(simple_countries, 4):
+        add(_ex(
+            d, f"how many cities are in {country}",
+            "SELECT COUNT(DISTINCT city.id) FROM city JOIN country ON "
+            f"city.country_id = country.id WHERE country.name = '{country}'",
+            "count", "join",
+        ))
+    for continent in continents[:3]:
+        add(_ex(
+            d, f"how many countries are in {continent}",
+            f"SELECT COUNT(*) FROM country WHERE continent = '{continent}'",
+            "count",
+        ))
+
+    add(_ex(
+        d, "what is the average population of the countries",
+        "SELECT AVG(population) FROM country", "agg",
+    ))
+    add(_ex(
+        d, "what is the total area of the countries in europe",
+        "SELECT SUM(area) FROM country WHERE continent = 'europe'",
+        "agg",
+    ))
+    add(_ex(
+        d, "what is the maximum height of the mountains",
+        "SELECT MAX(height) FROM mountain", "agg",
+    ))
+    add(_ex(
+        d, "average length of the rivers",
+        "SELECT AVG(length) FROM river", "agg",
+    ))
+
+    for country in rng.sample(simple_countries, 5):
+        add(_ex(
+            d, f"what is the population of {country}",
+            f"SELECT population FROM country WHERE name = '{country}'",
+            "attr",
+        ))
+    for river in rng.sample(simple_rivers, 4):
+        add(_ex(
+            d, f"what is the length of the {river}",
+            f"SELECT length FROM river WHERE name = '{river}'",
+            "attr",
+        ))
+    for mountain in rng.sample(simple_mountains, 4):
+        add(_ex(
+            d, f"what is the height of {mountain}",
+            f"SELECT height FROM mountain WHERE name = '{mountain}'",
+            "attr",
+        ))
+
+    add(_ex(
+        d, "which country has the largest population",
+        "SELECT name FROM country ORDER BY population DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the longest river",
+        "SELECT name FROM river ORDER BY length DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the highest mountain",
+        "SELECT name FROM mountain ORDER BY height DESC LIMIT 1",
+        "super",
+    ))
+    add(_ex(
+        d, "the 3 largest cities",
+        "SELECT name FROM city ORDER BY population DESC LIMIT 3",
+        "super",
+    ))
+    add(_ex(
+        d, "the smallest country",
+        "SELECT name FROM country ORDER BY population ASC LIMIT 1",
+        "super",
+    ))
+
+    add(_ex(
+        d, "countries with population over 100000",
+        "SELECT name FROM country WHERE population > 100000",
+        "compare",
+    ))
+    add(_ex(
+        d, "rivers longer than 4000 km",
+        "SELECT name FROM river WHERE length > 4000", "compare",
+    ))
+    add(_ex(
+        d, "mountains higher than 6000 meters",
+        "SELECT name FROM mountain WHERE height > 6000", "compare",
+    ))
+    add(_ex(
+        d, "cities with population under 1000",
+        "SELECT name FROM city WHERE population < 1000", "compare",
+    ))
+    add(_ex(
+        d, "countries with area between 300 and 1000",
+        "SELECT name FROM country WHERE area BETWEEN 300 AND 1000",
+        "compare",
+    ))
+
+    add(_ex(
+        d, "countries that are not in europe",
+        "SELECT name FROM country WHERE continent != 'europe'",
+        "negation",
+    ))
+    add(_ex(
+        d, "cities that are not in usa",
+        "SELECT DISTINCT city.name FROM city JOIN country ON "
+        "city.country_id = country.id WHERE country.name != 'usa'",
+        "negation", "join",
+    ))
+
+    add(_ex(
+        d, "countries in europe or asia",
+        "SELECT name FROM country WHERE continent IN ('europe', 'asia')",
+        "member",
+    ))
+    add(_ex(
+        d, "cities in france or spain",
+        "SELECT DISTINCT city.name FROM city JOIN country ON "
+        "city.country_id = country.id WHERE country.name IN ('france', 'spain')",
+        "member", "join",
+    ))
+
+    add(_ex(
+        d, "rivers longer than the rhine",
+        "SELECT name FROM river WHERE length > "
+        "(SELECT length FROM river WHERE name = 'rhine')",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "mountains higher than the fuji",
+        "SELECT name FROM mountain WHERE height > "
+        "(SELECT height FROM mountain WHERE name = 'fuji')",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "countries with population above average",
+        "SELECT name FROM country WHERE population > "
+        "(SELECT AVG(population) FROM country)",
+        "nested", "compare",
+    ))
+
+    add(_ex(
+        d, "how many countries are in each continent",
+        "SELECT continent, COUNT(id) FROM country GROUP BY continent "
+        "ORDER BY continent",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "how many cities are in each country",
+        "SELECT country.name, COUNT(DISTINCT city.id) FROM city JOIN country "
+        "ON city.country_id = country.id GROUP BY country.name "
+        "ORDER BY country.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "average population per continent",
+        "SELECT continent, AVG(population) FROM country GROUP BY continent "
+        "ORDER BY continent",
+        "group", "agg",
+    ))
+
+    add(_ex(
+        d, "list the rivers sorted by length descending",
+        "SELECT name FROM river ORDER BY length DESC",
+        "order",
+    ))
+    add(_ex(
+        d, "show the mountains ordered by height",
+        "SELECT name FROM mountain ORDER BY height",
+        "order",
+    ))
+
+    return examples
+
+
+def geography_dialogues(database: Database) -> list[list[DialogueTurn]]:
+    return [
+        [
+            DialogueTurn(
+                "how many cities are in usa",
+                "SELECT COUNT(DISTINCT city.id) FROM city JOIN country ON "
+                "city.country_id = country.id WHERE country.name = 'usa'",
+                False,
+            ),
+            DialogueTurn(
+                "what about china",
+                "SELECT COUNT(DISTINCT city.id) FROM city JOIN country ON "
+                "city.country_id = country.id WHERE country.name = 'china'",
+                True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "show the countries in europe",
+                "SELECT name FROM country WHERE continent = 'europe'",
+                False,
+            ),
+            DialogueTurn(
+                "with population over 50000",
+                "SELECT name FROM country WHERE continent = 'europe' "
+                "AND population > 50000",
+                True,
+            ),
+            DialogueTurn(
+                "how many of them are there",
+                "SELECT COUNT(*) FROM country WHERE continent = 'europe' "
+                "AND population > 50000",
+                True,
+            ),
+        ],
+    ]
+
+
+# ==========================================================================
+# Wild (held-out phrasing) sets — NOT guaranteed to parse.
+#
+# Era evaluations distinguished "habitual" users (in-grammar phrasing,
+# high coverage) from unrestricted input.  These questions use passive
+# voice, unusual vocabulary and clause orders the grammar may not cover;
+# T1 reports coverage on them separately.
+# ==========================================================================
+
+
+def fleet_wild(database: Database) -> list[QuestionExample]:
+    d = "fleet"
+    return [
+        _ex(d, "i would like to see every ship we own",
+            "SELECT name FROM ship", "select"),
+        _ex(d, "could you possibly tell me the ships of the pacific fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'",
+            "select", "join"),
+        _ex(d, "ships belonging to the atlantic fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name = 'Atlantic'",
+            "select", "join"),
+        _ex(d, "give the count of submarines",
+            "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'submarine'",
+            "count", "join"),
+        _ex(d, "ships exceeding 50000 tons",
+            "SELECT name FROM ship WHERE displacement > 50000", "compare"),
+        _ex(d, "what ships have we got in the pacific fleet",
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'",
+            "select", "join"),
+        _ex(d, "how heavy is the enterprise",
+            "SELECT displacement FROM ship WHERE name = 'Enterprise'", "attr"),
+        _ex(d, "enumerate the carriers",
+            "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'",
+            "select", "join"),
+        _ex(d, "which vessels were commissioned in 1970",
+            "SELECT name FROM ship WHERE commissioned = 1970", "compare"),
+        _ex(d, "are there any ships faster than 33 knots",
+            "SELECT name FROM ship WHERE speed > 33", "compare"),
+        _ex(d, "ships not exceeding 5000 tons",
+            "SELECT name FROM ship WHERE displacement <= 5000", "compare",
+            "negation"),
+        _ex(d, "whats the biggest boat",
+            "SELECT name FROM ship ORDER BY displacement DESC LIMIT 1", "super"),
+        _ex(d, "rank the fleets by the number of their ships",
+            "SELECT fleet.name, COUNT(DISTINCT ship.id) FROM ship JOIN fleet "
+            "ON ship.fleet_id = fleet.id GROUP BY fleet.name ORDER BY fleet.name",
+            "group", "count", "join"),
+        _ex(d, "display vessels alongside their speeds",
+            "SELECT name, speed FROM ship", "select"),
+        _ex(d, "the displacement of each carrier",
+            "SELECT DISTINCT ship.displacement FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'",
+            "attr", "join"),
+    ]
+
+
+def company_wild(database: Database) -> list[QuestionExample]:
+    d = "company"
+    return [
+        _ex(d, "who works in the sales department",
+            "SELECT DISTINCT employee.name FROM employee JOIN department ON "
+            "employee.dept_id = department.id WHERE department.name = 'Sales'",
+            "select", "join"),
+        _ex(d, "employees earning more than 60000",
+            "SELECT name FROM employee WHERE salary > 60000", "compare"),
+        _ex(d, "what does the widget cost",
+            "SELECT price FROM product WHERE name = 'Widget'", "attr"),
+        _ex(d, "headcount per department",
+            "SELECT department.name, COUNT(DISTINCT employee.id) FROM employee "
+            "JOIN department ON employee.dept_id = department.id "
+            "GROUP BY department.name ORDER BY department.name",
+            "group", "count", "join"),
+        _ex(d, "whom do we employ as engineers",
+            "SELECT name FROM employee WHERE title = 'engineer'", "select"),
+        _ex(d, "the best paid employee",
+            "SELECT name FROM employee ORDER BY salary DESC LIMIT 1", "super"),
+        _ex(d, "give me everybody hired since 1972",
+            "SELECT name FROM employee WHERE hired >= 1972", "compare"),
+        _ex(d, "clients based in new york",
+            "SELECT name FROM customer WHERE city = 'New York'", "select"),
+        _ex(d, "i want the salaries of all managers",
+            "SELECT salary FROM employee WHERE title = 'manager'", "attr"),
+        _ex(d, "sum up the salaries in engineering",
+            "SELECT SUM(employee.salary) FROM employee JOIN department ON "
+            "employee.dept_id = department.id "
+            "WHERE department.name = 'Engineering'",
+            "agg", "join"),
+    ]
+
+
+def geography_wild(database: Database) -> list[QuestionExample]:
+    d = "geography"
+    return [
+        _ex(d, "through which countries does the nile flow",
+            "SELECT DISTINCT country.name FROM country JOIN river ON "
+            "river.country_id = country.id WHERE river.name = 'nile'",
+            "select", "join"),
+        _ex(d, "name the capitals",
+            "SELECT name FROM city WHERE capital = TRUE", "select"),
+        _ex(d, "how big is france",
+            "SELECT area FROM country WHERE name = 'france'", "attr"),
+        _ex(d, "people living in china",
+            "SELECT population FROM country WHERE name = 'china'", "attr"),
+        _ex(d, "what is the most populous country",
+            "SELECT name FROM country ORDER BY population DESC LIMIT 1",
+            "super"),
+        _ex(d, "rivers of america",
+            "SELECT DISTINCT river.name FROM river JOIN country ON "
+            "river.country_id = country.id WHERE country.name = 'usa'",
+            "select", "join"),
+        _ex(d, "where is everest",
+            "SELECT DISTINCT country.name FROM country JOIN mountain ON "
+            "mountain.country_id = country.id WHERE mountain.name = 'everest'",
+            "select", "join"),
+        _ex(d, "which continents have more than 3 countries",
+            "SELECT continent FROM country GROUP BY continent "
+            "HAVING COUNT(*) > 3 ORDER BY continent",
+            "group", "count"),
+        _ex(d, "the city with the most people",
+            "SELECT name FROM city ORDER BY population DESC LIMIT 1", "super"),
+        _ex(d, "mountains exceeding 8000 meters",
+            "SELECT name FROM mountain WHERE height > 8000", "compare"),
+    ]
+
+
+def wild_for(name: str, database: Database) -> list[QuestionExample]:
+    if name == "fleet":
+        return fleet_wild(database)
+    if name == "company":
+        return company_wild(database)
+    if name == "geography":
+        return geography_wild(database)
+    raise ValueError(f"unknown domain {name!r}")
+
+
+# ==========================================================================
+# Bundles
+# ==========================================================================
+
+
+def load_bundle(name: str) -> DomainBundle:
+    """Build database + domain model + corpora for ``name``."""
+    if name == "fleet":
+        db = fleet_mod.build_database()
+        return DomainBundle(
+            "fleet", db, fleet_mod.domain(), fleet_corpus(db),
+            fleet_dialogues(db), fleet_wild(db),
+        )
+    if name == "company":
+        db = company_mod.build_database()
+        return DomainBundle(
+            "company", db, company_mod.domain(),
+            company_corpus(db), company_dialogues(db), company_wild(db),
+        )
+    if name == "geography":
+        db = geography_mod.build_database()
+        return DomainBundle(
+            "geography", db, geography_mod.domain(),
+            geography_corpus(db), geography_dialogues(db), geography_wild(db),
+        )
+    raise ValueError(f"unknown domain {name!r}")
+
+
+ALL_DOMAINS = ("fleet", "company", "geography")
+
+
+def load_all_bundles() -> list[DomainBundle]:
+    return [load_bundle(name) for name in ALL_DOMAINS]

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every layer raises a subclass of :class:`ReproError`, so applications can
+catch one base class at the API boundary while tests can assert on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# SQL engine errors
+# --------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SchemaError(EngineError):
+    """Invalid schema definition or violated schema constraint."""
+
+
+class TypeMismatchError(EngineError):
+    """A value does not match the declared column type."""
+
+
+class IntegrityError(EngineError):
+    """Primary-key or foreign-key constraint violation."""
+
+
+class UnknownTableError(EngineError):
+    """Referenced table does not exist in the catalog."""
+
+
+class UnknownColumnError(EngineError):
+    """Referenced column does not exist in the table or scope."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(EngineError):
+    """The parsed statement cannot be turned into an executable plan."""
+
+
+class ExecutionError(EngineError):
+    """Runtime failure while executing a plan (e.g. divide by zero)."""
+
+
+# --------------------------------------------------------------------------
+# NL pipeline errors
+# --------------------------------------------------------------------------
+
+
+class NliError(ReproError):
+    """Base class for natural-language pipeline failures."""
+
+
+class LexiconError(NliError):
+    """Invalid lexicon entry or lexicon construction failure."""
+
+
+class GrammarError(NliError):
+    """Malformed grammar definition."""
+
+
+class ParseFailure(NliError):
+    """No complete parse could be found for the question."""
+
+    def __init__(self, message: str, tokens: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.tokens = tokens or []
+
+
+class InterpretationError(NliError):
+    """A parse was found but could not be mapped onto the schema."""
+
+
+class AmbiguityError(NliError):
+    """Multiple interpretations survive and clarification is required."""
+
+    def __init__(self, message: str, choices: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.choices = choices or []
+
+
+class DialogueError(NliError):
+    """Follow-up could not be resolved against the session context."""

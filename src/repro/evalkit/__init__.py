@@ -1,0 +1,32 @@
+"""Evaluation kit: metrics, harness, corruption, report tables."""
+
+from repro.evalkit.corruption import corrupt_question, corrupt_word
+from repro.evalkit.harness import (
+    DialogueEval,
+    EvalResult,
+    NliSystem,
+    evaluate_dialogues,
+    evaluate_nli,
+    evaluate_system,
+    per_feature_accuracy,
+)
+from repro.evalkit.metrics import StageCounts, Tally, answers_match
+from repro.evalkit.report import format_series, format_table, pct
+
+__all__ = [
+    "DialogueEval",
+    "EvalResult",
+    "NliSystem",
+    "StageCounts",
+    "Tally",
+    "answers_match",
+    "corrupt_question",
+    "corrupt_word",
+    "evaluate_dialogues",
+    "evaluate_nli",
+    "evaluate_system",
+    "format_series",
+    "format_table",
+    "pct",
+    "per_feature_accuracy",
+]

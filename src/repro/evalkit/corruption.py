@@ -1,0 +1,47 @@
+"""Typo injection for the spelling-robustness experiment (F3)."""
+
+from __future__ import annotations
+
+import random
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+def corrupt_word(word: str, rng: random.Random) -> str:
+    """Apply one random edit (swap, drop, double, neighbor-substitute)."""
+    if len(word) < 4 or not word.isalpha():
+        return word
+    kind = rng.choice(["swap", "drop", "double", "substitute"])
+    i = rng.randrange(1, len(word) - 1)
+    if kind == "swap" and i + 1 < len(word):
+        return word[:i] + word[i + 1] + word[i] + word[i + 2 :]
+    if kind == "drop":
+        return word[:i] + word[i + 1 :]
+    if kind == "double":
+        return word[:i] + word[i] + word[i:]
+    neighbors = _KEYBOARD_NEIGHBORS.get(word[i], word[i])
+    return word[:i] + rng.choice(neighbors) + word[i + 1 :]
+
+
+def corrupt_question(question: str, rate: float, rng: random.Random) -> str:
+    """Corrupt each eligible word with probability ``rate``.
+
+    Words shorter than 4 characters and numbers are left alone (matching
+    the corrector's own threshold, so the experiment measures correction,
+    not hopeless cases).
+    """
+    words = question.split()
+    out = []
+    for word in words:
+        if len(word) >= 4 and word.isalpha() and rng.random() < rate:
+            corrupted = corrupt_word(word, rng)
+            out.append(corrupted)
+        else:
+            out.append(word)
+    return " ".join(out)

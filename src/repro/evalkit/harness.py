@@ -1,0 +1,161 @@
+"""Evaluation harness: run systems over corpora and collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.config import NliConfig
+from repro.core.dialogue import Session
+from repro.core.pipeline import NaturalLanguageInterface
+from repro.datasets.corpus import DialogueTurn, DomainBundle, QuestionExample
+from repro.errors import NliError, ReproError
+from repro.evalkit.metrics import StageCounts, Tally, answers_match
+from repro.sqlengine.executor import Engine
+from repro.sqlengine.result import ResultSet
+
+
+class QuestionAnswerer(Protocol):
+    """Anything that turns an English question into a ResultSet."""
+
+    def answer(self, question: str) -> ResultSet:  # pragma: no cover
+        ...
+
+
+class NliSystem:
+    """Adapter: the full NLI pipeline as a QuestionAnswerer."""
+
+    name = "semantic-grammar NLI"
+
+    def __init__(self, bundle: DomainBundle, config: NliConfig | None = None) -> None:
+        self.nli = NaturalLanguageInterface(
+            bundle.database, domain=bundle.model, config=config
+        )
+
+    def answer(self, question: str) -> ResultSet:
+        return self.nli.ask(question).result
+
+
+@dataclass
+class EvalResult:
+    """Accuracy + per-stage coverage over one corpus."""
+
+    system: str
+    domain: str
+    stages: StageCounts = field(default_factory=StageCounts)
+
+    @property
+    def accuracy(self) -> float:
+        return self.stages.accuracy
+
+
+def evaluate_nli(
+    bundle: DomainBundle,
+    config: NliConfig | None = None,
+    examples: list[QuestionExample] | None = None,
+) -> EvalResult:
+    """Run the full pipeline over a corpus with stage accounting."""
+    nli = NaturalLanguageInterface(bundle.database, domain=bundle.model, config=config)
+    gold_engine = Engine(bundle.database)
+    result = EvalResult("nli", bundle.name)
+    for example in examples if examples is not None else bundle.corpus:
+        gold = gold_engine.execute(example.gold_sql)
+        try:
+            tokens, _ = nli.normalize(example.question)
+            if not tokens:
+                result.stages.record(example.question, "tokenize")
+                continue
+            try:
+                sketches = nli._parse_tokens(tokens, None)
+            except NliError:
+                result.stages.record(example.question, "tokenize")
+                continue
+            full = [s for s in sketches if not s.fragment]
+            if not full:
+                result.stages.record(example.question, "parse")
+                continue
+            try:
+                interpretations = nli.interpreter.interpret(full)
+            except NliError:
+                result.stages.record(example.question, "parse")
+                continue
+            best = interpretations[0]
+            try:
+                produced = nli.engine.execute(nli.sqlgen.generate(best.query))
+            except ReproError:
+                result.stages.record(example.question, "interpret")
+                continue
+            correct = answers_match(produced, gold)
+            result.stages.record(example.question, "answered", correct=correct)
+        except ReproError:
+            result.stages.record(example.question, "tokenize")
+    return result
+
+
+def evaluate_system(
+    system: QuestionAnswerer,
+    bundle: DomainBundle,
+    examples: list[QuestionExample] | None = None,
+) -> Tally:
+    """Answer-accuracy only (for baselines)."""
+    gold_engine = Engine(bundle.database)
+    tally = Tally()
+    for example in examples if examples is not None else bundle.corpus:
+        gold = gold_engine.execute(example.gold_sql)
+        try:
+            produced = system.answer(example.question)
+        except ReproError:
+            tally.add(False)
+            continue
+        tally.add(answers_match(produced, gold))
+    return tally
+
+
+@dataclass
+class DialogueEval:
+    """Outcome of scripted multi-turn sessions."""
+
+    first_turns: Tally = field(default_factory=Tally)
+    followups: Tally = field(default_factory=Tally)
+
+
+def evaluate_dialogues(
+    bundle: DomainBundle, config: NliConfig | None = None
+) -> DialogueEval:
+    """Run scripted sessions; follow-ups are scored separately (T4)."""
+    nli = NaturalLanguageInterface(bundle.database, domain=bundle.model, config=config)
+    gold_engine = Engine(bundle.database)
+    outcome = DialogueEval()
+    for session_script in bundle.dialogues:
+        session = Session()
+        for turn in session_script:
+            gold = gold_engine.execute(turn.gold_sql)
+            try:
+                answer = nli.ask(turn.question, session=session)
+                correct = answers_match(answer.result, gold)
+            except ReproError:
+                correct = False
+            if turn.is_followup:
+                outcome.followups.add(correct)
+            else:
+                outcome.first_turns.add(correct)
+    return outcome
+
+
+def per_feature_accuracy(
+    bundle: DomainBundle, config: NliConfig | None = None
+) -> dict[str, Tally]:
+    """Accuracy partitioned by construct tag (drives Table 3)."""
+    nli = NaturalLanguageInterface(bundle.database, domain=bundle.model, config=config)
+    gold_engine = Engine(bundle.database)
+    buckets: dict[str, Tally] = {}
+    for example in bundle.corpus:
+        gold = gold_engine.execute(example.gold_sql)
+        try:
+            produced = nli.ask(example.question).result
+            correct = answers_match(produced, gold)
+        except ReproError:
+            correct = False
+        for feature in example.features:
+            buckets.setdefault(feature, Tally()).add(correct)
+    return buckets

@@ -1,0 +1,82 @@
+"""Evaluation metrics: answer-set accuracy and stage-coverage accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.result import ResultSet
+
+
+def answers_match(produced: ResultSet, gold: ResultSet) -> bool:
+    """Answer-set equality: same column count, same set of rows.
+
+    Floats are rounded (6 places) inside ``answer_set``; row order and
+    column names are ignored — the standard NLIDB correctness notion.
+    """
+    if produced.columns and gold.columns and len(produced.columns) != len(gold.columns):
+        return False
+    return produced.answer_set() == gold.answer_set()
+
+
+@dataclass
+class StageCounts:
+    """Per-question pipeline outcome tally (drives Table 1)."""
+
+    total: int = 0
+    parsed: int = 0
+    interpreted: int = 0
+    executed: int = 0
+    correct: int = 0
+    failures: list[tuple[str, str]] = field(default_factory=list)  # (question, stage)
+
+    def record(self, question: str, stage: str, correct: bool = False) -> None:
+        """``stage`` in {'tokenize','parse','interpret','execute','answered'}."""
+        self.total += 1
+        order = ["tokenize", "parse", "interpret", "execute", "answered"]
+        reached = order.index(stage)
+        if reached >= 1:
+            self.parsed += 1
+        if reached >= 2:
+            self.interpreted += 1
+        if reached >= 3:
+            self.executed += 1
+        if correct:
+            self.correct += 1
+        if stage != "answered" or not correct:
+            self.failures.append((question, stage))
+
+    @property
+    def parse_rate(self) -> float:
+        return self.parsed / self.total if self.total else 0.0
+
+    @property
+    def interpret_rate(self) -> float:
+        return self.interpreted / self.total if self.total else 0.0
+
+    @property
+    def execute_rate(self) -> float:
+        return self.executed / self.total if self.total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+@dataclass
+class Tally:
+    """Simple correct/total accumulator with accuracy."""
+
+    correct: int = 0
+    total: int = 0
+
+    def add(self, is_correct: bool) -> None:
+        self.total += 1
+        if is_correct:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.correct}/{self.total} ({100 * self.accuracy:.1f}%)"

@@ -1,0 +1,44 @@
+"""ASCII report tables shared by all benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [
+        [("" if c is None else str(c)) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Percentage with one decimal."""
+    return f"{100 * value:.1f}%"
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[tuple[Any, Sequence[Any]]],
+    title: str | None = None,
+) -> str:
+    """A "figure" as a data series table (x, y1, y2, ...)."""
+    headers = [x_label, *y_labels]
+    rows = [[x, *ys] for x, ys in points]
+    return format_table(headers, rows, title=title)

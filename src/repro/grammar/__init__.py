@@ -1,0 +1,20 @@
+"""Semantic grammar engine: formalism, Earley lattice parser, English grammar."""
+
+from repro.grammar.earley import EarleyParser, ParseResult, StaticMatcher, TerminalMatch
+from repro.grammar.english import build_english_grammar, grammar_literal_words
+from repro.grammar.rules import Grammar, GrammarBuilder, Production
+from repro.grammar.sketch import Sketch, Tag
+
+__all__ = [
+    "EarleyParser",
+    "Grammar",
+    "GrammarBuilder",
+    "ParseResult",
+    "Production",
+    "Sketch",
+    "StaticMatcher",
+    "Tag",
+    "TerminalMatch",
+    "build_english_grammar",
+    "grammar_literal_words",
+]

@@ -1,0 +1,198 @@
+"""Earley chart parser over a token *lattice*.
+
+Classic Earley (predict/scan/complete), with one extension the semantic
+grammar needs: category terminals may span several tokens ("pacific
+fleet" is one VALUE), so scanning advances by the match length reported
+by the :class:`TerminalMatcher`.
+
+Items carry their accumulated semantic children, so completed start items
+hold finished semantic values directly.  Ambiguity produces multiple
+completed items; the parser returns every distinct semantic value (up to
+``max_parses``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.errors import ParseFailure
+from repro.grammar.rules import Grammar, Production, is_category, is_literal, literal_word
+
+
+@dataclass(frozen=True)
+class TerminalMatch:
+    """One tagger match: ``category`` spans tokens [start, end)."""
+
+    category: str
+    start: int
+    end: int
+    payload: Any
+    weight: float = 1.0
+
+
+class TerminalMatcher(Protocol):
+    """Supplies category-terminal matches at each position."""
+
+    def matches_at(self, position: int) -> list[TerminalMatch]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class _Item:
+    production: Production
+    dot: int
+    origin: int
+    values: tuple[Any, ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.dot >= len(self.production.rhs)
+
+    @property
+    def next_symbol(self) -> str | None:
+        if self.complete:
+            return None
+        return self.production.rhs[self.dot]
+
+
+@dataclass(frozen=True)
+class ParseResult:
+    """One complete parse: the start symbol's semantic value."""
+
+    value: Any
+    production: Production
+
+
+class EarleyParser:
+    """Parser instance bound to a grammar.
+
+    ``max_items_per_position`` bounds chart growth on pathological input
+    (the practical ambiguity of the question grammar is tiny).
+    """
+
+    def __init__(self, grammar: Grammar, max_items_per_position: int = 4000) -> None:
+        self.grammar = grammar
+        self.max_items = max_items_per_position
+
+    def parse(
+        self,
+        tokens: list[str],
+        matcher: TerminalMatcher,
+        max_parses: int = 16,
+    ) -> list[ParseResult]:
+        """All complete parses of ``tokens`` (distinct semantic values).
+
+        Raises :class:`ParseFailure` when no parse covers the input.
+        """
+        n = len(tokens)
+        chart: list[list[_Item]] = [[] for _ in range(n + 1)]
+        seen: list[set[tuple]] = [set() for _ in range(n + 1)]
+
+        def add(position: int, item: _Item) -> None:
+            if len(chart[position]) >= self.max_items:
+                return
+            key = (
+                id(item.production),
+                item.dot,
+                item.origin,
+                repr(item.values),
+            )
+            if key in seen[position]:
+                return
+            seen[position].add(key)
+            chart[position].append(item)
+
+        for production in self.grammar.productions_for(self.grammar.start):
+            add(0, _Item(production, 0, 0, ()))
+
+        for position in range(n + 1):
+            index = 0
+            # Chart rows grow while being processed (agenda style).
+            while index < len(chart[position]):
+                item = chart[position][index]
+                index += 1
+                symbol = item.next_symbol
+                if symbol is None:
+                    self._complete(chart, add, position, item)
+                elif is_literal(symbol):
+                    if position < n and tokens[position] == literal_word(symbol):
+                        add(
+                            position + 1,
+                            _Item(
+                                item.production,
+                                item.dot + 1,
+                                item.origin,
+                                item.values + (tokens[position],),
+                            ),
+                        )
+                elif is_category(symbol):
+                    for match in matcher.matches_at(position):
+                        if match.category != symbol:
+                            continue
+                        add(
+                            match.end,
+                            _Item(
+                                item.production,
+                                item.dot + 1,
+                                item.origin,
+                                item.values + (match.payload,),
+                            ),
+                        )
+                else:  # nonterminal: predict
+                    for production in self.grammar.productions_for(symbol):
+                        add(position, _Item(production, 0, position, ()))
+
+        results: list[ParseResult] = []
+        result_keys: set[str] = set()
+        for item in chart[n]:
+            if not item.complete:
+                continue
+            if item.production.lhs != self.grammar.start or item.origin != 0:
+                continue
+            value = item.production.action(list(item.values))
+            key = repr(value)
+            if key not in result_keys:
+                result_keys.add(key)
+                results.append(ParseResult(value, item.production))
+            if len(results) >= max_parses:
+                break
+        if not results:
+            raise ParseFailure(
+                f"no parse for: {' '.join(tokens)!r}", tokens=list(tokens)
+            )
+        return results
+
+    def _complete(self, chart, add, position: int, completed: _Item) -> None:
+        value = completed.production.action(list(completed.values))
+        lhs = completed.production.lhs
+        for parent in list(chart[completed.origin]):
+            if parent.next_symbol == lhs:
+                add(
+                    position,
+                    _Item(
+                        parent.production,
+                        parent.dot + 1,
+                        parent.origin,
+                        parent.values + (value,),
+                    ),
+                )
+
+    def recognizes(self, tokens: list[str], matcher: TerminalMatcher) -> bool:
+        try:
+            self.parse(tokens, matcher, max_parses=1)
+            return True
+        except ParseFailure:
+            return False
+
+
+class StaticMatcher:
+    """A fixed table of matches — handy for tests and for pre-tagged input."""
+
+    def __init__(self, matches: list[TerminalMatch]) -> None:
+        self._by_position: dict[int, list[TerminalMatch]] = {}
+        for match in matches:
+            self._by_position.setdefault(match.start, []).append(match)
+
+    def matches_at(self, position: int) -> list[TerminalMatch]:
+        return self._by_position.get(position, [])

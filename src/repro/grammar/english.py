@@ -1,0 +1,756 @@
+"""The English question grammar — a reusable semantic grammar.
+
+The 1978 systems wrote one semantic grammar per application ("LIST the
+SHIPS ...").  Here the same effect is achieved once, generically: the
+grammar's category terminals (ENTITY, ATTR, VALUE, SUPER, COMP, UNIT,
+NUMBER) are bound to a concrete database by the lexicon, so a single
+grammar serves every domain.
+
+Covered question forms (each exercised by tests and the corpora):
+
+* listing — "show the ships in the pacific fleet"
+* counting — "how many ships are there", "how many ships does X have"
+* aggregates — "what is the average displacement of the carriers"
+* attribute lookup — "what is the displacement of the kennedy"
+* superlatives — "the 3 largest ships", "which ship has the newest ..."
+* comparisons — "ships with displacement over 3000 tons",
+  "ships heavier than the kennedy", "ships heavier than average"
+* membership — "ships from norfolk or san diego"
+* negation — "ships that are not in the pacific fleet"
+* ranges — "ships with displacement between 2000 and 5000"
+* grouping — "how many ships are in each fleet"
+* ordering — "list the ships by displacement descending"
+* elliptical fragments — "what about the atlantic fleet?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.grammar.rules import Action, Grammar, GrammarBuilder, Production
+from repro.grammar.sketch import Sketch, Tag, cond, flatten_tags, penalty_tag
+from repro.logical.forms import (
+    AttrRef,
+    BetweenCondition,
+    CompareCondition,
+    CompareToAggregate,
+    CompareToInstance,
+    EntityRef,
+    MembershipCondition,
+    NullCondition,
+    OrderSpec,
+    Superlative,
+    ValueCondition,
+    ValueRef,
+)
+
+# --------------------------------------------------------------------------
+# Optional-symbol expansion (our Earley core has no epsilon rules)
+# --------------------------------------------------------------------------
+
+
+def _expand_optionals(rhs_spec: str) -> list[tuple[tuple[str, ...], tuple[int, ...]]]:
+    """Expand ``"Det? ENTITY PostMods?"`` into all concrete alternatives.
+
+    Returns ``(symbols, positions)`` pairs where ``positions[i]`` is the
+    index of ``symbols[i]`` in the full padded child list.
+    """
+    parts = rhs_spec.split()
+    required = [not p.endswith("?") for p in parts]
+    names = [p.rstrip("?") for p in parts]
+    expansions: list[tuple[tuple[str, ...], tuple[int, ...]]] = []
+    optional_indices = [i for i, req in enumerate(required) if not req]
+    for mask in range(1 << len(optional_indices)):
+        included = set(
+            optional_indices[bit]
+            for bit in range(len(optional_indices))
+            if mask & (1 << bit)
+        )
+        symbols = []
+        positions = []
+        for i, name in enumerate(names):
+            if required[i] or i in included:
+                symbols.append(name)
+                positions.append(i)
+        if symbols:
+            expansions.append((tuple(symbols), tuple(positions)))
+    return expansions
+
+
+class _Rules(GrammarBuilder):
+    """GrammarBuilder with optional-symbol expansion.
+
+    Actions always receive a *padded* child list: one slot per symbol in
+    the spec, ``None`` where an optional symbol was absent.
+    """
+
+    def opt(self, lhs: str, rhs_spec: str, action: Action, name: str = "") -> "_Rules":
+        total = len(rhs_spec.split())
+        for symbols, positions in _expand_optionals(rhs_spec):
+            def padded_action(children, positions=positions, action=action, total=total):
+                padded: list[Any] = [None] * total
+                for child, position in zip(children, positions):
+                    padded[position] = child
+                return action(padded)
+
+            self._productions.append(Production(lhs, symbols, padded_action, name))
+        return self
+
+
+# --------------------------------------------------------------------------
+# Small semantic helpers used by actions
+# --------------------------------------------------------------------------
+
+
+def _values_condition(values: tuple[ValueRef, ...], negated: bool = False):
+    if len(values) == 1:
+        return ValueCondition(values[0], negated=negated)
+    return MembershipCondition(values, negated=negated)
+
+
+def _unwrap_entity(payload) -> tuple[EntityRef, list[Tag]]:
+    """ENTITY payloads are EntityRef or CategoricalEntity (value-as-noun)."""
+    from repro.lexicon.entries import CategoricalEntity
+
+    if isinstance(payload, CategoricalEntity):
+        return payload.entity, [cond(payload.condition)]
+    return payload, []
+
+
+def _np_sketch(padded) -> Sketch:
+    """EntityNP action: Det? PreMods? ENTITY PostMods?"""
+    _, premods, entity_payload, postmods = padded
+    entity, implied = _unwrap_entity(entity_payload)
+    sketch = Sketch(qtype="list", entity=entity)
+    return sketch.merge_tags(
+        implied + flatten_tags(premods) + flatten_tags(postmods)
+    )
+
+
+def _merge_np(sketch: Sketch, base: Sketch) -> Sketch:
+    """Fold an EntityNP sketch into a query sketch."""
+    return replace(
+        base,
+        entity=sketch.entity,
+        conditions=base.conditions + sketch.conditions,
+        superlative=base.superlative or sketch.superlative,
+        order_by=base.order_by or sketch.order_by,
+        group_by=base.group_by or sketch.group_by,
+        limit=base.limit if base.limit is not None else sketch.limit,
+        penalty=base.penalty + sketch.penalty,
+    )
+
+
+def _head_noun_tags(values: tuple[ValueRef, ...], entity_payload,
+                    negated: bool = False) -> list[Tag]:
+    """Condition for "<value> <entity-noun>" with an agreement check.
+
+    "the pacific fleet" only makes sense when 'pacific' is a value from
+    the fleet table; a mismatched head noun costs a heavy penalty so the
+    reading survives only if nothing better parses.
+    """
+    entity, implied = _unwrap_entity(entity_payload)
+    tags = implied + [cond(_values_condition(values, negated=negated))]
+    if any(v.table != entity.table for v in values):
+        tags.append(penalty_tag(5.0))
+    return tags
+
+
+def _attr_value_tags(attr: AttrRef, values: tuple[ValueRef, ...],
+                     negated: bool = False) -> list[Tag]:
+    """Condition for "whose <attr> is <value>" with column agreement."""
+    tags = [cond(_values_condition(values, negated=negated))]
+    if any((v.table, v.column) != (attr.table, attr.column) for v in values):
+        tags.append(penalty_tag(5.0))
+    return tags
+
+
+_COMP_OPS = {
+    ("more", "than"): ">",
+    ("greater", "than"): ">",
+    ("less", "than"): "<",
+    ("fewer", "than"): "<",
+    ("at", "least"): ">=",
+    ("at", "most"): "<=",
+    ("over",): ">",
+    ("above",): ">",
+    ("exceeding",): ">",
+    ("under",): "<",
+    ("below",): "<",
+    ("exactly",): "=",
+}
+
+
+# --------------------------------------------------------------------------
+# The grammar
+# --------------------------------------------------------------------------
+
+
+def build_english_grammar() -> Grammar:
+    """Construct the question grammar (domain-independent)."""
+    g = _Rules("Query")
+
+    # ===== top level =========================================================
+    g.alias("Query", "ListQ", "CountQ", "CountHaveQ", "AggQ", "AttrQ", "SuperQ",
+            "Fragment")
+    # polite / conversational prefixes wrap any query
+    g.rule("Query", "Polite Query", lambda c: c[1])
+    g.rule("Polite", "'could' 'you' 'tell' 'me'", lambda c: None)
+    g.rule("Polite", "'could' 'you' 'possibly' 'tell' 'me'", lambda c: None)
+    g.rule("Polite", "'can' 'you' 'tell' 'me'", lambda c: None)
+    g.rule("Polite", "'can' 'you' 'show' 'me'", lambda c: None)
+    g.rule("Polite", "'please'", lambda c: None)
+    g.rule("Polite", "'i' 'would' 'like' 'to' 'see'", lambda c: None)
+    g.rule("Polite", "'i' 'would' 'like' 'to' 'know'", lambda c: None)
+    g.rule("Polite", "'i' 'want' 'to' 'see'", lambda c: None)
+    g.rule("Polite", "'i' 'want' 'to' 'know'", lambda c: None)
+
+    # ===== determiners & function words =====================================
+    g.words("DetWord", "the", "a", "an", "all", "every", "any", "each")
+    g.alias("Det", "DetWord")
+    g.rule("Det", "'all' 'the'", lambda c: "all the")
+    g.rule("Det", "'all' 'of' 'the'", lambda c: "all of the")
+
+    g.words("IsVerb", "is", "are", "was", "were")
+    g.words("HaveVerb", "has", "have", "had")
+    g.words("Prep", "in", "at", "from", "on", "of", "for", "to")
+    # participle prepositions: "ships belonging to the atlantic fleet"
+    for participle, prep in (
+        ("belonging", "to"), ("based", "in"), ("based", "at"),
+        ("living", "in"), ("located", "in"), ("stationed", "in"),
+        ("stationed", "at"), ("assigned", "to"), ("homeported", "in"),
+    ):
+        g.rule("Prep", f"'{participle}' '{prep}'", lambda c: c[0])
+    g.words("RelPron", "that", "which", "who")
+
+    # ===== leads =============================================================
+    for lead in ("show", "list", "find", "display", "name", "print", "give",
+                 "get", "enumerate"):
+        g.rule("ListLead", f"'{lead}'", lambda c: None)
+    g.rule("ListLead", "'are' 'there'", lambda c: None)
+    g.rule("ListLead", "'i' 'want'", lambda c: None)
+    g.rule("ListLead", "'i' 'need'", lambda c: None)
+    g.rule("ListLead", "'show' 'me'", lambda c: None)
+    g.rule("ListLead", "'give' 'me'", lambda c: None)
+    g.rule("ListLead", "'tell' 'me'", lambda c: None)
+    g.rule("ListLead", "'what' IsVerb", lambda c: None)
+    g.rule("ListLead", "'which' IsVerb", lambda c: None)
+    g.rule("ListLead", "'who' IsVerb", lambda c: None)
+    g.rule("ListLead", "'what'", lambda c: None)
+    g.rule("ListLead", "'which'", lambda c: None)
+    g.rule("ListLead", "'please' 'show'", lambda c: None)
+    g.rule("ListLead", "'show' 'me' 'all'", lambda c: None)
+    g.rule("ListLead", "'which' 'of'", lambda c: None)
+
+    # ===== list queries ======================================================
+    g.opt(
+        "ListQ",
+        "ListLead? EntityNP OrderSuffix?",
+        lambda p: _merge_np(p[1], Sketch(qtype="list")).merge_tags(flatten_tags(p[2])),
+        name="list",
+    )
+    # "which ships are in norfolk" — verb-linked condition
+    g.opt(
+        "ListQ",
+        "ListLead? EntityNP VerbPhrase OrderSuffix?",
+        lambda p: _merge_np(p[1], Sketch(qtype="list")).merge_tags(
+            flatten_tags(p[2]) + flatten_tags(p[3])
+        ),
+        name="list-vp",
+    )
+    # value-only listing with a mandatory lead: "name the capitals" —
+    # the entity is inferred from the value's table.  This is a fallback
+    # reading: when a categorical-entity noun also matches ("show the
+    # destroyers"), the penalty makes the entity reading win.
+    g.opt(
+        "ListQ",
+        "ListLead Det? ValueDisj",
+        lambda p: Sketch(
+            qtype="list", conditions=(_values_condition(p[2]),), penalty=2.5
+        ),
+        name="list-value",
+    )
+
+    # ===== count queries =====================================================
+    g.opt(
+        "CountQ",
+        "'how' 'many' EntityNP ThereSuffix? GroupSuffix?",
+        lambda p: _merge_np(
+            p[2], Sketch(qtype="count", agg_function="count")
+        ).merge_tags(flatten_tags(p[4])),
+        name="count",
+    )
+    g.opt(
+        "CountQ",
+        "'how' 'many' 'of' EntityNP ThereSuffix? GroupSuffix?",
+        lambda p: _merge_np(
+            p[3], Sketch(qtype="count", agg_function="count")
+        ).merge_tags(flatten_tags(p[5])),
+        name="count-of-pronoun",
+    )
+    g.rule("ThereSuffix", "IsVerb 'there'", lambda c: None)
+    g.rule("ThereSuffix", "'exist'", lambda c: None)
+    g.rule("ThereSuffix", "'do' 'we' 'have'", lambda c: None)
+    g.rule("ThereSuffix", "IsVerb", lambda c: None)  # "... are in each fleet"
+
+    # "how many ships are in norfolk" — verb-linked condition
+    g.opt(
+        "CountQ",
+        "'how' 'many' EntityNP VerbPhrase GroupSuffix?",
+        lambda p: _merge_np(
+            p[2], Sketch(qtype="count", agg_function="count")
+        ).merge_tags(flatten_tags(p[3]) + flatten_tags(p[4])),
+        name="count-vp",
+    )
+    g.opt(
+        "CountQ",
+        "'how' 'many' 'of' EntityNP VerbPhrase GroupSuffix?",
+        lambda p: _merge_np(
+            p[3], Sketch(qtype="count", agg_function="count")
+        ).merge_tags(flatten_tags(p[4]) + flatten_tags(p[5])),
+        name="count-of-vp",
+    )
+
+    g.words("DoVerb", "does", "do", "did")
+    g.opt(
+        "CountHaveQ",
+        "'how' 'many' EntityNP DoVerb Det? ValueDisj HaveVerb?",
+        lambda p: _merge_np(
+            p[2],
+            Sketch(qtype="count", agg_function="count").merge_tags(
+                [cond(_values_condition(p[5]))]
+            ),
+        ),
+        name="count-have",
+    )
+    g.opt(
+        "CountHaveQ",
+        "'how' 'many' EntityNP DoVerb Det? ValueDisj ENTITY HaveVerb?",
+        lambda p: _merge_np(
+            p[2],
+            Sketch(qtype="count", agg_function="count").merge_tags(
+                _head_noun_tags(p[5], p[6])
+            ),
+        ),
+        name="count-have-head",
+    )
+
+    # "the number of ships ..." / "count of ships"
+    g.opt(
+        "CountQ",
+        "AggLead? Det? NumberWord 'of' EntityNP GroupSuffix?",
+        lambda p: _merge_np(
+            p[4], Sketch(qtype="count", agg_function="count")
+        ).merge_tags(flatten_tags(p[5])),
+        name="number-of",
+    )
+    g.words("NumberWord", "number", "count")
+
+    # ===== aggregate queries =================================================
+    g.rule("AggLead", "'what' IsVerb", lambda c: None)
+    g.rule("AggLead", "'show' 'me'", lambda c: None)
+    g.rule("AggLead", "'give' 'me'", lambda c: None)
+    g.rule("AggLead", "'tell' 'me'", lambda c: None)
+    g.rule("AggLead", "'find'", lambda c: None)
+    g.rule("AggLead", "'compute'", lambda c: None)
+    g.rule("AggLead", "'show'", lambda c: None)
+    g.rule("AggLead", "'give'", lambda c: None)
+    g.rule("AggLead", "'i' 'want'", lambda c: None)
+    g.rule("AggLead", "'i' 'need'", lambda c: None)
+
+    g.words("AvgWord", "average", "mean")
+    g.words("SumWord", "total", "sum", "combined")
+    g.words("MaxWord", "maximum", "highest", "largest", "greatest", "biggest",
+            "most", "top", "longest")
+    g.words("MinWord", "minimum", "lowest", "smallest", "least", "fewest",
+            "shortest")
+    g.rule("AggWord", "AvgWord", lambda c: "avg")
+    g.rule("AggWord", "SumWord", lambda c: "sum")
+    g.rule("AggWord", "MaxWord", lambda c: "max")
+    g.rule("AggWord", "MinWord", lambda c: "min")
+    g.rule("AggWord", "'sum' 'up'", lambda c: "sum")
+
+    def _agg_action(p):
+        base = Sketch(qtype="agg", agg_function=p[2], agg_attr=p[4])
+        if p[5] is not None:
+            base = _merge_np(p[5], base)
+        return base.merge_tags(flatten_tags(p[6]))
+
+    g.opt(
+        "AggQ",
+        "AggLead? Det? AggWord Det? ATTR OfEntity? GroupSuffix?",
+        _agg_action,
+        name="aggregate",
+    )
+    # PP-conditioned aggregate: "sum up the salaries in engineering"
+    g.opt(
+        "AggQ",
+        "AggLead? Det? AggWord Det? ATTR PrepPhrase GroupSuffix?",
+        lambda p: Sketch(qtype="agg", agg_function=p[2], agg_attr=p[4])
+        .merge_tags(flatten_tags(p[5]) + flatten_tags(p[6])),
+        name="aggregate-pp",
+    )
+    g.rule("OfEntity", "'of' EntityNP", lambda c: c[1])
+    g.rule("OfEntity", "'for' EntityNP", lambda c: c[1])
+    g.rule("OfEntity", "'among' EntityNP", lambda c: c[1])
+
+    # "what is the average displacement of the kennedy"-style lookups where
+    # the of-target is a VALUE are attribute lookups with aggregation; the
+    # interpreter treats agg over a single instance as plain lookup.
+    g.opt(
+        "AggQ",
+        "AggLead? Det? AggWord ATTR 'of' Det? VALUE",
+        lambda p: Sketch(
+            qtype="agg",
+            agg_function=p[2],
+            agg_attr=p[3],
+            conditions=(ValueCondition(p[6]),),
+        ),
+        name="aggregate-instance",
+    )
+
+    # ===== attribute lookup ==================================================
+    g.rule("AttrList", "ATTR", lambda c: (c[0],))
+    g.rule("AttrList", "ATTR 'and' AttrList", lambda c: (c[0],) + c[2])
+
+    def _attr_q(p):
+        attrs, target = p[2], p[3]
+        if isinstance(target, Sketch):
+            base = replace(target, qtype="attr", projections=attrs)
+            return base
+        return Sketch(qtype="attr", projections=attrs,
+                      conditions=(ValueCondition(target),))
+
+    g.opt("AttrQ", "AggLead? Det? AttrList OfTarget", _attr_q, name="attr-of")
+    g.rule("OfTarget", "'of' EntityNP", lambda c: c[1])
+    g.rule("OfTarget", "'for' EntityNP", lambda c: c[1])
+    g.opt("OfTarget", "'of' Det? VALUE", lambda p: p[2])
+    g.opt("OfTarget", "'for' Det? VALUE", lambda p: p[2])
+
+    # possessive style: "the kennedy displacement" / "kennedy's displacement"
+    g.opt(
+        "AttrQ",
+        "AggLead? Det? VALUE AttrList",
+        lambda p: Sketch(qtype="attr", projections=p[3],
+                         conditions=(ValueCondition(p[2]),)),
+        name="attr-possessive",
+    )
+    # PP-conditioned lookup: "people living in china"
+    g.opt(
+        "AttrQ",
+        "AggLead? Det? AttrList PrepPhrase",
+        lambda p: Sketch(qtype="attr", projections=p[2]).merge_tags(
+            flatten_tags(p[3])
+        ),
+        name="attr-pp",
+    )
+
+    # ===== which-superlative =================================================
+    g.rule("WhichLead", "'which'", lambda c: None)
+    g.rule("WhichLead", "'what'", lambda c: None)
+    g.rule("WhichLead", "'who'", lambda c: None)
+    g.rule("HasVerb", "'has'", lambda c: None)
+    g.rule("HasVerb", "'have'", lambda c: None)
+    g.rule("HasVerb", "'with'", lambda c: None)
+
+    g.rule("SuperAttr", "SUPER", lambda c: Superlative(c[0][0], c[0][1], 1))
+    g.rule("SuperAttr", "MaxWord ATTR", lambda c: Superlative(c[1], "max", 1))
+    g.rule("SuperAttr", "MinWord ATTR", lambda c: Superlative(c[1], "min", 1))
+
+    g.opt(
+        "SuperQ",
+        "WhichLead? EntityNP HasVerb Det? SuperAttr",
+        lambda p: replace(_merge_np(p[1], Sketch(qtype="list")), superlative=p[4]),
+        name="which-superlative",
+    )
+
+    # ===== noun phrases ======================================================
+    g.opt("EntityNP", "Det? PreMods? ENTITY PostMods?", _np_sketch, name="np")
+
+    g.rule("PreMods", "PreMod", lambda c: flatten_tags(c[0]))
+    g.rule("PreMods", "PreMod PreMods", lambda c: flatten_tags(c[0]) + c[1])
+    g.rule("PreMod", "VALUE", lambda c: cond(ValueCondition(c[0])))
+    g.rule("PreMod", "SUPER", lambda c: Tag("super", Superlative(c[0][0], c[0][1], 1)))
+    g.rule(
+        "PreMod",
+        "NUMBER SUPER",
+        lambda c: Tag("super", Superlative(c[1][0], c[1][1], int(c[0]))),
+    )
+    g.rule("PreMod", "'top' NUMBER", lambda c: Tag("limit", int(c[1])))
+
+    g.rule("PostMods", "PostMod", lambda c: flatten_tags(c[0]))
+    g.rule("PostMods", "PostMod PostMods", lambda c: flatten_tags(c[0]) + c[1])
+    g.alias("PostMod", "PrepPhrase", "WithPhrase", "RelClause", "CompClause",
+            "AttrTimeClause")
+    # bare comparisons: "ships exceeding 50000 tons"
+    g.rule("PostMod", "AttrComp", lambda c: c[0])
+    g.rule("PostMod", "'not' AttrComp", lambda c: _negate_tag(c[1], True))
+
+    # --- prepositional phrases ("in the pacific fleet") ---------------------
+    g.opt("PrepPhrase", "Prep Det? ValueDisj", lambda p: cond(_values_condition(p[2])))
+    g.opt(
+        "PrepPhrase",
+        "Prep Det? ValueDisj ENTITY",
+        lambda p: _head_noun_tags(p[2], p[3]),
+    )
+    # attribute head noun: "in the software or finance industry"
+    g.opt(
+        "PrepPhrase",
+        "Prep Det? ValueDisj ATTR",
+        lambda p: _attr_value_tags(p[3], p[2]),
+    )
+    g.rule("ValueDisj", "VALUE", lambda c: (c[0],))
+    g.rule("ValueDisj", "VALUE 'or' ValueDisj", lambda c: (c[0],) + c[2])
+    g.rule("ValueDisj", "VALUE 'and' ValueDisj", lambda c: (c[0],) + c[2])
+
+    # --- with-phrases ("with displacement over 3000 tons") ------------------
+    g.opt("WithPhrase", "'with' Det? AttrComp", lambda p: p[2])
+    g.opt(
+        "WithPhrase",
+        "'with' 'no' ATTR",
+        lambda p: cond(NullCondition(p[2])),
+    )
+    g.opt(
+        "WithPhrase",
+        "'with' 'unknown' ATTR",
+        lambda p: cond(NullCondition(p[2])),
+    )
+
+    # comparison operators
+    for words, op in _COMP_OPS.items():
+        quoted = " ".join(f"'{w}'" for w in words)
+        g.rule("CompOp", quoted, lambda c, op=op: op)
+
+    g.rule("NumValue", "NUMBER", lambda c: (c[0], None))
+    g.rule("NumValue", "NUMBER UNIT", lambda c: (c[0], c[1]))
+
+    g.opt(
+        "AttrComp",
+        "ATTR 'of'? CompOp NumValue",
+        lambda p: cond(CompareCondition(p[0], p[2], p[3][0])),
+    )
+    g.opt(
+        "AttrComp",
+        "ATTR 'of'? NUMBER UNIT?",
+        lambda p: cond(CompareCondition(p[0], "=", p[2])),
+    )
+    g.rule(
+        "AttrComp",
+        "ATTR 'between' NUMBER 'and' NUMBER",
+        lambda c: cond(BetweenCondition(c[0], c[2], c[4])),
+    )
+    # unit-implied attribute: "with more than 3000 tons"
+    g.rule(
+        "AttrComp",
+        "CompOp NUMBER UNIT",
+        lambda c: cond(CompareCondition(c[2], c[0], c[1])),
+    )
+    # against the global average: "with displacement above average"
+    g.opt(
+        "AttrComp",
+        "ATTR CompOp Det? AvgWord",
+        lambda p: cond(CompareToAggregate(p[0], p[1], "avg", p[0])),
+    )
+
+    # --- relative clauses ----------------------------------------------------
+    g.rule("RelClause", "RelPron VerbPhrase", lambda c: c[1])
+    # "whose <attr/entity> is <value>" forms with agreement checks
+    g.opt(
+        "RelClause",
+        "'whose' ENTITY IsVerb Neg? ValueDisj",
+        lambda p: _head_noun_tags(p[4], p[1], negated=p[3] is not None),
+    )
+    g.opt(
+        "RelClause",
+        "'whose' ATTR IsVerb Neg? Det? ValueDisj",
+        lambda p: _attr_value_tags(p[1], p[5], negated=p[3] is not None),
+    )
+    g.rule(
+        "RelClause",
+        "'whose' ATTR IsVerb CompOp NumValue",
+        lambda c: cond(CompareCondition(c[1], c[3], c[4][0])),
+    )
+    g.rule(
+        "RelClause",
+        "'whose' ATTR IsVerb 'between' NUMBER 'and' NUMBER",
+        lambda c: cond(BetweenCondition(c[1], c[4], c[6])),
+    )
+    g.rule(
+        "RelClause",
+        "'whose' ATTR IsVerb 'unknown'",
+        lambda c: cond(NullCondition(c[1])),
+    )
+    g.rule(
+        "RelClause",
+        "'whose' ATTR IsVerb NUMBER",
+        lambda c: cond(CompareCondition(c[1], "=", c[3])),
+    )
+    g.opt("VerbPhrase", "IsVerb Neg? PrepPhrase", lambda p: _negate_tag(p[2], p[1] is not None))
+    g.opt(
+        "VerbPhrase",
+        "IsVerb Neg? Det? ValueDisj",
+        lambda p: cond(_values_condition(p[3], negated=p[1] is not None)),
+    )
+    g.opt("VerbPhrase", "HaveVerb Det? AttrComp", lambda p: p[2])
+    g.opt(
+        "VerbPhrase",
+        "HaveVerb 'no' ATTR",
+        lambda p: cond(NullCondition(p[2])),
+    )
+    g.opt("VerbPhrase", "IsVerb Neg? CompClause", lambda p: _negate_tag(p[2], p[1] is not None))
+    # "which vessels were commissioned in 1970" / "that are over 3000 tons"
+    g.rule("VerbPhrase", "IsVerb AttrTimeClause", lambda c: c[1])
+    g.opt("VerbPhrase", "IsVerb Neg? AttrComp",
+          lambda p: _negate_tag(p[2], p[1] is not None))
+    g.rule("Neg", "'not'", lambda c: True)
+
+    # --- adjective comparatives ("heavier than ...") --------------------------
+    g.rule("CompClause", "COMP 'than' CompRHS", lambda c: _comp_clause(c[0], c[2]))
+    # participle + operator: "earning more than 60000" (attr from COMP,
+    # direction from the explicit operator)
+    g.rule(
+        "CompClause",
+        "COMP CompOp NumValue",
+        lambda c: cond(CompareCondition(c[0][0], c[1], c[2][0])),
+    )
+
+    g.rule("CompRHS", "NumValue", lambda c: ("number", c[0][0]))
+    g.opt("CompRHS", "Det? VALUE", lambda p: ("instance", p[1]))
+    g.opt("CompRHS", "Det? AvgWord", lambda p: ("average", None))
+
+    # --- temporal/equality attribute clauses ("built after 1970") -------------
+    g.rule(
+        "AttrTimeClause",
+        "ATTR 'after' NUMBER",
+        lambda c: cond(CompareCondition(c[0], ">", c[2])),
+    )
+    g.rule(
+        "AttrTimeClause",
+        "ATTR 'before' NUMBER",
+        lambda c: cond(CompareCondition(c[0], "<", c[2])),
+    )
+    g.rule(
+        "AttrTimeClause",
+        "ATTR 'since' NUMBER",
+        lambda c: cond(CompareCondition(c[0], ">=", c[2])),
+    )
+    g.rule(
+        "AttrTimeClause",
+        "ATTR 'in' NUMBER",
+        lambda c: cond(CompareCondition(c[0], "=", c[2])),
+    )
+
+    # ===== group / order suffixes =============================================
+    g.rule("GroupSuffix", "'in' 'each' GroupTarget", lambda c: Tag("group", c[2]))
+    g.rule("GroupSuffix", "'for' 'each' GroupTarget", lambda c: Tag("group", c[2]))
+    g.rule("GroupSuffix", "'per' GroupTarget", lambda c: Tag("group", c[1]))
+    g.rule("GroupSuffix", "'by' GroupTarget", lambda c: Tag("group", c[1]))
+    g.rule("GroupSuffix", "'grouped' 'by' GroupTarget", lambda c: Tag("group", c[2]))
+    g.rule("GroupTarget", "ENTITY", lambda c: _unwrap_entity(c[0])[0])
+    g.rule("GroupTarget", "ATTR", lambda c: c[0])
+
+    g.opt(
+        "OrderSuffix",
+        "'sorted' 'by' ATTR OrderDir?",
+        lambda p: Tag("order", OrderSpec(p[2], p[3] == "desc")),
+    )
+    g.opt(
+        "OrderSuffix",
+        "'ordered' 'by' ATTR OrderDir?",
+        lambda p: Tag("order", OrderSpec(p[2], p[3] == "desc")),
+    )
+    g.opt(
+        "OrderSuffix",
+        "'by' ATTR OrderDir?",
+        lambda p: Tag("order", OrderSpec(p[1], p[2] == "desc")),
+    )
+    g.rule(
+        "OrderSuffix",
+        "'in' 'order' 'of' ATTR",
+        lambda c: Tag("order", OrderSpec(c[3], False)),
+    )
+    g.words("OrderDirWord", "descending", "ascending", "desc", "asc",
+            "decreasing", "increasing")
+    g.rule(
+        "OrderDir",
+        "OrderDirWord",
+        lambda c: "desc" if c[0] in ("descending", "desc", "decreasing") else "asc",
+    )
+
+    # ===== fragments (dialogue ellipsis) ======================================
+    g.rule("Fragment", "'what' 'about' FragBody", lambda c: c[2])
+    g.rule("Fragment", "'how' 'about' FragBody", lambda c: c[2])
+    g.rule("Fragment", "'and' FragBody", lambda c: c[1])
+    g.rule("Fragment", "'only' FragBody", lambda c: c[1])
+    g.rule("Fragment", "FragBody", lambda c: c[0])
+
+    def _frag_conditions(tag_value) -> Sketch:
+        return Sketch(fragment=True).merge_tags(flatten_tags(tag_value))
+
+    g.opt(
+        "FragBody",
+        "Det? ValueDisj",
+        lambda p: Sketch(fragment=True, conditions=(_values_condition(p[1]),)),
+    )
+    # "what about the atlantic fleet" — head-noun condition fragment
+    g.opt(
+        "FragBody",
+        "Det? ValueDisj ENTITY",
+        lambda p: Sketch(fragment=True).merge_tags(_head_noun_tags(p[1], p[2])),
+    )
+    g.rule("FragBody", "PrepPhrase", _frag_conditions)
+    g.rule("FragBody", "WithPhrase", _frag_conditions)
+    g.rule("FragBody", "CompClause", _frag_conditions)
+    g.rule("FragBody", "AttrTimeClause", _frag_conditions)
+    g.rule(
+        "FragBody",
+        "EntityNP",
+        lambda c: replace(c[0], fragment=True),
+    )
+    g.opt(
+        "FragBody",
+        "Det? SuperAttr",
+        lambda p: Sketch(fragment=True, superlative=p[1]),
+    )
+
+    return g.build()
+
+
+def _negate_tag(tag_or_tags, negated: bool):
+    """Negate the condition tag(s) of a modifier (penalty tags unchanged)."""
+    if not negated:
+        return tag_or_tags
+    tags = flatten_tags(tag_or_tags)
+    out = []
+    for tag in tags:
+        if tag.kind == "cond":
+            condition = tag.value
+            out.append(Tag("cond", replace(condition, negated=not condition.negated)))
+        else:
+            out.append(tag)
+    return out
+
+
+def _comp_clause(comp_payload, rhs) -> Tag:
+    attr, op = comp_payload
+    kind, value = rhs
+    if kind == "number":
+        return cond(CompareCondition(attr, op, value))
+    if kind == "instance":
+        return cond(CompareToInstance(attr, op, value))
+    return cond(CompareToAggregate(attr, op, "avg", attr))
+
+
+#: Words the grammar consumes literally; the pipeline protects them from
+#: spelling correction and the tagger never treats them as values.
+def grammar_literal_words(grammar: Grammar | None = None) -> frozenset[str]:
+    from repro.grammar.rules import is_literal, literal_word
+
+    grammar = grammar or build_english_grammar()
+    return frozenset(
+        literal_word(symbol)
+        for production in grammar.productions
+        for symbol in production.rhs
+        if is_literal(symbol)
+    )

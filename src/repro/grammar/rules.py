@@ -1,0 +1,130 @@
+"""Grammar formalism: productions with semantic actions.
+
+Symbol conventions:
+
+* ``'word'`` (quoted, lower-case) — literal terminal matched against the
+  token text;
+* ``UPPERCASE`` — category terminal supplied by the tagger (ENTITY, ATTR,
+  VALUE, NUMBER, SUPER, COMP, UNIT);
+* anything else — a nonterminal.
+
+Each production carries a semantic ``action`` applied to the child values
+when the production completes; the default action returns the child list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import GrammarError
+
+Action = Callable[[list[Any]], Any]
+
+
+def is_literal(symbol: str) -> bool:
+    return len(symbol) >= 3 and symbol.startswith("'") and symbol.endswith("'")
+
+
+def literal_word(symbol: str) -> str:
+    return symbol[1:-1]
+
+
+def is_category(symbol: str) -> bool:
+    return symbol.isupper() and not is_literal(symbol)
+
+
+def is_terminal(symbol: str) -> bool:
+    return is_literal(symbol) or is_category(symbol)
+
+
+@dataclass(frozen=True)
+class Production:
+    """``lhs -> rhs`` with a semantic action."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+    action: Action = field(compare=False, default=lambda children: children)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if is_terminal(self.lhs):
+            raise GrammarError(f"production LHS {self.lhs!r} must be a nonterminal")
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} -> {' '.join(self.rhs) or 'ε'}"
+
+
+class Grammar:
+    """A start symbol plus productions, indexed by LHS."""
+
+    def __init__(self, start: str, productions: Sequence[Production]) -> None:
+        if is_terminal(start):
+            raise GrammarError(f"start symbol {start!r} must be a nonterminal")
+        self.start = start
+        self.productions = list(productions)
+        self._by_lhs: dict[str, list[Production]] = {}
+        for production in self.productions:
+            self._by_lhs.setdefault(production.lhs, []).append(production)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.start not in self._by_lhs:
+            raise GrammarError(f"start symbol {self.start!r} has no productions")
+        for production in self.productions:
+            for symbol in production.rhs:
+                if not is_terminal(symbol) and symbol not in self._by_lhs:
+                    raise GrammarError(
+                        f"nonterminal {symbol!r} in {production!r} has no productions"
+                    )
+
+    def productions_for(self, lhs: str) -> list[Production]:
+        return self._by_lhs.get(lhs, [])
+
+    @property
+    def nonterminals(self) -> set[str]:
+        return set(self._by_lhs)
+
+    @property
+    def terminals(self) -> set[str]:
+        out: set[str] = set()
+        for production in self.productions:
+            out.update(s for s in production.rhs if is_terminal(s))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.productions)
+
+
+class GrammarBuilder:
+    """Fluent helper for writing grammars compactly.
+
+    ``rule("Query", "'how' 'many' EntityNP", action)`` splits the RHS on
+    whitespace.  ``alias`` creates pass-through unary rules.
+    """
+
+    def __init__(self, start: str) -> None:
+        self.start = start
+        self._productions: list[Production] = []
+
+    def rule(self, lhs: str, rhs: str, action: Action | None = None, name: str = "") -> "GrammarBuilder":
+        symbols = tuple(rhs.split())
+        self._productions.append(
+            Production(lhs, symbols, action or (lambda children: children), name)
+        )
+        return self
+
+    def alias(self, lhs: str, *alternatives: str) -> "GrammarBuilder":
+        """Unary pass-through rules: lhs -> alt (value = child value)."""
+        for alternative in alternatives:
+            self.rule(lhs, alternative, lambda children: children[0])
+        return self
+
+    def words(self, lhs: str, *word_list: str) -> "GrammarBuilder":
+        """lhs -> 'w' for each word, value = the word itself."""
+        for word in word_list:
+            self.rule(lhs, f"'{word}'", lambda children: children[0])
+        return self
+
+    def build(self) -> Grammar:
+        return Grammar(self.start, self._productions)

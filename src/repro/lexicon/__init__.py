@@ -1,0 +1,25 @@
+"""Lexicon: domain model, entries, store and the automatic builder."""
+
+from repro.lexicon.builder import build_lexicon
+from repro.lexicon.domain import (
+    AdjectiveSpec,
+    AttributeSpec,
+    DomainModel,
+    EntitySpec,
+    ValueSynonymSpec,
+)
+from repro.lexicon.entries import Category, LexicalEntry
+from repro.lexicon.lexicon import Lexicon, phrase_key
+
+__all__ = [
+    "AdjectiveSpec",
+    "AttributeSpec",
+    "Category",
+    "DomainModel",
+    "EntitySpec",
+    "LexicalEntry",
+    "Lexicon",
+    "ValueSynonymSpec",
+    "build_lexicon",
+    "phrase_key",
+]

@@ -1,0 +1,125 @@
+"""Automatic lexicon generation from the database catalog + domain model.
+
+This is the LADDER idea of deriving most of the vocabulary from the
+database itself:
+
+* every table name becomes an ENTITY phrase;
+* every column name (underscores split) becomes an ATTR phrase;
+* domain-model phrases add the human vocabulary on top;
+* ``synonym_fraction`` throttles how much of the hand-curated synonym
+  dictionary is used — the knob experiment F2 sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lexicon.domain import DomainModel
+from repro.lexicon.entries import CategoricalEntity, Category
+from repro.lexicon.lexicon import Lexicon
+from repro.logical.forms import AttrRef, EntityRef, ValueCondition, ValueRef
+from repro.sqlengine.database import Database
+
+
+def _take_fraction(phrases: tuple[str, ...], fraction: float) -> tuple[str, ...]:
+    """First ceil(fraction * n) phrases — deterministic for the F2 sweep.
+
+    The first phrase of a spec is its canonical name and survives even at
+    fraction 0 for entities/attributes defined by the schema itself; the
+    *extra* synonyms are what the fraction controls.
+    """
+    if fraction >= 1.0:
+        return phrases
+    keep = math.ceil(len(phrases) * fraction)
+    return phrases[:keep]
+
+
+def build_lexicon(
+    database: Database,
+    domain: DomainModel | None = None,
+    synonym_fraction: float = 1.0,
+) -> Lexicon:
+    """Build the lexicon for ``database``.
+
+    ``synonym_fraction`` in [0, 1] controls how much of the domain model's
+    synonym vocabulary is loaded (1.0 = everything; 0.0 = catalog-derived
+    names only).  Catalog-derived entries always load.
+    """
+    lexicon = Lexicon()
+
+    # 1. Catalog-derived entries (always present).
+    for table in database.tables():
+        entity_ref = EntityRef(table.name, phrase=table.name.replace("_", " "))
+        lexicon.add(table.name, Category.ENTITY, entity_ref, weight=1.0)
+        for column in table.schema.columns:
+            phrase = column.name.replace("_", " ")
+            attr_ref = AttrRef(table.name, column.name, phrase=phrase)
+            lexicon.add(phrase, Category.ATTR, attr_ref, weight=1.0)
+
+    if domain is None:
+        return lexicon
+    domain.validate(database)
+
+    # 2. Entity synonyms.
+    for spec in domain.entities:
+        for i, phrase in enumerate(_take_fraction(spec.phrases, synonym_fraction)):
+            ref = EntityRef(spec.table, phrase=phrase)
+            lexicon.add(phrase, Category.ENTITY, ref, weight=2.0 if i == 0 else 1.5)
+
+    # 3. Attribute synonyms and units.
+    for spec in domain.attributes:
+        ref = AttrRef(spec.table, spec.column, phrase=spec.phrases[0] if spec.phrases else spec.column)
+        for phrase in _take_fraction(spec.phrases, synonym_fraction):
+            lexicon.add(phrase, Category.ATTR, ref, weight=2.0)
+        for unit in _take_fraction(spec.units, synonym_fraction):
+            lexicon.add(unit, Category.UNIT, ref, weight=1.0)
+
+    # 4. Adjectives (superlatives / comparatives).
+    for spec in domain.adjectives:
+        ref = AttrRef(spec.table, spec.column, phrase=spec.column.replace("_", " "))
+        for word in _take_fraction(spec.superlative_max, synonym_fraction):
+            lexicon.add(word, Category.SUPER, (ref, "max"), weight=1.5)
+        for word in _take_fraction(spec.superlative_min, synonym_fraction):
+            lexicon.add(word, Category.SUPER, (ref, "min"), weight=1.5)
+        for word in _take_fraction(spec.comparative_more, synonym_fraction):
+            lexicon.add(word, Category.COMP, (ref, ">"), weight=1.5)
+        for word in _take_fraction(spec.comparative_less, synonym_fraction):
+            lexicon.add(word, Category.COMP, (ref, "<"), weight=1.5)
+
+    # 5. Value synonyms ("us" -> country.name = 'usa').
+    for spec in _take_fraction(tuple(domain.value_synonyms), synonym_fraction):
+        ref = ValueRef(spec.table, spec.column, spec.value, phrase=spec.phrase)
+        lexicon.add(spec.phrase, Category.VALUE, ref, weight=1.5)
+
+    # 6. Categorical entity nouns ("carrier" = ship with type carrier),
+    #    enumerated from the live data.  Value synonyms that point at a
+    #    categorical column ("subs" -> shiptype.name = 'submarine') also
+    #    become entity nouns, so "how many subs are there" counts ships.
+    for spec in domain.categorical_entities:
+        table = database.table(spec.via_table)
+        values = sorted(
+            {v for v in table.column_values(spec.via_column) if isinstance(v, str)}
+        )
+        for value in values:
+            payload = CategoricalEntity(
+                EntityRef(spec.table, phrase=value),
+                ValueCondition(
+                    ValueRef(spec.via_table, spec.via_column, value, phrase=value)
+                ),
+            )
+            lexicon.add(value, Category.ENTITY, payload, weight=1.8)
+        for synonym in _take_fraction(tuple(domain.value_synonyms), synonym_fraction):
+            if (synonym.table, synonym.column) != (spec.via_table, spec.via_column):
+                continue
+            payload = CategoricalEntity(
+                EntityRef(spec.table, phrase=synonym.phrase),
+                ValueCondition(
+                    ValueRef(
+                        synonym.table, synonym.column, synonym.value,
+                        phrase=synonym.phrase,
+                    )
+                ),
+            )
+            lexicon.add(synonym.phrase, Category.ENTITY, payload, weight=1.6)
+
+    return lexicon

@@ -1,0 +1,125 @@
+"""Domain model: the hand-curated part of a 1978-style NLIDB configuration.
+
+A :class:`DomainModel` declares how people talk about a schema — entity
+nouns, attribute phrases, adjectives ("largest" means maximal
+displacement for a ship), measurement units, and synonyms for stored
+values.  Everything else (base table/column names, data values) is
+generated automatically by :mod:`repro.lexicon.builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LexiconError
+from repro.sqlengine.database import Database
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """How one table is referred to in English."""
+
+    table: str
+    phrases: tuple[str, ...]  # singular noun phrases: ("ship", "vessel")
+    display_columns: tuple[str, ...] = ()  # projected when no attr is asked
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """How one column is referred to in English."""
+
+    table: str
+    column: str
+    phrases: tuple[str, ...]
+    units: tuple[str, ...] = ()  # "tons", "feet" — unit words imply the attr
+
+
+@dataclass(frozen=True)
+class AdjectiveSpec:
+    """Adjectives grounded in a numeric attribute.
+
+    ``bigger_is`` tells which direction the *positive* adjectives point:
+    for displacement, "largest/heavier" -> max/>; for age via a build
+    year, "oldest" -> min(year).
+    """
+
+    table: str
+    column: str
+    superlative_max: tuple[str, ...] = ()  # "largest", "heaviest"
+    superlative_min: tuple[str, ...] = ()  # "smallest", "lightest"
+    comparative_more: tuple[str, ...] = ()  # "larger", "heavier" (-> >)
+    comparative_less: tuple[str, ...] = ()  # "smaller", "lighter" (-> <)
+
+
+@dataclass(frozen=True)
+class CategoricalEntitySpec:
+    """Declare that values of ``via_table.via_column`` act as entity nouns
+    for ``table``: with ("ship", "shiptype", "name"), every ship-type name
+    ("carrier", "submarine", …) becomes an ENTITY phrase meaning "ships
+    whose type is X".  Values are enumerated from the data at build time.
+    """
+
+    table: str
+    via_table: str
+    via_column: str
+
+
+@dataclass(frozen=True)
+class ValueSynonymSpec:
+    """An alternative phrase for a stored value (e.g. "us" for "usa")."""
+
+    phrase: str
+    table: str
+    column: str
+    value: str
+
+
+@dataclass
+class DomainModel:
+    """The full NL configuration for one database."""
+
+    name: str
+    entities: list[EntitySpec] = field(default_factory=list)
+    attributes: list[AttributeSpec] = field(default_factory=list)
+    adjectives: list[AdjectiveSpec] = field(default_factory=list)
+    value_synonyms: list[ValueSynonymSpec] = field(default_factory=list)
+    categorical_entities: list[CategoricalEntitySpec] = field(default_factory=list)
+
+    def validate(self, database: Database) -> None:
+        """Check every spec against the catalog; raise LexiconError early."""
+        for entity in self.entities:
+            if not database.has_table(entity.table):
+                raise LexiconError(f"entity spec references unknown table {entity.table!r}")
+            schema = database.table(entity.table).schema
+            for column in entity.display_columns:
+                if not schema.has_column(column):
+                    raise LexiconError(
+                        f"display column {entity.table}.{column} does not exist"
+                    )
+        for attr in self.attributes:
+            self._check_column(database, attr.table, attr.column, "attribute")
+        for adjective in self.adjectives:
+            self._check_column(database, adjective.table, adjective.column, "adjective")
+        for synonym in self.value_synonyms:
+            self._check_column(database, synonym.table, synonym.column, "value synonym")
+        for cat in self.categorical_entities:
+            if not database.has_table(cat.table):
+                raise LexiconError(
+                    f"categorical entity references unknown table {cat.table!r}"
+                )
+            self._check_column(
+                database, cat.via_table, cat.via_column, "categorical entity"
+            )
+
+    @staticmethod
+    def _check_column(database: Database, table: str, column: str, kind: str) -> None:
+        if not database.has_table(table):
+            raise LexiconError(f"{kind} spec references unknown table {table!r}")
+        if not database.table(table).schema.has_column(column):
+            raise LexiconError(f"{kind} spec references unknown column {table}.{column}")
+
+    def display_columns_for(self, table: str) -> tuple[str, ...]:
+        for entity in self.entities:
+            if entity.table == table and entity.display_columns:
+                return entity.display_columns
+        return ()

@@ -1,0 +1,52 @@
+"""Lexical entries and their categories.
+
+A lexical entry grounds a (stem-normalised) phrase in the schema: its
+payload is already a schema reference, so by the time a question parses,
+interpretation is mostly done — the hallmark of the semantic-grammar
+approach.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Category(enum.Enum):
+    """Terminal categories the grammar can scan."""
+
+    ENTITY = "ENTITY"  # payload: EntityRef
+    ATTR = "ATTR"  # payload: AttrRef
+    VALUE = "VALUE"  # payload: ValueRef (from value index or synonyms)
+    SUPER = "SUPER"  # payload: (AttrRef, 'max'|'min')
+    COMP = "COMP"  # payload: (AttrRef, '>'|'<')
+    UNIT = "UNIT"  # payload: AttrRef
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CategoricalEntity:
+    """A data value used as an entity noun ("the carriers" = ships whose
+    type is carrier).  ENTITY entries may carry this payload; the noun
+    names ``entity`` and implies ``condition``."""
+
+    entity: Any  # EntityRef
+    condition: Any  # ValueCondition
+
+
+@dataclass(frozen=True)
+class LexicalEntry:
+    """One phrase -> category/payload binding."""
+
+    phrase_key: tuple[str, ...]  # stemmed words
+    category: Category
+    payload: Any
+    surface: str  # original phrase, for paraphrase/debugging
+    weight: float = 1.0  # preference among same-phrase entries
+
+    @property
+    def length(self) -> int:
+        return len(self.phrase_key)

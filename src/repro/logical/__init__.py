@@ -1,0 +1,37 @@
+"""Logical query forms (IQF) and their algebra."""
+
+from repro.logical.forms import (
+    Aggregate,
+    AttrRef,
+    BetweenCondition,
+    CompareCondition,
+    CompareToAggregate,
+    CompareToInstance,
+    Condition,
+    EntityRef,
+    LogicalQuery,
+    MembershipCondition,
+    NullCondition,
+    OrderSpec,
+    Superlative,
+    ValueCondition,
+    ValueRef,
+)
+
+__all__ = [
+    "Aggregate",
+    "AttrRef",
+    "BetweenCondition",
+    "CompareCondition",
+    "CompareToAggregate",
+    "CompareToInstance",
+    "Condition",
+    "EntityRef",
+    "LogicalQuery",
+    "MembershipCondition",
+    "NullCondition",
+    "OrderSpec",
+    "Superlative",
+    "ValueCondition",
+    "ValueRef",
+]

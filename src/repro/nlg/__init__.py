@@ -1,0 +1,11 @@
+"""Template-based natural language generation helpers."""
+
+from repro.nlg.realize import (
+    indefinite,
+    join_words,
+    number_phrase,
+    op_phrase,
+    pluralize,
+)
+
+__all__ = ["indefinite", "join_words", "number_phrase", "op_phrase", "pluralize"]

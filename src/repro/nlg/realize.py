@@ -1,0 +1,77 @@
+"""Surface-realization helpers for the paraphraser (RENDEZVOUS-style echo)."""
+
+from __future__ import annotations
+
+_IRREGULAR_PLURALS = {
+    "person": "people",
+    "child": "children",
+    "man": "men",
+    "woman": "women",
+    "foot": "feet",
+    "country": "countries",
+    "city": "cities",
+    "company": "companies",
+    "navy": "navies",
+    "category": "categories",
+    "industry": "industries",
+}
+
+
+def pluralize(noun: str) -> str:
+    """A small English pluraliser — enough for schema nouns.
+
+    >>> pluralize("ship")
+    'ships'
+    >>> pluralize("class")
+    'classes'
+    >>> pluralize("city")
+    'cities'
+    """
+    lowered = noun.lower()
+    if lowered in _IRREGULAR_PLURALS:
+        return _IRREGULAR_PLURALS[lowered]
+    if lowered.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    if lowered.endswith("y") and len(lowered) > 1 and lowered[-2] not in "aeiou":
+        return noun[:-1] + "ies"
+    return noun + "s"
+
+
+def join_words(words: list[str], conjunction: str = "and") -> str:
+    """Oxford-comma-free list joining: a, b and c."""
+    if not words:
+        return ""
+    if len(words) == 1:
+        return words[0]
+    if len(words) == 2:
+        return f"{words[0]} {conjunction} {words[1]}"
+    return ", ".join(words[:-1]) + f" {conjunction} {words[-1]}"
+
+
+def number_phrase(count: int, noun: str) -> str:
+    """"1 ship" / "4 ships" / "no ships"."""
+    if count == 0:
+        return f"no {pluralize(noun)}"
+    if count == 1:
+        return f"1 {noun}"
+    return f"{count} {pluralize(noun)}"
+
+
+def indefinite(noun: str) -> str:
+    """Prefix a/an."""
+    article = "an" if noun[:1].lower() in "aeiou" else "a"
+    return f"{article} {noun}"
+
+
+_OP_WORDS = {
+    "=": "equal to",
+    "!=": "different from",
+    "<": "below",
+    "<=": "at most",
+    ">": "above",
+    ">=": "at least",
+}
+
+
+def op_phrase(op: str) -> str:
+    return _OP_WORDS.get(op, op)

@@ -1,0 +1,31 @@
+"""NLP front end: tokenizer, stemmer, spelling correction, number parsing."""
+
+from repro.nlp.numbers import (
+    NUMBER_WORDS,
+    parse_number_words,
+    parse_numeral,
+    parse_ordinal,
+)
+from repro.nlp.spelling import Correction, SpellingCorrector, damerau_levenshtein
+from repro.nlp.stemmer import stem, stem_phrase
+from repro.nlp.stopwords import PROTECTED_WORDS, QUESTION_WORDS, STOPWORDS, strip_stopwords
+from repro.nlp.tokenizer import Token, Tokenization, tokenize
+
+__all__ = [
+    "Correction",
+    "NUMBER_WORDS",
+    "PROTECTED_WORDS",
+    "QUESTION_WORDS",
+    "STOPWORDS",
+    "SpellingCorrector",
+    "Token",
+    "Tokenization",
+    "damerau_levenshtein",
+    "parse_number_words",
+    "parse_numeral",
+    "parse_ordinal",
+    "stem",
+    "stem_phrase",
+    "strip_stopwords",
+    "tokenize",
+]

@@ -1,0 +1,115 @@
+"""Parsing of number words and numerals in questions.
+
+Handles "five", "twenty three", "three hundred", "1,200", "2.5",
+"a hundred", plus ordinals ("third") used by superlative phrases.
+"""
+
+from __future__ import annotations
+
+_UNITS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+    "eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+    "fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+    "nineteen": 19,
+}
+
+_TENS = {
+    "twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+    "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+}
+
+_SCALES = {"hundred": 100, "thousand": 1_000, "million": 1_000_000}
+
+_ORDINALS = {
+    "first": 1, "second": 2, "third": 3, "fourth": 4, "fifth": 5,
+    "sixth": 6, "seventh": 7, "eighth": 8, "ninth": 9, "tenth": 10,
+}
+
+NUMBER_WORDS = frozenset(_UNITS) | frozenset(_TENS) | frozenset(_SCALES) | {"a", "an"}
+
+
+def parse_numeral(text: str) -> int | float | None:
+    """Parse a numeral string like '42', '1200', '2.5'; None on failure."""
+    cleaned = text.replace(",", "")
+    try:
+        if "." in cleaned:
+            return float(cleaned)
+        return int(cleaned)
+    except ValueError:
+        return None
+
+
+def parse_ordinal(word: str) -> int | None:
+    """Parse 'third' -> 3 and '3rd' -> 3; None when not an ordinal."""
+    lowered = word.lower()
+    if lowered in _ORDINALS:
+        return _ORDINALS[lowered]
+    for suffix in ("st", "nd", "rd", "th"):
+        if lowered.endswith(suffix) and lowered[: -len(suffix)].isdigit():
+            return int(lowered[: -len(suffix)])
+    return None
+
+
+def parse_number_words(words: list[str]) -> tuple[int | float, int] | None:
+    """Parse a number from the front of ``words``.
+
+    Returns ``(value, tokens_consumed)`` or None.  Accepts numerals too, so
+    callers can treat "3 thousand" and "three thousand" the same way.
+
+    >>> parse_number_words(["twenty", "three", "ships"])
+    (23, 2)
+    >>> parse_number_words(["a", "hundred"])
+    (100, 2)
+    """
+    if not words:
+        return None
+    total = 0
+    current = 0
+    consumed = 0
+    for i, word in enumerate(words):
+        lowered = word.lower()
+        numeral = parse_numeral(lowered) if lowered[:1].isdigit() else None
+        if numeral is not None:
+            if current:
+                break
+            current = numeral
+            consumed = i + 1
+            continue
+        if lowered in _UNITS:
+            if current and current % 10 == 0 and current < 100:
+                current += _UNITS[lowered]  # twenty three
+            elif current:
+                break
+            else:
+                current = _UNITS[lowered]
+            consumed = i + 1
+            continue
+        if lowered in _TENS:
+            if current:
+                break
+            current = _TENS[lowered]
+            consumed = i + 1
+            continue
+        if lowered in ("a", "an"):
+            # only meaningful before a scale word: "a hundred"
+            if i + 1 < len(words) and words[i + 1].lower() in _SCALES:
+                current = 1
+                consumed = i + 1
+                continue
+            break
+        if lowered in _SCALES:
+            if current == 0:
+                break
+            current *= _SCALES[lowered]
+            total += current
+            current = 0
+            consumed = i + 1
+            continue
+        break
+    value = total + current
+    if consumed == 0:
+        return None
+    if consumed == 1 and words[0].lower() in ("a", "an"):
+        return None
+    return value, consumed

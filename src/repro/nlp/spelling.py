@@ -1,0 +1,133 @@
+"""Spelling correction against a known vocabulary.
+
+LADDER-era systems corrected typos before parsing, because a single
+misspelled domain word would otherwise kill the whole question.  The
+corrector here uses Damerau–Levenshtein distance (insert, delete,
+substitute, transpose) with a length-aware threshold and a frequency
+tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def damerau_levenshtein(a: str, b: str, cap: int | None = None) -> int:
+    """Damerau–Levenshtein edit distance (optimal string alignment).
+
+    ``cap`` short-circuits: when the true distance provably exceeds it the
+    function may return any value > cap.
+
+    >>> damerau_levenshtein("ship", "sihp")
+    1
+    >>> damerau_levenshtein("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if cap is not None and abs(la - lb) > cap:
+        return cap + 1
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    previous2: list[int] | None = None
+    previous = list(range(lb + 1))
+    for i in range(1, la + 1):
+        current = [i] + [0] * lb
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            if (
+                previous2 is not None
+                and i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                current[j] = min(current[j], previous2[j - 2] + 1)
+        if cap is not None and min(current) > cap:
+            return cap + 1
+        previous2 = previous
+        previous = current
+    return previous[lb]
+
+
+def _threshold(length: int) -> int:
+    """Allowed edit distance by word length (short words correct less)."""
+    if length <= 3:
+        return 0
+    if length <= 5:
+        return 1
+    return 2
+
+
+@dataclass(frozen=True)
+class Correction:
+    """A corrected word with its provenance."""
+
+    original: str
+    corrected: str
+    distance: int
+
+
+class SpellingCorrector:
+    """Corrects words to the nearest vocabulary entry.
+
+    Vocabulary entries carry an integer weight (e.g. frequency in the
+    database); among equal-distance candidates the highest weight wins, and
+    ties break alphabetically for determinism.
+    """
+
+    def __init__(self) -> None:
+        self._vocabulary: dict[str, int] = {}
+        self._by_length: dict[int, list[str]] = {}
+
+    def add_word(self, word: str, weight: int = 1) -> None:
+        lowered = word.lower()
+        if not lowered:
+            return
+        if lowered not in self._vocabulary:
+            self._by_length.setdefault(len(lowered), []).append(lowered)
+            self._vocabulary[lowered] = weight
+        else:
+            self._vocabulary[lowered] += weight
+
+    def add_words(self, words, weight: int = 1) -> None:
+        for word in words:
+            self.add_word(word, weight)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._vocabulary
+
+    def __len__(self) -> int:
+        return len(self._vocabulary)
+
+    def correct(self, word: str) -> Correction | None:
+        """Best correction for ``word``, or None if nothing is close enough.
+
+        Known words return distance-0 corrections immediately.
+        """
+        lowered = word.lower()
+        if lowered in self._vocabulary:
+            return Correction(word, lowered, 0)
+        budget = _threshold(len(lowered))
+        if budget == 0:
+            return None
+        best: tuple[int, int, str] | None = None  # (distance, -weight, word)
+        for length in range(len(lowered) - budget, len(lowered) + budget + 1):
+            for candidate in self._by_length.get(length, []):
+                distance = damerau_levenshtein(lowered, candidate, cap=budget)
+                if distance > budget:
+                    continue
+                key = (distance, -self._vocabulary[candidate], candidate)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            return None
+        return Correction(word, best[2], best[0])

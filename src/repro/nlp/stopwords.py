@@ -1,0 +1,40 @@
+"""Stopwords and closed-class word lists used across the pipeline.
+
+These lists are *protected vocabulary*: the spelling corrector never maps
+an unknown word onto a database value if it is a common function word, and
+the keyword baseline drops them before matching.
+"""
+
+from __future__ import annotations
+
+STOPWORDS = frozenset(
+    """
+    a an the of in on at by for with to from into over under between
+    and or not no
+    is are was were be been being am do does did have has had will would
+    can could shall should may might must
+    i you he she it we they me him her us them my your his its our their
+    this that these those there here
+    what which who whom whose when where why how
+    show list give tell find get display print name
+    all any each every some most more less than as
+    please me us
+    """.split()
+)
+
+#: Words that signal a question even without a question mark.
+QUESTION_WORDS = frozenset(
+    "what which who whom whose when where why how many much".split()
+)
+
+#: Words never offered as spelling-correction sources or targets.
+PROTECTED_WORDS = STOPWORDS | QUESTION_WORDS
+
+
+def strip_stopwords(words: list[str]) -> list[str]:
+    """Remove stopwords, keeping order.
+
+    >>> strip_stopwords(["show", "the", "ships", "in", "the", "pacific"])
+    ['ships', 'pacific']
+    """
+    return [word for word in words if word.lower() not in STOPWORDS]

@@ -1,0 +1,163 @@
+"""Word-level tokenizer for English questions.
+
+Produces :class:`Token` objects with surface form, lower-cased text and
+character offsets.  Handles contractions ("what's" -> "what" + "'s"),
+possessives, hyphenated words, numbers with decimal points/commas, and
+strips punctuation while keeping it available for sentence-type detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_CONTRACTIONS = {
+    "what's": ["what", "is"],
+    "whats": ["what", "is"],
+    "wheres": ["where", "is"],
+    "whos": ["who", "is"],
+    "who's": ["who", "is"],
+    "where's": ["where", "is"],
+    "how's": ["how", "is"],
+    "that's": ["that", "is"],
+    "there's": ["there", "is"],
+    "it's": ["it", "is"],
+    "isn't": ["is", "not"],
+    "aren't": ["are", "not"],
+    "wasn't": ["was", "not"],
+    "weren't": ["were", "not"],
+    "don't": ["do", "not"],
+    "doesn't": ["does", "not"],
+    "didn't": ["did", "not"],
+    "can't": ["can", "not"],
+    "couldn't": ["could", "not"],
+    "won't": ["will", "not"],
+    "wouldn't": ["would", "not"],
+    "haven't": ["have", "not"],
+    "hasn't": ["has", "not"],
+    "i'm": ["i", "am"],
+    "we're": ["we", "are"],
+    "they're": ["they", "are"],
+    "let's": ["let", "us"],
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token of the input question."""
+
+    text: str  # lower-cased normal form
+    surface: str  # original spelling
+    start: int  # character offset in the raw question
+    end: int
+    is_number: bool = False
+    corrected_from: str | None = None  # set by the spelling corrector
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.text
+
+
+@dataclass
+class Tokenization:
+    """The token list plus sentence-level features."""
+
+    raw: str
+    tokens: list[Token] = field(default_factory=list)
+    had_question_mark: bool = False
+
+    @property
+    def words(self) -> list[str]:
+        return [token.text for token in self.tokens]
+
+
+def _is_word_char(ch: str) -> bool:
+    return ch.isalnum() or ch in ("_",)
+
+
+def tokenize(text: str) -> Tokenization:
+    """Tokenise a question.
+
+    >>> tokenize("What's the U.S.A's largest ship?").words[:3]
+    ['what', 'is', 'the']
+    """
+    result = Tokenization(raw=text)
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "?":
+            result.had_question_mark = True
+            i += 1
+            continue
+        if not _is_word_char(ch):
+            i += 1
+            continue
+        # number: digits with optional , . separators and decimal part
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n:
+                cj = text[j]
+                if cj.isdigit():
+                    j += 1
+                    continue
+                if cj == "," and j + 1 < n and text[j + 1].isdigit():
+                    j += 1
+                    continue
+                if cj == "." and not seen_dot and j + 1 < n and text[j + 1].isdigit():
+                    seen_dot = True
+                    j += 1
+                    continue
+                break
+            surface = text[i:j]
+            result.tokens.append(
+                Token(surface.replace(",", ""), surface, i, j, is_number=True)
+            )
+            i = j
+            continue
+        # word: letters, digits, internal apostrophes/hyphens/periods (U.S.A)
+        j = i
+        while j < n:
+            cj = text[j]
+            if _is_word_char(cj):
+                j += 1
+                continue
+            if cj in ("'", "-", ".") and j + 1 < n and _is_word_char(text[j + 1]):
+                j += 1
+                continue
+            break
+        surface = text[i:j]
+        _append_word(result, surface, i, j)
+        i = j
+    return result
+
+
+def _append_word(result: Tokenization, surface: str, start: int, end: int) -> None:
+    lowered = surface.lower()
+    # strip abbreviation periods: u.s.a -> usa
+    if "." in lowered:
+        lowered = lowered.replace(".", "")
+    # possessive: ship's -> ship
+    if lowered.endswith("'s"):
+        base = lowered[:-2]
+        if base in _CONTRACTIONS_KEYS_BY_BASE:
+            pass  # fall through to contraction handling below
+        else:
+            expansion = _CONTRACTIONS.get(lowered)
+            if expansion is None:
+                result.tokens.append(Token(base, surface, start, end))
+                return
+    if lowered in _CONTRACTIONS:
+        for part in _CONTRACTIONS[lowered]:
+            result.tokens.append(Token(part, surface, start, end))
+        return
+    if lowered.endswith("'") and lowered[:-1]:
+        lowered = lowered[:-1]
+    # split remaining internal apostrophes conservatively
+    lowered = lowered.replace("'", "")
+    if lowered:
+        result.tokens.append(Token(lowered, surface, start, end))
+
+
+_CONTRACTIONS_KEYS_BY_BASE = {
+    key[:-2] for key in _CONTRACTIONS if key.endswith("'s")
+}

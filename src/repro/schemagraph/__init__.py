@@ -1,0 +1,16 @@
+"""Schema graph and join-path inference (from-scratch graph algorithms)."""
+
+from repro.schemagraph.graph import JoinEdge, SchemaGraph
+from repro.schemagraph.steiner import (
+    pairwise_join_paths,
+    steiner_join_tree,
+    tables_in_tree,
+)
+
+__all__ = [
+    "JoinEdge",
+    "SchemaGraph",
+    "pairwise_join_paths",
+    "steiner_join_tree",
+    "tables_in_tree",
+]

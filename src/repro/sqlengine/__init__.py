@@ -1,0 +1,35 @@
+"""A from-scratch in-memory relational engine with a SQL subset.
+
+Public surface::
+
+    from repro.sqlengine import Database, Engine, TableSchema, Column, SqlType
+
+    db = Database()
+    engine = Engine(db)
+    engine.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    engine.execute("INSERT INTO t VALUES (1, 'alpha')")
+    engine.execute("SELECT name FROM t WHERE id = 1").scalar()
+"""
+
+from repro.sqlengine.csvio import dump_csv, dump_database_csv, load_csv
+from repro.sqlengine.database import Database
+from repro.sqlengine.executor import Engine
+from repro.sqlengine.parser import parse_select, parse_sql
+from repro.sqlengine.result import ResultSet
+from repro.sqlengine.schema import Column, ForeignKey, TableSchema
+from repro.sqlengine.types import SqlType
+
+__all__ = [
+    "Column",
+    "Database",
+    "Engine",
+    "ForeignKey",
+    "ResultSet",
+    "SqlType",
+    "TableSchema",
+    "dump_csv",
+    "dump_database_csv",
+    "load_csv",
+    "parse_select",
+    "parse_sql",
+]

@@ -1,0 +1,132 @@
+"""The database catalog: named tables plus referential-integrity checks."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.table import Table
+
+
+class Database:
+    """A named collection of tables.
+
+    Foreign keys are checked on :meth:`insert` when ``enforce_fk`` is on
+    (default).  Bulk loaders may switch it off and call
+    :meth:`check_integrity` once at the end.
+    """
+
+    def __init__(self, name: str = "db", enforce_fk: bool = True) -> None:
+        self.name = name
+        self.enforce_fk = enforce_fk
+        self._tables: dict[str, Table] = {}
+
+    # -- catalog -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.ref_table != schema.name and fk.ref_table not in self._tables:
+                raise SchemaError(
+                    f"foreign key of {schema.name!r} references unknown table "
+                    f"{fk.ref_table!r}"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        lowered = name.lower()
+        if lowered not in self._tables:
+            raise UnknownTableError(f"no table named {name!r}")
+        del self._tables[lowered]
+
+    def table(self, name: str) -> Table:
+        lowered = name.lower()
+        if lowered not in self._tables:
+            raise UnknownTableError(f"no table named {name!r}")
+        return self._tables[lowered]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def schemas(self) -> list[TableSchema]:
+        return [t.schema for t in self._tables.values()]
+
+    # -- mutation with FK enforcement ----------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any] | Sequence[Any]) -> int:
+        table = self.table(table_name)
+        row_id = table.insert(values)
+        if self.enforce_fk:
+            row = table.row_by_id(row_id)
+            assert row is not None
+            try:
+                self._check_row_fks(table, row)
+            except IntegrityError:
+                table.delete_row(row_id)
+                raise
+        return row_id
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
+    ) -> int:
+        count = 0
+        for values in rows:
+            self.insert(table_name, values)
+            count += 1
+        return count
+
+    def _check_row_fks(self, table: Table, row: tuple[Any, ...]) -> None:
+        for fk in table.schema.foreign_keys:
+            value = row[table.schema.column_index(fk.column)]
+            if value is None:
+                continue
+            parent = self.table(fk.ref_table)
+            if not parent.lookup_equal(fk.ref_column, value):
+                raise IntegrityError(
+                    f"{table.name}.{fk.column}={value!r} has no match in "
+                    f"{fk.ref_table}.{fk.ref_column}"
+                )
+
+    def check_integrity(self) -> list[str]:
+        """Full referential-integrity sweep; returns violation messages."""
+        problems: list[str] = []
+        for table in self._tables.values():
+            for fk in table.schema.foreign_keys:
+                parent = self.table(fk.ref_table)
+                parent_values = set(parent.column_values(fk.ref_column))
+                pos = table.schema.column_index(fk.column)
+                for row in table.rows():
+                    value = row[pos]
+                    if value is not None and value not in parent_values:
+                        problems.append(
+                            f"{table.name}.{fk.column}={value!r} missing in "
+                            f"{fk.ref_table}.{fk.ref_column}"
+                        )
+        return problems
+
+    # -- stats used by the optimizer ------------------------------------------
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    def summary(self) -> str:
+        """Human-readable catalog overview."""
+        lines = [f"database {self.name!r}:"]
+        for name in self.table_names:
+            table = self._tables[name]
+            cols = ", ".join(
+                f"{c.name} {c.sql_type}" for c in table.schema.columns
+            )
+            lines.append(f"  {name}({cols}) [{len(table)} rows]")
+        return "\n".join(lines)

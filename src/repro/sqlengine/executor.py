@@ -1,0 +1,525 @@
+"""Plan execution and full statement evaluation.
+
+:class:`Engine` is the public façade: it parses, plans, optimizes and runs
+statements against a :class:`~repro.sqlengine.database.Database`.
+
+The access plan (scans/joins/filters) produces a row stream; the executor
+then applies the "upper" query semantics — grouping and aggregation,
+HAVING, projection with star expansion, DISTINCT, ORDER BY and LIMIT —
+directly from the AST, because those need expression-level evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import (
+    ExecutionError,
+    PlanError,
+    SchemaError,
+    SqlSyntaxError,
+)
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.aggregates import AGGREGATE_NAMES, AGGREGATES
+from repro.sqlengine.database import Database
+from repro.sqlengine.expressions import Env, Evaluator, Scope
+from repro.sqlengine.optimizer import optimize
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.planner import (
+    FilterNode,
+    HashJoinNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    build_plan,
+)
+from repro.sqlengine.result import ResultSet
+from repro.sqlengine.schema import Column, ForeignKey, TableSchema
+from repro.sqlengine.types import SqlType, sort_key
+
+_TYPE_NAMES = {
+    "int": SqlType.INT,
+    "integer": SqlType.INT,
+    "float": SqlType.FLOAT,
+    "real": SqlType.FLOAT,
+    "double": SqlType.FLOAT,
+    "text": SqlType.TEXT,
+    "varchar": SqlType.TEXT,
+    "char": SqlType.TEXT,
+    "string": SqlType.TEXT,
+    "bool": SqlType.BOOL,
+    "boolean": SqlType.BOOL,
+}
+
+
+class _AggregateEvaluator(Evaluator):
+    """Evaluates expressions over a *group* of rows.
+
+    Aggregate calls compute over all group rows; everything else resolves
+    against the group's representative (first) row, matching the permissive
+    semantics of engines like MySQL for non-grouped columns.
+    """
+
+    def __init__(self, base: Evaluator, group_rows: list[Env]) -> None:
+        super().__init__(base._run_subquery)
+        self._base = base
+        self._group_rows = group_rows
+
+    def evaluate(self, expr: ast.Expr, env: Env) -> Any:
+        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in AGGREGATE_NAMES:
+            return self._eval_aggregate(expr)
+        return super().evaluate(expr, env)
+
+    def _eval_aggregate(self, expr: ast.FunctionCall) -> Any:
+        name = expr.name.lower()
+        if len(expr.args) == 1 and isinstance(expr.args[0], ast.Star):
+            if name != "count":
+                raise ExecutionError(f"{expr.name}(*) is not valid")
+            return len(self._group_rows)
+        if len(expr.args) != 1:
+            raise ExecutionError(f"{expr.name}() takes exactly one argument")
+        arg = expr.args[0]
+        values = [self._base.evaluate(arg, row_env) for row_env in self._group_rows]
+        return AGGREGATES[name](values, distinct=expr.distinct)
+
+
+class Engine:
+    """Executes SQL statements against an in-memory database.
+
+    >>> from repro.sqlengine.database import Database
+    >>> engine = Engine(Database())
+    >>> engine.execute("SELECT 1 + 1 AS two").scalar()
+    2
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        use_optimizer: bool = True,
+        use_indexes: bool = True,
+    ) -> None:
+        self.database = database
+        self.use_optimizer = use_optimizer
+        self.use_indexes = use_indexes
+        self._evaluator = Evaluator(self._run_subquery)
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, statement: str | ast.Statement) -> ResultSet:
+        """Parse (if needed) and execute one statement."""
+        stmt = parse_sql(statement) if isinstance(statement, str) else statement
+        if isinstance(stmt, ast.Select):
+            return self._execute_select(stmt)
+        if isinstance(stmt, ast.CreateTable):
+            return self._execute_create(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt)
+        raise SqlSyntaxError(f"unsupported statement {type(stmt).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """Describe the (optimized) access plan for a SELECT."""
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, ast.Select):
+            raise SqlSyntaxError("EXPLAIN supports only SELECT")
+        plan = self._plan_for(stmt)
+        if plan is None:
+            return "NoTable"
+        return plan.describe()
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _plan_for(self, select: ast.Select) -> PlanNode | None:
+        plan = build_plan(select, self.database)
+        if self.use_optimizer:
+            plan = optimize(plan, self.database, use_indexes=self.use_indexes)
+        return plan
+
+    def _run_subquery(self, select: ast.Select, env: Env) -> list[tuple[Any, ...]]:
+        return self._execute_select(select, outer_env=env).rows
+
+    def _execute_select(
+        self, select: ast.Select, outer_env: Env | None = None
+    ) -> ResultSet:
+        plan = self._plan_for(select)
+        if plan is None:
+            scope = Scope([])
+            rows: list[tuple[Any, ...]] = [()]
+        else:
+            scope, rows = self._run_plan(plan, outer_env)
+
+        envs = [Env(scope, row, outer_env) for row in rows]
+
+        if self._is_aggregate_query(select):
+            projected = self._project_groups(select, scope, envs, outer_env)
+        else:
+            if select.having is not None:
+                raise PlanError("HAVING requires GROUP BY or aggregates")
+            projected = self._project_rows(select, scope, envs)
+
+        columns, keyed_rows = projected
+        if select.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique = []
+            for row, keys in keyed_rows:
+                marker = tuple(row)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                unique.append((row, keys))
+            keyed_rows = unique
+        if select.order_by:
+            for index in range(len(select.order_by) - 1, -1, -1):
+                descending = select.order_by[index].descending
+                keyed_rows.sort(
+                    key=lambda pair, i=index: sort_key(pair[1][i]),
+                    reverse=descending,
+                )
+        if select.limit is not None:
+            keyed_rows = keyed_rows[: select.limit]
+        return ResultSet(columns, [row for row, _ in keyed_rows])
+
+    # -- projection --------------------------------------------------------------
+
+    def _is_aggregate_query(self, select: ast.Select) -> bool:
+        if select.group_by:
+            return True
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star) and ast.contains_aggregate(
+                item.expr, AGGREGATE_NAMES
+            ):
+                return True
+        if select.having is not None:
+            return True
+        return False
+
+    def _expand_items(
+        self, select: ast.Select, scope: Scope
+    ) -> list[tuple[ast.Expr, str]]:
+        """Expand stars and name every output column."""
+        out: list[tuple[ast.Expr, str]] = []
+        for item in select.items:
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                matching = [
+                    (binding, column)
+                    for binding, column in scope.entries
+                    if expr.table is None or binding == expr.table.lower()
+                ]
+                if not matching:
+                    raise PlanError(
+                        f"star {expr.render()!r} matches no table in scope"
+                    )
+                counts: dict[str, int] = {}
+                for _, column in matching:
+                    counts[column] = counts.get(column, 0) + 1
+                for binding, column in matching:
+                    name = column if counts[column] == 1 else f"{binding}.{column}"
+                    out.append((ast.ColumnRef(column, table=binding), name))
+                continue
+            if item.alias:
+                name = item.alias
+            elif isinstance(expr, ast.ColumnRef):
+                name = expr.name
+            else:
+                name = expr.render().lower()
+            out.append((expr, name))
+        return out
+
+    def _order_exprs(
+        self, select: ast.Select, items: list[tuple[ast.Expr, str]]
+    ) -> list[tuple[ast.Expr | None, int | None]]:
+        """Resolve ORDER BY items to (expr, select-item index) pairs.
+
+        A bare identifier matching an output column name (or a 1-based
+        ordinal literal) orders by the projected value; anything else is an
+        expression evaluated in the row/group environment.
+        """
+        resolved: list[tuple[ast.Expr | None, int | None]] = []
+        names = [name for _, name in items]
+        for order in select.order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not 0 <= index < len(items):
+                    raise PlanError(f"ORDER BY ordinal {expr.value} out of range")
+                resolved.append((None, index))
+                continue
+            if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in names:
+                resolved.append((None, names.index(expr.name)))
+                continue
+            resolved.append((expr, None))
+        return resolved
+
+    def _project_rows(
+        self, select: ast.Select, scope: Scope, envs: list[Env]
+    ) -> tuple[list[str], list[tuple[tuple[Any, ...], tuple[Any, ...]]]]:
+        items = self._expand_items(select, scope)
+        order = self._order_exprs(select, items)
+        columns = [name for _, name in items]
+        keyed_rows = []
+        for env in envs:
+            row = tuple(self._evaluator.evaluate(expr, env) for expr, _ in items)
+            keys = tuple(
+                row[index] if expr is None else self._evaluator.evaluate(expr, env)
+                for expr, index in order
+            )
+            keyed_rows.append((row, keys))
+        return columns, keyed_rows
+
+    def _project_groups(
+        self,
+        select: ast.Select,
+        scope: Scope,
+        envs: list[Env],
+        outer_env: Env | None,
+    ) -> tuple[list[str], list[tuple[tuple[Any, ...], tuple[Any, ...]]]]:
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                raise PlanError("'*' cannot appear in an aggregate query")
+        items = self._expand_items(select, scope)
+        order = self._order_exprs(select, items)
+        columns = [name for _, name in items]
+
+        groups: dict[tuple[Any, ...], list[Env]] = {}
+        group_order: list[tuple[Any, ...]] = []
+        if select.group_by:
+            for env in envs:
+                key = tuple(
+                    self._evaluator.evaluate(expr, env) for expr in select.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    group_order.append(key)
+                groups[key].append(env)
+        else:
+            key = ()
+            groups[key] = list(envs)
+            group_order.append(key)
+
+        keyed_rows = []
+        for key in group_order:
+            group_envs = groups[key]
+            representative = (
+                group_envs[0]
+                if group_envs
+                else Env(scope, tuple([None] * len(scope)), outer_env)
+            )
+            agg = _AggregateEvaluator(self._evaluator, group_envs)
+            if select.having is not None and agg.evaluate(
+                select.having, representative
+            ) is not True:
+                continue
+            row = tuple(agg.evaluate(expr, representative) for expr, _ in items)
+            keys = tuple(
+                row[index] if expr is None else agg.evaluate(expr, representative)
+                for expr, index in order
+            )
+            keyed_rows.append((row, keys))
+        return columns, keyed_rows
+
+    # -- plan interpretation --------------------------------------------------------
+
+    def _run_plan(
+        self, plan: PlanNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        if isinstance(plan, ScanNode):
+            return self._run_scan(plan, outer_env)
+        if isinstance(plan, FilterNode):
+            scope, rows = self._run_plan(plan.child, outer_env)
+            kept = [
+                row
+                for row in rows
+                if self._evaluator.is_true(plan.predicate, Env(scope, row, outer_env))
+            ]
+            return scope, kept
+        if isinstance(plan, HashJoinNode):
+            return self._run_hash_join(plan, outer_env)
+        if isinstance(plan, JoinNode):
+            return self._run_nested_join(plan, outer_env)
+        raise ExecutionError(f"unknown plan node {type(plan).__name__}")
+
+    def _run_scan(
+        self, plan: ScanNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        table = self.database.table(plan.table_name)
+        scope = Scope([(plan.binding, col) for col in table.schema.column_names])
+        candidate_ids: set[int] | None = None
+        for column, value in plan.eq_filters:
+            index = table.hash_index(column) or table.sorted_index(column)
+            assert index is not None
+            ids = set(index.lookup(value))
+            candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+        for column, op, value in plan.range_filters:
+            index = table.sorted_index(column)
+            assert index is not None
+            if op in ("<", "<="):
+                ids = set(index.range_lookup(high=value, high_inclusive=op == "<="))
+            else:
+                ids = set(index.range_lookup(low=value, low_inclusive=op == ">="))
+            candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+        if candidate_ids is None:
+            rows: Iterable[tuple[Any, ...]] = table.rows()
+        else:
+            rows = (
+                row
+                for row_id in sorted(candidate_ids)
+                if (row := table.row_by_id(row_id)) is not None
+            )
+        if plan.residual_filters:
+            out = [
+                row
+                for row in rows
+                if all(
+                    self._evaluator.is_true(pred, Env(scope, row, outer_env))
+                    for pred in plan.residual_filters
+                )
+            ]
+        else:
+            out = list(rows)
+        return scope, out
+
+    def _run_nested_join(
+        self, plan: JoinNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        left_scope, left_rows = self._run_plan(plan.left, outer_env)
+        right_scope, right_rows = self._run_plan(plan.right, outer_env)
+        scope = left_scope.merge(right_scope)
+        null_pad = tuple([None] * len(right_scope))
+        out = []
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if plan.condition is None or self._evaluator.is_true(
+                    plan.condition, Env(scope, combined, outer_env)
+                ):
+                    matched = True
+                    out.append(combined)
+            if plan.kind == "LEFT" and not matched:
+                out.append(left_row + null_pad)
+        return scope, out
+
+    def _run_hash_join(
+        self, plan: HashJoinNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        left_scope, left_rows = self._run_plan(plan.left, outer_env)
+        right_scope, right_rows = self._run_plan(plan.right, outer_env)
+        scope = left_scope.merge(right_scope)
+        buckets: dict[Any, list[tuple[Any, ...]]] = {}
+        for right_row in right_rows:
+            key = self._evaluator.evaluate(
+                plan.right_key, Env(right_scope, right_row, outer_env)
+            )
+            if key is None:
+                continue
+            buckets.setdefault(_join_key(key), []).append(right_row)
+        null_pad = tuple([None] * len(right_scope))
+        out = []
+        for left_row in left_rows:
+            key = self._evaluator.evaluate(
+                plan.left_key, Env(left_scope, left_row, outer_env)
+            )
+            matched = False
+            if key is not None:
+                for right_row in buckets.get(_join_key(key), []):
+                    combined = left_row + right_row
+                    if plan.residual is None or self._evaluator.is_true(
+                        plan.residual, Env(scope, combined, outer_env)
+                    ):
+                        matched = True
+                        out.append(combined)
+            if plan.kind == "LEFT" and not matched:
+                out.append(left_row + null_pad)
+        return scope, out
+
+    # -- DDL / DML ---------------------------------------------------------------------
+
+    def _execute_create(self, stmt: ast.CreateTable) -> ResultSet:
+        columns = []
+        primary_key: str | None = None
+        foreign_keys = []
+        for col in stmt.columns:
+            type_name = col.type_name.lower()
+            if type_name not in _TYPE_NAMES:
+                raise SchemaError(f"unknown type {col.type_name!r}")
+            nullable = not (col.not_null or col.primary_key)
+            columns.append(Column(col.name, _TYPE_NAMES[type_name], nullable))
+            if col.primary_key:
+                if primary_key is not None:
+                    raise SchemaError("multiple PRIMARY KEY columns")
+                primary_key = col.name
+            if col.references is not None:
+                foreign_keys.append(
+                    ForeignKey(col.name, col.references[0], col.references[1])
+                )
+        schema = TableSchema(stmt.name, columns, primary_key, foreign_keys)
+        self.database.create_table(schema)
+        return ResultSet(["rows_affected"], [(0,)])
+
+    def _const(self, expr: ast.Expr) -> Any:
+        return self._evaluator.evaluate(expr, Env(Scope([]), ()))
+
+    def _execute_insert(self, stmt: ast.Insert) -> ResultSet:
+        table = self.database.table(stmt.table)
+        count = 0
+        for row_exprs in stmt.rows:
+            values = [self._const(expr) for expr in row_exprs]
+            if stmt.columns:
+                if len(values) != len(stmt.columns):
+                    raise PlanError("INSERT column/value count mismatch")
+                self.database.insert(stmt.table, dict(zip(stmt.columns, values)))
+            else:
+                if len(values) != len(table.schema.columns):
+                    raise PlanError("INSERT value count mismatch")
+                self.database.insert(stmt.table, values)
+            count += 1
+        return ResultSet(["rows_affected"], [(count,)])
+
+    def _matching_row_ids(self, table_name: str, where: ast.Expr | None) -> list[int]:
+        table = self.database.table(table_name)
+        scope = Scope([(table.name, col) for col in table.schema.column_names])
+        out = []
+        for row_id, row in table.rows_with_ids():
+            if where is None or self._evaluator.is_true(where, Env(scope, row)):
+                out.append(row_id)
+        return out
+
+    def _execute_delete(self, stmt: ast.Delete) -> ResultSet:
+        table = self.database.table(stmt.table)
+        ids = self._matching_row_ids(stmt.table, stmt.where)
+        for row_id in ids:
+            table.delete_row(row_id)
+        return ResultSet(["rows_affected"], [(len(ids),)])
+
+    def _execute_update(self, stmt: ast.Update) -> ResultSet:
+        table = self.database.table(stmt.table)
+        scope = Scope([(table.name, col) for col in table.schema.column_names])
+        ids = self._matching_row_ids(stmt.table, stmt.where)
+        updated_rows = []
+        for row_id in ids:
+            row = table.row_by_id(row_id)
+            assert row is not None
+            env = Env(scope, row)
+            values = dict(zip(table.schema.column_names, row))
+            for column, expr in stmt.assignments:
+                if not table.schema.has_column(column):
+                    raise SchemaError(
+                        f"table {table.name!r} has no column {column!r}"
+                    )
+                values[column.lower()] = self._evaluator.evaluate(expr, env)
+            updated_rows.append((row_id, values))
+        for row_id, values in updated_rows:
+            table.delete_row(row_id)
+            table.insert(values)
+        return ResultSet(["rows_affected"], [(len(ids),)])
+
+
+def _join_key(value: Any) -> Any:
+    """Normalise numeric join keys so 1 and 1.0 land in one bucket."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

@@ -1,0 +1,110 @@
+"""Scalar SQL functions.
+
+All functions are NULL-transparent: a NULL argument yields NULL (except
+``coalesce``, whose whole purpose is NULL handling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+
+
+def _null_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    wrapper.__name__ = fn.__name__
+    return wrapper
+
+
+def _require_str(value: Any, fn_name: str) -> str:
+    if not isinstance(value, str):
+        raise ExecutionError(f"{fn_name}() requires a string, got {value!r}")
+    return value
+
+
+def _require_num(value: Any, fn_name: str) -> float | int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExecutionError(f"{fn_name}() requires a number, got {value!r}")
+    return value
+
+
+@_null_safe
+def _upper(value: Any) -> str:
+    return _require_str(value, "upper").upper()
+
+
+@_null_safe
+def _lower(value: Any) -> str:
+    return _require_str(value, "lower").lower()
+
+
+@_null_safe
+def _length(value: Any) -> int:
+    return len(_require_str(value, "length"))
+
+
+@_null_safe
+def _trim(value: Any) -> str:
+    return _require_str(value, "trim").strip()
+
+
+@_null_safe
+def _abs(value: Any) -> float | int:
+    return abs(_require_num(value, "abs"))
+
+
+@_null_safe
+def _round(value: Any, digits: Any = 0) -> float | int:
+    number = _require_num(value, "round")
+    places = _require_num(digits, "round")
+    if not isinstance(places, int):
+        raise ExecutionError("round() digits must be an integer")
+    result = round(number, places)
+    if places <= 0 and isinstance(number, float):
+        return float(result)
+    return result
+
+
+@_null_safe
+def _substr(value: Any, start: Any, length: Any = None) -> str:
+    text = _require_str(value, "substr")
+    begin = _require_num(start, "substr")
+    if not isinstance(begin, int) or begin < 1:
+        raise ExecutionError("substr() start is 1-based and must be >= 1")
+    if length is None:
+        return text[begin - 1 :]
+    count = _require_num(length, "substr")
+    if not isinstance(count, int) or count < 0:
+        raise ExecutionError("substr() length must be a non-negative integer")
+    return text[begin - 1 : begin - 1 + count]
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+@_null_safe
+def _concat(*args: Any) -> str:
+    return "".join(_require_str(arg, "concat") for arg in args)
+
+
+#: Registry of scalar functions by lower-case name.
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "upper": _upper,
+    "lower": _lower,
+    "length": _length,
+    "trim": _trim,
+    "abs": _abs,
+    "round": _round,
+    "substr": _substr,
+    "coalesce": _coalesce,
+    "concat": _concat,
+}

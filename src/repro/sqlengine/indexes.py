@@ -1,0 +1,121 @@
+"""Secondary indexes for tables: hash (equality) and sorted (range).
+
+Indexes map a column value to the set of row ids holding that value.  They
+are maintained incrementally by :class:`repro.sqlengine.table.Table` on
+insert/delete and consulted by the executor's access-path selection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """Equality index: value -> list of row ids (NULLs tracked separately)."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Any, list[int]] = {}
+        self._nulls: list[int] = []
+
+    def add(self, value: Any, row_id: int) -> None:
+        if value is None:
+            self._nulls.append(row_id)
+        else:
+            self._buckets.setdefault(value, []).append(row_id)
+
+    def remove(self, value: Any, row_id: int) -> None:
+        bucket = self._nulls if value is None else self._buckets.get(value, [])
+        try:
+            bucket.remove(row_id)
+        except ValueError:
+            pass
+        if value is not None and not bucket and value in self._buckets:
+            del self._buckets[value]
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row ids whose column equals ``value`` (NULL never matches)."""
+        if value is None:
+            return []
+        return list(self._buckets.get(value, []))
+
+    def distinct_values(self) -> Iterator[Any]:
+        return iter(self._buckets.keys())
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values()) + len(self._nulls)
+
+
+class SortedIndex:
+    """Range index backed by a sorted list of ``(value, row_id)`` pairs.
+
+    Supports range scans for ``<``, ``<=``, ``>``, ``>=`` and ``BETWEEN``.
+    All indexed values must be mutually comparable (same type family),
+    which the table layer guarantees via column typing.
+    """
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: list[Any] = []
+        self._row_ids: list[int] = []
+        self._nulls: list[int] = []
+
+    def add(self, value: Any, row_id: int) -> None:
+        if value is None:
+            self._nulls.append(row_id)
+            return
+        pos = bisect.bisect_right(self._keys, value)
+        self._keys.insert(pos, value)
+        self._row_ids.insert(pos, row_id)
+
+    def remove(self, value: Any, row_id: int) -> None:
+        if value is None:
+            try:
+                self._nulls.remove(row_id)
+            except ValueError:
+                pass
+            return
+        lo = bisect.bisect_left(self._keys, value)
+        hi = bisect.bisect_right(self._keys, value)
+        for i in range(lo, hi):
+            if self._row_ids[i] == row_id:
+                del self._keys[i]
+                del self._row_ids[i]
+                return
+
+    def range_lookup(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Row ids with ``low <op> value <op> high``; ``None`` bound = open."""
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        return self._row_ids[lo:hi]
+
+    def lookup(self, value: Any) -> list[int]:
+        if value is None:
+            return []
+        return self.range_lookup(value, value)
+
+    def min_value(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max_value(self) -> Any:
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._nulls)

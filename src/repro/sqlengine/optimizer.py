@@ -1,0 +1,227 @@
+"""Rule-based plan optimizer.
+
+Three rewrites, applied in order:
+
+1. **Predicate pushdown** — conjuncts of a FilterNode that mention only the
+   bindings of one scan move into that scan; conjuncts spanning exactly the
+   two sides of a join become join conditions.
+2. **Hash-join selection** — an INNER/LEFT join whose condition contains an
+   equi-conjunct between the two sides becomes a :class:`HashJoinNode`.
+3. **Index hints** — scan-local equality/range predicates on indexed columns
+   become index access hints (``eq_filters`` / ``range_filters``).
+
+The optimizer never changes result semantics; every rewrite is covered by
+equivalence tests against the naive plan.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.database import Database
+from repro.sqlengine.planner import (
+    FilterNode,
+    HashJoinNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    conjoin,
+    expr_bindings,
+    split_conjuncts,
+)
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def optimize(plan: PlanNode | None, database: Database, use_indexes: bool = True) -> PlanNode | None:
+    """Optimize ``plan`` (may return a new tree)."""
+    if plan is None:
+        return None
+    plan = _push_down(plan)
+    plan = _select_hash_joins(plan)
+    if use_indexes:
+        _install_index_hints(plan, database)
+    return plan
+
+
+# -- predicate pushdown -------------------------------------------------------
+
+
+def _push_down(plan: PlanNode) -> PlanNode:
+    if isinstance(plan, FilterNode):
+        child = _push_down(plan.child)
+        conjuncts = split_conjuncts(plan.predicate)
+        remaining = []
+        for conjunct in conjuncts:
+            child, pushed = _try_push(child, conjunct)
+            if not pushed:
+                remaining.append(conjunct)
+        residual = conjoin(remaining)
+        return FilterNode(child, residual) if residual is not None else child
+    if isinstance(plan, JoinNode):
+        return JoinNode(
+            _push_down(plan.left), _push_down(plan.right), plan.condition, plan.kind
+        )
+    return plan
+
+
+def _try_push(plan: PlanNode, conjunct: ast.Expr) -> tuple[PlanNode, bool]:
+    """Try to sink ``conjunct`` into ``plan``; returns (new plan, pushed?)."""
+    scope = set(plan.bindings())
+    refs = expr_bindings(conjunct, scope)
+    if refs is None or not refs <= scope:
+        return plan, False
+    if isinstance(plan, ScanNode):
+        plan.residual_filters.append(conjunct)
+        return plan, True
+    if isinstance(plan, JoinNode):
+        # LEFT joins must not receive pushed predicates on the right side:
+        # that would turn preserved NULL rows into filtered rows.
+        left_scope = set(plan.left.bindings())
+        right_scope = set(plan.right.bindings())
+        if refs <= left_scope:
+            new_left, pushed = _try_push(plan.left, conjunct)
+            if pushed:
+                return JoinNode(new_left, plan.right, plan.condition, plan.kind), True
+        if refs <= right_scope and plan.kind != "LEFT":
+            new_right, pushed = _try_push(plan.right, conjunct)
+            if pushed:
+                return JoinNode(plan.left, new_right, plan.condition, plan.kind), True
+        if plan.kind != "LEFT":
+            # Spans both sides: fold into the join condition.
+            condition = (
+                conjunct
+                if plan.condition is None
+                else ast.BinaryOp("AND", plan.condition, conjunct)
+            )
+            kind = "INNER" if plan.kind == "CROSS" else plan.kind
+            return JoinNode(plan.left, plan.right, condition, kind), True
+        return plan, False
+    if isinstance(plan, FilterNode):
+        new_child, pushed = _try_push(plan.child, conjunct)
+        if pushed:
+            return FilterNode(new_child, plan.predicate), True
+        return plan, False
+    return plan, False
+
+
+# -- hash-join selection ---------------------------------------------------------
+
+
+def _equi_key(
+    conjunct: ast.Expr, left_scope: set[str], right_scope: set[str]
+) -> tuple[ast.Expr, ast.Expr] | None:
+    """If ``conjunct`` is ``left_col = right_col`` across sides, return keys."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+        return None
+    sides = []
+    for operand in (conjunct.left, conjunct.right):
+        refs = expr_bindings(operand, left_scope | right_scope)
+        if refs is None or not refs:
+            return None
+        sides.append(refs)
+    if sides[0] <= left_scope and sides[1] <= right_scope:
+        return conjunct.left, conjunct.right
+    if sides[0] <= right_scope and sides[1] <= left_scope:
+        return conjunct.right, conjunct.left
+    return None
+
+
+def _select_hash_joins(plan: PlanNode) -> PlanNode:
+    if isinstance(plan, FilterNode):
+        return FilterNode(_select_hash_joins(plan.child), plan.predicate)
+    if isinstance(plan, HashJoinNode):  # pragma: no cover - defensive
+        return plan
+    if not isinstance(plan, JoinNode):
+        return plan
+    left = _select_hash_joins(plan.left)
+    right = _select_hash_joins(plan.right)
+    if plan.kind not in ("INNER", "LEFT") or plan.condition is None:
+        return JoinNode(left, right, plan.condition, plan.kind)
+    left_scope = set(left.bindings())
+    right_scope = set(right.bindings())
+    conjuncts = split_conjuncts(plan.condition)
+    for i, conjunct in enumerate(conjuncts):
+        keys = _equi_key(conjunct, left_scope, right_scope)
+        if keys is not None:
+            residual = conjoin(conjuncts[:i] + conjuncts[i + 1 :])
+            return HashJoinNode(
+                left, right, keys[0], keys[1], kind=plan.kind, residual=residual
+            )
+    return JoinNode(left, right, plan.condition, plan.kind)
+
+
+# -- index hints -----------------------------------------------------------------
+
+
+def _literal_value(expr: ast.Expr) -> tuple[bool, Any]:
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True, -value
+    return False, None
+
+
+def _install_index_hints(plan: PlanNode, database: Database) -> None:
+    if isinstance(plan, FilterNode):
+        _install_index_hints(plan.child, database)
+        return
+    if isinstance(plan, (JoinNode, HashJoinNode)):
+        _install_index_hints(plan.left, database)
+        _install_index_hints(plan.right, database)
+        return
+    if not isinstance(plan, ScanNode):  # pragma: no cover - defensive
+        return
+    table = database.table(plan.table_name)
+    kept: list[ast.Expr] = []
+    for conjunct in plan.residual_filters:
+        hint = _scan_hint(conjunct, plan.binding, table)
+        if hint is None:
+            kept.append(conjunct)
+            continue
+        kind, column, payload = hint
+        if kind == "eq":
+            plan.eq_filters.append((column, payload))
+        else:
+            op, value = payload
+            plan.range_filters.append((column, op, value))
+    plan.residual_filters = kept
+
+
+def _scan_hint(conjunct: ast.Expr, binding: str, table: Any):
+    """Classify a conjunct as an index-usable eq/range filter, if possible."""
+    if not isinstance(conjunct, ast.BinaryOp):
+        return None
+    op = conjunct.op
+    if op not in _RANGE_OPS and op != "=":
+        return None
+    column_side: ast.ColumnRef | None = None
+    literal_side: Any = None
+    flipped = False
+    is_lit, value = _literal_value(conjunct.right)
+    if isinstance(conjunct.left, ast.ColumnRef) and is_lit:
+        column_side, literal_side = conjunct.left, value
+    else:
+        is_lit, value = _literal_value(conjunct.left)
+        if isinstance(conjunct.right, ast.ColumnRef) and is_lit:
+            column_side, literal_side = conjunct.right, value
+            flipped = True
+    if column_side is None or literal_side is None:
+        return None
+    if column_side.table is not None and column_side.table != binding:
+        return None
+    if not table.schema.has_column(column_side.name):
+        return None
+    column = column_side.name.lower()
+    if op == "=":
+        if table.hash_index(column) is not None or table.sorted_index(column) is not None:
+            return "eq", column, literal_side
+        return None
+    if table.sorted_index(column) is None:
+        return None
+    if flipped:  # literal OP column  ==  column (flip OP) literal
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    return "range", column, (op, literal_side)

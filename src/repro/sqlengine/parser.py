@@ -1,0 +1,493 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal):
+
+    statement   := select | create | insert | delete | update
+    select      := SELECT [DISTINCT] items [FROM table_ref join* ]
+                   [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                   [ORDER BY order_items] [LIMIT int]
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive (comparison | IS [NOT] NULL | [NOT] IN ... |
+                   [NOT] LIKE ... | [NOT] BETWEEN ...)?
+    additive    := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := literal | column | function | '(' expr|select ')' |
+                   EXISTS '(' select ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Single-use parser over a token list."""
+
+    def __init__(self, sql: str) -> None:
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value in words
+
+    def _match_keyword(self, *words: str) -> Token | None:
+        if self._check_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._match_keyword(word)
+        if token is None:
+            actual = self._peek()
+            raise SqlSyntaxError(
+                f"expected {word.upper()!r}, found {actual.value!r}", actual.position
+            )
+        return token
+
+    def _match_punct(self, ch: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == ch:
+            return self._advance()
+        return None
+
+    def _expect_punct(self, ch: str) -> Token:
+        token = self._match_punct(ch)
+        if token is None:
+            actual = self._peek()
+            raise SqlSyntaxError(
+                f"expected {ch!r}, found {actual.value!r}", actual.position
+            )
+        return token
+
+    def _match_operator(self, *ops: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            return self._advance()
+        return None
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        raise SqlSyntaxError(f"expected {what}, found {token.value!r}", token.position)
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("select"):
+            stmt: ast.Statement = self._parse_select()
+        elif token.is_keyword("create"):
+            stmt = self._parse_create()
+        elif token.is_keyword("insert"):
+            stmt = self._parse_insert()
+        elif token.is_keyword("delete"):
+            stmt = self._parse_delete()
+        elif token.is_keyword("update"):
+            stmt = self._parse_update()
+        else:
+            raise SqlSyntaxError(
+                f"expected a statement, found {token.value!r}", token.position
+            )
+        self._match_punct(";")
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {tail.value!r}", tail.position
+            )
+        return stmt
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct") is not None
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+
+        from_table: ast.TableRef | None = None
+        joins: list[ast.Join] = []
+        if self._match_keyword("from"):
+            from_table = self._parse_table_ref()
+            while True:
+                if self._match_punct(","):
+                    joins.append(ast.Join(self._parse_table_ref(), None, kind="CROSS"))
+                    continue
+                if self._check_keyword("join", "inner", "left", "cross"):
+                    joins.append(self._parse_join())
+                    continue
+                break
+
+        where = self._parse_expr() if self._match_keyword("where") else None
+
+        group_by: list[ast.Expr] = []
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expr())
+            while self._match_punct(","):
+                group_by.append(self._parse_expr())
+
+        having = self._parse_expr() if self._match_keyword("having") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._match_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit: int | None = None
+        if self._match_keyword("limit"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise SqlSyntaxError("LIMIT requires an integer", token.position)
+            self._advance()
+            limit = int(token.value)
+
+        return ast.Select(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # t.*
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).type is TokenType.PUNCT
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return ast.SelectItem(ast.Star(table=token.value))
+        expr = self._parse_expr()
+        alias: str | None = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_ident("table name")
+        alias: str | None = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _parse_join(self) -> ast.Join:
+        kind = "INNER"
+        if self._match_keyword("left"):
+            kind = "LEFT"
+            self._expect_keyword("join")
+        elif self._match_keyword("cross"):
+            kind = "CROSS"
+            self._expect_keyword("join")
+        else:
+            self._match_keyword("inner")
+            self._expect_keyword("join")
+        table = self._parse_table_ref()
+        condition: ast.Expr | None = None
+        if kind != "CROSS":
+            self._expect_keyword("on")
+            condition = self._parse_expr()
+        return ast.Join(table, condition, kind=kind)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._match_keyword("desc"):
+            descending = True
+        else:
+            self._match_keyword("asc")
+        return ast.OrderItem(expr, descending)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._match_keyword("or"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._match_keyword("and"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._match_keyword("not"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISONS:
+            self._advance()
+            op = "!=" if token.value == "<>" else token.value
+            return ast.BinaryOp(op, left, self._parse_additive())
+        if self._match_keyword("is"):
+            negated = self._match_keyword("not") is not None
+            self._expect_keyword("null")
+            return ast.IsNull(left, negated)
+        negated = False
+        if self._check_keyword("not") and self._peek(1).type is TokenType.KEYWORD:
+            follower = self._peek(1).value
+            if follower in ("in", "like", "between"):
+                self._advance()
+                negated = True
+        if self._match_keyword("in"):
+            self._expect_punct("(")
+            if self._check_keyword("select"):
+                sub = self._parse_select()
+                self._expect_punct(")")
+                return ast.InSubquery(left, sub, negated)
+            items = [self._parse_expr()]
+            while self._match_punct(","):
+                items.append(self._parse_expr())
+            self._expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if self._match_keyword("like"):
+            return ast.Like(left, self._parse_additive(), negated)
+        if self._match_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._match_operator("+", "-")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._match_operator("*", "/", "%")
+            if token is None:
+                return left
+            left = ast.BinaryOp(token.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._match_operator("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("exists"):
+            self._advance()
+            self._expect_punct("(")
+            sub = self._parse_select()
+            self._expect_punct(")")
+            return ast.Exists(sub)
+        if self._match_punct("("):
+            if self._check_keyword("select"):
+                sub = self._parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(sub)
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            # function call?
+            if self._peek(1).type is TokenType.PUNCT and self._peek(1).value == "(":
+                return self._parse_function()
+            self._advance()
+            if self._match_punct("."):
+                column = self._expect_ident("column name")
+                return ast.ColumnRef(column, table=token.value)
+            return ast.ColumnRef(token.value)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.position
+        )
+
+    def _parse_function(self) -> ast.Expr:
+        name = self._expect_ident("function name")
+        self._expect_punct("(")
+        if self._match_punct(")"):
+            return ast.FunctionCall(name)
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            self._expect_punct(")")
+            return ast.FunctionCall(name, (ast.Star(),))
+        distinct = self._match_keyword("distinct") is not None
+        args = [self._parse_expr()]
+        while self._match_punct(","):
+            args.append(self._parse_expr())
+        self._expect_punct(")")
+        return ast.FunctionCall(name, tuple(args), distinct=distinct)
+
+    # -- CREATE / INSERT / DELETE / UPDATE --------------------------------------
+
+    def _parse_create(self) -> ast.CreateTable:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._expect_ident("table name")
+        self._expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self._match_punct(","):
+            columns.append(self._parse_column_def())
+        self._expect_punct(")")
+        return ast.CreateTable(name, tuple(columns))
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident("column name")
+        type_token = self._peek()
+        if type_token.type is not TokenType.IDENT:
+            raise SqlSyntaxError("expected a type name", type_token.position)
+        self._advance()
+        not_null = False
+        primary = False
+        references: tuple[str, str] | None = None
+        while True:
+            if self._match_keyword("primary"):
+                self._expect_keyword("key")
+                primary = True
+                continue
+            if self._check_keyword("not") and self._peek(1).is_keyword("null"):
+                self._advance()
+                self._advance()
+                not_null = True
+                continue
+            if self._match_keyword("references"):
+                ref_table = self._expect_ident("referenced table")
+                self._expect_punct("(")
+                ref_column = self._expect_ident("referenced column")
+                self._expect_punct(")")
+                references = (ref_table, ref_column)
+                continue
+            break
+        return ast.ColumnDef(name, type_token.value.upper(), not_null, primary, references)
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident("table name")
+        columns: list[str] = []
+        if self._match_punct("("):
+            columns.append(self._expect_ident("column name"))
+            while self._match_punct(","):
+                columns.append(self._expect_ident("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("values")
+        rows = [self._parse_value_row()]
+        while self._match_punct(","):
+            rows.append(self._parse_value_row())
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def _parse_value_row(self) -> tuple[ast.Expr, ...]:
+        self._expect_punct("(")
+        values = [self._parse_expr()]
+        while self._match_punct(","):
+            values.append(self._parse_expr())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident("table name")
+        where = self._parse_expr() if self._match_keyword("where") else None
+        return ast.Delete(table, where)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._expect_ident("table name")
+        self._expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self._match_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expr() if self._match_keyword("where") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self._expect_ident("column name")
+        token = self._match_operator("=")
+        if token is None:
+            actual = self._peek()
+            raise SqlSyntaxError("expected '=' in SET clause", actual.position)
+        return column, self._parse_expr()
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse one SQL statement.
+
+    >>> parse_sql("SELECT 1").items[0].expr.value
+    1
+    """
+    return Parser(sql).parse_statement()
+
+
+def parse_select(sql: str) -> ast.Select:
+    """Parse SQL that must be a SELECT statement."""
+    stmt = parse_sql(sql)
+    if not isinstance(stmt, ast.Select):
+        raise SqlSyntaxError("expected a SELECT statement")
+    return stmt

@@ -1,0 +1,90 @@
+"""Result sets returned by the engine."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class ResultSet:
+    """Column names plus row tuples, with small conveniences.
+
+    >>> rs = ResultSet(["n"], [(1,), (2,)])
+    >>> rs.scalar()
+    Traceback (most recent call last):
+    ...
+    ValueError: scalar() needs exactly one row, got 2
+    >>> rs.column("n")
+    [1, 2]
+    """
+
+    def __init__(self, columns: list[str], rows: list[tuple[Any, ...]]) -> None:
+        self.columns = list(columns)
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def first(self) -> tuple[Any, ...] | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1:
+            raise ValueError(f"scalar() needs exactly one row, got {len(self.rows)}")
+        if len(self.rows[0]) != 1:
+            raise ValueError(
+                f"scalar() needs exactly one column, got {len(self.rows[0])}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise ValueError(f"no column {name!r} in result") from exc
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def answer_set(self) -> frozenset[tuple[Any, ...]]:
+        """Order-insensitive multiset-free view used for accuracy scoring.
+
+        Floats are rounded to 6 places so equivalent aggregates compare equal.
+        """
+        normalised = []
+        for row in self.rows:
+            normalised.append(
+                tuple(
+                    round(cell, 6) if isinstance(cell, float) else cell for cell in row
+                )
+            )
+        return frozenset(normalised)
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """ASCII rendering for examples and reports."""
+        shown = self.rows[:max_rows]
+        cells = [[("" if c is None else str(c)) for c in row] for row in shown]
+        widths = [len(name) for name in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(name.ljust(w) for name, w in zip(self.columns, widths))
+        lines = [header, sep]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns!r}, rows={len(self.rows)})"

@@ -1,0 +1,146 @@
+"""Schema objects: columns, table schemas, foreign keys.
+
+A :class:`TableSchema` is immutable after construction and validates itself
+eagerly so that malformed schemas fail at definition time, not at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.sqlengine.types import SqlType
+
+_IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def validate_identifier(name: str, kind: str = "identifier") -> str:
+    """Validate and normalise a table/column identifier (lower-cased).
+
+    Identifiers must start with a letter and contain only ``[a-z0-9_]``.
+    """
+    if not name:
+        raise SchemaError(f"empty {kind}")
+    lowered = name.lower()
+    if not lowered[0].isalpha():
+        raise SchemaError(f"{kind} {name!r} must start with a letter")
+    if not set(lowered) <= _IDENT_CHARS:
+        raise SchemaError(f"{kind} {name!r} contains invalid characters")
+    return lowered
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column definition.
+
+    ``comment`` carries the human-readable gloss used by the lexicon builder
+    to generate natural-language names for the column.
+    """
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", validate_identifier(self.name, "column name"))
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key: ``column`` references ``ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "column", validate_identifier(self.column, "fk column"))
+        object.__setattr__(self, "ref_table", validate_identifier(self.ref_table, "fk table"))
+        object.__setattr__(
+            self, "ref_column", validate_identifier(self.ref_column, "fk ref column")
+        )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Immutable description of one table.
+
+    >>> ts = TableSchema("ship", [Column("id", SqlType.INT), Column("name", SqlType.TEXT)],
+    ...                  primary_key="id")
+    >>> ts.column("name").sql_type
+    <SqlType.TEXT: 'TEXT'>
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+    comment: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column] | tuple[Column, ...],
+        primary_key: str | None = None,
+        foreign_keys: list[ForeignKey] | tuple[ForeignKey, ...] = (),
+        comment: str = "",
+    ) -> None:
+        object.__setattr__(self, "name", validate_identifier(name, "table name"))
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(
+            self,
+            "primary_key",
+            validate_identifier(primary_key, "primary key") if primary_key else None,
+        )
+        object.__setattr__(self, "foreign_keys", tuple(foreign_keys))
+        object.__setattr__(self, "comment", comment)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        seen: set[str] = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise SchemaError(f"duplicate column {col.name!r} in table {self.name!r}")
+            seen.add(col.name)
+        if self.primary_key is not None and self.primary_key not in seen:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in seen:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} is not a column of {self.name!r}"
+                )
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self.column_names
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name == lowered:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name == lowered:
+                return i
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def foreign_key_for(self, column: str) -> ForeignKey | None:
+        lowered = column.lower()
+        for fk in self.foreign_keys:
+            if fk.column == lowered:
+                return fk
+        return None

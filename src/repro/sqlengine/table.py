@@ -1,0 +1,199 @@
+"""Row storage for one table, with constraint checking and index maintenance.
+
+Rows are stored as tuples in insertion order; deleted slots are tombstoned
+(``None``) so row ids remain stable for index entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import IntegrityError, SchemaError, TypeMismatchError
+from repro.sqlengine.indexes import HashIndex, SortedIndex
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.types import coerce_value, is_numeric
+
+
+class Table:
+    """In-memory table: typed rows + optional secondary indexes.
+
+    >>> from repro.sqlengine.schema import Column
+    >>> from repro.sqlengine.types import SqlType
+    >>> t = Table(TableSchema("x", [Column("a", SqlType.INT)], primary_key="a"))
+    >>> t.insert({"a": 1}); len(t)
+    0
+    1
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...] | None] = []
+        self._live_count = 0
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        self._pk_index: HashIndex | None = None
+        if schema.primary_key is not None:
+            self._pk_index = HashIndex(schema.primary_key)
+
+    # -- basics ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate live rows in insertion order."""
+        return (row for row in self._rows if row is not None)
+
+    def rows_with_ids(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        return ((i, row) for i, row in enumerate(self._rows) if row is not None)
+
+    def row_by_id(self, row_id: int) -> tuple[Any, ...] | None:
+        if 0 <= row_id < len(self._rows):
+            return self._rows[row_id]
+        return None
+
+    # -- mutation ----------------------------------------------------------
+
+    def _normalise(self, values: Mapping[str, Any] | Sequence[Any]) -> tuple[Any, ...]:
+        columns = self.schema.columns
+        if isinstance(values, Mapping):
+            lowered = {key.lower(): val for key, val in values.items()}
+            unknown = set(lowered) - set(self.schema.column_names)
+            if unknown:
+                raise SchemaError(
+                    f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+                )
+            raw = [lowered.get(col.name) for col in columns]
+        else:
+            if len(values) != len(columns):
+                raise SchemaError(
+                    f"table {self.name!r} expects {len(columns)} values, "
+                    f"got {len(values)}"
+                )
+            raw = list(values)
+        out = []
+        for col, val in zip(columns, raw):
+            coerced = coerce_value(val, col.sql_type)
+            if coerced is None and not col.nullable:
+                raise IntegrityError(
+                    f"column {self.name}.{col.name} is NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def insert(self, values: Mapping[str, Any] | Sequence[Any]) -> int:
+        """Insert one row; returns its row id."""
+        row = self._normalise(values)
+        if self._pk_index is not None:
+            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            pk_val = row[pk_pos]
+            if pk_val is None:
+                raise IntegrityError(
+                    f"primary key {self.name}.{self.schema.primary_key} cannot be NULL"
+                )
+            if self._pk_index.lookup(pk_val):
+                raise IntegrityError(
+                    f"duplicate primary key {pk_val!r} in table {self.name!r}"
+                )
+        row_id = len(self._rows)
+        self._rows.append(row)
+        self._live_count += 1
+        self._index_row(row_id, row)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete_row(self, row_id: int) -> bool:
+        """Tombstone a row; returns True when a live row was removed."""
+        row = self.row_by_id(row_id)
+        if row is None:
+            return False
+        self._unindex_row(row_id, row)
+        self._rows[row_id] = None
+        self._live_count -= 1
+        return True
+
+    # -- indexes -----------------------------------------------------------
+
+    def _index_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        if self._pk_index is not None:
+            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            self._pk_index.add(row[pk_pos], row_id)
+        for col, idx in self._hash_indexes.items():
+            idx.add(row[self.schema.column_index(col)], row_id)
+        for col, idx in self._sorted_indexes.items():
+            idx.add(row[self.schema.column_index(col)], row_id)
+
+    def _unindex_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        if self._pk_index is not None:
+            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            self._pk_index.remove(row[pk_pos], row_id)
+        for col, idx in self._hash_indexes.items():
+            idx.remove(row[self.schema.column_index(col)], row_id)
+        for col, idx in self._sorted_indexes.items():
+            idx.remove(row[self.schema.column_index(col)], row_id)
+
+    def create_hash_index(self, column: str) -> HashIndex:
+        col = self.schema.column(column)
+        if col.name in self._hash_indexes:
+            return self._hash_indexes[col.name]
+        index = HashIndex(col.name)
+        pos = self.schema.column_index(col.name)
+        for row_id, row in self.rows_with_ids():
+            index.add(row[pos], row_id)
+        self._hash_indexes[col.name] = index
+        return index
+
+    def create_sorted_index(self, column: str) -> SortedIndex:
+        col = self.schema.column(column)
+        if not is_numeric(col.sql_type) and col.sql_type.value != "TEXT":
+            raise TypeMismatchError(
+                f"sorted index unsupported on {col.sql_type} column {col.name!r}"
+            )
+        if col.name in self._sorted_indexes:
+            return self._sorted_indexes[col.name]
+        index = SortedIndex(col.name)
+        pos = self.schema.column_index(col.name)
+        for row_id, row in self.rows_with_ids():
+            index.add(row[pos], row_id)
+        self._sorted_indexes[col.name] = index
+        return index
+
+    def hash_index(self, column: str) -> HashIndex | None:
+        lowered = column.lower()
+        if self._pk_index is not None and lowered == self.schema.primary_key:
+            return self._pk_index
+        return self._hash_indexes.get(lowered)
+
+    def sorted_index(self, column: str) -> SortedIndex | None:
+        return self._sorted_indexes.get(column.lower())
+
+    # -- convenience lookups used by NLI layers -----------------------------
+
+    def lookup_equal(self, column: str, value: Any) -> list[tuple[Any, ...]]:
+        """All rows where ``column == value``, via index when available."""
+        index = self.hash_index(column)
+        pos = self.schema.column_index(column)
+        if index is not None:
+            out = []
+            for row_id in index.lookup(value):
+                row = self.row_by_id(row_id)
+                if row is not None:
+                    out.append(row)
+            return out
+        return [row for row in self.rows() if row[pos] == value]
+
+    def column_values(self, column: str) -> Iterator[Any]:
+        """Iterate the (live) values of one column."""
+        pos = self.schema.column_index(column)
+        return (row[pos] for row in self.rows())

@@ -1,0 +1,5 @@
+"""Inverted index over database values for question-phrase grounding."""
+
+from repro.valueindex.index import ValueHit, ValueIndex, stemmed_phrase_key
+
+__all__ = ["ValueHit", "ValueIndex", "stemmed_phrase_key"]

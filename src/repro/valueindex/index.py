@@ -1,0 +1,151 @@
+"""Inverted index over database string values.
+
+Maps word sequences in questions ("norfolk", "pacific", "stanislaw lem")
+to the ``(table, column, value)`` triples that contain them, so the tagger
+can turn unknown words into :class:`~repro.logical.forms.ValueRef`
+candidates — the mechanism SODA and friends called *value-based lookup*,
+and that 1978 systems implemented as "file-content lexicons".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.spelling import SpellingCorrector
+from repro.nlp.stemmer import stem
+from repro.sqlengine.database import Database
+from repro.sqlengine.types import SqlType
+
+
+@dataclass(frozen=True)
+class ValueHit:
+    """One value match for a question phrase."""
+
+    table: str
+    column: str
+    value: str
+    exact: bool  # False when reached via spelling correction
+
+
+def _normalise_phrase(text: str) -> tuple[str, ...]:
+    return tuple(word for word in text.lower().replace("-", " ").split() if word)
+
+
+class ValueIndex:
+    """Phrase index over all TEXT columns of a database.
+
+    ``max_values_per_column`` guards against indexing an enormous free-text
+    column; high-cardinality prose columns are unlikely to be referenced by
+    name in a question anyway.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        max_values_per_column: int | None = None,
+        excluded_columns: set[tuple[str, str]] | None = None,
+    ) -> None:
+        self.database = database
+        self._phrase_map: dict[tuple[str, ...], list[ValueHit]] = {}
+        self._stem_map: dict[tuple[str, ...], list[ValueHit]] = {}
+        self._word_vocabulary = SpellingCorrector()
+        self._max_phrase_len = 1
+        excluded = excluded_columns or set()
+        for table in database.tables():
+            for column in table.schema.columns:
+                if column.sql_type is not SqlType.TEXT:
+                    continue
+                if (table.name, column.name) in excluded:
+                    continue
+                seen = 0
+                for value in table.column_values(column.name):
+                    if value is None:
+                        continue
+                    seen += 1
+                    if max_values_per_column and seen > max_values_per_column:
+                        break
+                    self._add_value(table.name, column.name, value)
+
+    def _add_value(self, table: str, column: str, value: str) -> None:
+        phrase = _normalise_phrase(value)
+        if not phrase:
+            return
+        hit = ValueHit(table, column, value, exact=True)
+        bucket = self._phrase_map.setdefault(phrase, [])
+        if not any(
+            h.table == table and h.column == column and h.value == value
+            for h in bucket
+        ):
+            bucket.append(hit)
+        stemmed = tuple(stem(word) for word in phrase)
+        if stemmed != phrase:
+            stem_bucket = self._stem_map.setdefault(stemmed, [])
+            if not any(
+                h.table == table and h.column == column and h.value == value
+                for h in stem_bucket
+            ):
+                stem_bucket.append(ValueHit(table, column, value, exact=False))
+        self._max_phrase_len = max(self._max_phrase_len, len(phrase))
+        for word in phrase:
+            self._word_vocabulary.add_word(word)
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def max_phrase_len(self) -> int:
+        return self._max_phrase_len
+
+    def lookup(self, words: list[str]) -> list[ValueHit]:
+        """Lookup of a word sequence: exact first, stemmed as fallback.
+
+        The stemmed fallback lets "admirals" reach the stored value
+        "admiral"; exact matches win when both exist.
+        """
+        key = tuple(w.lower() for w in words)
+        hits = list(self._phrase_map.get(key, []))
+        stemmed = tuple(stem(w) for w in key)
+        for hit in self._stem_map.get(stemmed, []):
+            if not any(
+                h.table == hit.table and h.column == hit.column and h.value == hit.value
+                for h in hits
+            ):
+                hits.append(hit)
+        return hits
+
+    def lookup_prefix(self, words: list[str]) -> list[tuple[int, ValueHit]]:
+        """All value matches starting at the front of ``words``.
+
+        Returns ``(length, hit)`` pairs, longest first, so the tagger can
+        prefer maximal matches ("new york city" over "new york").
+        """
+        out: list[tuple[int, ValueHit]] = []
+        limit = min(len(words), self._max_phrase_len)
+        for length in range(limit, 0, -1):
+            for hit in self.lookup(words[:length]):
+                out.append((length, hit))
+        return out
+
+    def fuzzy_word(self, word: str) -> str | None:
+        """Spelling-correct a single word against the value vocabulary."""
+        correction = self._word_vocabulary.correct(word)
+        if correction is None or correction.distance == 0:
+            return None
+        return correction.corrected
+
+    def contains_word(self, word: str) -> bool:
+        return word.lower() in self._word_vocabulary
+
+    def vocabulary_words(self) -> int:
+        return len(self._word_vocabulary)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "phrases": len(self._phrase_map),
+            "words": self.vocabulary_words(),
+            "max_phrase_len": self._max_phrase_len,
+        }
+
+
+def stemmed_phrase_key(text: str) -> tuple[str, ...]:
+    """Stem-normalised phrase key shared with the lexicon."""
+    return tuple(stem(word) for word in _normalise_phrase(text))

@@ -1,0 +1,89 @@
+"""Shared fixtures: a small, hand-checkable library database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Column, Database, Engine, ForeignKey, SqlType, TableSchema
+
+
+def make_library_db() -> Database:
+    """Authors/books/loans — small enough to verify answers by hand."""
+    db = Database("library")
+    db.create_table(
+        TableSchema(
+            "author",
+            [
+                Column("id", SqlType.INT, nullable=False),
+                Column("name", SqlType.TEXT, nullable=False),
+                Column("country", SqlType.TEXT),
+                Column("born", SqlType.INT),
+            ],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "book",
+            [
+                Column("id", SqlType.INT, nullable=False),
+                Column("title", SqlType.TEXT, nullable=False),
+                Column("author_id", SqlType.INT),
+                Column("year", SqlType.INT),
+                Column("pages", SqlType.INT),
+                Column("price", SqlType.FLOAT),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("author_id", "author", "id")],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "loan",
+            [
+                Column("id", SqlType.INT, nullable=False),
+                Column("book_id", SqlType.INT),
+                Column("member", SqlType.TEXT),
+                Column("returned", SqlType.BOOL),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("book_id", "book", "id")],
+        )
+    )
+    authors = [
+        (1, "Ursula Le Guin", "usa", 1929),
+        (2, "Stanislaw Lem", "poland", 1921),
+        (3, "Octavia Butler", "usa", 1947),
+        (4, "Italo Calvino", "italy", 1923),
+    ]
+    books = [
+        (1, "The Dispossessed", 1, 1974, 387, 9.99),
+        (2, "The Left Hand of Darkness", 1, 1969, 304, 8.50),
+        (3, "Solaris", 2, 1961, 204, 7.25),
+        (4, "Kindred", 3, 1979, 264, 10.00),
+        (5, "Invisible Cities", 4, 1972, 165, 6.75),
+        (6, "The Cyberiad", 2, 1965, 295, None),
+    ]
+    loans = [
+        (1, 1, "ada", True),
+        (2, 3, "grace", False),
+        (3, 3, "ada", True),
+        (4, 5, "edsger", False),
+    ]
+    for row in authors:
+        db.insert("author", row)
+    for row in books:
+        db.insert("book", row)
+    for row in loans:
+        db.insert("loan", row)
+    return db
+
+
+@pytest.fixture()
+def library_db() -> Database:
+    return make_library_db()
+
+
+@pytest.fixture()
+def engine(library_db: Database) -> Engine:
+    return Engine(library_db)

@@ -1,0 +1,161 @@
+"""Dataset integrity + corpus validity tests.
+
+The corpora embed gold SQL; every gold query must execute and the
+databases must be deterministic and referentially intact.
+"""
+
+import pytest
+
+from repro.datasets import company, fleet, geography, load_bundle
+from repro.errors import ReproError
+from repro.sqlengine import Engine
+
+
+@pytest.fixture(scope="module", params=["fleet", "company", "geography"])
+def bundle(request):
+    return load_bundle(request.param)
+
+
+class TestDatabases:
+    def test_deterministic_build(self):
+        a = fleet.build_database(seed=7)
+        b = fleet.build_database(seed=7)
+        assert list(a.table("ship").rows()) == list(b.table("ship").rows())
+
+    def test_seed_changes_data(self):
+        a = fleet.build_database(seed=7)
+        b = fleet.build_database(seed=8)
+        assert list(a.table("ship").rows()) != list(b.table("ship").rows())
+
+    def test_referential_integrity(self, bundle):
+        assert bundle.database.check_integrity() == []
+
+    def test_row_counts(self):
+        db = fleet.build_database()
+        assert len(db.table("ship")) == 60
+        assert len(db.table("fleet")) == 4
+        db2 = company.build_database()
+        assert len(db2.table("employee")) == 40
+        assert len(db2.table("sale")) == 200
+        db3 = geography.build_database()
+        assert len(db3.table("country")) == 18
+
+    def test_scalable_fleet(self):
+        db = fleet.build_database(ships=200)
+        assert len(db.table("ship")) == 200
+        assert db.check_integrity() == []
+
+    def test_ship_officer_name_overlap_exists(self):
+        """The deliberate ambiguity must exist for T5 to be meaningful."""
+        db = fleet.build_database()
+        ships = set(db.table("ship").column_values("name"))
+        officers = set(db.table("officer").column_values("name"))
+        assert ships & officers
+
+    def test_displacement_ranges_by_type(self):
+        db = fleet.build_database()
+        engine = Engine(db)
+        carrier_min = engine.execute(
+            "SELECT MIN(ship.displacement) FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'"
+        ).scalar()
+        frigate_max = engine.execute(
+            "SELECT MAX(ship.displacement) FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'frigate'"
+        ).scalar()
+        assert carrier_min > frigate_max
+
+
+class TestCorpora:
+    def test_gold_sql_executes(self, bundle):
+        engine = Engine(bundle.database)
+        for example in bundle.corpus:
+            result = engine.execute(example.gold_sql)
+            assert result.columns, example.question
+
+    def test_wild_gold_sql_executes(self, bundle):
+        engine = Engine(bundle.database)
+        for example in bundle.wild:
+            engine.execute(example.gold_sql)
+
+    def test_dialogue_gold_sql_executes(self, bundle):
+        engine = Engine(bundle.database)
+        for script in bundle.dialogues:
+            for turn in script:
+                engine.execute(turn.gold_sql)
+
+    def test_corpus_size(self, bundle):
+        assert len(bundle.corpus) >= 60
+
+    def test_every_example_tagged(self, bundle):
+        for example in bundle.corpus:
+            assert example.features, example.question
+            assert example.domain == bundle.name
+
+    def test_feature_coverage(self, bundle):
+        tags = set()
+        for example in bundle.corpus:
+            tags |= example.features
+        assert {"select", "count", "agg", "super", "compare",
+                "negation", "member", "nested", "group", "order"} <= tags
+
+    def test_no_duplicate_questions(self, bundle):
+        questions = [e.question for e in bundle.corpus]
+        assert len(questions) == len(set(questions))
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            load_bundle("atlantis")
+
+
+class TestBaselinesOnCorpora:
+    def test_keyword_baseline_answers_simple_lookups(self, bundle):
+        from repro.baselines import KeywordBaseline
+        from repro.evalkit import answers_match
+
+        baseline = KeywordBaseline(bundle.database, bundle.model)
+        engine = Engine(bundle.database)
+        simple = [e for e in bundle.corpus if e.features == frozenset({"select"})]
+        assert simple
+        wins = 0
+        for example in simple:
+            try:
+                produced = baseline.answer(example.question)
+            except ReproError:
+                continue
+            if answers_match(produced, engine.execute(example.gold_sql)):
+                wins += 1
+        assert wins >= len(simple) // 2  # handles at least half of plain lists
+
+    def test_keyword_baseline_fails_on_comparisons(self, bundle):
+        from repro.baselines import KeywordBaseline
+        from repro.evalkit import answers_match
+
+        baseline = KeywordBaseline(bundle.database, bundle.model)
+        engine = Engine(bundle.database)
+        hard = [e for e in bundle.corpus if "compare" in e.features]
+        correct = 0
+        for example in hard:
+            try:
+                produced = baseline.answer(example.question)
+            except ReproError:
+                continue
+            if answers_match(produced, engine.execute(example.gold_sql)):
+                correct += 1
+        assert correct <= len(hard) // 4  # structurally incapable
+
+    def test_template_baseline_count_pattern(self):
+        from repro.baselines import TemplateBaseline
+
+        bundle = load_bundle("fleet")
+        baseline = TemplateBaseline(bundle.database, bundle.model)
+        assert baseline.answer("how many ships are there").scalar() == 60
+
+    def test_template_baseline_rejects_off_pattern(self):
+        from repro.baselines import TemplateBaseline
+        from repro.errors import ParseFailure
+
+        bundle = load_bundle("fleet")
+        baseline = TemplateBaseline(bundle.database, bundle.model)
+        with pytest.raises(ParseFailure):
+            baseline.answer("ships heavier than the enterprise")

@@ -1,0 +1,224 @@
+"""Tests for the evaluation kit, NLG helpers, paraphrase and logical forms."""
+
+import random
+
+import pytest
+
+from repro.evalkit import (
+    StageCounts,
+    Tally,
+    answers_match,
+    corrupt_question,
+    corrupt_word,
+    format_series,
+    format_table,
+    pct,
+)
+from repro.logical import (
+    AttrRef,
+    BetweenCondition,
+    CompareCondition,
+    CompareToAggregate,
+    CompareToInstance,
+    EntityRef,
+    LogicalQuery,
+    MembershipCondition,
+    NullCondition,
+    Superlative,
+    ValueCondition,
+    ValueRef,
+)
+from repro.nlg import join_words, number_phrase, op_phrase, pluralize
+from repro.core.paraphrase import paraphrase
+from repro.sqlengine.result import ResultSet
+
+
+class TestMetrics:
+    def test_answers_match_order_insensitive(self):
+        a = ResultSet(["x"], [(1,), (2,)])
+        b = ResultSet(["y"], [(2,), (1,)])
+        assert answers_match(a, b)
+
+    def test_answers_match_float_rounding(self):
+        a = ResultSet(["x"], [(0.1 + 0.2,)])
+        b = ResultSet(["x"], [(0.3,)])
+        assert answers_match(a, b)
+
+    def test_column_count_mismatch(self):
+        a = ResultSet(["x"], [(1,)])
+        b = ResultSet(["x", "y"], [(1, 2)])
+        assert not answers_match(a, b)
+
+    def test_stage_counts(self):
+        counts = StageCounts()
+        counts.record("q1", "answered", correct=True)
+        counts.record("q2", "parse")
+        counts.record("q3", "interpret")
+        assert counts.total == 3
+        assert counts.parsed == 3  # q2 reached parse
+        assert counts.interpreted == 2
+        assert counts.correct == 1
+        assert len(counts.failures) == 2
+
+    def test_tally(self):
+        tally = Tally()
+        tally.add(True)
+        tally.add(False)
+        assert tally.accuracy == 0.5
+        assert "1/2" in str(tally)
+
+    def test_empty_tally(self):
+        assert Tally().accuracy == 0.0
+
+
+class TestCorruption:
+    def test_corrupt_word_changes(self):
+        rng = random.Random(1)
+        changed = sum(corrupt_word("displacement", rng) != "displacement"
+                      for _ in range(20))
+        assert changed >= 18  # length>=4 words almost always change
+
+    def test_short_words_untouched(self):
+        rng = random.Random(1)
+        assert corrupt_word("the", rng) == "the"
+        assert corrupt_word("1970", rng) == "1970"
+
+    def test_rate_zero_is_identity(self):
+        rng = random.Random(1)
+        question = "show the ships in the pacific fleet"
+        assert corrupt_question(question, 0.0, rng) == question
+
+    def test_rate_one_corrupts_long_words(self):
+        rng = random.Random(1)
+        out = corrupt_question("display submarine displacement", 1.0, rng)
+        assert out != "display submarine displacement"
+
+    def test_deterministic_given_rng(self):
+        a = corrupt_question("show the carriers", 0.5, random.Random(9))
+        b = corrupt_question("show the carriers", 0.5, random.Random(9))
+        assert a == b
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, "xx"], [22, "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "|" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_series(self):
+        text = format_series("x", ["y"], [(1, [2]), (3, [4])])
+        assert "x" in text and "y" in text
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(1.0) == "100.0%"
+
+
+class TestNlg:
+    def test_pluralize_regular(self):
+        assert pluralize("ship") == "ships"
+
+    def test_pluralize_sibilant(self):
+        assert pluralize("class") == "classes"
+
+    def test_pluralize_y(self):
+        assert pluralize("city") == "cities"
+        assert pluralize("day") == "days"
+
+    def test_pluralize_irregular(self):
+        assert pluralize("person") == "people"
+
+    def test_join_words(self):
+        assert join_words([]) == ""
+        assert join_words(["a"]) == "a"
+        assert join_words(["a", "b"]) == "a and b"
+        assert join_words(["a", "b", "c"]) == "a, b and c"
+        assert join_words(["a", "b"], "or") == "a or b"
+
+    def test_number_phrase(self):
+        assert number_phrase(0, "ship") == "no ships"
+        assert number_phrase(1, "ship") == "1 ship"
+        assert number_phrase(4, "ship") == "4 ships"
+
+    def test_op_phrase(self):
+        assert op_phrase(">=") == "at least"
+
+
+def _ship(column="displacement"):
+    return AttrRef("ship", column, phrase=column)
+
+
+class TestParaphrase:
+    def test_list_query(self):
+        query = LogicalQuery(target=EntityRef("ship", phrase="ship"))
+        assert paraphrase(query) == "I am listing the ships."
+
+    def test_count_with_condition(self):
+        query = LogicalQuery(
+            target=EntityRef("ship", phrase="ship"),
+            aggregate=__import__("repro.logical", fromlist=["Aggregate"]).Aggregate("count"),
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Pacific")),),
+        )
+        text = paraphrase(query)
+        assert "counting the ships" in text
+        assert "'Pacific'" in text
+
+    def test_every_condition_type_renders(self):
+        conditions = [
+            ValueCondition(ValueRef("fleet", "name", "Pacific"), negated=True),
+            MembershipCondition((
+                ValueRef("port", "name", "Rota"),
+                ValueRef("port", "name", "Apra"),
+            )),
+            CompareCondition(_ship(), ">", 3000),
+            BetweenCondition(_ship("crew"), 100, 300),
+            NullCondition(_ship("speed")),
+            CompareToAggregate(_ship(), ">", "avg", _ship()),
+            CompareToInstance(_ship(), ">", ValueRef("ship", "name", "Kennedy")),
+        ]
+        for condition in conditions:
+            query = LogicalQuery(
+                target=EntityRef("ship", phrase="ship"), conditions=(condition,)
+            )
+            text = paraphrase(query)
+            assert text.startswith("I am") and text.endswith(".")
+
+    def test_superlative_phrase(self):
+        query = LogicalQuery(
+            target=EntityRef("ship", phrase="ship"),
+            superlative=Superlative(_ship(), "max", 3),
+        )
+        assert "the 3 with the highest displacement" in paraphrase(query)
+
+
+class TestLogicalForms:
+    def test_condition_tables_collects_everything(self):
+        query = LogicalQuery(
+            target=EntityRef("ship"),
+            projections=(AttrRef("officer", "name"),),
+            conditions=(
+                ValueCondition(ValueRef("fleet", "name", "Pacific")),
+                MembershipCondition((ValueRef("port", "name", "Rota"),)),
+                CompareCondition(AttrRef("deployment", "year"), ">", 1970),
+            ),
+            group_by=AttrRef("shiptype", "name"),
+        )
+        assert query.condition_tables() == {
+            "ship", "officer", "fleet", "port", "deployment", "shiptype",
+        }
+
+    def test_add_condition_returns_new(self):
+        query = LogicalQuery(target=EntityRef("ship"))
+        extended = query.add_condition(
+            CompareCondition(_ship(), ">", 1)
+        )
+        assert not query.conditions and len(extended.conditions) == 1
+
+    def test_describe_deterministic(self):
+        query = LogicalQuery(
+            target=EntityRef("ship", phrase="ship"),
+            conditions=(CompareCondition(_ship(), ">", 3000),),
+        )
+        assert query.describe() == query.describe()

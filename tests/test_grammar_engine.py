@@ -1,0 +1,154 @@
+"""Tests for the grammar formalism and the Earley lattice parser."""
+
+import pytest
+
+from repro.errors import GrammarError, ParseFailure
+from repro.grammar import (
+    EarleyParser,
+    Grammar,
+    GrammarBuilder,
+    Production,
+    StaticMatcher,
+    TerminalMatch,
+)
+from repro.grammar.rules import is_category, is_literal, is_terminal, literal_word
+
+
+class TestSymbols:
+    def test_literal(self):
+        assert is_literal("'word'")
+        assert literal_word("'word'") == "word"
+        assert not is_literal("word")
+
+    def test_category(self):
+        assert is_category("ENTITY")
+        assert not is_category("'up'")
+        assert not is_category("Query")
+
+    def test_terminal(self):
+        assert is_terminal("'x'") and is_terminal("ATTR")
+        assert not is_terminal("NonTerm")
+
+
+class TestGrammarValidation:
+    def test_terminal_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Production("ENTITY", ("'x'",))
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("Start", [Production("Term", ("'x'",))])
+
+    def test_undefined_nonterminal_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("Start", [Production("Start", ("Missing",))])
+
+    def test_builder_shortcuts(self):
+        g = (
+            GrammarBuilder("Start")
+            .rule("Start", "'a' Bb")
+            .alias("Bb", "Cc")
+            .words("Cc", "x", "y")
+            .build()
+        )
+        assert len(g) == 4
+        assert g.terminals == {"'a'", "'x'", "'y'"}
+        assert g.nonterminals == {"Start", "Bb", "Cc"}
+
+
+def simple_grammar():
+    """S -> 'the' NOUN | 'the' NOUN 'of' NOUN, value = noun payloads."""
+    return (
+        GrammarBuilder("Start")
+        .rule("Start", "'the' NOUN", lambda c: [c[1]])
+        .rule("Start", "'the' NOUN 'of' NOUN", lambda c: [c[1], c[3]])
+        .build()
+    )
+
+
+class TestEarley:
+    def test_simple_parse(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([TerminalMatch("NOUN", 1, 2, "ship")])
+        results = EarleyParser(grammar).parse(["the", "ship"], matcher)
+        assert results[0].value == ["ship"]
+
+    def test_multi_token_terminal(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([TerminalMatch("NOUN", 1, 3, "pearl harbor")])
+        results = EarleyParser(grammar).parse(["the", "pearl", "harbor"], matcher)
+        assert results[0].value == ["pearl harbor"]
+
+    def test_ambiguous_terminals_yield_multiple_parses(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([
+            TerminalMatch("NOUN", 1, 2, "reading-a"),
+            TerminalMatch("NOUN", 1, 2, "reading-b"),
+        ])
+        results = EarleyParser(grammar).parse(["the", "x"], matcher)
+        values = {tuple(r.value) for r in results}
+        assert values == {("reading-a",), ("reading-b",)}
+
+    def test_longer_rule_wins_full_coverage(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([
+            TerminalMatch("NOUN", 1, 2, "a"),
+            TerminalMatch("NOUN", 3, 4, "b"),
+        ])
+        results = EarleyParser(grammar).parse(["the", "a", "of", "b"], matcher)
+        assert results[0].value == ["a", "b"]
+
+    def test_partial_parse_fails(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([TerminalMatch("NOUN", 1, 2, "a")])
+        with pytest.raises(ParseFailure):
+            EarleyParser(grammar).parse(["the", "a", "leftover"], matcher)
+
+    def test_no_parse_raises_with_tokens(self):
+        grammar = simple_grammar()
+        with pytest.raises(ParseFailure) as info:
+            EarleyParser(grammar).parse(["banana"], StaticMatcher([]))
+        assert info.value.tokens == ["banana"]
+
+    def test_recursive_grammar(self):
+        # List -> NOUN | NOUN 'and' List (right recursion)
+        grammar = (
+            GrammarBuilder("Items")
+            .rule("Items", "NOUN", lambda c: [c[0]])
+            .rule("Items", "NOUN 'and' Items", lambda c: [c[0]] + c[2])
+            .build()
+        )
+        matcher = StaticMatcher([
+            TerminalMatch("NOUN", 0, 1, "a"),
+            TerminalMatch("NOUN", 2, 3, "b"),
+            TerminalMatch("NOUN", 4, 5, "c"),
+        ])
+        results = EarleyParser(grammar).parse(["a", "and", "b", "and", "c"], matcher)
+        assert results[0].value == ["a", "b", "c"]
+
+    def test_duplicate_semantic_values_deduped(self):
+        grammar = (
+            GrammarBuilder("Start")
+            .rule("Start", "Aa", lambda c: "same")
+            .rule("Start", "Bb", lambda c: "same")
+            .rule("Aa", "'x'", lambda c: None)
+            .rule("Bb", "'x'", lambda c: None)
+            .build()
+        )
+        results = EarleyParser(grammar).parse(["x"], StaticMatcher([]))
+        assert len(results) == 1
+
+    def test_max_parses_cap(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher(
+            [TerminalMatch("NOUN", 1, 2, f"v{i}") for i in range(10)]
+        )
+        results = EarleyParser(grammar).parse(["the", "x"], matcher, max_parses=3)
+        assert len(results) == 3
+
+    def test_recognizes(self):
+        grammar = simple_grammar()
+        matcher = StaticMatcher([TerminalMatch("NOUN", 1, 2, "a")])
+        parser = EarleyParser(grammar)
+        assert parser.recognizes(["the", "a"], matcher)
+        assert not parser.recognizes(["a", "the"], matcher)

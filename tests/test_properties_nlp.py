@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the NLP substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import damerau_levenshtein, stem, tokenize
+from repro.nlp.spelling import SpellingCorrector
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=12)
+
+
+class TestEditDistanceProperties:
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+
+    @given(words, words)
+    def test_bounded_by_longer_length(self, a, b):
+        assert damerau_levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(words, words)
+    def test_lower_bound_length_difference(self, a, b):
+        assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(words, words, words)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert damerau_levenshtein(a, c) <= (
+            damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+        )
+
+    @given(words, st.integers(min_value=0, max_value=3))
+    def test_single_deletion_is_distance_one(self, a, pos):
+        if not a:
+            return
+        pos = pos % len(a)
+        deleted = a[:pos] + a[pos + 1 :]
+        assert damerau_levenshtein(a, deleted) == 1
+
+
+class TestStemmerProperties:
+    @given(words)
+    def test_never_longer(self, word):
+        assert len(stem(word)) <= max(len(word), 2)
+
+    @given(words)
+    def test_output_stable_type(self, word):
+        assert isinstance(stem(word), str)
+
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=10))
+    def test_plural_s_joins_singular(self, word):
+        # A regular plural must stem to the same thing as its singular,
+        # unless the word already ends with 's' (sses/ss special cases).
+        if word.endswith("s"):
+            return
+        assert stem(word + "s") == stem(word)
+
+
+class TestTokenizerProperties:
+    @given(st.text(max_size=60))
+    def test_never_crashes_and_lowercases(self, text):
+        result = tokenize(text)
+        for token in result.tokens:
+            assert token.text == token.text.lower()
+            assert 0 <= token.start <= token.end <= len(text)
+
+    @given(st.lists(words.filter(bool), min_size=1, max_size=6))
+    def test_space_joined_words_roundtrip(self, parts):
+        text = " ".join(parts)
+        tokens = tokenize(text).words
+        # Contractions/possessives aside, plain ascii words pass through.
+        assert tokens == [p for p in parts]
+
+
+class TestSpellingProperties:
+    @given(st.lists(words.filter(lambda w: len(w) >= 4), min_size=1, max_size=8))
+    def test_vocabulary_words_are_fixed_points(self, vocabulary):
+        sc = SpellingCorrector()
+        sc.add_words(vocabulary)
+        for word in vocabulary:
+            correction = sc.correct(word)
+            assert correction is not None
+            assert correction.corrected == word
+            assert correction.distance == 0
+
+    @given(
+        st.lists(words.filter(lambda w: len(w) >= 6), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_corrections_stay_within_threshold(self, vocabulary, seed):
+        sc = SpellingCorrector()
+        sc.add_words(vocabulary)
+        target = vocabulary[seed % len(vocabulary)]
+        corrupted = target[1:]  # one deletion
+        correction = sc.correct(corrupted)
+        if correction is not None:
+            assert damerau_levenshtein(correction.corrected, corrupted) <= 2

@@ -1,0 +1,130 @@
+"""Tests for CREATE TABLE / INSERT / DELETE / UPDATE execution and CSV IO."""
+
+import io
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.sqlengine import Database, Engine
+from repro.sqlengine.csvio import dump_csv, load_csv
+
+
+@pytest.fixture()
+def fresh():
+    db = Database()
+    return Engine(db)
+
+
+class TestCreate:
+    def test_create_and_describe(self, fresh):
+        fresh.execute("CREATE TABLE crew (id INT PRIMARY KEY, name TEXT NOT NULL)")
+        schema = fresh.database.table("crew").schema
+        assert schema.primary_key == "id"
+        assert not schema.column("name").nullable
+
+    def test_type_synonyms(self, fresh):
+        fresh.execute(
+            "CREATE TABLE t (a INTEGER, b REAL, c VARCHAR, d BOOLEAN, e DOUBLE)"
+        )
+        kinds = [c.sql_type.value for c in fresh.database.table("t").schema.columns]
+        assert kinds == ["INT", "FLOAT", "TEXT", "BOOL", "FLOAT"]
+
+    def test_unknown_type_rejected(self, fresh):
+        with pytest.raises(SchemaError):
+            fresh.execute("CREATE TABLE t (a BLOB)")
+
+    def test_references(self, fresh):
+        fresh.execute("CREATE TABLE a (id INT PRIMARY KEY)")
+        fresh.execute("CREATE TABLE b (id INT PRIMARY KEY, aid INT REFERENCES a(id))")
+        fresh.execute("INSERT INTO a VALUES (1)")
+        fresh.execute("INSERT INTO b VALUES (1, 1)")
+        with pytest.raises(IntegrityError):
+            fresh.execute("INSERT INTO b VALUES (2, 42)")
+
+
+class TestInsertDeleteUpdate:
+    def setup_t(self, engine):
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, tag TEXT)")
+        engine.execute(
+            "INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'a')"
+        )
+
+    def test_insert_reports_count(self, fresh):
+        self.setup_t(fresh)
+        rs = fresh.execute("INSERT INTO t VALUES (4, 40, 'c')")
+        assert rs.rows == [(1,)]
+
+    def test_insert_named_columns(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("INSERT INTO t (id, tag) VALUES (9, 'z')")
+        rs = fresh.execute("SELECT v, tag FROM t WHERE id = 9")
+        assert rs.rows == [(None, "z")]
+
+    def test_insert_negative_number(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("INSERT INTO t VALUES (5, -7, 'n')")
+        assert fresh.execute("SELECT v FROM t WHERE id = 5").scalar() == -7
+
+    def test_delete_with_where(self, fresh):
+        self.setup_t(fresh)
+        rs = fresh.execute("DELETE FROM t WHERE tag = 'a'")
+        assert rs.rows == [(2,)]
+        assert fresh.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_delete_all(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("DELETE FROM t")
+        assert fresh.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_update_expression(self, fresh):
+        self.setup_t(fresh)
+        rs = fresh.execute("UPDATE t SET v = v * 2 WHERE tag = 'a'")
+        assert rs.rows == [(2,)]
+        assert fresh.execute("SELECT SUM(v) FROM t").scalar() == 10 * 2 + 20 + 30 * 2
+
+    def test_update_unknown_column_rejected(self, fresh):
+        self.setup_t(fresh)
+        with pytest.raises(SchemaError):
+            fresh.execute("UPDATE t SET missing = 1")
+
+    def test_update_preserves_indexes(self, fresh):
+        self.setup_t(fresh)
+        fresh.database.table("t").create_hash_index("tag")
+        fresh.execute("UPDATE t SET tag = 'z' WHERE id = 1")
+        rows = fresh.database.table("t").lookup_equal("tag", "z")
+        assert len(rows) == 1
+        assert fresh.database.table("t").lookup_equal("tag", "a") != []
+
+
+class TestCsvIo:
+    def test_roundtrip(self, fresh):
+        fresh.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, v FLOAT)")
+        fresh.execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', NULL)")
+        table = fresh.database.table("t")
+        text = dump_csv(table)
+        db2 = Database()
+        engine2 = Engine(db2)
+        engine2.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, v FLOAT)")
+        loaded = load_csv(db2.table("t"), io.StringIO(text))
+        assert loaded == 2
+        assert list(db2.table("t").rows()) == list(table.rows())
+
+    def test_header_reorders_columns(self, fresh):
+        fresh.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        load_csv(fresh.database.table("t"), io.StringIO("name,id\nalpha,1\n"))
+        assert list(fresh.database.table("t").rows()) == [(1, "alpha")]
+
+    def test_unknown_header_rejected(self, fresh):
+        fresh.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        with pytest.raises(SchemaError):
+            load_csv(fresh.database.table("t"), io.StringIO("bogus\n1\n"))
+
+    def test_file_roundtrip(self, fresh, tmp_path):
+        fresh.execute("CREATE TABLE t (id INT PRIMARY KEY, b BOOL)")
+        fresh.execute("INSERT INTO t VALUES (1, TRUE), (2, FALSE)")
+        path = tmp_path / "t.csv"
+        dump_csv(fresh.database.table("t"), path)
+        db2 = Database()
+        Engine(db2).execute("CREATE TABLE t (id INT PRIMARY KEY, b BOOL)")
+        load_csv(db2.table("t"), path)
+        assert list(db2.table("t").rows()) == [(1, True), (2, False)]

@@ -1,0 +1,136 @@
+"""Unit tests for hash and sorted indexes, including maintenance on delete."""
+
+import pytest
+
+from repro.sqlengine import Column, SqlType, TableSchema
+from repro.sqlengine.indexes import HashIndex, SortedIndex
+from repro.sqlengine.table import Table
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("c")
+        index.add("x", 0)
+        index.add("x", 2)
+        index.add("y", 1)
+        assert sorted(index.lookup("x")) == [0, 2]
+        assert index.lookup("z") == []
+
+    def test_null_never_matches(self):
+        index = HashIndex("c")
+        index.add(None, 0)
+        assert index.lookup(None) == []
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = HashIndex("c")
+        index.add("x", 0)
+        index.add("x", 1)
+        index.remove("x", 0)
+        assert index.lookup("x") == [1]
+        index.remove("x", 1)
+        assert index.lookup("x") == []
+        index.remove("x", 5)  # removing a missing entry is a no-op
+
+    def test_distinct_values(self):
+        index = HashIndex("c")
+        for i, v in enumerate(["a", "b", "a"]):
+            index.add(v, i)
+        assert sorted(index.distinct_values()) == ["a", "b"]
+
+
+class TestSortedIndex:
+    def make(self, values):
+        index = SortedIndex("c")
+        for i, v in enumerate(values):
+            index.add(v, i)
+        return index
+
+    def test_range_inclusive(self):
+        index = self.make([10, 20, 30, 40])
+        assert index.range_lookup(20, 30) == [1, 2]
+
+    def test_range_exclusive(self):
+        index = self.make([10, 20, 30, 40])
+        assert index.range_lookup(10, 40, low_inclusive=False, high_inclusive=False) == [1, 2]
+
+    def test_open_bounds(self):
+        index = self.make([10, 20, 30])
+        assert index.range_lookup(low=20) == [1, 2]
+        assert index.range_lookup(high=20) == [0, 1]
+        assert index.range_lookup() == [0, 1, 2]
+
+    def test_duplicates(self):
+        index = self.make([5, 5, 5])
+        assert index.lookup(5) == [0, 1, 2]
+
+    def test_remove_specific_rowid(self):
+        index = self.make([5, 5, 7])
+        index.remove(5, 0)
+        assert index.lookup(5) == [1]
+
+    def test_null_tracked_but_unmatched(self):
+        index = self.make([None, 3])
+        assert index.lookup(None) == []
+        assert index.lookup(3) == [1]
+        assert len(index) == 2
+
+    def test_min_max(self):
+        index = self.make([4, 1, 9])
+        assert index.min_value() == 1
+        assert index.max_value() == 9
+        assert SortedIndex("c").min_value() is None
+
+
+class TestTableIndexMaintenance:
+    def make_table(self):
+        table = Table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", SqlType.INT, nullable=False),
+                    Column("score", SqlType.INT),
+                ],
+                primary_key="id",
+            )
+        )
+        table.insert_many([(1, 10), (2, 20), (3, 20), (4, None)])
+        return table
+
+    def test_create_hash_index_backfills(self):
+        table = self.make_table()
+        index = table.create_hash_index("score")
+        assert sorted(index.lookup(20)) == [1, 2]
+
+    def test_create_index_idempotent(self):
+        table = self.make_table()
+        first = table.create_hash_index("score")
+        assert table.create_hash_index("score") is first
+
+    def test_index_maintained_on_insert(self):
+        table = self.make_table()
+        index = table.create_hash_index("score")
+        table.insert((5, 20))
+        assert len(index.lookup(20)) == 3
+
+    def test_index_maintained_on_delete(self):
+        table = self.make_table()
+        index = table.create_sorted_index("score")
+        table.delete_row(1)  # row id 1 is (2, 20)
+        ids = index.lookup(20)
+        rows = [table.row_by_id(i) for i in ids]
+        assert rows == [(3, 20)]
+
+    def test_sorted_index_on_bool_rejected(self):
+        table = Table(
+            TableSchema("t", [Column("flag", SqlType.BOOL)])
+        )
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            table.create_sorted_index("flag")
+
+    def test_pk_index_exposed_as_hash_index(self):
+        table = self.make_table()
+        assert table.hash_index("id") is not None
+        assert table.hash_index("score") is None

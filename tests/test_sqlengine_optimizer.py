@@ -1,0 +1,135 @@
+"""Optimizer tests: plan shape assertions + result equivalence vs naive plans."""
+
+import pytest
+
+from repro.sqlengine import Database, Engine
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import FilterNode, HashJoinNode, ScanNode, build_plan
+from repro.sqlengine.optimizer import optimize
+
+from tests.conftest import make_library_db
+
+
+QUERIES = [
+    "SELECT * FROM author WHERE id = 2",
+    "SELECT * FROM book WHERE year > 1965 AND pages < 300",
+    "SELECT a.name, b.title FROM author a JOIN book b ON a.id = b.author_id",
+    "SELECT a.name FROM author a, book b WHERE a.id = b.author_id AND b.year < 1970",
+    "SELECT b.title, l.member FROM book b LEFT JOIN loan l ON l.book_id = b.id",
+    "SELECT * FROM author a JOIN book b ON a.id = b.author_id AND b.pages > 200",
+    "SELECT title FROM book WHERE author_id IN (SELECT id FROM author WHERE country = 'usa')",
+    "SELECT a.country, COUNT(*) FROM author a GROUP BY a.country",
+    "SELECT * FROM book WHERE price IS NULL",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_optimized_equals_naive(sql):
+    """The optimizer must never change query results."""
+    db = make_library_db()
+    fast = Engine(db, use_optimizer=True)
+    slow = Engine(db, use_optimizer=False)
+    left = fast.execute(sql)
+    right = slow.execute(sql)
+    assert left.columns == right.columns
+    assert sorted(map(repr, left.rows)) == sorted(map(repr, right.rows))
+
+
+class TestPlanShapes:
+    def setup_method(self):
+        self.db = make_library_db()
+
+    def plan(self, sql, use_indexes=True):
+        return optimize(build_plan(parse_select(sql), self.db), self.db, use_indexes)
+
+    def test_pk_equality_becomes_index_hint(self):
+        plan = self.plan("SELECT * FROM author WHERE id = 2")
+        assert isinstance(plan, ScanNode)
+        assert plan.eq_filters == [("id", 2)]
+        assert plan.residual_filters == []
+
+    def test_range_hint_requires_sorted_index(self):
+        plan = self.plan("SELECT * FROM book WHERE year > 1965")
+        assert isinstance(plan, ScanNode)
+        assert plan.range_filters == []  # no index yet -> stays residual
+        self.db.table("book").create_sorted_index("year")
+        plan = self.plan("SELECT * FROM book WHERE year > 1965")
+        assert plan.range_filters == [("year", ">", 1965)]
+
+    def test_flipped_literal_range(self):
+        self.db.table("book").create_sorted_index("year")
+        plan = self.plan("SELECT * FROM book WHERE 1970 >= year")
+        assert plan.range_filters == [("year", "<=", 1970)]
+
+    def test_indexes_disabled(self):
+        plan = self.plan("SELECT * FROM author WHERE id = 2", use_indexes=False)
+        assert isinstance(plan, ScanNode)
+        assert plan.eq_filters == []
+        assert len(plan.residual_filters) == 1
+
+    def test_equi_join_becomes_hash_join(self):
+        plan = self.plan(
+            "SELECT * FROM author a JOIN book b ON a.id = b.author_id"
+        )
+        assert isinstance(plan, HashJoinNode)
+
+    def test_where_join_predicate_folded(self):
+        plan = self.plan(
+            "SELECT * FROM author a, book b WHERE a.id = b.author_id"
+        )
+        assert isinstance(plan, HashJoinNode)
+
+    def test_single_table_conjunct_pushed_through_join(self):
+        plan = self.plan(
+            "SELECT * FROM author a JOIN book b ON a.id = b.author_id "
+            "WHERE a.country = 'usa'"
+        )
+        assert isinstance(plan, HashJoinNode)
+        left = plan.left
+        assert isinstance(left, ScanNode)
+        assert left.residual_filters  # pushed into author scan
+
+    def test_left_join_right_predicate_not_pushed(self):
+        plan = self.plan(
+            "SELECT * FROM book b LEFT JOIN loan l ON l.book_id = b.id "
+            "WHERE l.returned = TRUE"
+        )
+        # The l-side predicate must remain above the join.
+        assert isinstance(plan, FilterNode)
+
+    def test_subquery_predicate_not_pushed_into_scan_hints(self):
+        plan = self.plan(
+            "SELECT * FROM book WHERE author_id IN (SELECT id FROM author)"
+        )
+        # Subquery conjuncts stay as residual filters above/at the scan.
+        assert isinstance(plan, (FilterNode, ScanNode))
+
+    def test_describe_mentions_nodes(self):
+        text = self.plan(
+            "SELECT * FROM author a JOIN book b ON a.id = b.author_id"
+        ).describe()
+        assert "HashJoin" in text and "Scan(author" in text
+
+
+class TestIndexCorrectness:
+    def test_index_scan_matches_full_scan(self):
+        db = make_library_db()
+        db.table("book").create_sorted_index("pages")
+        with_idx = Engine(db, use_indexes=True)
+        without = Engine(db, use_indexes=False)
+        sql = "SELECT title FROM book WHERE pages >= 204 AND pages <= 304"
+        assert sorted(with_idx.execute(sql).rows) == sorted(without.execute(sql).rows)
+
+    def test_multiple_eq_hints_intersect(self):
+        db = Database()
+        engine = Engine(db)
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)")
+        for i in range(50):
+            engine.execute(f"INSERT INTO t VALUES ({i}, {i % 5}, {i % 3})")
+        db.table("t").create_hash_index("a")
+        db.table("t").create_hash_index("b")
+        rs = engine.execute("SELECT COUNT(*) FROM t WHERE a = 2 AND b = 1")
+        naive = Engine(db, use_optimizer=False).execute(
+            "SELECT COUNT(*) FROM t WHERE a = 2 AND b = 1"
+        )
+        assert rs.scalar() == naive.scalar()

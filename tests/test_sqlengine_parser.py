@@ -1,0 +1,201 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.lexer import TokenType, tokenize
+from repro.sqlengine.parser import parse_select, parse_sql
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("SELECT shipment FROM t")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT  # 'shipment' is not 'select'
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .5")
+        assert [t.value for t in tokens[:3]] == ["1", "2.5", ".5"]
+
+    def test_number_followed_by_dot_ident(self):
+        # "1.x" should not swallow the dot into the number.
+        tokens = tokenize("t1.x")
+        assert [t.value for t in tokens[:3]] == ["t1", ".", "x"]
+
+    def test_operators(self):
+        tokens = tokenize("a <= b <> c != d")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<=", "<>", "!="]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing words\n")
+        assert len([t for t in tokens if t.type is not TokenType.EOF]) == 2
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParserExpressions:
+    def test_precedence_and_or(self):
+        select = parse_select("SELECT a = 1 OR b = 2 AND c = 3")
+        expr = select.items[0].expr
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        select = parse_select("SELECT 1 + 2 * 3")
+        expr = select.items[0].expr
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_parenthesised(self):
+        select = parse_select("SELECT (1 + 2) * 3")
+        expr = select.items[0].expr
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        select = parse_select("SELECT -x")
+        assert isinstance(select.items[0].expr, ast.UnaryOp)
+
+    def test_not_in(self):
+        select = parse_select("SELECT a NOT IN (1, 2)")
+        expr = select.items[0].expr
+        assert isinstance(expr, ast.InList) and expr.negated
+
+    def test_in_subquery(self):
+        select = parse_select("SELECT a IN (SELECT b FROM t)")
+        assert isinstance(select.items[0].expr, ast.InSubquery)
+
+    def test_between(self):
+        select = parse_select("SELECT x BETWEEN 1 AND 5")
+        expr = select.items[0].expr
+        assert isinstance(expr, ast.Between)
+
+    def test_is_not_null(self):
+        select = parse_select("SELECT x IS NOT NULL")
+        expr = select.items[0].expr
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_like(self):
+        select = parse_select("SELECT name LIKE 'a%'")
+        assert isinstance(select.items[0].expr, ast.Like)
+
+    def test_exists(self):
+        select = parse_select("SELECT EXISTS (SELECT 1)")
+        assert isinstance(select.items[0].expr, ast.Exists)
+
+    def test_function_distinct(self):
+        select = parse_select("SELECT COUNT(DISTINCT x)")
+        expr = select.items[0].expr
+        assert isinstance(expr, ast.FunctionCall) and expr.distinct
+
+    def test_count_star(self):
+        select = parse_select("SELECT COUNT(*)")
+        expr = select.items[0].expr
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_qualified_column(self):
+        select = parse_select("SELECT t.c FROM t")
+        expr = select.items[0].expr
+        assert expr.table == "t" and expr.name == "c"
+
+
+class TestParserSelect:
+    def test_full_clause_roundtrip(self):
+        sql = (
+            "SELECT a.x, COUNT(*) AS n FROM t1 a JOIN t2 b ON a.id = b.id "
+            "WHERE a.x > 3 GROUP BY a.x HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC LIMIT 5"
+        )
+        select = parse_select(sql)
+        assert select.joins[0].kind == "INNER"
+        assert select.group_by and select.having is not None
+        assert select.order_by[0].descending
+        assert select.limit == 5
+        # Rendering must re-parse to an identical AST.
+        assert parse_select(select.render()) == select
+
+    def test_comma_join_is_cross(self):
+        select = parse_select("SELECT * FROM a, b")
+        assert select.joins[0].kind == "CROSS"
+
+    def test_left_join(self):
+        select = parse_select("SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+        assert select.joins[0].kind == "LEFT"
+
+    def test_alias_forms(self):
+        select = parse_select("SELECT x AS y, z w FROM t AS u")
+        assert select.items[0].alias == "y"
+        assert select.items[1].alias == "w"
+        assert select.from_table.alias == "u"
+
+    def test_table_star(self):
+        select = parse_select("SELECT t.* FROM t")
+        assert isinstance(select.items[0].expr, ast.Star)
+        assert select.items[0].expr.table == "t"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT x FROM t").distinct
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT x FROM t LIMIT 2.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 nonsense garbage FROM")
+
+    def test_semicolon_allowed(self):
+        assert parse_select("SELECT 1;") is not None
+
+
+class TestParserOtherStatements:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE b (id INT PRIMARY KEY, aid INT REFERENCES a(id), "
+            "name TEXT NOT NULL)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].references == ("a", "id")
+        assert stmt.columns[2].not_null
+
+    def test_insert_multi_row(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ("a", "b")
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete) and stmt.where is not None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_not_a_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("EXPLAIN SELECT 1")
+
+    def test_render_roundtrip_statements(self):
+        for sql in [
+            "INSERT INTO t (a) VALUES (1)",
+            "DELETE FROM t WHERE (a = 1)",
+            "UPDATE t SET a = 2",
+            "CREATE TABLE t (a INT)",
+        ]:
+            stmt = parse_sql(sql)
+            assert parse_sql(stmt.render()) == stmt

@@ -1,0 +1,228 @@
+"""Unit tests for schema objects, table storage, constraints and the catalog."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    SchemaError,
+    UnknownTableError,
+)
+from repro.sqlengine import Column, Database, ForeignKey, SqlType, TableSchema
+from repro.sqlengine.table import Table
+
+
+def simple_schema(name="t", pk="id"):
+    return TableSchema(
+        name,
+        [Column("id", SqlType.INT, nullable=False), Column("name", SqlType.TEXT)],
+        primary_key=pk,
+    )
+
+
+class TestSchema:
+    def test_identifiers_lowercased(self):
+        schema = TableSchema("Ship", [Column("Name", SqlType.TEXT)])
+        assert schema.name == "ship"
+        assert schema.columns[0].name == "name"
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SqlType.INT), Column("a", SqlType.TEXT)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SqlType.INT)], primary_key="b")
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("1bad", [Column("a", SqlType.INT)])
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("has space", SqlType.INT)])
+
+    def test_fk_must_reference_own_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", SqlType.INT)],
+                foreign_keys=[ForeignKey("b", "x", "id")],
+            )
+
+    def test_column_lookup(self):
+        schema = simple_schema()
+        assert schema.column("NAME").sql_type is SqlType.TEXT
+        assert schema.column_index("id") == 0
+        assert schema.has_column("name")
+        assert not schema.has_column("missing")
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_foreign_key_for(self):
+        schema = TableSchema(
+            "b",
+            [Column("id", SqlType.INT), Column("aid", SqlType.INT)],
+            foreign_keys=[ForeignKey("aid", "a", "id")],
+        )
+        fk = schema.foreign_key_for("aid")
+        assert fk is not None and fk.ref_table == "a"
+        assert schema.foreign_key_for("id") is None
+
+
+class TestTable:
+    def test_insert_mapping_and_sequence(self):
+        table = Table(simple_schema())
+        table.insert({"id": 1, "name": "a"})
+        table.insert((2, "b"))
+        assert len(table) == 2
+        assert list(table.rows()) == [(1, "a"), (2, "b")]
+
+    def test_insert_unknown_column_rejected(self):
+        table = Table(simple_schema())
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "nope": "x"})
+
+    def test_insert_wrong_arity_rejected(self):
+        table = Table(simple_schema())
+        with pytest.raises(SchemaError):
+            table.insert((1, "a", "extra"))
+
+    def test_not_null_enforced(self):
+        table = Table(simple_schema())
+        with pytest.raises(IntegrityError):
+            table.insert({"name": "only"})
+
+    def test_pk_uniqueness(self):
+        table = Table(simple_schema())
+        table.insert((1, "a"))
+        with pytest.raises(IntegrityError):
+            table.insert((1, "b"))
+
+    def test_type_coercion_on_insert(self):
+        table = Table(simple_schema())
+        table.insert(("3", 42))
+        assert list(table.rows()) == [(3, "42")]
+
+    def test_delete_row_tombstones(self):
+        table = Table(simple_schema())
+        rid = table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert table.delete_row(rid)
+        assert not table.delete_row(rid)
+        assert len(table) == 1
+        assert list(table.rows()) == [(2, "b")]
+
+    def test_pk_reusable_after_delete(self):
+        table = Table(simple_schema())
+        rid = table.insert((1, "a"))
+        table.delete_row(rid)
+        table.insert((1, "again"))
+        assert len(table) == 1
+
+    def test_lookup_equal_without_index(self):
+        table = Table(simple_schema(pk=None))
+        table.insert_many([(1, "x"), (2, "x"), (3, "y")])
+        assert len(table.lookup_equal("name", "x")) == 2
+
+    def test_lookup_equal_with_pk_index(self):
+        table = Table(simple_schema())
+        table.insert_many([(1, "x"), (2, "y")])
+        assert table.lookup_equal("id", 2) == [(2, "y")]
+
+    def test_column_values(self):
+        table = Table(simple_schema())
+        table.insert_many([(1, "x"), (2, "y")])
+        assert list(table.column_values("name")) == ["x", "y"]
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table(simple_schema())
+        assert db.has_table("T")
+        assert db.table("t").name == "t"
+        assert db.table_names == ["t"]
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(simple_schema())
+        with pytest.raises(SchemaError):
+            db.create_table(simple_schema())
+
+    def test_unknown_table(self):
+        db = Database()
+        with pytest.raises(UnknownTableError):
+            db.table("nope")
+        with pytest.raises(UnknownTableError):
+            db.drop_table("nope")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table(simple_schema())
+        db.drop_table("t")
+        assert not db.has_table("t")
+
+    def test_fk_must_reference_existing_table(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema(
+                    "b",
+                    [Column("aid", SqlType.INT)],
+                    foreign_keys=[ForeignKey("aid", "a", "id")],
+                )
+            )
+
+    def test_fk_enforced_on_insert(self):
+        db = Database()
+        db.create_table(simple_schema("a"))
+        db.create_table(
+            TableSchema(
+                "b",
+                [Column("id", SqlType.INT), Column("aid", SqlType.INT)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("aid", "a", "id")],
+            )
+        )
+        db.insert("a", (1, "x"))
+        db.insert("b", (1, 1))
+        with pytest.raises(IntegrityError):
+            db.insert("b", (2, 99))
+        # The failed insert must not leave a phantom row behind.
+        assert len(db.table("b")) == 1
+
+    def test_fk_null_allowed(self):
+        db = Database()
+        db.create_table(simple_schema("a"))
+        db.create_table(
+            TableSchema(
+                "b",
+                [Column("id", SqlType.INT), Column("aid", SqlType.INT)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("aid", "a", "id")],
+            )
+        )
+        db.insert("b", (1, None))
+        assert len(db.table("b")) == 1
+
+    def test_check_integrity_sweep(self):
+        db = Database(enforce_fk=False)
+        db.create_table(simple_schema("a"))
+        db.create_table(
+            TableSchema(
+                "b",
+                [Column("id", SqlType.INT), Column("aid", SqlType.INT)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("aid", "a", "id")],
+            )
+        )
+        db.insert("b", (1, 99))
+        problems = db.check_integrity()
+        assert len(problems) == 1
+        assert "99" in problems[0]
+
+    def test_summary_mentions_tables(self, library_db):
+        text = library_db.summary()
+        assert "author" in text and "book" in text and "loan" in text
