@@ -3,6 +3,11 @@
 Latency of point lookup, equi-join and grouped aggregate as the ship
 table grows, with indexes on and off.  The shape to reproduce: indexed
 lookup stays flat while unindexed lookup grows linearly.
+
+The join is measured twice: cold (first execution on a fresh engine —
+parse, plan, optimize, execute) and warm (repeats served through the
+statement-plan cache).  The warm series is the repeated-question latency
+story: it must stay far below cold at every size.
 """
 
 from __future__ import annotations
@@ -37,6 +42,15 @@ def _median_ms(engine: Engine, sql: str, repeats: int = 5) -> float:
     return times[len(times) // 2]
 
 
+def _cold_and_warm_ms(database: Database, sql: str) -> tuple[float, float]:
+    """First execution vs cached-repeat median on a fresh engine."""
+    engine = Engine(database)
+    start = time.perf_counter()
+    engine.execute(sql)
+    cold = (time.perf_counter() - start) * 1000.0
+    return cold, _median_ms(engine, sql)
+
+
 def _scaled_database(rows: int) -> Database:
     return fleet.build_database(seed=7, ships=rows)
 
@@ -45,14 +59,17 @@ def _sweep():
     points = []
     for size in SIZES:
         db = _scaled_database(size)
-        indexed = Engine(db, use_indexes=True)  # PK hash index exists
-        unindexed = Engine(db, use_indexes=False)
+        # Cache off for the scaling series: these measure raw execution.
+        indexed = Engine(db, use_indexes=True, use_plan_cache=False)
+        unindexed = Engine(db, use_indexes=False, use_plan_cache=False)
+        join_cold, join_warm = _cold_and_warm_ms(db, JOIN)
         points.append((
             size,
             [
                 f"{_median_ms(indexed, LOOKUP):.2f}",
                 f"{_median_ms(unindexed, LOOKUP):.2f}",
-                f"{_median_ms(indexed, JOIN):.2f}",
+                f"{join_cold:.2f}",
+                f"{join_warm:.3f}",
                 f"{_median_ms(indexed, AGGREGATE):.2f}",
             ],
         ))
@@ -63,7 +80,13 @@ def test_f4_engine_scaling(benchmark):
     points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     emit("F4", format_series(
         "rows",
-        ["lookup idx ms", "lookup scan ms", "join ms", "group-agg ms"],
+        [
+            "lookup idx ms",
+            "lookup scan ms",
+            "join cold ms",
+            "join warm ms",
+            "group-agg ms",
+        ],
         points,
         title="F4: engine latency vs ship-table cardinality",
     ))
@@ -77,13 +100,38 @@ def test_f4_engine_scaling(benchmark):
     assert scan_growth > idx_growth * 2
 
 
-def test_f4_lookup_benchmark(benchmark):
+def test_f4_plan_cache_speedup():
+    """Acceptance: cached repeats of the F4 join are >= 3x faster than cold."""
+    db = _scaled_database(2000)
+    cold, warm = _cold_and_warm_ms(db, JOIN)
+    assert warm * 3 <= cold, f"cold={cold:.3f}ms warm={warm:.3f}ms"
+
+
+def test_f4_explain_shows_stats_choices():
+    """The skewed fleet/ship join must surface its statistics decisions."""
     db = _scaled_database(2000)
     engine = Engine(db)
+    text = engine.explain(
+        "SELECT fleet.name, ship.name FROM fleet JOIN ship "
+        "ON ship.fleet_id = fleet.id"
+    )
+    assert "build=left" in text  # fleet (4 rows) is the build side
+    assert "est=" in text
+
+
+def test_f4_lookup_benchmark(benchmark):
+    db = _scaled_database(2000)
+    engine = Engine(db, use_plan_cache=False)
     benchmark(engine.execute, LOOKUP)
 
 
 def test_f4_join_benchmark(benchmark):
     db = _scaled_database(2000)
-    engine = Engine(db)
+    engine = Engine(db, use_plan_cache=False)
+    benchmark(engine.execute, JOIN)
+
+
+def test_f4_join_cached_benchmark(benchmark):
+    db = _scaled_database(2000)
+    engine = Engine(db)  # plan/result cache on: the repeated-question path
     benchmark(engine.execute, JOIN)

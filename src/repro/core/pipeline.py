@@ -38,6 +38,7 @@ from repro.nlp.tokenizer import Token, tokenize
 from repro.schemagraph.graph import SchemaGraph
 from repro.sqlengine.database import Database
 from repro.sqlengine.executor import Engine
+from repro.sqlengine.plancache import LruCache
 from repro.valueindex.index import ValueIndex
 
 
@@ -80,70 +81,119 @@ class NaturalLanguageInterface:
         self.domain = domain
         self.config = config or NliConfig()
         self.engine = Engine(database)
-        self.graph = SchemaGraph(database)
-        self.lexicon = build_lexicon(
-            database, domain, synonym_fraction=self.config.synonym_fraction
-        )
-        self.value_index = (
-            ValueIndex(database, self.config.max_values_per_column)
-            if self.config.use_value_index
-            else None
-        )
         self.grammar = build_english_grammar()
         self.parser = EarleyParser(self.grammar)
         self._literal_words = grammar_literal_words(self.grammar)
         self._protected = frozenset(PROTECTED_WORDS | self._literal_words | PRONOUNS)
+        #: Prepared-pipeline cache: question string -> normalize/parse
+        #: results, cleared whenever the database version moves.
+        self._prepared: LruCache = LruCache(capacity=256)
+        self._build_language_layers()
+
+    def _build_language_layers(self) -> None:
+        """(Re)build everything derived from the database contents."""
+        self.graph = SchemaGraph(self.database)
+        self.lexicon = build_lexicon(
+            self.database, self.domain, synonym_fraction=self.config.synonym_fraction
+        )
+        self.value_index = (
+            ValueIndex(self.database, self.config.max_values_per_column)
+            if self.config.use_value_index
+            else None
+        )
         self.interpreter = Interpreter(
-            database, self.graph, domain, self.config.join_inference
+            self.database, self.graph, self.domain, self.config.join_inference
         )
         self.sqlgen = SqlGenerator(
-            database, self.graph, domain, self.config.join_inference
+            self.database, self.graph, self.domain, self.config.join_inference
         )
+        self._prepared.clear()
+        self._db_version = self.database.version
+
+    def refresh(self) -> None:
+        """Rebuild the lexicon, value index and caches after DML/DDL.
+
+        Called automatically (lazily) when the database's version counter
+        has moved since the language layers were built, so questions about
+        freshly inserted values resolve without manual intervention.
+        """
+        self._build_language_layers()
+
+    def _ensure_fresh(self) -> None:
+        if self.database.version != self._db_version:
+            self.refresh()
 
     # -- pipeline stages (public for tests/diagnostics) -------------------------
 
     def normalize(self, question: str) -> tuple[list[Token], list[tuple[str, str]]]:
         """Tokenize + spelling-correct; returns tokens and corrections."""
+        self._ensure_fresh()
+        # Config knobs are live-mutable, so they participate in the key.
+        norm_key = ("normalize", question, self.config.spelling_correction)
+        cached = self._prepared.get(norm_key)
+        if cached is not None:
+            tokens, corrections = cached
+            return list(tokens), list(corrections)
         tokens = list(tokenize(question).tokens)
         corrections: list[tuple[str, str]] = []
-        if not self.config.spelling_correction:
-            return tokens, corrections
-        for i, token in enumerate(tokens):
-            word = token.text
-            if token.is_number or word in self._protected:
-                continue
-            if self.lexicon.knows_word(word):
-                continue
-            if self.value_index is not None and self.value_index.contains_word(word):
-                continue
-            corrected = self.lexicon.correct_word(word)
-            if corrected is None and self.value_index is not None:
-                corrected = self.value_index.fuzzy_word(word)
-            if corrected is not None and corrected != word:
-                corrections.append((word, corrected))
-                tokens[i] = replace(token, text=corrected, corrected_from=word)
+        if self.config.spelling_correction:
+            for i, token in enumerate(tokens):
+                word = token.text
+                if token.is_number or word in self._protected:
+                    continue
+                if self.lexicon.knows_word(word):
+                    continue
+                if self.value_index is not None and self.value_index.contains_word(word):
+                    continue
+                corrected = self.lexicon.correct_word(word)
+                if corrected is None and self.value_index is not None:
+                    corrected = self.value_index.fuzzy_word(word)
+                if corrected is not None and corrected != word:
+                    corrections.append((word, corrected))
+                    tokens[i] = replace(token, text=corrected, corrected_from=word)
+        self._prepared.put(norm_key, (tuple(tokens), tuple(corrections)))
         return tokens, corrections
 
     def tag(self, tokens: list[Token]) -> QuestionTagger:
+        self._ensure_fresh()
         return QuestionTagger(tokens, self.lexicon, self.value_index, self._protected)
 
     def parse(self, question: str, session: Session | None = None) -> list[Sketch]:
         """Tokenize/correct/tag/parse; returns all sketches."""
         tokens, _ = self.normalize(question)
-        return self._parse_tokens(tokens, session)
+        return self._parse_tokens(tokens, session, cache_key=question)
 
     def _parse_tokens(
-        self, tokens: list[Token], session: Session | None
+        self,
+        tokens: list[Token],
+        session: Session | None,
+        cache_key: str | None = None,
     ) -> list[Sketch]:
-        tagger = self.tag(tokens)
         pronoun_entity = None
         if session is not None and session.last_query is not None:
             if any(t.text in PRONOUNS for t in tokens):
                 pronoun_entity = session.last_query.target
+        # Without dialogue state the parse is a pure function of the
+        # question (given fresh language layers), so it can be reused.
+        cacheable = pronoun_entity is None and cache_key is not None
+        parse_key = (
+            "parse",
+            cache_key,
+            self.config.spelling_correction,
+            self.config.max_parses,
+        )
+        if cacheable:
+            cached = self._prepared.get(parse_key)
+            if cached is not None:
+                return list(cached)
+        tagger = self.tag(tokens)
         matcher = _SessionTagger(tagger, pronoun_entity)
         words = [t.text for t in tokens]
         results = self.parser.parse(words, matcher, max_parses=self.config.max_parses)
-        return [r.value for r in results if isinstance(r.value, Sketch)]
+        sketches = [r.value for r in results if isinstance(r.value, Sketch)]
+        if cacheable:
+            self._prepared.put(parse_key, tuple(sketches))
+        return sketches
 
     # -- the main entry point ------------------------------------------------------
 
@@ -163,7 +213,7 @@ class NaturalLanguageInterface:
         tokens, corrections = self.normalize(question)
         if not tokens:
             raise ParseFailure("empty question")
-        sketches = self._parse_tokens(tokens, session)
+        sketches = self._parse_tokens(tokens, session, cache_key=question)
 
         full = [s for s in sketches if not s.fragment]
         fragments = [s for s in sketches if s.fragment]
@@ -250,7 +300,7 @@ class NaturalLanguageInterface:
                 f"  tag {match.category:7s} [{match.start}:{match.end}] {payload}"
             )
         try:
-            sketches = self._parse_tokens(tokens, session)
+            sketches = self._parse_tokens(tokens, session, cache_key=question)
         except ParseFailure as exc:
             lines.append(f"parse:    FAILED ({exc})")
             return "\n".join(lines)

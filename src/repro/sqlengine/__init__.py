@@ -15,18 +15,24 @@ from repro.sqlengine.csvio import dump_csv, dump_database_csv, load_csv
 from repro.sqlengine.database import Database
 from repro.sqlengine.executor import Engine
 from repro.sqlengine.parser import parse_select, parse_sql
+from repro.sqlengine.plancache import LruCache, PlanCache
 from repro.sqlengine.result import ResultSet
 from repro.sqlengine.schema import Column, ForeignKey, TableSchema
+from repro.sqlengine.statistics import ColumnStats, TableStatistics
 from repro.sqlengine.types import SqlType
 
 __all__ = [
     "Column",
+    "ColumnStats",
     "Database",
     "Engine",
     "ForeignKey",
+    "LruCache",
+    "PlanCache",
     "ResultSet",
     "SqlType",
     "TableSchema",
+    "TableStatistics",
     "dump_csv",
     "dump_database_csv",
     "load_csv",

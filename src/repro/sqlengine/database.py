@@ -6,6 +6,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError, UnknownTableError
 from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.statistics import TableStatistics
 from repro.sqlengine.table import Table
 
 
@@ -21,6 +22,21 @@ class Database:
         self.name = name
         self.enforce_fk = enforce_fk
         self._tables: dict[str, Table] = {}
+        self._version = 0
+
+    # -- schema/DML versioning ------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every DDL/DML mutation.
+
+        Consumers (the engine's plan cache, the NLI's value index and
+        lexicon) compare stored stamps against this to invalidate lazily.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # -- catalog -------------------------------------------------------------
 
@@ -34,14 +50,18 @@ class Database:
                     f"{fk.ref_table!r}"
                 )
         table = Table(schema)
+        table._on_mutation = self._bump_version
         self._tables[schema.name] = table
+        self._bump_version()
         return table
 
     def drop_table(self, name: str) -> None:
         lowered = name.lower()
         if lowered not in self._tables:
             raise UnknownTableError(f"no table named {name!r}")
+        self._tables[lowered]._on_mutation = None
         del self._tables[lowered]
+        self._bump_version()
 
     def table(self, name: str) -> Table:
         lowered = name.lower()
@@ -119,6 +139,10 @@ class Database:
 
     def row_count(self, table_name: str) -> int:
         return len(self.table(table_name))
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """The incrementally maintained statistics of one table."""
+        return self.table(table_name).statistics
 
     def summary(self) -> str:
         """Human-readable catalog overview."""

@@ -23,15 +23,19 @@ from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.aggregates import AGGREGATE_NAMES, AGGREGATES
 from repro.sqlengine.database import Database
 from repro.sqlengine.expressions import Env, Evaluator, Scope
-from repro.sqlengine.optimizer import optimize
+from repro.sqlengine.optimizer import install_index_hints, optimize
 from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.plancache import PlanCache
 from repro.sqlengine.planner import (
     FilterNode,
     HashJoinNode,
     JoinNode,
     PlanNode,
+    ReorderNode,
     ScanNode,
     build_plan,
+    qualify_expr,
+    split_conjuncts,
 )
 from repro.sqlengine.result import ResultSet
 from repro.sqlengine.schema import Column, ForeignKey, TableSchema
@@ -97,17 +101,28 @@ class Engine:
         database: Database,
         use_optimizer: bool = True,
         use_indexes: bool = True,
+        use_plan_cache: bool = True,
+        plan_cache_size: int = 256,
     ) -> None:
         self.database = database
         self.use_optimizer = use_optimizer
         self.use_indexes = use_indexes
+        self.plan_cache = PlanCache(plan_cache_size) if use_plan_cache else None
         self._evaluator = Evaluator(self._run_subquery)
 
     # -- public API ------------------------------------------------------------
 
     def execute(self, statement: str | ast.Statement) -> ResultSet:
         """Parse (if needed) and execute one statement."""
-        stmt = parse_sql(statement) if isinstance(statement, str) else statement
+        if isinstance(statement, str):
+            stmt = self._parse_cached(statement)
+            if isinstance(stmt, ast.Select) and self.plan_cache is not None:
+                # Reuse the raw text as the cache key so the statement and
+                # its plan/result share one LRU entry and the hot path
+                # avoids re-rendering the AST.
+                return self._execute_select(stmt, cache_key=statement)
+        else:
+            stmt = statement
         if isinstance(stmt, ast.Select):
             return self._execute_select(stmt)
         if isinstance(stmt, ast.CreateTable):
@@ -122,29 +137,81 @@ class Engine:
 
     def explain(self, sql: str) -> str:
         """Describe the (optimized) access plan for a SELECT."""
-        stmt = parse_sql(sql)
+        stmt = self._parse_cached(sql)
         if not isinstance(stmt, ast.Select):
             raise SqlSyntaxError("EXPLAIN supports only SELECT")
-        plan = self._plan_for(stmt)
+        plan = self._plan_for(stmt, cache_key=sql)
         if plan is None:
             return "NoTable"
         return plan.describe()
 
     # -- SELECT ------------------------------------------------------------------
 
-    def _plan_for(self, select: ast.Select) -> PlanNode | None:
+    def _parse_cached(self, text: str) -> ast.Statement:
+        """Parse ``text``, reusing the cached AST when available.
+
+        Parsed statements are pure functions of the text, so they are never
+        invalidated — only evicted by LRU pressure.
+        """
+        if self.plan_cache is None:
+            return parse_sql(text)
+        stmt = self.plan_cache.statement(text)
+        if stmt is None:
+            stmt = parse_sql(text)
+            self.plan_cache.store_statement(text, stmt)
+        return stmt
+
+    @staticmethod
+    def _statement_key(select: ast.Select) -> str:
+        """Rendered text of ``select``, memoized on the (immutable) node.
+
+        Correlated subqueries hit this once per outer row; rendering is
+        deterministic for a frozen AST, so cache it on the object.
+        """
+        key = getattr(select, "_rendered_key", None)
+        if key is None:
+            key = select.render()
+            object.__setattr__(select, "_rendered_key", key)
+        return key
+
+    def _plan_for(
+        self, select: ast.Select, cache_key: str | None = None
+    ) -> PlanNode | None:
+        if self.plan_cache is not None:
+            if cache_key is None:
+                cache_key = self._statement_key(select)
+            hit, plan = self.plan_cache.plan(cache_key, self.database.version)
+            if hit:
+                return plan
         plan = build_plan(select, self.database)
         if self.use_optimizer:
             plan = optimize(plan, self.database, use_indexes=self.use_indexes)
+        if self.plan_cache is not None:
+            assert cache_key is not None
+            self.plan_cache.store_plan(cache_key, self.database.version, plan)
         return plan
 
     def _run_subquery(self, select: ast.Select, env: Env) -> list[tuple[Any, ...]]:
         return self._execute_select(select, outer_env=env).rows
 
     def _execute_select(
-        self, select: ast.Select, outer_env: Env | None = None
+        self,
+        select: ast.Select,
+        outer_env: Env | None = None,
+        cache_key: str | None = None,
     ) -> ResultSet:
-        plan = self._plan_for(select)
+        if self.plan_cache is not None:
+            if cache_key is None:
+                cache_key = self._statement_key(select)
+            if outer_env is None:
+                # Top-level selects can reuse materialized results outright;
+                # correlated/sub-selects depend on the outer row, so only
+                # their plans are shared.
+                cached = self.plan_cache.result(cache_key, self.database.version)
+                if cached is not None:
+                    columns, rows = cached
+                    return ResultSet(list(columns), list(rows))
+        plan = self._plan_for(select, cache_key)
         if plan is None:
             scope = Scope([])
             rows: list[tuple[Any, ...]] = [()]
@@ -180,7 +247,12 @@ class Engine:
                 )
         if select.limit is not None:
             keyed_rows = keyed_rows[: select.limit]
-        return ResultSet(columns, [row for row, _ in keyed_rows])
+        result = ResultSet(columns, [row for row, _ in keyed_rows])
+        if cache_key is not None and outer_env is None and self.plan_cache is not None:
+            self.plan_cache.store_result(
+                cache_key, self.database.version, result.columns, result.rows
+            )
+        return result
 
     # -- projection --------------------------------------------------------------
 
@@ -340,18 +412,24 @@ class Engine:
             return self._run_hash_join(plan, outer_env)
         if isinstance(plan, JoinNode):
             return self._run_nested_join(plan, outer_env)
+        if isinstance(plan, ReorderNode):
+            return self._run_reorder(plan, outer_env)
         raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
-    def _run_scan(
-        self, plan: ScanNode, outer_env: Env | None
-    ) -> tuple[Scope, list[tuple[Any, ...]]]:
-        table = self.database.table(plan.table_name)
-        scope = Scope([(plan.binding, col) for col in table.schema.column_names])
+    def _scan_candidate_ids(self, plan: ScanNode, table: Any) -> set[int] | None:
+        """Row ids selected by the scan's index hints (None = all rows)."""
         candidate_ids: set[int] | None = None
         for column, value in plan.eq_filters:
             index = table.hash_index(column) or table.sorted_index(column)
             assert index is not None
             ids = set(index.lookup(value))
+            candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+        for column, values in plan.in_filters:
+            index = table.hash_index(column) or table.sorted_index(column)
+            assert index is not None
+            ids = set()
+            for value in values:
+                ids.update(index.lookup(value))
             candidate_ids = ids if candidate_ids is None else candidate_ids & ids
         for column, op, value in plan.range_filters:
             index = table.sorted_index(column)
@@ -361,6 +439,14 @@ class Engine:
             else:
                 ids = set(index.range_lookup(low=value, low_inclusive=op == ">="))
             candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+        return candidate_ids
+
+    def _run_scan(
+        self, plan: ScanNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        table = self.database.table(plan.table_name)
+        scope = Scope([(plan.binding, col) for col in table.schema.column_names])
+        candidate_ids = self._scan_candidate_ids(plan, table)
         if candidate_ids is None:
             rows: Iterable[tuple[Any, ...]] = table.rows()
         else:
@@ -381,6 +467,25 @@ class Engine:
         else:
             out = list(rows)
         return scope, out
+
+    def _run_reorder(
+        self, plan: ReorderNode, outer_env: Env | None
+    ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        scope, rows = self._run_plan(plan.child, outer_env)
+        # Each binding's columns occupy one contiguous segment of the row.
+        segments: dict[str, tuple[int, int]] = {}
+        for i, (binding, _) in enumerate(scope.entries):
+            start, _end = segments.get(binding, (i, i))
+            segments[binding] = (start, i + 1)
+        slices = [slice(*segments[binding]) for binding in plan.order]
+        entries: list[tuple[str, str]] = []
+        for binding in plan.order:
+            start, end = segments[binding]
+            entries.extend(scope.entries[start:end])
+        out = [
+            tuple(value for s in slices for value in row[s]) for row in rows
+        ]
+        return Scope(entries), out
 
     def _run_nested_join(
         self, plan: JoinNode, outer_env: Env | None
@@ -410,6 +515,31 @@ class Engine:
         right_scope, right_rows = self._run_plan(plan.right, outer_env)
         scope = left_scope.merge(right_scope)
         buckets: dict[Any, list[tuple[Any, ...]]] = {}
+        if plan.build == "left" and plan.kind == "INNER":
+            # Statistics said the left input is smaller: build the hash
+            # table on it and probe with right rows.  Output tuples keep
+            # the left+right column order either way.
+            for left_row in left_rows:
+                key = self._evaluator.evaluate(
+                    plan.left_key, Env(left_scope, left_row, outer_env)
+                )
+                if key is None:
+                    continue
+                buckets.setdefault(_join_key(key), []).append(left_row)
+            out = []
+            for right_row in right_rows:
+                key = self._evaluator.evaluate(
+                    plan.right_key, Env(right_scope, right_row, outer_env)
+                )
+                if key is None:
+                    continue
+                for left_row in buckets.get(_join_key(key), []):
+                    combined = left_row + right_row
+                    if plan.residual is None or self._evaluator.is_true(
+                        plan.residual, Env(scope, combined, outer_env)
+                    ):
+                        out.append(combined)
+            return scope, out
         for right_row in right_rows:
             key = self._evaluator.evaluate(
                 plan.right_key, Env(right_scope, right_row, outer_env)
@@ -480,11 +610,35 @@ class Engine:
         return ResultSet(["rows_affected"], [(count,)])
 
     def _matching_row_ids(self, table_name: str, where: ast.Expr | None) -> list[int]:
+        """Row ids matching a DML WHERE clause, via the scan-planning path.
+
+        The predicate goes through the same index-hint installation as a
+        SELECT scan, so UPDATE/DELETE on an indexed column avoids the full
+        table scan.
+        """
         table = self.database.table(table_name)
+        scan = ScanNode(table.name, table.name)
+        if where is not None:
+            bindings = {col: [table.name] for col in table.schema.column_names}
+            scan.residual_filters = split_conjuncts(qualify_expr(where, bindings))
+        if self.use_optimizer and self.use_indexes:
+            install_index_hints(scan, self.database)
         scope = Scope([(table.name, col) for col in table.schema.column_names])
+        candidate_ids = self._scan_candidate_ids(scan, table)
+        if candidate_ids is None:
+            pairs: Iterable[tuple[int, tuple[Any, ...]]] = table.rows_with_ids()
+        else:
+            pairs = (
+                (row_id, row)
+                for row_id in sorted(candidate_ids)
+                if (row := table.row_by_id(row_id)) is not None
+            )
         out = []
-        for row_id, row in table.rows_with_ids():
-            if where is None or self._evaluator.is_true(where, Env(scope, row)):
+        for row_id, row in pairs:
+            if all(
+                self._evaluator.is_true(pred, Env(scope, row))
+                for pred in scan.residual_filters
+            ):
                 out.append(row_id)
         return out
 
@@ -497,6 +651,9 @@ class Engine:
 
     def _execute_update(self, stmt: ast.Update) -> ResultSet:
         table = self.database.table(stmt.table)
+        for column, _ in stmt.assignments:
+            if not table.schema.has_column(column):
+                raise SchemaError(f"table {table.name!r} has no column {column!r}")
         scope = Scope([(table.name, col) for col in table.schema.column_names])
         ids = self._matching_row_ids(stmt.table, stmt.where)
         updated_rows = []
@@ -506,15 +663,14 @@ class Engine:
             env = Env(scope, row)
             values = dict(zip(table.schema.column_names, row))
             for column, expr in stmt.assignments:
-                if not table.schema.has_column(column):
-                    raise SchemaError(
-                        f"table {table.name!r} has no column {column!r}"
-                    )
                 values[column.lower()] = self._evaluator.evaluate(expr, env)
             updated_rows.append((row_id, values))
-        for row_id, values in updated_rows:
-            table.delete_row(row_id)
-            table.insert(values)
+        # In-place update: rows keep their ids and their position in the
+        # table's insertion order (a delete+reinsert would move them to the
+        # end and change their ids).  The batch apply validates the final
+        # primary-key state before mutating, so a collision leaves the
+        # table untouched.
+        table.update_rows(updated_rows)
         return ResultSet(["rows_affected"], [(len(ids),)])
 
 

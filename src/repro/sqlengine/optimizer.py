@@ -1,17 +1,25 @@
-"""Rule-based plan optimizer.
+"""Cost-based plan optimizer.
 
-Three rewrites, applied in order:
+Rewrites, applied in order:
 
 1. **Predicate pushdown** — conjuncts of a FilterNode that mention only the
    bindings of one scan move into that scan; conjuncts spanning exactly the
    two sides of a join become join conditions.
-2. **Hash-join selection** — an INNER/LEFT join whose condition contains an
-   equi-conjunct between the two sides becomes a :class:`HashJoinNode`.
-3. **Index hints** — scan-local equality/range predicates on indexed columns
-   become index access hints (``eq_filters`` / ``range_filters``).
+2. **Join reordering** — left-deep chains of INNER joins over base scans are
+   re-ordered smallest-estimated-first (statistics-driven), wrapped in a
+   :class:`~repro.sqlengine.planner.ReorderNode` so output column order is
+   unchanged.
+3. **Hash-join selection** — an INNER/LEFT join whose condition contains an
+   equi-conjunct between the two sides becomes a :class:`HashJoinNode`; the
+   build side is the one with the smaller estimated cardinality.
+4. **Index hints** — scan-local equality/range/IN/BETWEEN predicates on
+   indexed columns become index access hints (``eq_filters`` /
+   ``range_filters`` / ``in_filters``).
 
-The optimizer never changes result semantics; every rewrite is covered by
-equivalence tests against the naive plan.
+Cardinality estimates come from :class:`~repro.sqlengine.statistics.
+TableStatistics`, which every table maintains incrementally.  The optimizer
+never changes result semantics; every rewrite is covered by equivalence
+tests against the naive plan.
 """
 
 from __future__ import annotations
@@ -25,13 +33,20 @@ from repro.sqlengine.planner import (
     HashJoinNode,
     JoinNode,
     PlanNode,
+    ReorderNode,
     ScanNode,
     conjoin,
     expr_bindings,
     split_conjuncts,
 )
+from repro.sqlengine.statistics import DEFAULT_SELECTIVITY
+from repro.sqlengine.types import SqlType, is_numeric
 
 _RANGE_OPS = {"<", "<=", ">", ">="}
+
+#: Default guess for the selectivity of a join condition when combining
+#: sub-plan estimates (equi-joins use max(left, right) instead).
+_FILTER_GUESS = DEFAULT_SELECTIVITY
 
 
 def optimize(plan: PlanNode | None, database: Database, use_indexes: bool = True) -> PlanNode | None:
@@ -39,9 +54,10 @@ def optimize(plan: PlanNode | None, database: Database, use_indexes: bool = True
     if plan is None:
         return None
     plan = _push_down(plan)
-    plan = _select_hash_joins(plan)
+    plan = _reorder_joins(plan, database)
+    plan = _select_hash_joins(plan, database)
     if use_indexes:
-        _install_index_hints(plan, database)
+        install_index_hints(plan, database)
     return plan
 
 
@@ -106,6 +122,231 @@ def _try_push(plan: PlanNode, conjunct: ast.Expr) -> tuple[PlanNode, bool]:
     return plan, False
 
 
+# -- predicate classification (shared by estimator and index hints) -----------
+
+
+def _literal_value(expr: ast.Expr) -> tuple[bool, Any]:
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True, -value
+    return False, None
+
+
+def _own_column(expr: ast.Expr, binding: str, table: Any) -> str | None:
+    """The lowered column name when ``expr`` is a column of this scan."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None and expr.table != binding:
+        return None
+    if not table.schema.has_column(expr.name):
+        return None
+    return expr.name.lower()
+
+
+def _classify_predicate(conjunct: ast.Expr, binding: str, table: Any):
+    """Classify a scan-local conjunct into an index-usable shape.
+
+    Returns one of ``("eq", column, value)``, ``("range", column, op,
+    value)``, ``("in", column, values)``, ``("between", column, low,
+    high)`` or ``None``.  Classification is purely syntactic — index
+    availability is checked separately by the hint installer, so the
+    selectivity estimator can use the same shapes without indexes.
+    """
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        column = _own_column(conjunct.operand, binding, table)
+        low_lit, low = _literal_value(conjunct.low)
+        high_lit, high = _literal_value(conjunct.high)
+        if column is not None and low_lit and high_lit and low is not None and high is not None:
+            return "between", column, low, high
+        return None
+    if isinstance(conjunct, ast.InList) and not conjunct.negated:
+        column = _own_column(conjunct.operand, binding, table)
+        if column is None:
+            return None
+        values = []
+        for item in conjunct.items:
+            is_lit, value = _literal_value(item)
+            if not is_lit or value is None:
+                return None
+            values.append(value)
+        if not values:
+            return None
+        return "in", column, tuple(values)
+    if not isinstance(conjunct, ast.BinaryOp):
+        return None
+    op = conjunct.op
+    if op not in _RANGE_OPS and op != "=":
+        return None
+    column: str | None = None
+    literal: Any = None
+    flipped = False
+    is_lit, value = _literal_value(conjunct.right)
+    if is_lit:
+        column, literal = _own_column(conjunct.left, binding, table), value
+    if column is None:
+        is_lit, value = _literal_value(conjunct.left)
+        if is_lit:
+            column, literal = _own_column(conjunct.right, binding, table), value
+            flipped = True
+    if column is None or literal is None:
+        return None
+    if op == "=":
+        return "eq", column, literal
+    if flipped:  # literal OP column  ==  column (flip OP) literal
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    return "range", column, op, literal
+
+
+# -- cardinality estimation ---------------------------------------------------
+
+
+def _predicate_selectivity(conjunct: ast.Expr, binding: str, table: Any) -> float:
+    stats = table.statistics
+    spec = _classify_predicate(conjunct, binding, table)
+    if spec is None:
+        if isinstance(conjunct, ast.IsNull):
+            column = _own_column(conjunct.operand, binding, table)
+            if column is not None and stats.row_count:
+                fraction = stats.column(column).null_count / stats.row_count
+                return 1.0 - fraction if conjunct.negated else fraction
+        return DEFAULT_SELECTIVITY
+    if spec[0] == "eq":
+        return stats.eq_selectivity(spec[1], spec[2])
+    if spec[0] == "in":
+        return stats.in_selectivity(spec[1], spec[2])
+    if spec[0] == "between":
+        return stats.between_selectivity(spec[1], spec[2], spec[3])
+    return stats.range_selectivity(spec[1], spec[2], spec[3])
+
+
+def estimate_scan_rows(scan: ScanNode, database: Database) -> float:
+    """Estimated output rows of a scan, from table statistics."""
+    table = database.table(scan.table_name)
+    stats = table.statistics
+    rows = float(stats.row_count)
+    if rows <= 0.0:
+        return 0.0
+    selectivity = 1.0
+    for conjunct in scan.residual_filters:
+        selectivity *= _predicate_selectivity(conjunct, scan.binding, table)
+    for column, value in scan.eq_filters:
+        selectivity *= stats.eq_selectivity(column, value)
+    for column, values in scan.in_filters:
+        selectivity *= stats.in_selectivity(column, values)
+    for column, op, value in scan.range_filters:
+        selectivity *= stats.range_selectivity(column, op, value)
+    return rows * selectivity
+
+
+def estimate_rows(plan: PlanNode, database: Database) -> float:
+    """Estimated output rows of any plan subtree."""
+    if isinstance(plan, ScanNode):
+        return estimate_scan_rows(plan, database)
+    if isinstance(plan, FilterNode):
+        rows = estimate_rows(plan.child, database)
+        return rows * _FILTER_GUESS ** len(split_conjuncts(plan.predicate))
+    if isinstance(plan, ReorderNode):
+        return estimate_rows(plan.child, database)
+    if isinstance(plan, HashJoinNode):
+        left = estimate_rows(plan.left, database)
+        right = estimate_rows(plan.right, database)
+        return max(left, right)
+    if isinstance(plan, JoinNode):
+        left = estimate_rows(plan.left, database)
+        right = estimate_rows(plan.right, database)
+        if plan.condition is None:  # cross product
+            return left * right
+        # Equi-joins over keys produce about max(|L|, |R|) rows.
+        return max(left, right)
+    return 0.0  # pragma: no cover - defensive
+
+
+# -- join reordering ----------------------------------------------------------
+
+
+def _collect_inner_chain(
+    plan: PlanNode,
+) -> tuple[list[ScanNode], list[ast.Expr]] | None:
+    """Scans + condition conjuncts of a left-deep INNER/CROSS chain, or None."""
+    if isinstance(plan, ScanNode):
+        return [plan], []
+    if isinstance(plan, JoinNode) and plan.kind in ("INNER", "CROSS"):
+        if not isinstance(plan.right, ScanNode):
+            return None
+        left = _collect_inner_chain(plan.left)
+        if left is None:
+            return None
+        scans, conjuncts = left
+        return scans + [plan.right], conjuncts + split_conjuncts(plan.condition)
+    return None
+
+
+def _reorder_joins(plan: PlanNode, database: Database) -> PlanNode:
+    if isinstance(plan, FilterNode):
+        return FilterNode(_reorder_joins(plan.child, database), plan.predicate)
+    if not isinstance(plan, JoinNode):
+        return plan
+    chain = _collect_inner_chain(plan)
+    if chain is None or len(chain[0]) < 3:
+        return JoinNode(
+            _reorder_joins(plan.left, database),
+            _reorder_joins(plan.right, database),
+            plan.condition,
+            plan.kind,
+        )
+    scans, conjuncts = chain
+    all_bindings = {scan.binding for scan in scans}
+    conjunct_refs: list[tuple[ast.Expr, set[str]]] = []
+    for conjunct in conjuncts:
+        refs = expr_bindings(conjunct, all_bindings)
+        if refs is None:  # subquery or unresolvable ref: leave the plan alone
+            return plan
+        conjunct_refs.append((conjunct, refs))
+
+    estimates = {scan.binding: estimate_scan_rows(scan, database) for scan in scans}
+    original_order = [scan.binding for scan in scans]
+    position = {binding: i for i, binding in enumerate(original_order)}
+
+    def rank(binding: str) -> tuple[float, int]:
+        return estimates[binding], position[binding]  # stable on ties
+
+    order = [min(all_bindings, key=rank)]
+    placed = {order[0]}
+    remaining = all_bindings - placed
+    while remaining:
+        connected = [
+            binding
+            for binding in remaining
+            if any(
+                binding in refs and (refs - {binding}) & placed
+                for _, refs in conjunct_refs
+            )
+        ]
+        nxt = min(connected or remaining, key=rank)
+        order.append(nxt)
+        placed.add(nxt)
+        remaining.remove(nxt)
+
+    if order == original_order:
+        return plan
+
+    by_binding = {scan.binding: scan for scan in scans}
+    tree: PlanNode = by_binding[order[0]]
+    built = {order[0]}
+    pending = list(conjunct_refs)
+    for binding in order[1:]:
+        built.add(binding)
+        attached = [c for c, refs in pending if refs <= built]
+        pending = [(c, refs) for c, refs in pending if not refs <= built]
+        condition = conjoin(attached)
+        kind = "INNER" if condition is not None else "CROSS"
+        tree = JoinNode(tree, by_binding[binding], condition, kind)
+    return ReorderNode(tree, tuple(original_order))
+
+
 # -- hash-join selection ---------------------------------------------------------
 
 
@@ -128,15 +369,17 @@ def _equi_key(
     return None
 
 
-def _select_hash_joins(plan: PlanNode) -> PlanNode:
+def _select_hash_joins(plan: PlanNode, database: Database) -> PlanNode:
     if isinstance(plan, FilterNode):
-        return FilterNode(_select_hash_joins(plan.child), plan.predicate)
+        return FilterNode(_select_hash_joins(plan.child, database), plan.predicate)
+    if isinstance(plan, ReorderNode):
+        return ReorderNode(_select_hash_joins(plan.child, database), plan.order)
     if isinstance(plan, HashJoinNode):  # pragma: no cover - defensive
         return plan
     if not isinstance(plan, JoinNode):
         return plan
-    left = _select_hash_joins(plan.left)
-    right = _select_hash_joins(plan.right)
+    left = _select_hash_joins(plan.left, database)
+    right = _select_hash_joins(plan.right, database)
     if plan.kind not in ("INNER", "LEFT") or plan.condition is None:
         return JoinNode(left, right, plan.condition, plan.kind)
     left_scope = set(left.bindings())
@@ -146,8 +389,21 @@ def _select_hash_joins(plan: PlanNode) -> PlanNode:
         keys = _equi_key(conjunct, left_scope, right_scope)
         if keys is not None:
             residual = conjoin(conjuncts[:i] + conjuncts[i + 1 :])
+            est_left = estimate_rows(left, database)
+            est_right = estimate_rows(right, database)
+            # Build on the smaller input.  LEFT joins must probe from the
+            # preserved (left) side, so they always build right.
+            build = "left" if plan.kind == "INNER" and est_left < est_right else "right"
             return HashJoinNode(
-                left, right, keys[0], keys[1], kind=plan.kind, residual=residual
+                left,
+                right,
+                keys[0],
+                keys[1],
+                kind=plan.kind,
+                residual=residual,
+                build=build,
+                est_left=est_left,
+                est_right=est_right,
             )
     return JoinNode(left, right, plan.condition, plan.kind)
 
@@ -155,73 +411,92 @@ def _select_hash_joins(plan: PlanNode) -> PlanNode:
 # -- index hints -----------------------------------------------------------------
 
 
-def _literal_value(expr: ast.Expr) -> tuple[bool, Any]:
-    if isinstance(expr, ast.Literal):
-        return True, expr.value
-    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.Literal):
-        value = expr.operand.value
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
-            return True, -value
-    return False, None
+def install_index_hints(plan: PlanNode, database: Database) -> None:
+    """Move index-usable scan predicates into access hints, in place.
 
-
-def _install_index_hints(plan: PlanNode, database: Database) -> None:
+    Also used by the engine's DML path, so UPDATE/DELETE row matching
+    benefits from the same index access as SELECT.
+    """
     if isinstance(plan, FilterNode):
-        _install_index_hints(plan.child, database)
+        install_index_hints(plan.child, database)
+        return
+    if isinstance(plan, ReorderNode):
+        install_index_hints(plan.child, database)
         return
     if isinstance(plan, (JoinNode, HashJoinNode)):
-        _install_index_hints(plan.left, database)
-        _install_index_hints(plan.right, database)
+        install_index_hints(plan.left, database)
+        install_index_hints(plan.right, database)
         return
     if not isinstance(plan, ScanNode):  # pragma: no cover - defensive
         return
     table = database.table(plan.table_name)
     kept: list[ast.Expr] = []
     for conjunct in plan.residual_filters:
-        hint = _scan_hint(conjunct, plan.binding, table)
-        if hint is None:
+        hints = _scan_hint(conjunct, plan.binding, table)
+        if hints is None:
             kept.append(conjunct)
             continue
-        kind, column, payload = hint
-        if kind == "eq":
-            plan.eq_filters.append((column, payload))
-        else:
-            op, value = payload
-            plan.range_filters.append((column, op, value))
+        for hint in hints:
+            if hint[0] == "eq":
+                plan.eq_filters.append((hint[1], hint[2]))
+            elif hint[0] == "in":
+                plan.in_filters.append((hint[1], hint[2]))
+            else:
+                plan.range_filters.append((hint[1], hint[2], hint[3]))
     plan.residual_filters = kept
 
 
+def _literal_fits_column(table: Any, column: str, value: Any) -> bool:
+    """True when comparing ``value`` with the column cannot type-error.
+
+    Index lookups silently miss on type mismatches, but the residual
+    evaluator raises ``TypeMismatchError`` — so a mismatched literal must
+    stay residual or the indexed and naive plans disagree on semantics.
+    """
+    sql_type = table.schema.column(column).sql_type
+    if isinstance(value, bool):
+        return sql_type is SqlType.BOOL
+    if isinstance(value, (int, float)):
+        return is_numeric(sql_type)
+    if isinstance(value, str):
+        return sql_type is SqlType.TEXT
+    return False
+
+
 def _scan_hint(conjunct: ast.Expr, binding: str, table: Any):
-    """Classify a conjunct as an index-usable eq/range filter, if possible."""
-    if not isinstance(conjunct, ast.BinaryOp):
+    """Index-access hints for one conjunct, or None to keep it residual.
+
+    Returns a list because a BETWEEN expands into a pair of range hints
+    over the same sorted index.
+    """
+    spec = _classify_predicate(conjunct, binding, table)
+    if spec is None:
         return None
-    op = conjunct.op
-    if op not in _RANGE_OPS and op != "=":
+    kind, column = spec[0], spec[1]
+    has_hash = table.hash_index(column) is not None
+    has_sorted = table.sorted_index(column) is not None
+    if kind == "eq":
+        if (has_hash or has_sorted) and _literal_fits_column(table, column, spec[2]):
+            return [("eq", column, spec[2])]
         return None
-    column_side: ast.ColumnRef | None = None
-    literal_side: Any = None
-    flipped = False
-    is_lit, value = _literal_value(conjunct.right)
-    if isinstance(conjunct.left, ast.ColumnRef) and is_lit:
-        column_side, literal_side = conjunct.left, value
-    else:
-        is_lit, value = _literal_value(conjunct.left)
-        if isinstance(conjunct.right, ast.ColumnRef) and is_lit:
-            column_side, literal_side = conjunct.right, value
-            flipped = True
-    if column_side is None or literal_side is None:
+    if kind == "in":
+        # Literal IN-lists become a multi-equality lookup (union of row ids).
+        if (has_hash or has_sorted) and all(
+            _literal_fits_column(table, column, value) for value in spec[2]
+        ):
+            return [("in", column, spec[2])]
         return None
-    if column_side.table is not None and column_side.table != binding:
+    if kind == "between":
+        # BETWEEN becomes a sorted-index range pair (the executor
+        # intersects the two half-open lookups).
+        if has_sorted and all(
+            _literal_fits_column(table, column, value) for value in (spec[2], spec[3])
+        ):
+            return [
+                ("range", column, ">=", spec[2]),
+                ("range", column, "<=", spec[3]),
+            ]
         return None
-    if not table.schema.has_column(column_side.name):
+    if not has_sorted or not _literal_fits_column(table, column, spec[3]):
         return None
-    column = column_side.name.lower()
-    if op == "=":
-        if table.hash_index(column) is not None or table.sorted_index(column) is not None:
-            return "eq", column, literal_side
-        return None
-    if table.sorted_index(column) is None:
-        return None
-    if flipped:  # literal OP column  ==  column (flip OP) literal
-        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
-    return "range", column, (op, literal_side)
+    return [("range", column, spec[2], spec[3])]

@@ -1,0 +1,184 @@
+"""Statement-plan cache: the engine's prepared-statement layer.
+
+One LRU maps statement text to everything the engine can reuse across
+executions:
+
+* the parsed AST — a pure function of the text, never invalidated;
+* the optimized plan — valid only for the database version it was built
+  against (any DDL/DML bumps :attr:`Database.version`);
+* for top-level SELECTs, the materialized result rows — also version
+  stamped, so a repeated question with no intervening mutation skips
+  parse, plan, optimize *and* execution.
+
+Invalidation is lazy: entries keep their stamp and are ignored (then
+overwritten) once the database version has moved on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.planner import PlanNode
+
+
+class LruCache:
+    """Minimal LRU mapping (also used by the NLI prepared-question cache)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class _Entry:
+    """Everything cached for one statement text."""
+
+    __slots__ = (
+        "statement",
+        "plan",
+        "has_plan",
+        "plan_version",
+        "columns",
+        "rows",
+        "result_version",
+    )
+
+    def __init__(self) -> None:
+        self.statement: ast.Statement | None = None
+        self.plan: PlanNode | None = None
+        self.has_plan = False  # distinguishes "no entry" from a None plan
+        self.plan_version: int | None = None
+        self.columns: tuple[str, ...] | None = None
+        self.rows: tuple[tuple[Any, ...], ...] | None = None
+        self.result_version: int | None = None
+
+
+class PlanCache:
+    """LRU cache of parsed/planned/executed statements, keyed by text.
+
+    ``max_result_rows`` bounds the per-entry memory of the materialized
+    result layer: larger results are not cached (their AST and plan still
+    are), so a handful of ``SELECT * FROM big_table`` statements cannot
+    pin multiple copies of the database in memory.
+    """
+
+    def __init__(self, capacity: int = 256, max_result_rows: int = 10_000) -> None:
+        self._entries: LruCache = LruCache(capacity)
+        self.max_result_rows = max_result_rows
+        self.stats = {
+            "statement_hits": 0,
+            "statement_misses": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "result_hits": 0,
+            "result_misses": 0,
+        }
+
+    def _entry(self, text: str, create: bool = False) -> _Entry | None:
+        entry = self._entries.get(text)
+        if entry is None and create:
+            entry = _Entry()
+            self._entries.put(text, entry)
+        return entry
+
+    # -- parsed statements -------------------------------------------------
+
+    def statement(self, text: str) -> ast.Statement | None:
+        entry = self._entries.get(text)
+        if entry is not None and entry.statement is not None:
+            self.stats["statement_hits"] += 1
+            return entry.statement
+        self.stats["statement_misses"] += 1
+        return None
+
+    def store_statement(self, text: str, stmt: ast.Statement) -> None:
+        entry = self._entry(text, create=True)
+        assert entry is not None
+        entry.statement = stmt
+
+    # -- optimized plans ---------------------------------------------------
+
+    def plan(self, text: str, version: int) -> tuple[bool, PlanNode | None]:
+        """Return ``(hit, plan)`` — the plan may legitimately be None."""
+        entry = self._entries.get(text)
+        if entry is not None and entry.has_plan and entry.plan_version == version:
+            self.stats["plan_hits"] += 1
+            return True, entry.plan
+        self.stats["plan_misses"] += 1
+        return False, None
+
+    def store_plan(self, text: str, version: int, plan: PlanNode | None) -> None:
+        entry = self._entry(text, create=True)
+        assert entry is not None
+        entry.plan = plan
+        entry.has_plan = True
+        entry.plan_version = version
+
+    # -- materialized results ----------------------------------------------
+
+    def result(
+        self, text: str, version: int
+    ) -> tuple[tuple[str, ...], tuple[tuple[Any, ...], ...]] | None:
+        entry = self._entries.get(text)
+        if (
+            entry is not None
+            and entry.rows is not None
+            and entry.result_version == version
+        ):
+            self.stats["result_hits"] += 1
+            assert entry.columns is not None
+            return entry.columns, entry.rows
+        self.stats["result_misses"] += 1
+        return None
+
+    def store_result(
+        self,
+        text: str,
+        version: int,
+        columns: list[str],
+        rows: list[tuple[Any, ...]],
+    ) -> None:
+        if len(rows) > self.max_result_rows:
+            return
+        entry = self._entry(text, create=True)
+        assert entry is not None
+        entry.columns = tuple(columns)
+        entry.rows = tuple(rows)
+        entry.result_version = version
+
+    # -- management --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        for key in self.stats:
+            self.stats[key] = 0

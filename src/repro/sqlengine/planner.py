@@ -47,6 +47,7 @@ class ScanNode(PlanNode):
     binding: str
     eq_filters: list[tuple[str, Any]] = field(default_factory=list)
     range_filters: list[tuple[str, str, Any]] = field(default_factory=list)
+    in_filters: list[tuple[str, tuple[Any, ...]]] = field(default_factory=list)
     residual_filters: list[ast.Expr] = field(default_factory=list)
 
     def bindings(self) -> list[str]:
@@ -59,6 +60,8 @@ class ScanNode(PlanNode):
             hints.append("eq=" + ",".join(c for c, _ in self.eq_filters))
         if self.range_filters:
             hints.append("range=" + ",".join(c for c, _, _ in self.range_filters))
+        if self.in_filters:
+            hints.append("in=" + ",".join(c for c, _ in self.in_filters))
         if self.residual_filters:
             hints.append(f"residual={len(self.residual_filters)}")
         tail = f" [{' '.join(hints)}]" if hints else ""
@@ -88,7 +91,13 @@ class JoinNode(PlanNode):
 
 @dataclass
 class HashJoinNode(PlanNode):
-    """Equi-join evaluated by building a hash table on the right side."""
+    """Equi-join evaluated by building a hash table on one side.
+
+    ``build`` names the side the hash table is built on; the optimizer
+    picks the side with the smaller estimated cardinality (``est_left`` /
+    ``est_right``, from table statistics).  LEFT joins always build right,
+    because probing must iterate the preserved side.
+    """
 
     left: PlanNode
     right: PlanNode
@@ -96,6 +105,9 @@ class HashJoinNode(PlanNode):
     right_key: ast.Expr
     kind: str = "INNER"  # INNER | LEFT
     residual: ast.Expr | None = None
+    build: str = "right"  # left | right
+    est_left: float | None = None
+    est_right: float | None = None
 
     def bindings(self) -> list[str]:
         return self.left.bindings() + self.right.bindings()
@@ -103,11 +115,35 @@ class HashJoinNode(PlanNode):
     def describe(self, indent: int = 0) -> str:
         pad = "  " * indent
         res = f" residual={self.residual.render()}" if self.residual else ""
+        est = ""
+        if self.est_left is not None and self.est_right is not None:
+            est = f" est={self.est_left:.0f}x{self.est_right:.0f}"
         return (
-            f"{pad}HashJoin[{self.kind}] {self.left_key.render()} = "
-            f"{self.right_key.render()}{res}\n"
+            f"{pad}HashJoin[{self.kind} build={self.build}{est}] "
+            f"{self.left_key.render()} = {self.right_key.render()}{res}\n"
             f"{self.left.describe(indent + 1)}\n{self.right.describe(indent + 1)}"
         )
+
+
+@dataclass
+class ReorderNode(PlanNode):
+    """Presents a reordered join's output in the original binding order.
+
+    The statistics-driven join reordering changes which table feeds which
+    side of the join tree; this wrapper restores the query's declared
+    column order (so ``SELECT *`` output is unchanged) by permuting each
+    row's per-binding segments.
+    """
+
+    child: PlanNode
+    order: tuple[str, ...]  # binding order to present
+
+    def bindings(self) -> list[str]:
+        return list(self.order)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Reorder({', '.join(self.order)})\n{self.child.describe(indent + 1)}"
 
 
 @dataclass

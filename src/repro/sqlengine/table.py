@@ -6,11 +6,12 @@ Rows are stored as tuples in insertion order; deleted slots are tombstoned
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError, TypeMismatchError
 from repro.sqlengine.indexes import HashIndex, SortedIndex
 from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.statistics import TableStatistics
 from repro.sqlengine.types import coerce_value, is_numeric
 
 
@@ -27,6 +28,7 @@ class Table:
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
+        self.statistics = TableStatistics(schema)
         self._rows: list[tuple[Any, ...] | None] = []
         self._live_count = 0
         self._hash_indexes: dict[str, HashIndex] = {}
@@ -34,6 +36,13 @@ class Table:
         self._pk_index: HashIndex | None = None
         if schema.primary_key is not None:
             self._pk_index = HashIndex(schema.primary_key)
+        #: Set by the owning Database to bump its schema/DML version counter
+        #: (which invalidates plan caches and NLI value indexes).
+        self._on_mutation: Callable[[], None] | None = None
+
+    def _notify_mutation(self) -> None:
+        if self._on_mutation is not None:
+            self._on_mutation()
 
     # -- basics ------------------------------------------------------------
 
@@ -103,6 +112,8 @@ class Table:
         self._rows.append(row)
         self._live_count += 1
         self._index_row(row_id, row)
+        self.statistics.on_insert(row)
+        self._notify_mutation()
         return row_id
 
     def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
@@ -121,7 +132,66 @@ class Table:
         self._unindex_row(row_id, row)
         self._rows[row_id] = None
         self._live_count -= 1
+        self.statistics.on_delete(row)
+        self._notify_mutation()
         return True
+
+    def update_row(
+        self, row_id: int, values: Mapping[str, Any] | Sequence[Any]
+    ) -> bool:
+        """Replace a row in place, keeping its row id and insertion order.
+
+        Indexes and statistics are maintained; the primary key may change as
+        long as the new value does not collide with another live row.
+        """
+        return self.update_rows([(row_id, values)]) == 1
+
+    def update_rows(
+        self, updates: Iterable[tuple[int, Mapping[str, Any] | Sequence[Any]]]
+    ) -> int:
+        """Replace several rows in place, atomically with respect to errors.
+
+        All values are normalised and the *final* primary-key state is
+        validated before anything mutates, so a collision raises with the
+        table untouched.  The apply itself is two-phase (unindex all old
+        rows, then write+index all new ones), which makes chained updates
+        like ``SET id = id + 1`` — where intermediate states would collide
+        — come out right.
+        """
+        prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]] = []
+        for row_id, values in updates:
+            old = self.row_by_id(row_id)
+            if old is None:
+                continue
+            prepared.append((row_id, self._normalise(values), old))
+        if self._pk_index is not None and prepared:
+            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            updating = {row_id for row_id, _, _ in prepared}
+            seen: set[Any] = set()
+            for row_id, new, _ in prepared:
+                pk_val = new[pk_pos]
+                if pk_val is None:
+                    raise IntegrityError(
+                        f"primary key {self.name}.{self.schema.primary_key} "
+                        "cannot be NULL"
+                    )
+                if pk_val in seen or any(
+                    holder not in updating
+                    for holder in self._pk_index.lookup(pk_val)
+                ):
+                    raise IntegrityError(
+                        f"duplicate primary key {pk_val!r} in table {self.name!r}"
+                    )
+                seen.add(pk_val)
+        for row_id, _, old in prepared:
+            self._unindex_row(row_id, old)
+        for row_id, new, old in prepared:
+            self._rows[row_id] = new
+            self._index_row(row_id, new)
+            self.statistics.on_update(old, new)
+        if prepared:
+            self._notify_mutation()
+        return len(prepared)
 
     # -- indexes -----------------------------------------------------------
 
@@ -152,6 +222,7 @@ class Table:
         for row_id, row in self.rows_with_ids():
             index.add(row[pos], row_id)
         self._hash_indexes[col.name] = index
+        self._notify_mutation()  # cached plans without the index are stale
         return index
 
     def create_sorted_index(self, column: str) -> SortedIndex:
@@ -167,6 +238,7 @@ class Table:
         for row_id, row in self.rows_with_ids():
             index.add(row[pos], row_id)
         self._sorted_indexes[col.name] = index
+        self._notify_mutation()  # cached plans without the index are stale
         return index
 
     def hash_index(self, column: str) -> HashIndex | None:

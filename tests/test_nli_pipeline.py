@@ -212,6 +212,63 @@ class TestDialogue:
         assert "cruiser" in answer.sql and "> 1970" in answer.sql
 
 
+class TestDmlFreshness:
+    """The NLI must track DML: value index/lexicon rebuild on demand."""
+
+    def _fresh_nli(self):
+        db = fleet.build_database()
+        return NaturalLanguageInterface(db, domain=fleet.domain())
+
+    def test_question_about_inserted_value(self):
+        nli = self._fresh_nli()
+        # Regression: before lazy refresh this raised ParseFailure because
+        # the ValueIndex was built once at construction.
+        nli.engine.execute(
+            "INSERT INTO fleet VALUES (5, 'Arctic', 'Arctic', 'Reykjavik')"
+        )
+        answer = nli.ask("how many ships are in the arctic fleet")
+        assert answer.result.scalar() == 0
+        assert "Arctic" in answer.sql
+
+    def test_inserted_ship_counted(self):
+        nli = self._fresh_nli()
+        before = nli.ask("how many ships are there").result.scalar()
+        nli.engine.execute(
+            "INSERT INTO ship VALUES (999, 'Zumwalt', 3, 1, 1, 1, "
+            "8000, 600, 30, 1976, 150)"
+        )
+        assert nli.ask("how many ships are there").result.scalar() == before + 1
+
+    def test_manual_refresh(self):
+        nli = self._fresh_nli()
+        nli.database.table("fleet").insert((6, "Baltic", "Baltic", "Kiel"))
+        nli.refresh()
+        answer = nli.ask("how many ships are in the baltic fleet")
+        assert answer.result.scalar() == 0
+
+    def test_repeated_question_uses_prepared_cache(self):
+        nli = self._fresh_nli()
+        first = nli.ask("how many ships are there").result.scalar()
+        parse_key = (
+            "parse",
+            "how many ships are there",
+            nli.config.spelling_correction,
+            nli.config.max_parses,
+        )
+        assert parse_key in nli._prepared
+        assert nli.ask("how many ships are there").result.scalar() == first
+
+    def test_dml_clears_prepared_cache(self):
+        nli = self._fresh_nli()
+        nli.ask("how many ships are there")
+        nli.engine.execute(
+            "INSERT INTO ship VALUES (998, 'Extra', 3, 1, 1, 2, "
+            "8000, 600, 30, 1976, 150)"
+        )
+        nli.ask("how many ships are there")  # triggers lazy refresh
+        assert nli._db_version == nli.database.version
+
+
 class TestConfigKnobs:
     def test_spelling_off(self, fleet_db):
         nli = NaturalLanguageInterface(

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.nlp import damerau_levenshtein, stem, tokenize
 from repro.nlp.spelling import SpellingCorrector
+from repro.nlp.tokenizer import _CONTRACTIONS
 
 words = st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=12)
 
@@ -56,8 +57,10 @@ class TestStemmerProperties:
     @given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=10))
     def test_plural_s_joins_singular(self, word):
         # A regular plural must stem to the same thing as its singular,
-        # unless the word already ends with 's' (sses/ss special cases).
-        if word.endswith("s"):
+        # unless the word already ends with 's' (sses/ss special cases) or
+        # 'ie' (Porter's "ies"->"i" rule leaves the bare singular alone:
+        # dies->di but die->die, a known quirk of the 1980 algorithm).
+        if word.endswith("s") or word.endswith("ie"):
             return
         assert stem(word + "s") == stem(word)
 
@@ -70,7 +73,13 @@ class TestTokenizerProperties:
             assert token.text == token.text.lower()
             assert 0 <= token.start <= token.end <= len(text)
 
-    @given(st.lists(words.filter(bool), min_size=1, max_size=6))
+    @given(
+        st.lists(
+            words.filter(lambda w: w and w not in _CONTRACTIONS),
+            min_size=1,
+            max_size=6,
+        )
+    )
     def test_space_joined_words_roundtrip(self, parts):
         text = " ".join(parts)
         tokens = tokenize(text).words

@@ -95,6 +95,100 @@ class TestInsertDeleteUpdate:
         assert len(rows) == 1
         assert fresh.database.table("t").lookup_equal("tag", "a") != []
 
+    def test_update_preserves_row_order(self, fresh):
+        # Regression: delete+reinsert moved the updated row to the end.
+        self.setup_t(fresh)
+        fresh.execute("UPDATE t SET v = 21 WHERE id = 2")
+        assert fresh.execute("SELECT id FROM t").rows == [(1,), (2,), (3,)]
+
+    def test_update_preserves_row_id(self, fresh):
+        self.setup_t(fresh)
+        table = fresh.database.table("t")
+        before = {row_id for row_id, row in table.rows_with_ids() if row[0] == 2}
+        fresh.execute("UPDATE t SET v = 21 WHERE id = 2")
+        after = {row_id for row_id, row in table.rows_with_ids() if row[0] == 2}
+        assert before == after
+
+    def test_update_pk_change_allowed(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("UPDATE t SET id = 9 WHERE id = 2")
+        assert fresh.execute("SELECT v FROM t WHERE id = 9").scalar() == 20
+        assert fresh.execute("SELECT COUNT(*) FROM t WHERE id = 2").scalar() == 0
+
+    def test_update_pk_collision_rejected(self, fresh):
+        self.setup_t(fresh)
+        with pytest.raises(IntegrityError):
+            fresh.execute("UPDATE t SET id = 1 WHERE id = 2")
+
+    def test_update_pk_self_assignment_ok(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("UPDATE t SET id = 2 WHERE id = 2")
+        assert fresh.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_failed_multi_row_update_leaves_table_untouched(self, fresh):
+        # Regression: the collision used to surface mid-apply, leaving
+        # earlier rows already updated.
+        self.setup_t(fresh)
+        before = fresh.execute("SELECT id, v, tag FROM t").rows
+        with pytest.raises(IntegrityError):
+            fresh.execute("UPDATE t SET id = 9 WHERE id IN (2, 3)")
+        assert fresh.execute("SELECT id, v, tag FROM t").rows == before
+
+    def test_update_pk_chain_shift(self, fresh):
+        # id = id + 1 transiently collides row-by-row; the two-phase batch
+        # apply must land on the valid final state.
+        self.setup_t(fresh)
+        fresh.execute("UPDATE t SET id = id + 1")
+        assert fresh.execute("SELECT id FROM t").rows == [(2,), (3,), (4,)]
+        assert fresh.execute("SELECT v FROM t WHERE id = 2").scalar() == 10
+
+    def test_update_pk_swap(self, fresh):
+        self.setup_t(fresh)
+        fresh.execute("UPDATE t SET id = 4 - id WHERE id IN (1, 3)")
+        assert fresh.execute("SELECT v FROM t WHERE id = 1").scalar() == 30
+        assert fresh.execute("SELECT v FROM t WHERE id = 3").scalar() == 10
+
+
+class TestDmlUsesIndexes:
+    """UPDATE/DELETE route WHERE matching through the scan-planning path."""
+
+    def _populated(self, use_indexes):
+        db = Database()
+        engine = Engine(db, use_indexes=use_indexes)
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, tag TEXT)")
+        for i in range(40):
+            engine.execute(f"INSERT INTO t VALUES ({i}, {i * 10}, 'g{i % 4}')")
+        db.table("t").create_sorted_index("v")
+        return engine
+
+    def test_indexed_update_matches_unindexed(self):
+        indexed = self._populated(use_indexes=True)
+        plain = self._populated(use_indexes=False)
+        for engine in (indexed, plain):
+            engine.execute("UPDATE t SET tag = 'hit' WHERE id = 7")
+            engine.execute("UPDATE t SET tag = 'range' WHERE v BETWEEN 100 AND 150")
+        left = indexed.execute("SELECT id, v, tag FROM t").rows
+        right = plain.execute("SELECT id, v, tag FROM t").rows
+        assert left == right
+
+    def test_indexed_delete_matches_unindexed(self):
+        indexed = self._populated(use_indexes=True)
+        plain = self._populated(use_indexes=False)
+        for engine in (indexed, plain):
+            engine.execute("DELETE FROM t WHERE id IN (3, 5, 8)")
+            engine.execute("DELETE FROM t WHERE v > 300")
+        assert (
+            indexed.execute("SELECT id FROM t").rows
+            == plain.execute("SELECT id FROM t").rows
+        )
+
+    def test_update_where_subquery_still_works(self):
+        engine = self._populated(use_indexes=True)
+        engine.execute(
+            "UPDATE t SET tag = 'max' WHERE v = (SELECT MAX(v) FROM t)"
+        )
+        assert engine.execute("SELECT COUNT(*) FROM t WHERE tag = 'max'").scalar() == 1
+
 
 class TestCsvIo:
     def test_roundtrip(self, fresh):

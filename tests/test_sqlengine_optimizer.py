@@ -4,8 +4,14 @@ import pytest
 
 from repro.sqlengine import Database, Engine
 from repro.sqlengine.parser import parse_select
-from repro.sqlengine.planner import FilterNode, HashJoinNode, ScanNode, build_plan
-from repro.sqlengine.optimizer import optimize
+from repro.sqlengine.planner import (
+    FilterNode,
+    HashJoinNode,
+    ReorderNode,
+    ScanNode,
+    build_plan,
+)
+from repro.sqlengine.optimizer import estimate_rows, optimize
 
 from tests.conftest import make_library_db
 
@@ -20,6 +26,12 @@ QUERIES = [
     "SELECT title FROM book WHERE author_id IN (SELECT id FROM author WHERE country = 'usa')",
     "SELECT a.country, COUNT(*) FROM author a GROUP BY a.country",
     "SELECT * FROM book WHERE price IS NULL",
+    "SELECT * FROM book WHERE id IN (1, 3, 5)",
+    "SELECT * FROM book WHERE pages BETWEEN 200 AND 300",
+    "SELECT a.name, b.title, l.member FROM author a "
+    "JOIN book b ON a.id = b.author_id JOIN loan l ON l.book_id = b.id",
+    "SELECT * FROM loan l JOIN book b ON l.book_id = b.id "
+    "JOIN author a ON b.author_id = a.id WHERE a.country = 'poland'",
 ]
 
 
@@ -109,6 +121,169 @@ class TestPlanShapes:
             "SELECT * FROM author a JOIN book b ON a.id = b.author_id"
         ).describe()
         assert "HashJoin" in text and "Scan(author" in text
+
+    def test_in_list_becomes_multi_eq_hint(self):
+        plan = self.plan("SELECT * FROM author WHERE id IN (1, 3)")
+        assert isinstance(plan, ScanNode)
+        assert plan.in_filters == [("id", (1, 3))]
+        assert plan.residual_filters == []
+        assert "in=id" in plan.describe()
+
+    def test_in_list_requires_index(self):
+        plan = self.plan("SELECT * FROM book WHERE year IN (1969, 1974)")
+        assert plan.in_filters == []  # year is unindexed -> stays residual
+        assert len(plan.residual_filters) == 1
+
+    def test_in_list_with_null_stays_residual(self):
+        plan = self.plan("SELECT * FROM author WHERE id IN (1, NULL)")
+        assert plan.in_filters == []
+
+    def test_between_becomes_range_pair(self):
+        self.db.table("book").create_sorted_index("pages")
+        plan = self.plan("SELECT * FROM book WHERE pages BETWEEN 200 AND 300")
+        assert plan.range_filters == [("pages", ">=", 200), ("pages", "<=", 300)]
+        assert plan.residual_filters == []
+
+    def test_between_requires_sorted_index(self):
+        plan = self.plan("SELECT * FROM book WHERE pages BETWEEN 200 AND 300")
+        assert plan.range_filters == []
+        assert len(plan.residual_filters) == 1
+
+    def test_not_between_stays_residual(self):
+        self.db.table("book").create_sorted_index("pages")
+        plan = self.plan("SELECT * FROM book WHERE pages NOT BETWEEN 200 AND 300")
+        assert plan.range_filters == []
+
+    def test_type_mismatched_literal_stays_residual(self):
+        # An index lookup of '2' on an INT column silently misses, but the
+        # residual evaluator raises TypeMismatchError — the hint must not
+        # change semantics, so mismatched literals stay residual.
+        for sql in (
+            "SELECT * FROM author WHERE id = '2'",
+            "SELECT * FROM author WHERE id IN ('1', 2)",
+        ):
+            plan = self.plan(sql)
+            assert plan.eq_filters == [] and plan.in_filters == []
+            assert len(plan.residual_filters) == 1
+
+    def test_type_mismatch_raises_same_as_naive(self):
+        from repro.errors import TypeMismatchError
+
+        engine = Engine(self.db)
+        naive = Engine(self.db, use_optimizer=False)
+        for sql in (
+            "SELECT * FROM author WHERE id = '2'",
+            "SELECT * FROM author WHERE id IN ('1', 2)",
+        ):
+            with pytest.raises(TypeMismatchError):
+                engine.execute(sql)
+            with pytest.raises(TypeMismatchError):
+                naive.execute(sql)
+
+    def test_float_literal_on_int_column_still_hinted(self):
+        plan = self.plan("SELECT * FROM author WHERE id = 2.0")
+        assert plan.eq_filters == [("id", 2.0)]
+        assert Engine(self.db).execute(
+            "SELECT name FROM author WHERE id = 2.0"
+        ).rows == [("Stanislaw Lem",)]
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.db = make_library_db()
+
+    def plan(self, sql):
+        return optimize(build_plan(parse_select(sql), self.db), self.db, True)
+
+    def test_estimates_reflect_table_sizes(self):
+        plan = self.plan("SELECT * FROM author a JOIN book b ON a.id = b.author_id")
+        assert isinstance(plan, HashJoinNode)
+        assert plan.est_left == pytest.approx(4.0)  # 4 authors
+        assert plan.est_right == pytest.approx(6.0)  # 6 books
+
+    def test_build_side_is_smaller_input(self):
+        plan = self.plan("SELECT * FROM author a JOIN book b ON a.id = b.author_id")
+        assert plan.build == "left"  # authors (4) < books (6)
+        flipped = self.plan("SELECT * FROM book b JOIN author a ON a.id = b.author_id")
+        assert flipped.build == "right"
+
+    def test_build_side_shown_in_explain(self):
+        text = self.plan(
+            "SELECT * FROM author a JOIN book b ON a.id = b.author_id"
+        ).describe()
+        assert "build=left" in text and "est=4x6" in text
+
+    def test_left_join_always_builds_right(self):
+        plan = self.plan("SELECT * FROM book b LEFT JOIN loan l ON l.book_id = b.id")
+        assert isinstance(plan, HashJoinNode)
+        assert plan.build == "right"
+
+    def test_filter_tightens_estimate(self):
+        small = self.plan("SELECT * FROM book b WHERE b.id = 1")
+        assert estimate_rows(small, self.db) == pytest.approx(1.0)
+
+    def test_estimates_follow_dml(self):
+        engine = Engine(self.db)
+        for i in range(100, 130):
+            engine.execute(f"INSERT INTO author VALUES ({i}, 'A{i}', 'usa', 1950)")
+        plan = self.plan("SELECT * FROM author a JOIN book b ON a.id = b.author_id")
+        assert plan.build == "right"  # authors (34) now outnumber books (6)
+
+
+class TestJoinReordering:
+    def setup_method(self):
+        self.db = make_library_db()
+
+    def plan(self, sql):
+        return optimize(build_plan(parse_select(sql), self.db), self.db, True)
+
+    def test_three_way_join_reordered_smallest_first(self):
+        # loan has 4 rows, book 6, author 4 with a filter -> author first.
+        plan = self.plan(
+            "SELECT * FROM loan l JOIN book b ON l.book_id = b.id "
+            "JOIN author a ON b.author_id = a.id WHERE a.country = 'poland'"
+        )
+        assert isinstance(plan, ReorderNode)
+        assert plan.order == ("l", "b", "a")
+        assert "Reorder(l, b, a)" in plan.describe()
+
+    def test_reorder_preserves_star_column_order(self):
+        sql = (
+            "SELECT * FROM loan l JOIN book b ON l.book_id = b.id "
+            "JOIN author a ON b.author_id = a.id WHERE a.country = 'poland'"
+        )
+        fast = Engine(self.db).execute(sql)
+        slow = Engine(self.db, use_optimizer=False).execute(sql)
+        assert fast.columns == slow.columns
+        assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows))
+
+    def test_two_table_join_not_wrapped(self):
+        plan = self.plan("SELECT * FROM author a JOIN book b ON a.id = b.author_id")
+        assert not isinstance(plan, ReorderNode)
+
+    def test_left_join_chain_not_reordered(self):
+        plan = self.plan(
+            "SELECT * FROM book b LEFT JOIN loan l ON l.book_id = b.id "
+            "LEFT JOIN author a ON b.author_id = a.id"
+        )
+        assert not isinstance(plan, ReorderNode)
+
+    def test_subquery_condition_disables_reorder(self):
+        plan = self.plan(
+            "SELECT * FROM loan l JOIN book b ON l.book_id = b.id "
+            "JOIN author a ON b.author_id = a.id "
+            "WHERE a.id IN (SELECT id FROM author)"
+        )
+        # The subquery conjunct stays above; the join chain below may or
+        # may not reorder, but execution must stay correct either way.
+        engine = Engine(self.db)
+        naive = Engine(self.db, use_optimizer=False)
+        sql = (
+            "SELECT l.member FROM loan l JOIN book b ON l.book_id = b.id "
+            "JOIN author a ON b.author_id = a.id "
+            "WHERE a.id IN (SELECT id FROM author)"
+        )
+        assert sorted(engine.execute(sql).rows) == sorted(naive.execute(sql).rows)
 
 
 class TestIndexCorrectness:

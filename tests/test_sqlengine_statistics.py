@@ -1,0 +1,144 @@
+"""Tests for incremental table statistics and selectivity estimates."""
+
+import pytest
+
+from repro.sqlengine import Database, Engine
+from repro.sqlengine.statistics import DEFAULT_SELECTIVITY
+
+from tests.conftest import make_library_db
+
+
+@pytest.fixture()
+def engine():
+    return Engine(Database())
+
+
+def setup_t(engine):
+    engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, tag TEXT)")
+    engine.execute(
+        "INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'a'), (4, NULL, 'c')"
+    )
+    return engine.database.table("t")
+
+
+class TestMaintenance:
+    def test_row_count_tracks_inserts(self, engine):
+        table = setup_t(engine)
+        assert table.statistics.row_count == 4
+        engine.execute("INSERT INTO t VALUES (5, 50, 'd')")
+        assert table.statistics.row_count == 5
+
+    def test_row_count_tracks_deletes(self, engine):
+        table = setup_t(engine)
+        engine.execute("DELETE FROM t WHERE tag = 'a'")
+        assert table.statistics.row_count == 2
+
+    def test_distinct_and_nulls(self, engine):
+        table = setup_t(engine)
+        tag = table.statistics.column("tag")
+        assert tag.distinct == 3  # a, b, c
+        assert table.statistics.column("v").null_count == 1
+
+    def test_min_max_maintained_on_insert(self, engine):
+        table = setup_t(engine)
+        v = table.statistics.column("v")
+        assert (v.min_value, v.max_value) == (10, 30)
+        engine.execute("INSERT INTO t VALUES (5, 99, 'z')")
+        assert v.max_value == 99
+
+    def test_min_max_recomputed_after_extremum_delete(self, engine):
+        table = setup_t(engine)
+        engine.execute("DELETE FROM t WHERE v = 30")
+        v = table.statistics.column("v")
+        assert v.max_value == 20
+        engine.execute("DELETE FROM t WHERE v = 10")
+        assert v.min_value == 20
+
+    def test_update_moves_counts(self, engine):
+        table = setup_t(engine)
+        engine.execute("UPDATE t SET tag = 'z' WHERE id = 2")
+        tag = table.statistics.column("tag")
+        assert tag.frequency("b") == 0
+        assert tag.frequency("z") == 1
+        assert table.statistics.row_count == 4
+
+    def test_frequency_exact(self, engine):
+        table = setup_t(engine)
+        assert table.statistics.column("tag").frequency("a") == 2
+        assert table.statistics.column("tag").frequency("missing") == 0
+
+    def test_database_accessor(self):
+        db = make_library_db()
+        assert db.statistics("author").row_count == 4
+
+    def test_describe_mentions_columns(self, engine):
+        table = setup_t(engine)
+        text = table.statistics.describe()
+        assert "4 rows" in text and "tag" in text
+
+
+class TestSelectivity:
+    def test_eq_uses_exact_histogram(self, engine):
+        table = setup_t(engine)
+        assert table.statistics.eq_selectivity("tag", "a") == pytest.approx(0.5)
+        assert table.statistics.eq_selectivity("tag", "missing") == 0.0
+
+    def test_eq_null_never_matches(self, engine):
+        table = setup_t(engine)
+        assert table.statistics.eq_selectivity("v", None) == 0.0
+
+    def test_in_sums_and_caps(self, engine):
+        table = setup_t(engine)
+        sel = table.statistics.in_selectivity("tag", ["a", "b"])
+        assert sel == pytest.approx(0.75)
+        assert table.statistics.in_selectivity("tag", ["a", "b", "c", "a"]) <= 1.0
+
+    def test_range_interpolates(self, engine):
+        table = setup_t(engine)
+        # v spans 10..30; "> 20" covers half the span.
+        sel = table.statistics.range_selectivity("v", ">", 20)
+        assert 0.0 <= sel <= 1.0
+        assert sel == pytest.approx(0.5)
+
+    def test_range_clamps_out_of_bounds(self, engine):
+        table = setup_t(engine)
+        assert table.statistics.range_selectivity("v", ">", 1000) == 0.0
+        assert table.statistics.range_selectivity("v", "<", 1000) == 1.0
+
+    def test_text_range_falls_back(self, engine):
+        table = setup_t(engine)
+        sel = table.statistics.range_selectivity("tag", ">", "a")
+        assert sel == pytest.approx(DEFAULT_SELECTIVITY)
+
+    def test_empty_table_selectivity_zero(self, engine):
+        engine.execute("CREATE TABLE e (id INT PRIMARY KEY)")
+        stats = engine.database.statistics("e")
+        assert stats.eq_selectivity("id", 1) == 0.0
+
+
+class TestVersionCounter:
+    def test_ddl_and_dml_bump(self, engine):
+        v0 = engine.database.version
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        v1 = engine.database.version
+        assert v1 > v0
+        engine.execute("INSERT INTO t VALUES (1)")
+        v2 = engine.database.version
+        assert v2 > v1
+        engine.execute("UPDATE t SET id = 2")
+        v3 = engine.database.version
+        assert v3 > v2
+        engine.execute("DELETE FROM t")
+        assert engine.database.version > v3
+
+    def test_select_does_not_bump(self, engine):
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        before = engine.database.version
+        engine.execute("SELECT * FROM t")
+        assert engine.database.version == before
+
+    def test_index_creation_bumps(self, engine):
+        engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        before = engine.database.version
+        engine.database.table("t").create_hash_index("v")
+        assert engine.database.version > before
