@@ -30,3 +30,23 @@ class NliConfig:
     clarification_margin: float = 0.0
     #: Maximum rows echoed in Answer.paraphrase result summaries.
     answer_rows: int = 25
+
+    # -- cache sizing / refresh knobs ---------------------------------------
+    #: Capacity of the prepared-question LRU (normalize/parse results per
+    #: question string).  Sized for an interactive session's working set;
+    #: raise it for batch evaluation over large question corpora.
+    prepared_cache_size: int = 256
+    #: Capacity of the engine's statement-plan cache (AST + optimized plan
+    #: + materialized result per statement text).  Entries are stamped with
+    #: per-table versions, so a write to one table leaves entries for other
+    #: tables valid — the cache only needs to hold the distinct statement
+    #: texts of the workload.
+    plan_cache_size: int = 256
+    #: Per-entry row bound for the plan cache's materialized-result layer;
+    #: larger results are executed but not cached, so a handful of
+    #: ``SELECT *`` statements cannot pin copies of the database in memory.
+    max_cached_result_rows: int = 10_000
+    #: When this many row-level deltas pile up before the next question, a
+    #: full language-layer rebuild is cheaper than replaying them one by
+    #: one (bulk loads); below it, the value index updates incrementally.
+    max_pending_deltas: int = 10_000

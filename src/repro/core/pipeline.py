@@ -30,7 +30,7 @@ from repro.errors import (
 from repro.grammar.earley import EarleyParser, TerminalMatch
 from repro.grammar.english import build_english_grammar, grammar_literal_words
 from repro.grammar.sketch import Sketch
-from repro.lexicon.builder import build_lexicon
+from repro.lexicon.builder import build_lexicon, data_dependent_columns
 from repro.lexicon.domain import DomainModel
 from repro.logical.forms import EntityRef
 from repro.nlp.stopwords import PROTECTED_WORDS
@@ -39,6 +39,7 @@ from repro.schemagraph.graph import SchemaGraph
 from repro.sqlengine.database import Database
 from repro.sqlengine.executor import Engine
 from repro.sqlengine.plancache import LruCache
+from repro.sqlengine.table import TableDelta
 from repro.valueindex.index import ValueIndex
 
 
@@ -80,15 +81,39 @@ class NaturalLanguageInterface:
         self.database = database
         self.domain = domain
         self.config = config or NliConfig()
-        self.engine = Engine(database)
+        self.engine = Engine(
+            database,
+            plan_cache_size=self.config.plan_cache_size,
+            max_cached_result_rows=self.config.max_cached_result_rows,
+        )
         self.grammar = build_english_grammar()
         self.parser = EarleyParser(self.grammar)
         self._literal_words = grammar_literal_words(self.grammar)
         self._protected = frozenset(PROTECTED_WORDS | self._literal_words | PRONOUNS)
         #: Prepared-pipeline cache: question string -> normalize/parse
-        #: results, cleared whenever the database version moves.
-        self._prepared: LruCache = LruCache(capacity=256)
+        #: results.  Cleared whenever the language layers change (a full
+        #: rebuild or an applied delta), because cached parses may embed
+        #: value references resolved against the old index.
+        self._prepared: LruCache = LruCache(capacity=self.config.prepared_cache_size)
+        #: (table, column) pairs whose live data feeds lexicon entries;
+        #: deltas touching them force a lexicon rebuild (still cheap —
+        #: O(schema + domain), not O(rows)).
+        self._lexicon_data_columns = data_dependent_columns(domain)
+        #: Row-level deltas received since the last refresh, drained by
+        #: _ensure_fresh on the next question.
+        self._pending_deltas: list[TableDelta] = []
+        #: Refresh accounting, asserted by tests and benchmarks: the
+        #: interleaved-DML story is "delta_refreshes go up, full_rebuilds
+        #: do not".
+        self.stats = {
+            "full_rebuilds": 0,
+            "delta_refreshes": 0,
+            "deltas_applied": 0,
+        }
         self._build_language_layers()
+        # Subscribe to row-level deltas (held weakly by the database, so a
+        # dropped NLI does not linger as a listener).
+        database.add_delta_listener(self._on_delta)
 
     def _build_language_layers(self) -> None:
         """(Re)build everything derived from the database contents."""
@@ -108,19 +133,68 @@ class NaturalLanguageInterface:
             self.database, self.graph, self.domain, self.config.join_inference
         )
         self._prepared.clear()
-        self._db_version = self.database.version
+        self._pending_deltas.clear()
+        self._catalog_version = self.database.catalog_version
+        self.stats["full_rebuilds"] += 1
 
-    def refresh(self) -> None:
-        """Rebuild the lexicon, value index and caches after DML/DDL.
+    def _on_delta(self, delta: TableDelta) -> None:
+        """Database mutation callback: buffer the delta for the next ask."""
+        self._pending_deltas.append(delta)
 
-        Called automatically (lazily) when the database's version counter
-        has moved since the language layers were built, so questions about
-        freshly inserted values resolve without manual intervention.
+    def refresh(self, *, full: bool = False) -> None:
+        """Bring the language layers up to date after DML/DDL.
+
+        Called automatically (lazily) before each question.  DML is
+        absorbed *incrementally*: each table mutation emits a row-level
+        delta of string values, and the value index adds/removes exactly
+        those phrases — O(changed rows), not O(database).  The lexicon is
+        only rebuilt when a delta touches a column that feeds data-derived
+        entries (categorical entity nouns).  A full rebuild happens on
+        catalog DDL (create/drop table), when deltas piled up past
+        ``config.max_pending_deltas`` (bulk load), or on ``full=True``.
         """
-        self._build_language_layers()
+        if (
+            full
+            or self.database.catalog_version != self._catalog_version
+            or len(self._pending_deltas) > self.config.max_pending_deltas
+        ):
+            self._build_language_layers()
+            return
+        if not self._pending_deltas:
+            return
+        deltas, self._pending_deltas = self._pending_deltas, []
+        # Only string values feed the language layers; numeric-only DML and
+        # index DDL produce valueless deltas and must not cost a prepared-
+        # cache flush (the engine's plan cache handles result freshness).
+        deltas = [d for d in deltas if d.added or d.removed]
+        if not deltas:
+            return
+        rebuild_lexicon = False
+        for delta in deltas:
+            if self.value_index is not None:
+                self.value_index.apply_delta(delta)
+            if not rebuild_lexicon and self._lexicon_data_columns:
+                changed = delta.added + delta.removed
+                rebuild_lexicon = any(
+                    (delta.table, column) in self._lexicon_data_columns
+                    for column, _ in changed
+                )
+        if rebuild_lexicon:
+            self.lexicon = build_lexicon(
+                self.database,
+                self.domain,
+                synonym_fraction=self.config.synonym_fraction,
+            )
+        # Cached parses may hold ValueRefs into the old index state.
+        self._prepared.clear()
+        self.stats["delta_refreshes"] += 1
+        self.stats["deltas_applied"] += len(deltas)
 
     def _ensure_fresh(self) -> None:
-        if self.database.version != self._db_version:
+        if (
+            self._pending_deltas
+            or self.database.catalog_version != self._catalog_version
+        ):
             self.refresh()
 
     # -- pipeline stages (public for tests/diagnostics) -------------------------

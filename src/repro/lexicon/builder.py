@@ -34,6 +34,25 @@ def _take_fraction(phrases: tuple[str, ...], fraction: float) -> tuple[str, ...]
     return phrases[:keep]
 
 
+def data_dependent_columns(domain: DomainModel | None) -> set[tuple[str, str]]:
+    """The ``(table, column)`` pairs whose *live data* feeds the lexicon.
+
+    Everything else in the lexicon derives from the catalog and the domain
+    model, which only change on DDL.  Categorical entity nouns, however,
+    are enumerated from the rows of their source column — so the NLI's
+    delta-driven refresh only needs to rebuild the lexicon when a mutation
+    touches one of these columns.
+    """
+    if domain is None:
+        return set()
+    # Deltas carry schema-normalized (lowercase) names; domain specs may
+    # not, so normalize here or mixed-case specs would never match.
+    return {
+        (spec.via_table.lower(), spec.via_column.lower())
+        for spec in domain.categorical_entities
+    }
+
+
 def build_lexicon(
     database: Database,
     domain: DomainModel | None = None,

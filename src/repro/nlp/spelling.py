@@ -102,6 +102,29 @@ class SpellingCorrector:
         for word in words:
             self.add_word(word, weight)
 
+    def remove_word(self, word: str, weight: int = 1) -> None:
+        """Withdraw ``weight`` from a word; drop it when nothing remains.
+
+        The inverse of :meth:`add_word`, used by incrementally maintained
+        indexes (the value index removes a deleted row's words so typos no
+        longer correct toward values that left the database).
+        """
+        lowered = word.lower()
+        remaining = self._vocabulary.get(lowered)
+        if remaining is None:
+            return
+        if remaining > weight:
+            self._vocabulary[lowered] = remaining - weight
+            return
+        del self._vocabulary[lowered]
+        bucket = self._by_length.get(len(lowered), [])
+        try:
+            bucket.remove(lowered)
+        except ValueError:  # pragma: no cover - maps kept in lockstep
+            pass
+        if not bucket:
+            self._by_length.pop(len(lowered), None)
+
     def __contains__(self, word: str) -> bool:
         return word.lower() in self._vocabulary
 

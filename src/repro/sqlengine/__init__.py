@@ -19,6 +19,7 @@ from repro.sqlengine.plancache import LruCache, PlanCache
 from repro.sqlengine.result import ResultSet
 from repro.sqlengine.schema import Column, ForeignKey, TableSchema
 from repro.sqlengine.statistics import ColumnStats, TableStatistics
+from repro.sqlengine.table import Table, TableDelta
 from repro.sqlengine.types import SqlType
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "PlanCache",
     "ResultSet",
     "SqlType",
+    "Table",
+    "TableDelta",
     "TableSchema",
     "TableStatistics",
     "dump_csv",

@@ -378,3 +378,40 @@ def contains_aggregate(expr: Expr, aggregate_names: frozenset[str]) -> bool:
         isinstance(node, FunctionCall) and node.name.lower() in aggregate_names
         for node in walk(expr)
     )
+
+
+def referenced_tables(select: "Select") -> frozenset[str]:
+    """All table names a SELECT reads from, including inside subqueries.
+
+    This is the dependency set the plan cache stamps entries with: a cached
+    plan/result is valid only while the version of *every* referenced table
+    is unchanged.  Unlike :func:`walk` (expressions only), this descends
+    into ``IN (SELECT ...)``, scalar subqueries and ``EXISTS``.
+    """
+    found: set[str] = set()
+
+    def visit_expr(expr: Expr) -> None:
+        for node in walk(expr):
+            if isinstance(node, (InSubquery, ScalarSubquery, Exists)):
+                visit_select(node.subquery)
+
+    def visit_select(node: Select) -> None:
+        if node.from_table is not None:
+            found.add(node.from_table.name.lower())
+        for join in node.joins:
+            found.add(join.table.name.lower())
+            if join.condition is not None:
+                visit_expr(join.condition)
+        for item in node.items:
+            if not isinstance(item.expr, Star):
+                visit_expr(item.expr)
+        for clause in (node.where, node.having):
+            if clause is not None:
+                visit_expr(clause)
+        for group in node.group_by:
+            visit_expr(group)
+        for order in node.order_by:
+            visit_expr(order.expr)
+
+    visit_select(select)
+    return frozenset(found)

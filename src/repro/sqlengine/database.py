@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+import weakref
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError, UnknownTableError
 from repro.sqlengine.schema import TableSchema
 from repro.sqlengine.statistics import TableStatistics
-from repro.sqlengine.table import Table
+from repro.sqlengine.table import Table, TableDelta
 
 
 class Database:
@@ -22,21 +23,93 @@ class Database:
         self.name = name
         self.enforce_fk = enforce_fk
         self._tables: dict[str, Table] = {}
-        self._version = 0
+        #: Global monotone clock.  Every mutation anywhere advances it, and
+        #: the mutated table's own stamp is set to the new clock value — so
+        #: per-table stamps are unique across the database's whole history
+        #: (a dropped-and-recreated table can never echo an old stamp).
+        self._clock = 0
+        self._catalog_version = 0
+        #: Zero-arg holders resolving to a live listener or None (weak for
+        #: bound methods, strong otherwise) — see add_delta_listener.
+        self._delta_listeners: list[Callable[[], Any]] = []
 
     # -- schema/DML versioning ------------------------------------------------
 
     @property
     def version(self) -> int:
-        """Monotone counter bumped by every DDL/DML mutation.
+        """Derived summary clock: advanced by every DDL/DML mutation.
 
-        Consumers (the engine's plan cache, the NLI's value index and
-        lexicon) compare stored stamps against this to invalidate lazily.
+        Kept as a cheap "did anything change at all" signal; fine-grained
+        consumers should use :meth:`table_version` / :meth:`table_versions`
+        so a write to one table does not invalidate state derived from
+        others.
         """
-        return self._version
+        return self._clock
 
-    def _bump_version(self) -> None:
-        self._version += 1
+    @property
+    def catalog_version(self) -> int:
+        """Bumped only by CREATE/DROP TABLE (schema-shape changes)."""
+        return self._catalog_version
+
+    def table_version(self, name: str) -> int | None:
+        """Current stamp of one table, or None when it does not exist."""
+        table = self._tables.get(name.lower())
+        return None if table is None else table.version
+
+    def table_versions(self) -> dict[str, int]:
+        """Snapshot of every table's version stamp."""
+        return {name: table.version for name, table in self._tables.items()}
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _on_table_mutation(self, delta: TableDelta) -> int:
+        """Table-mutation callback: advance the clock, fan the delta out.
+
+        The mutated table's stamp is assigned *before* listeners run, so a
+        listener that queries through the plan cache mid-callback cannot be
+        served a pre-mutation materialized result under a stale stamp.
+        """
+        stamp = self._tick()
+        table = self._tables.get(delta.table)
+        if table is not None:
+            table._version = stamp
+        if self._delta_listeners:
+            self._broadcast(delta)
+        return stamp
+
+    # -- delta listeners ------------------------------------------------------
+
+    def add_delta_listener(self, listener: Callable[[TableDelta], None]) -> None:
+        """Subscribe to row-level deltas from every table.
+
+        Bound methods are held weakly (``WeakMethod``), so a forgotten NLI
+        does not keep receiving deltas — or leak — once dropped; anything
+        else (plain functions, builtin methods) is held strongly.
+        """
+        try:
+            ref: Callable[[], Any] = weakref.WeakMethod(listener)  # type: ignore[arg-type]
+        except TypeError:
+            ref = lambda fn=listener: fn  # noqa: E731 - strong holder
+        self._delta_listeners.append(ref)
+
+    def remove_delta_listener(self, listener: Callable[[TableDelta], None]) -> None:
+        self._delta_listeners = [
+            ref for ref in self._delta_listeners if ref() not in (None, listener)
+        ]
+
+    def _broadcast(self, delta: TableDelta) -> None:
+        # Dispatch over a snapshot, then prune dead refs from the *current*
+        # list — a listener may subscribe or unsubscribe during its own
+        # callback, and overwriting with the snapshot would lose that.
+        for ref in list(self._delta_listeners):
+            fn = ref()
+            if fn is not None:
+                fn(delta)
+        self._delta_listeners = [
+            ref for ref in self._delta_listeners if ref() is not None
+        ]
 
     # -- catalog -------------------------------------------------------------
 
@@ -50,9 +123,10 @@ class Database:
                     f"{fk.ref_table!r}"
                 )
         table = Table(schema)
-        table._on_mutation = self._bump_version
+        table._on_mutation = self._on_table_mutation
+        table._version = self._tick()
         self._tables[schema.name] = table
-        self._bump_version()
+        self._catalog_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -61,7 +135,8 @@ class Database:
             raise UnknownTableError(f"no table named {name!r}")
         self._tables[lowered]._on_mutation = None
         del self._tables[lowered]
-        self._bump_version()
+        self._tick()
+        self._catalog_version += 1
 
     def table(self, name: str) -> Table:
         lowered = name.lower()

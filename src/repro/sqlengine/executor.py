@@ -103,11 +103,16 @@ class Engine:
         use_indexes: bool = True,
         use_plan_cache: bool = True,
         plan_cache_size: int = 256,
+        max_cached_result_rows: int = 10_000,
     ) -> None:
         self.database = database
         self.use_optimizer = use_optimizer
         self.use_indexes = use_indexes
-        self.plan_cache = PlanCache(plan_cache_size) if use_plan_cache else None
+        self.plan_cache = (
+            PlanCache(plan_cache_size, max_cached_result_rows)
+            if use_plan_cache
+            else None
+        )
         self._evaluator = Evaluator(self._run_subquery)
 
     # -- public API ------------------------------------------------------------
@@ -174,13 +179,31 @@ class Engine:
             object.__setattr__(select, "_rendered_key", key)
         return key
 
+    @staticmethod
+    def _dependencies(select: ast.Select) -> frozenset[str]:
+        """Tables ``select`` reads (incl. subqueries), memoized on the node."""
+        deps = getattr(select, "_dep_tables", None)
+        if deps is None:
+            deps = ast.referenced_tables(select)
+            object.__setattr__(select, "_dep_tables", deps)
+        return deps
+
+    def _dependency_stamps(self, select: ast.Select) -> dict[str, int]:
+        """Current ``{table: version}`` stamps for the statement's tables."""
+        stamps: dict[str, int] = {}
+        for name in self._dependencies(select):
+            version = self.database.table_version(name)
+            if version is not None:
+                stamps[name] = version
+        return stamps
+
     def _plan_for(
         self, select: ast.Select, cache_key: str | None = None
     ) -> PlanNode | None:
         if self.plan_cache is not None:
             if cache_key is None:
                 cache_key = self._statement_key(select)
-            hit, plan = self.plan_cache.plan(cache_key, self.database.version)
+            hit, plan = self.plan_cache.plan(cache_key, self.database.table_version)
             if hit:
                 return plan
         plan = build_plan(select, self.database)
@@ -188,7 +211,9 @@ class Engine:
             plan = optimize(plan, self.database, use_indexes=self.use_indexes)
         if self.plan_cache is not None:
             assert cache_key is not None
-            self.plan_cache.store_plan(cache_key, self.database.version, plan)
+            self.plan_cache.store_plan(
+                cache_key, self._dependency_stamps(select), plan
+            )
         return plan
 
     def _run_subquery(self, select: ast.Select, env: Env) -> list[tuple[Any, ...]]:
@@ -207,7 +232,9 @@ class Engine:
                 # Top-level selects can reuse materialized results outright;
                 # correlated/sub-selects depend on the outer row, so only
                 # their plans are shared.
-                cached = self.plan_cache.result(cache_key, self.database.version)
+                cached = self.plan_cache.result(
+                    cache_key, self.database.table_version
+                )
                 if cached is not None:
                     columns, rows = cached
                     return ResultSet(list(columns), list(rows))
@@ -250,7 +277,10 @@ class Engine:
         result = ResultSet(columns, [row for row, _ in keyed_rows])
         if cache_key is not None and outer_env is None and self.plan_cache is not None:
             self.plan_cache.store_result(
-                cache_key, self.database.version, result.columns, result.rows
+                cache_key,
+                self._dependency_stamps(select),
+                result.columns,
+                result.rows,
             )
         return result
 

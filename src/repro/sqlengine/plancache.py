@@ -4,23 +4,41 @@ One LRU maps statement text to everything the engine can reuse across
 executions:
 
 * the parsed AST — a pure function of the text, never invalidated;
-* the optimized plan — valid only for the database version it was built
-  against (any DDL/DML bumps :attr:`Database.version`);
-* for top-level SELECTs, the materialized result rows — also version
-  stamped, so a repeated question with no intervening mutation skips
-  parse, plan, optimize *and* execution.
+* the optimized plan — stamped with the per-table versions of every table
+  the statement references (``{table: Table.version}`` at build time);
+* for top-level SELECTs, the materialized result rows — stamped the same
+  way, so a repeated question with no intervening mutation skips parse,
+  plan, optimize *and* execution.
 
-Invalidation is lazy: entries keep their stamp and are ignored (then
-overwritten) once the database version has moved on.
+Invalidation is dependency-aware and lazy: a cached plan/result is ignored
+(then overwritten) only when the version stamp of a table *it depends on*
+has moved.  A write to table A leaves entries that touch only table B
+untouched — there is no global epoch.  A dropped table reports no current
+version, so entries depending on it can never false-hit, and per-table
+stamps are drawn from one database-wide clock, so a dropped-and-recreated
+table cannot echo an old stamp either.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable, Mapping
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.planner import PlanNode
+
+#: Supplies the current version stamp of a table, or None when it no
+#: longer exists (``Database.table_version``).
+VersionLookup = Callable[[str], "int | None"]
+
+
+def _stamps_current(
+    stamps: Mapping[str, int] | None, version_of: VersionLookup
+) -> bool:
+    """True when every recorded dependency stamp matches the live table."""
+    if stamps is None:
+        return False
+    return all(version_of(table) == stamp for table, stamp in stamps.items())
 
 
 class LruCache:
@@ -64,20 +82,22 @@ class _Entry:
         "statement",
         "plan",
         "has_plan",
-        "plan_version",
+        "plan_stamps",
         "columns",
         "rows",
-        "result_version",
+        "result_stamps",
     )
 
     def __init__(self) -> None:
         self.statement: ast.Statement | None = None
         self.plan: PlanNode | None = None
         self.has_plan = False  # distinguishes "no entry" from a None plan
-        self.plan_version: int | None = None
+        #: ``{table: version}`` at plan-build time; None = no plan stored.
+        #: An empty dict is valid forever (table-less ``SELECT 1``).
+        self.plan_stamps: dict[str, int] | None = None
         self.columns: tuple[str, ...] | None = None
         self.rows: tuple[tuple[Any, ...], ...] | None = None
-        self.result_version: int | None = None
+        self.result_stamps: dict[str, int] | None = None
 
 
 class PlanCache:
@@ -125,32 +145,45 @@ class PlanCache:
 
     # -- optimized plans ---------------------------------------------------
 
-    def plan(self, text: str, version: int) -> tuple[bool, PlanNode | None]:
-        """Return ``(hit, plan)`` — the plan may legitimately be None."""
+    def plan(
+        self, text: str, version_of: VersionLookup
+    ) -> tuple[bool, PlanNode | None]:
+        """Return ``(hit, plan)`` — the plan may legitimately be None.
+
+        ``version_of`` maps a table name to its current stamp (or None when
+        dropped); the hit requires every dependency stamp to match.
+        """
         entry = self._entries.get(text)
-        if entry is not None and entry.has_plan and entry.plan_version == version:
+        if (
+            entry is not None
+            and entry.has_plan
+            and _stamps_current(entry.plan_stamps, version_of)
+        ):
             self.stats["plan_hits"] += 1
             return True, entry.plan
         self.stats["plan_misses"] += 1
         return False, None
 
-    def store_plan(self, text: str, version: int, plan: PlanNode | None) -> None:
+    def store_plan(
+        self, text: str, stamps: Mapping[str, int], plan: PlanNode | None
+    ) -> None:
+        """Cache ``plan`` with its dependency stamps (``{table: version}``)."""
         entry = self._entry(text, create=True)
         assert entry is not None
         entry.plan = plan
         entry.has_plan = True
-        entry.plan_version = version
+        entry.plan_stamps = dict(stamps)
 
     # -- materialized results ----------------------------------------------
 
     def result(
-        self, text: str, version: int
+        self, text: str, version_of: VersionLookup
     ) -> tuple[tuple[str, ...], tuple[tuple[Any, ...], ...]] | None:
         entry = self._entries.get(text)
         if (
             entry is not None
             and entry.rows is not None
-            and entry.result_version == version
+            and _stamps_current(entry.result_stamps, version_of)
         ):
             self.stats["result_hits"] += 1
             assert entry.columns is not None
@@ -161,17 +194,26 @@ class PlanCache:
     def store_result(
         self,
         text: str,
-        version: int,
+        stamps: Mapping[str, int],
         columns: list[str],
         rows: list[tuple[Any, ...]],
     ) -> None:
         if len(rows) > self.max_result_rows:
+            # Also drop any previously cached (now stale) copy: stamps are
+            # never reused, so it could never hit again — it would just
+            # stay pinned while the entry's statement/plan layers keep it
+            # warm in the LRU.
+            entry = self._entries.get(text)
+            if entry is not None:
+                entry.columns = None
+                entry.rows = None
+                entry.result_stamps = None
             return
         entry = self._entry(text, create=True)
         assert entry is not None
         entry.columns = tuple(columns)
         entry.rows = tuple(rows)
-        entry.result_version = version
+        entry.result_stamps = dict(stamps)
 
     # -- management --------------------------------------------------------
 

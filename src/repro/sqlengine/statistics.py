@@ -117,11 +117,18 @@ class ColumnStats:
 
 
 class TableStatistics:
-    """Row count plus per-column :class:`ColumnStats` for one table."""
+    """Row count plus per-column :class:`ColumnStats` for one table.
+
+    :attr:`version` is a monotone stamp bumped by every stats-changing
+    mutation of *this* table, mirroring the owning table's per-table
+    version: consumers that cache derived estimates (cardinalities, join
+    orders) can key their validity on it without watching other tables.
+    """
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._row_count = 0
+        self._version = 0
         self._columns: dict[str, ColumnStats] = {
             name: ColumnStats() for name in schema.column_names
         }
@@ -129,6 +136,11 @@ class TableStatistics:
     @property
     def row_count(self) -> int:
         return self._row_count
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp bumped whenever these statistics change."""
+        return self._version
 
     def column(self, name: str) -> ColumnStats:
         return self._columns[name.lower()]
@@ -140,15 +152,18 @@ class TableStatistics:
 
     def on_insert(self, row: tuple[Any, ...]) -> None:
         self._row_count += 1
+        self._version += 1
         for name, value in zip(self.schema.column_names, row):
             self._columns[name].add(value)
 
     def on_delete(self, row: tuple[Any, ...]) -> None:
         self._row_count = max(0, self._row_count - 1)
+        self._version += 1
         for name, value in zip(self.schema.column_names, row):
             self._columns[name].remove(value)
 
     def on_update(self, old: tuple[Any, ...], new: tuple[Any, ...]) -> None:
+        self._version += 1
         for name, before, after in zip(self.schema.column_names, old, new):
             if before is not after and before != after:
                 stats = self._columns[name]

@@ -2,17 +2,43 @@
 
 Rows are stored as tuples in insertion order; deleted slots are tombstoned
 (``None``) so row ids remain stable for index entries.
+
+Every table carries its own monotone :attr:`Table.version` stamp, bumped by
+insert/update/delete and index DDL.  Consumers (the statement-plan cache,
+the NLI's value index) compare per-table stamps instead of one global
+counter, so a write to one table never invalidates state derived only from
+others.  Mutations also emit a :class:`TableDelta` — the row-level string
+values that entered or left TEXT columns — which the owning database
+broadcasts to listeners for incremental index maintenance.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError, TypeMismatchError
 from repro.sqlengine.indexes import HashIndex, SortedIndex
 from repro.sqlengine.schema import TableSchema
 from repro.sqlengine.statistics import TableStatistics
-from repro.sqlengine.types import coerce_value, is_numeric
+from repro.sqlengine.types import SqlType, coerce_value, is_numeric
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """Row-level change record emitted by one table mutation.
+
+    ``added`` / ``removed`` list the ``(column, value)`` string pairs that
+    entered or left the table's TEXT columns, which is exactly what the
+    NLI's value index and lexicon derive from live data.  ``kind`` is
+    ``"dml"`` for row mutations and ``"ddl"`` for index creation (which
+    changes plans but not values).
+    """
+
+    table: str
+    added: tuple[tuple[str, str], ...] = ()
+    removed: tuple[tuple[str, str], ...] = ()
+    kind: str = "dml"  # dml | ddl
 
 
 class Table:
@@ -36,13 +62,39 @@ class Table:
         self._pk_index: HashIndex | None = None
         if schema.primary_key is not None:
             self._pk_index = HashIndex(schema.primary_key)
-        #: Set by the owning Database to bump its schema/DML version counter
-        #: (which invalidates plan caches and NLI value indexes).
-        self._on_mutation: Callable[[], None] | None = None
+        #: Positions of TEXT columns, used to extract delta values cheaply.
+        self._text_positions: tuple[tuple[int, str], ...] = tuple(
+            (i, col.name)
+            for i, col in enumerate(schema.columns)
+            if col.sql_type is SqlType.TEXT
+        )
+        #: This table's own version stamp: bumped by every row mutation and
+        #: by index DDL.  When the table belongs to a Database, stamps are
+        #: drawn from the database's global clock (so stamps stay unique
+        #: across drop/recreate); standalone tables count locally.
+        self._version = 0
+        #: Set by the owning Database: called with the mutation's delta,
+        #: returns the new version stamp from the database clock.
+        self._on_mutation: Callable[[TableDelta], int] | None = None
 
-    def _notify_mutation(self) -> None:
+    def _notify_mutation(self, delta: TableDelta) -> None:
         if self._on_mutation is not None:
-            self._on_mutation()
+            self._version = self._on_mutation(delta)
+        else:
+            self._version += 1
+
+    def _text_values(self, row: tuple[Any, ...]) -> tuple[tuple[str, str], ...]:
+        """``(column, value)`` pairs for the row's non-null TEXT cells."""
+        return tuple(
+            (name, value)
+            for pos, name in self._text_positions
+            if isinstance((value := row[pos]), str)
+        )
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp bumped by insert/update/delete and index DDL."""
+        return self._version
 
     # -- basics ------------------------------------------------------------
 
@@ -113,7 +165,7 @@ class Table:
         self._live_count += 1
         self._index_row(row_id, row)
         self.statistics.on_insert(row)
-        self._notify_mutation()
+        self._notify_mutation(TableDelta(self.name, added=self._text_values(row)))
         return row_id
 
     def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
@@ -133,7 +185,7 @@ class Table:
         self._rows[row_id] = None
         self._live_count -= 1
         self.statistics.on_delete(row)
-        self._notify_mutation()
+        self._notify_mutation(TableDelta(self.name, removed=self._text_values(row)))
         return True
 
     def update_row(
@@ -185,12 +237,24 @@ class Table:
                 seen.add(pk_val)
         for row_id, _, old in prepared:
             self._unindex_row(row_id, old)
+        added: list[tuple[str, str]] = []
+        removed: list[tuple[str, str]] = []
         for row_id, new, old in prepared:
             self._rows[row_id] = new
             self._index_row(row_id, new)
             self.statistics.on_update(old, new)
+            for pos, name in self._text_positions:
+                before, after = old[pos], new[pos]
+                if before == after:
+                    continue
+                if isinstance(before, str):
+                    removed.append((name, before))
+                if isinstance(after, str):
+                    added.append((name, after))
         if prepared:
-            self._notify_mutation()
+            self._notify_mutation(
+                TableDelta(self.name, added=tuple(added), removed=tuple(removed))
+            )
         return len(prepared)
 
     # -- indexes -----------------------------------------------------------
@@ -222,7 +286,8 @@ class Table:
         for row_id, row in self.rows_with_ids():
             index.add(row[pos], row_id)
         self._hash_indexes[col.name] = index
-        self._notify_mutation()  # cached plans without the index are stale
+        # Cached plans without the index are stale; values did not change.
+        self._notify_mutation(TableDelta(self.name, kind="ddl"))
         return index
 
     def create_sorted_index(self, column: str) -> SortedIndex:
@@ -238,7 +303,8 @@ class Table:
         for row_id, row in self.rows_with_ids():
             index.add(row[pos], row_id)
         self._sorted_indexes[col.name] = index
-        self._notify_mutation()  # cached plans without the index are stale
+        # Cached plans without the index are stale; values did not change.
+        self._notify_mutation(TableDelta(self.name, kind="ddl"))
         return index
 
     def hash_index(self, column: str) -> HashIndex | None:

@@ -5,6 +5,13 @@ to the ``(table, column, value)`` triples that contain them, so the tagger
 can turn unknown words into :class:`~repro.logical.forms.ValueRef`
 candidates — the mechanism SODA and friends called *value-based lookup*,
 and that 1978 systems implemented as "file-content lexicons".
+
+The index is **incrementally maintainable**: every entry is reference
+counted per live row, so :meth:`ValueIndex.apply_delta` can consume the
+row-level :class:`~repro.sqlengine.table.TableDelta` stream emitted by
+table mutations and add/remove phrase entries in O(changed values) instead
+of rebuilding from the whole database.  A full rebuild is only needed on
+catalog DDL (create/drop table), which the NLI layer handles.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 from repro.nlp.spelling import SpellingCorrector
 from repro.nlp.stemmer import stem
 from repro.sqlengine.database import Database
+from repro.sqlengine.table import TableDelta
 from repro.sqlengine.types import SqlType
 
 
@@ -36,7 +44,8 @@ class ValueIndex:
 
     ``max_values_per_column`` guards against indexing an enormous free-text
     column; high-cardinality prose columns are unlikely to be referenced by
-    name in a question anyway.
+    name in a question anyway.  The cap is enforced per column across the
+    initial build *and* later incremental additions.
     """
 
     def __init__(
@@ -46,48 +55,131 @@ class ValueIndex:
         excluded_columns: set[tuple[str, str]] | None = None,
     ) -> None:
         self.database = database
+        self._max_values_per_column = max_values_per_column
+        self._excluded = excluded_columns or set()
         self._phrase_map: dict[tuple[str, ...], list[ValueHit]] = {}
         self._stem_map: dict[tuple[str, ...], list[ValueHit]] = {}
         self._word_vocabulary = SpellingCorrector()
         self._max_phrase_len = 1
-        excluded = excluded_columns or set()
+        #: Live-row reference count per (table, column, value): entries are
+        #: only unindexed when the *last* row holding the value goes away.
+        self._occurrences: dict[tuple[str, str, str], int] = {}
+        #: Occurrences admitted per (table, column), for the cap.
+        self._column_seen: dict[tuple[str, str], int] = {}
         for table in database.tables():
             for column in table.schema.columns:
                 if column.sql_type is not SqlType.TEXT:
                     continue
-                if (table.name, column.name) in excluded:
+                if (table.name, column.name) in self._excluded:
                     continue
-                seen = 0
                 for value in table.column_values(column.name):
                     if value is None:
                         continue
-                    seen += 1
-                    if max_values_per_column and seen > max_values_per_column:
-                        break
-                    self._add_value(table.name, column.name, value)
+                    if not self.add_value(table.name, column.name, value):
+                        break  # column hit its cap
 
-    def _add_value(self, table: str, column: str, value: str) -> None:
+    # -- incremental maintenance --------------------------------------------
+
+    def add_value(self, table: str, column: str, value: str) -> bool:
+        """Count one live occurrence of ``value``; index it when new.
+
+        Returns False when the column's cap rejected the occurrence.  The
+        cap only gates values *not yet indexed*: a further occurrence of an
+        admitted value must always count, or the matching removal would
+        steal the refcount of a still-live row.
+        """
+        column_key = (table, column)
+        seen = self._column_seen.get(column_key, 0)
+        occurrence_key = (table, column, value)
+        count = self._occurrences.get(occurrence_key, 0)
+        if (
+            count == 0
+            and self._max_values_per_column is not None
+            and seen >= self._max_values_per_column
+        ):
+            return False
+        self._column_seen[column_key] = seen + 1
+        self._occurrences[occurrence_key] = count + 1
         phrase = _normalise_phrase(value)
         if not phrase:
-            return
-        hit = ValueHit(table, column, value, exact=True)
-        bucket = self._phrase_map.setdefault(phrase, [])
-        if not any(
-            h.table == table and h.column == column and h.value == value
-            for h in bucket
-        ):
-            bucket.append(hit)
-        stemmed = tuple(stem(word) for word in phrase)
-        if stemmed != phrase:
-            stem_bucket = self._stem_map.setdefault(stemmed, [])
-            if not any(
-                h.table == table and h.column == column and h.value == value
-                for h in stem_bucket
-            ):
-                stem_bucket.append(ValueHit(table, column, value, exact=False))
-        self._max_phrase_len = max(self._max_phrase_len, len(phrase))
+            return True
+        # Vocabulary weights are per occurrence, so frequent values win
+        # spelling-correction tie-breaks; phrase entries are deduplicated.
         for word in phrase:
             self._word_vocabulary.add_word(word)
+        if count == 0:
+            self._index_phrase(phrase, table, column, value)
+        return True
+
+    def remove_value(self, table: str, column: str, value: str) -> None:
+        """Drop one live occurrence; unindex when none remain."""
+        occurrence_key = (table, column, value)
+        count = self._occurrences.get(occurrence_key, 0)
+        if count == 0:
+            return  # never admitted (cap) or already gone
+        column_key = (table, column)
+        self._column_seen[column_key] = max(
+            0, self._column_seen.get(column_key, 0) - 1
+        )
+        phrase = _normalise_phrase(value)
+        if count > 1:
+            self._occurrences[occurrence_key] = count - 1
+            for word in phrase:
+                self._word_vocabulary.remove_word(word)
+            return
+        del self._occurrences[occurrence_key]
+        if not phrase:
+            return
+        for word in phrase:
+            self._word_vocabulary.remove_word(word)
+        self._unindex_phrase(phrase, table, column, value)
+
+    def apply_delta(self, delta: TableDelta) -> None:
+        """Consume one table mutation's string-value delta.
+
+        O(changed values): adds/removes exactly the phrases the mutation
+        touched.  DDL deltas (index creation) carry no values and are a
+        no-op here.
+        """
+        for column, value in delta.removed:
+            if (delta.table, column) not in self._excluded:
+                self.remove_value(delta.table, column, value)
+        for column, value in delta.added:
+            if (delta.table, column) not in self._excluded:
+                self.add_value(delta.table, column, value)
+
+    def _index_phrase(
+        self, phrase: tuple[str, ...], table: str, column: str, value: str
+    ) -> None:
+        self._phrase_map.setdefault(phrase, []).append(
+            ValueHit(table, column, value, exact=True)
+        )
+        stemmed = tuple(stem(word) for word in phrase)
+        if stemmed != phrase:
+            self._stem_map.setdefault(stemmed, []).append(
+                ValueHit(table, column, value, exact=False)
+            )
+        self._max_phrase_len = max(self._max_phrase_len, len(phrase))
+
+    def _unindex_phrase(
+        self, phrase: tuple[str, ...], table: str, column: str, value: str
+    ) -> None:
+        # _max_phrase_len stays a (harmless) upper bound: lookup_prefix
+        # just probes lengths that no longer exist.
+        for mapping, key in (
+            (self._phrase_map, phrase),
+            (self._stem_map, tuple(stem(word) for word in phrase)),
+        ):
+            bucket = mapping.get(key)
+            if bucket is None:
+                continue
+            bucket[:] = [
+                h
+                for h in bucket
+                if (h.table, h.column, h.value) != (table, column, value)
+            ]
+            if not bucket:
+                del mapping[key]
 
     # -- lookup -------------------------------------------------------------
 

@@ -1,0 +1,75 @@
+"""The docs check: intra-repo links resolve, documented examples run.
+
+Two guards keep the documentation suite honest:
+
+* every relative markdown link in every ``*.md`` file must point at a
+  file (or directory) that actually exists in the repo;
+* the ``EXPLAIN`` reference (docs/explain.md) and the README quickstart
+  embed real interpreter sessions, executed here as doctests so their
+  outputs cannot drift from the engine.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for markdown (VCS internals, caches, venvs).
+_SKIPPED_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache", "results"}
+
+#: ``[text](target)`` inline links; images share the same target syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files() -> list[Path]:
+    files = [
+        path
+        for path in REPO_ROOT.rglob("*.md")
+        if not any(part in _SKIPPED_DIRS or part.startswith(".") for part in path.parts[:-1])
+    ]
+    assert files, "no markdown files found — is the repo root wrong?"
+    return files
+
+
+def _intra_repo_links(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks may contain bracketed text that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    out = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        out.append(target)
+    return out
+
+
+def test_intra_repo_markdown_links_resolve():
+    broken: list[str] = []
+    for path in _markdown_files():
+        for target in _intra_repo_links(path):
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+def test_required_docs_exist():
+    for relative in ("README.md", "docs/architecture.md", "docs/explain.md"):
+        assert (REPO_ROOT / relative).is_file(), f"missing {relative}"
+
+
+@pytest.mark.parametrize("doc", ["docs/explain.md", "README.md"])
+def test_doc_examples_run_as_doctests(doc):
+    """Worked examples in the docs are executed against the real engine."""
+    results = doctest.testfile(
+        str(REPO_ROOT / doc),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, f"{doc} has no doctest examples"
+    assert results.failed == 0, f"{doc}: {results.failed} doctest failure(s)"

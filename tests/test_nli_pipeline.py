@@ -265,8 +265,22 @@ class TestDmlFreshness:
             "INSERT INTO ship VALUES (998, 'Extra', 3, 1, 1, 2, "
             "8000, 600, 30, 1976, 150)"
         )
-        nli.ask("how many ships are there")  # triggers lazy refresh
-        assert nli._db_version == nli.database.version
+        nli.ask("how many ships are there")  # triggers lazy delta refresh
+        assert not nli._pending_deltas
+        assert nli.stats["delta_refreshes"] >= 1
+
+    def test_dml_absorbed_without_full_rebuild(self):
+        # The whole point of delta-driven refresh: interleaved DML answers
+        # stay correct while the language layers are patched, not rebuilt.
+        nli = self._fresh_nli()
+        assert nli.stats["full_rebuilds"] == 1  # the constructor's build
+        nli.engine.execute(
+            "INSERT INTO fleet VALUES (7, 'Caribbean', 'Atlantic', 'Key West')"
+        )
+        answer = nli.ask("how many ships are in the caribbean fleet")
+        assert answer.result.scalar() == 0
+        assert nli.stats["full_rebuilds"] == 1
+        assert nli.stats["delta_refreshes"] == 1
 
 
 class TestConfigKnobs:

@@ -87,12 +87,22 @@ class TestInvalidation:
         engine.execute("DELETE FROM loan WHERE id = 1")
         assert engine.execute(count).scalar() == 3
 
-    def test_create_table_invalidates_plans(self, engine):
+    def test_create_table_leaves_unrelated_plans_valid(self, engine):
+        # Fine-grained invalidation: adding a brand-new table cannot change
+        # the plan of a statement that never touches it.
         engine.execute(SQL)
         version = engine.database.version
         engine.execute("CREATE TABLE extra (id INT PRIMARY KEY)")
         assert engine.database.version > version
-        hit, _ = engine.plan_cache.plan(SQL, engine.database.version)
+        hit, _ = engine.plan_cache.plan(SQL, engine.database.table_version)
+        assert hit
+
+    def test_drop_table_invalidates_its_plans(self, engine):
+        engine.execute("SELECT COUNT(*) FROM loan")
+        engine.database.drop_table("loan")
+        hit, _ = engine.plan_cache.plan(
+            "SELECT COUNT(*) FROM loan", engine.database.table_version
+        )
         assert not hit
 
     def test_index_creation_invalidates_plans(self, engine):
@@ -130,14 +140,28 @@ class TestCorrelatedSubqueries:
 class TestPlanCacheUnit:
     def test_plan_none_is_a_valid_cached_value(self):
         cache = PlanCache()
-        cache.store_plan("SELECT 1", 0, None)
-        hit, plan = cache.plan("SELECT 1", 0)
+        cache.store_plan("SELECT 1", {}, None)
+        # An empty dependency set (table-less select) is valid forever.
+        hit, plan = cache.plan("SELECT 1", lambda name: None)
         assert hit and plan is None
 
-    def test_version_mismatch_misses(self):
+    def test_stamp_mismatch_misses(self):
         cache = PlanCache()
-        cache.store_plan("q", 1, None)
-        hit, _ = cache.plan("q", 2)
+        cache.store_plan("q", {"t": 1}, None)
+        hit, _ = cache.plan("q", {"t": 2}.get)
+        assert not hit
+
+    def test_only_dependent_tables_matter(self):
+        cache = PlanCache()
+        cache.store_plan("q", {"a": 3}, None)
+        # b moved, a did not: still a hit.
+        hit, _ = cache.plan("q", {"a": 3, "b": 99}.get)
+        assert hit
+
+    def test_dropped_table_never_hits(self):
+        cache = PlanCache()
+        cache.store_plan("q", {"a": 3}, None)
+        hit, _ = cache.plan("q", lambda name: None)
         assert not hit
 
     def test_clear_resets(self):
