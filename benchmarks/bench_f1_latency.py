@@ -10,7 +10,6 @@ from __future__ import annotations
 import time
 
 from repro.core.pipeline import NaturalLanguageInterface
-from repro.errors import ReproError
 from repro.evalkit import format_series
 
 from benchmarks.conftest import emit
@@ -30,11 +29,10 @@ def _latency_series(bundle):
         else:
             bucket = "9+"
         start = time.perf_counter()
-        try:
-            nli.ask(example.question)
-        except ReproError:
-            continue
+        response = nli.ask(example.question)
         elapsed = (time.perf_counter() - start) * 1000.0
+        if not response.ok:
+            continue
         buckets.setdefault(bucket, []).append(elapsed)
     points = []
     for bucket in ("2-4", "5-6", "7-8", "9+"):

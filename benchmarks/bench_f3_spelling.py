@@ -7,7 +7,6 @@ import random
 
 from repro.core.config import NliConfig
 from repro.core.pipeline import NaturalLanguageInterface
-from repro.errors import ReproError
 from repro.evalkit import answers_match, corrupt_question, format_series, pct
 from repro.sqlengine.executor import Engine
 
@@ -23,12 +22,9 @@ def _accuracy_at(bundle, nli, rate: float, seed: int) -> float:
     for example in bundle.corpus:
         question = corrupt_question(example.question, rate, rng)
         gold = gold_engine.execute(example.gold_sql)
-        try:
-            answer = nli.ask(question)
-            if answers_match(answer.result, gold):
-                correct += 1
-        except ReproError:
-            pass
+        response = nli.ask(question)
+        if response.ok and answers_match(response.answer.result, gold):
+            correct += 1
     return correct / len(bundle.corpus)
 
 

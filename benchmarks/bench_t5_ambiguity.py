@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.core.config import NliConfig
 from repro.core.pipeline import NaturalLanguageInterface
-from repro.errors import ReproError
 from repro.evalkit import answers_match, format_table, pct
 from repro.sqlengine.executor import Engine
 
@@ -45,7 +44,9 @@ def _ambiguity_stats(bundle):
     top1 = 0
     multi = 0
     for question, gold_sql in AMBIGUOUS_FLEET:
-        answer = nli.ask(question)
+        response = nli.ask(question)
+        assert response.ok, response.diagnostics
+        answer = response.answer
         n_interpretations = 1 + len(answer.alternatives)
         counts.append(n_interpretations)
         if n_interpretations > 1:
@@ -66,11 +67,8 @@ def _value_index_ablation(bundle):
         )
         answered = 0
         for question, _ in AMBIGUOUS_FLEET:
-            try:
-                nli.ask(question)
+            if nli.ask(question).ok:
                 answered += 1
-            except ReproError:
-                pass
         outcomes.append(answered)
     return outcomes
 

@@ -1,15 +1,19 @@
 """Quickstart: ask English questions against the bundled navy database.
 
+Uses the service-layer API: every question yields a Response envelope
+with an explicit status — failures are values, not exceptions.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import build_interface
-from repro.datasets import fleet
+from repro import build_service
+from repro.service import Status
 
 
 def main() -> None:
-    database = fleet.build_database()
-    nli = build_interface(database, domain=fleet.domain())
+    from repro.datasets import fleet
+
+    service = build_service(fleet.build_database(), domain=fleet.domain())
 
     questions = [
         "how many ships are there?",
@@ -18,10 +22,15 @@ def main() -> None:
         "which ship has the largest displacement?",
         "ships with crew between 100 and 300",
         "how many shps are in the pacifc fleet",  # typos on purpose
+        "ships from ruritania",                   # unknown value on purpose
     ]
-    for question in questions:
-        answer = nli.ask(question)
+    for question, response in zip(questions, service.ask_many(questions)):
         print(f"\nQ: {question}")
+        if response.status is not Status.ANSWERED:
+            primary = response.diagnostics[0]
+            print(f"   [{response.status.value}] {primary.message}")
+            continue
+        answer = response.answer
         print(f"   {answer.paraphrase}")
         if answer.corrections:
             fixed = ", ".join(f"{a!r}->{b!r}" for a, b in answer.corrections)

@@ -13,13 +13,21 @@ Quickstart::
 
     db = fleet.build_database()
     nli = build_interface(db, domain=fleet.domain())
-    answer = nli.ask("how many ships are in the pacific fleet?")
-    print(answer.paraphrase)
-    print(answer.result.pretty())
+    response = nli.ask("how many ships are in the pacific fleet?")
+    if response.ok:
+        print(response.answer.paraphrase)
+        print(response.answer.result.pretty())
+    else:
+        print(response.status, response.diagnostics)
+
+For concurrent callers use ``build_service`` (a thread-safe facade with
+a read-write lock, id-managed sessions and a clarification protocol);
+see ``docs/api.md`` for the Response envelope reference.
 """
 
 from repro.errors import (
     AmbiguityError,
+    ClarificationError,
     EngineError,
     InterpretationError,
     NliError,
@@ -27,16 +35,18 @@ from repro.errors import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmbiguityError",
+    "ClarificationError",
     "EngineError",
     "InterpretationError",
     "NliError",
     "ParseFailure",
     "ReproError",
     "build_interface",
+    "build_service",
     "__version__",
 ]
 
@@ -49,3 +59,14 @@ def build_interface(database, domain=None, config=None):
     from repro.core.pipeline import NaturalLanguageInterface
 
     return NaturalLanguageInterface(database, domain=domain, config=config)
+
+
+def build_service(database, domain=None, config=None):
+    """Construct a thread-safe :class:`repro.service.NliService` facade.
+
+    The service wraps the pipeline in a read-write lock (parallel askers,
+    exclusive refresh/DML) and manages dialogue sessions by id.
+    """
+    from repro.service import NliService
+
+    return NliService(database, domain=domain, config=config)

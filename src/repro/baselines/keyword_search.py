@@ -10,6 +10,7 @@ why the semantic-grammar system beats it (Table 2).
 
 from __future__ import annotations
 
+from repro.baselines.protocol import ResponseProtocolMixin
 from repro.core.interpret import display_attrs
 from repro.errors import InterpretationError
 from repro.lexicon.builder import build_lexicon
@@ -27,8 +28,13 @@ from repro.sqlengine.result import ResultSet
 from repro.valueindex.index import ValueIndex
 
 
-class KeywordBaseline:
-    """Keyword matcher over schema terms and data values."""
+class KeywordBaseline(ResponseProtocolMixin):
+    """Keyword matcher over schema terms and data values.
+
+    ``answer()`` returns raw rows (raising on failure, the legacy
+    surface); ``ask()`` — from the mixin — speaks the Response protocol
+    the evalkit compares every system through.
+    """
 
     name = "keyword lookup"
 

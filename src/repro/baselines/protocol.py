@@ -1,0 +1,48 @@
+"""Response-protocol adapter shared by the baseline systems.
+
+The baselines predate structured envelopes (they model 1970s systems
+whose only vocabulary was "here are rows" or an error), but the evalkit
+compares every system through the same :class:`~repro.service.Response`
+protocol.  This mixin wraps the legacy ``answer() -> ResultSet`` /
+raise-on-failure surface into envelopes: the failure diagnostics carry
+the whole-question token span, and the payload is a wire-form
+:class:`~repro.core.answer.Answer` (no interpretation object — these
+systems never build one).
+"""
+
+from __future__ import annotations
+
+from repro.core.answer import Answer
+from repro.errors import ReproError
+from repro.nlp.tokenizer import tokenize
+from repro.service.response import Response
+from repro.sqlengine.result import ResultSet
+
+
+class ResponseProtocolMixin:
+    """Adds ``ask() -> Response`` on top of a legacy ``answer()`` method."""
+
+    name = "baseline"
+
+    def answer(self, question: str) -> ResultSet:  # pragma: no cover - override
+        raise NotImplementedError
+
+    def ask(self, question: str) -> Response:
+        words = tuple(t.text for t in tokenize(question).tokens)
+        try:
+            result = self.answer(question)
+        except ReproError as exc:
+            # ReproError, not just NliError: the baselines execute their
+            # generated SQL, so engine-level failures must also become
+            # envelopes — one bad question must not abort an eval run.
+            return Response.from_error(question, exc, tokens=words)
+        payload = Answer(
+            question=question,
+            normalized_words=list(words),
+            corrections=[],
+            interpretation=None,
+            sql="",
+            result=result,
+            paraphrase=f"{self.name}: {len(result)} row(s)",
+        )
+        return Response.answered(question, payload)

@@ -9,6 +9,7 @@ were designed to overcome.
 
 from __future__ import annotations
 
+from repro.baselines.protocol import ResponseProtocolMixin
 from repro.errors import ParseFailure
 from repro.core.sqlgen import SqlGenerator
 from repro.lexicon.builder import build_lexicon
@@ -31,8 +32,13 @@ from repro.sqlengine.result import ResultSet
 from repro.valueindex.index import ValueIndex
 
 
-class TemplateBaseline:
-    """Five fixed patterns; everything else is a parse failure."""
+class TemplateBaseline(ResponseProtocolMixin):
+    """Five fixed patterns; everything else is a parse failure.
+
+    ``answer()`` returns raw rows (raising on failure, the legacy
+    surface); ``ask()`` — from the mixin — speaks the Response protocol
+    the evalkit compares every system through.
+    """
 
     name = "pattern templates"
 

@@ -1,25 +1,49 @@
-"""Interactive console for the NLIDB — the 1978 terminal experience.
+"""Interactive console for the NLIDB — the 1978 terminal experience,
+wired to the modern service API.
 
 Run one of the bundled domains::
 
     python -m repro.cli fleet
     python -m repro.cli geography --explain
+    echo "which rivers are in the usa" | python -m repro.cli geography --json
 
 Commands inside the session: ``\\q`` quit, ``\\reset`` clear dialogue
 context, ``\\explain <question>`` show the pipeline trace, ``\\sql
-<statement>`` run raw SQL, ``\\schema`` print the catalog.
+<statement>`` run raw SQL, ``\\schema`` print the catalog.  When a
+question comes back ambiguous the choices are numbered — reply with the
+bare number to resolve it.
+
+``--json`` turns the console into a line protocol for scripting: every
+input line is a question and every output line is one
+``Response.to_dict()`` JSON object.  The exit code reflects the *last*
+response's status: 0 answered, 2 failed, 3 ambiguous / needs
+clarification.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.core.config import NliConfig
 from repro.core.dialogue import Session
-from repro.core.pipeline import NaturalLanguageInterface
 from repro.datasets import ALL_DOMAINS, load_bundle
-from repro.errors import ReproError
-from repro.sqlengine.executor import Engine
+from repro.errors import ClarificationError, ReproError
+from repro.service import NliService, Response, Status
+
+#: Score margin used by --clarify: readings within half a scoring point
+#: are presented as a numbered clarification dialog instead of silently
+#: picking the best.
+CLARIFY_MARGIN = 0.5
+
+#: ``Response.status`` -> process exit code (for --json scripting).
+EXIT_CODES = {
+    Status.ANSWERED: 0,
+    Status.FAILED: 2,
+    Status.AMBIGUOUS: 3,
+    Status.NEEDS_CLARIFICATION: 3,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,52 +60,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the pipeline trace for every question",
     )
     parser.add_argument(
+        "--json", action="store_true", dest="json_mode",
+        help="emit one Response.to_dict() JSON object per input line "
+             "(no banner, no prompt text; exit code reflects last status)",
+    )
+    parser.add_argument(
+        "--clarify", action="store_true",
+        help="report ties between readings as AMBIGUOUS with numbered "
+             "choices instead of silently picking the best",
+    )
+    parser.add_argument(
         "--max-rows", type=int, default=15,
         help="result rows displayed per answer (default: 15)",
     )
     return parser
 
 
+def _resolve_by_number(
+    service: NliService, session: Session, line: str
+) -> Response | None:
+    """Turn a bare-digit reply to a pending clarification into a resolve.
+
+    Returns None when the line is not a clarification reply; otherwise a
+    Response — on a ClarificationError (e.g. number out of range) a FAILED
+    envelope, so both render paths stay uniform. A bad number leaves the
+    clarification pending: the user can just pick again.
+    """
+    if not line.isdigit() or session.pending_clarification is None:
+        return None
+    try:
+        return service.resolve(session.pending_clarification, int(line) - 1)
+    except ClarificationError as exc:
+        return Response.from_error(line, exc)
+
+
+def _print_response(response: Response, max_rows: int, out) -> None:
+    """Human rendering of one envelope."""
+    if response.status is Status.ANSWERED:
+        answer = response.answer
+        print(answer.paraphrase, file=out)
+        if answer.corrections:
+            fixes = ", ".join(f"{a!r}->{b!r}" for a, b in answer.corrections)
+            print(f"(spelling: {fixes})", file=out)
+        print(answer.result.pretty(max_rows=max_rows), file=out)
+        if answer.alternatives:
+            print(
+                f"(other readings considered: {len(answer.alternatives)})", file=out
+            )
+        return
+    if response.status is Status.AMBIGUOUS:
+        print("That question is ambiguous — did you mean:", file=out)
+        for choice in response.choices:
+            print(f"  [{choice.index + 1}] {choice.paraphrase}", file=out)
+        print("(reply with the number to choose)", file=out)
+        return
+    # FAILED / NEEDS_CLARIFICATION: lead with the primary diagnostic and
+    # surface any per-token suggestions.
+    primary = response.diagnostics[0] if response.diagnostics else None
+    reason = primary.message if primary else response.status.value
+    print(f"Sorry — {reason}", file=out)
+    for diagnostic in response.diagnostics[1:]:
+        if diagnostic.suggestions:
+            word = " ".join(
+                response.tokens[diagnostic.span[0] : diagnostic.span[1]]
+            ) if diagnostic.span else "?"
+            print(
+                f"  ({word!r}: did you mean {', '.join(diagnostic.suggestions)}?)",
+                file=out,
+            )
+
+
 def answer_one(
-    nli: NaturalLanguageInterface,
-    engine: Engine,
+    service: NliService,
     session: Session,
     line: str,
     explain: bool,
+    clarify: bool,
     max_rows: int,
     out,
-) -> None:
-    """Process one console line (question or backslash command)."""
+) -> Response | None:
+    """Process one console line; returns the Response for questions."""
     if line.startswith("\\sql "):
         try:
-            print(engine.execute(line[5:]).pretty(max_rows=max_rows), file=out)
+            print(service.execute(line[5:]).pretty(max_rows=max_rows), file=out)
         except ReproError as exc:
             print(f"SQL error: {exc}", file=out)
-        return
+        return None
     if line.startswith("\\explain "):
-        print(nli.explain(line[9:], session=session), file=out)
-        return
+        print(service.explain(line[9:], session=session), file=out)
+        return None
     if line == "\\schema":
-        print(nli.database.summary(), file=out)
-        return
+        print(service.database.summary(), file=out)
+        return None
     if line == "\\reset":
         session.reset()
         print("(context cleared)", file=out)
-        return
-    try:
-        answer = nli.ask(line, session=session)
-    except ReproError as exc:
-        print(f"Sorry — {exc}", file=out)
-        return
-    if explain:
-        print(nli.explain(line), file=out)
-    print(answer.paraphrase, file=out)
-    if answer.corrections:
-        fixes = ", ".join(f"{a!r}->{b!r}" for a, b in answer.corrections)
-        print(f"(spelling: {fixes})", file=out)
-    print(answer.result.pretty(max_rows=max_rows), file=out)
-    if answer.alternatives:
-        print(f"(other readings considered: {len(answer.alternatives)})", file=out)
+        return None
+    resolved = _resolve_by_number(service, session, line)
+    if resolved is not None:
+        _print_response(resolved, max_rows, out)
+        return resolved
+    response = service.ask(line, session=session, clarify=clarify)
+    if explain and response.status is Status.ANSWERED:
+        print(service.explain(line), file=out)
+    _print_response(response, max_rows, out)
+    return response
 
 
 def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
@@ -90,12 +173,30 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
     stdout = stdout or sys.stdout
 
     bundle = load_bundle(args.domain)
-    nli = NaturalLanguageInterface(bundle.database, domain=bundle.model)
-    engine = Engine(bundle.database)
+    config = NliConfig(clarification_margin=CLARIFY_MARGIN) if args.clarify else None
+    service = NliService(bundle.database, domain=bundle.model, config=config)
     session = Session()
+    exit_code = 0
+
+    if args.json_mode:
+        # Line protocol: every input line is a question, every output line
+        # one JSON envelope.  Clarifications resolve statefully: a bare
+        # digit after an ambiguous response picks that choice.
+        for raw in stdin:
+            line = raw.strip()
+            if not line:
+                continue
+            if line in ("\\q", "quit", "exit"):
+                break
+            response = _resolve_by_number(service, session, line)
+            if response is None:
+                response = service.ask(line, session=session, clarify=args.clarify)
+            print(json.dumps(response.to_dict()), file=stdout)
+            exit_code = EXIT_CODES[response.status]
+        return exit_code
 
     print(f"repro NLIDB — domain: {args.domain}", file=stdout)
-    print(bundle.database.summary(), file=stdout)
+    print(service.database.summary(), file=stdout)
     print('Type an English question, or "\\q" to quit.', file=stdout)
 
     for raw in stdin:
@@ -104,9 +205,13 @@ def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
             continue
         if line in ("\\q", "quit", "exit"):
             break
-        answer_one(nli, engine, session, line, args.explain, args.max_rows, stdout)
+        answer_one(
+            service, session, line, args.explain, args.clarify, args.max_rows, stdout
+        )
         print("", file=stdout)
     print("goodbye.", file=stdout)
+    # Status exit codes are a --json (scripting) feature; the interactive
+    # console keeps its historical always-0 exit.
     return 0
 
 

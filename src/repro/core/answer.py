@@ -15,12 +15,16 @@ class Answer:
 
     ``alternatives`` lists other surviving interpretations (paraphrase +
     SQL), so a caller can build a clarification menu.
+
+    ``interpretation`` is ``None`` only for *wire-form* answers — ones
+    rebuilt from JSON by ``Response.from_dict`` (the in-process object
+    graph does not serialize) or produced by grammar-less baselines.
     """
 
     question: str
     normalized_words: list[str]
     corrections: list[tuple[str, str]]  # (typed, corrected)
-    interpretation: Interpretation
+    interpretation: Interpretation | None
     sql: str
     result: ResultSet
     paraphrase: str
@@ -28,8 +32,8 @@ class Answer:
     was_fragment: bool = False
 
     @property
-    def query(self) -> LogicalQuery:
-        return self.interpretation.query
+    def query(self) -> LogicalQuery | None:
+        return None if self.interpretation is None else self.interpretation.query
 
     @property
     def is_ambiguous(self) -> bool:

@@ -36,6 +36,12 @@ class NliConfig:
     #: question string).  Sized for an interactive session's working set;
     #: raise it for batch evaluation over large question corpora.
     prepared_cache_size: int = 256
+    #: Time-to-live (seconds) for prepared-question entries; ``None`` (the
+    #: default) keeps entries until LRU pressure evicts them.  A service
+    #: with a long-tail question stream sets this so one-off questions age
+    #: out instead of squatting in the LRU; expirations are counted in
+    #: ``nli.stats["prepared_ttl_evictions"]``.
+    prepared_cache_ttl_s: float | None = None
     #: Capacity of the engine's statement-plan cache (AST + optimized plan
     #: + materialized result per statement text).  Entries are stamped with
     #: per-table versions, so a write to one table leaves entries for other

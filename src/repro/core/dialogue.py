@@ -123,10 +123,20 @@ def merge_fragment(previous: LogicalQuery, fragment: Sketch) -> Sketch:
 
 @dataclass
 class Session:
-    """Multi-turn dialogue state."""
+    """Multi-turn dialogue state.
+
+    A session is single-conversation state: share it across turns, not
+    across threads (the service facade keeps one per conversation id).
+    """
 
     history: list[LogicalQuery] = field(default_factory=list)
     transcript: list[tuple[str, str]] = field(default_factory=list)  # (q, paraphrase)
+    #: Set when the last turn came back AMBIGUOUS: the clarification id a
+    #: frontend should pass to ``resolve()`` if the user picks a choice
+    #: (the CLI turns a bare digit reply into exactly that call).  Cleared
+    #: by the resolution, by ``remember`` (the user moved on) and by
+    #: ``reset``.
+    pending_clarification: str | None = None
 
     @property
     def last_query(self) -> LogicalQuery | None:
@@ -135,6 +145,7 @@ class Session:
     def remember(self, question: str, query: LogicalQuery, paraphrase: str) -> None:
         self.history.append(query)
         self.transcript.append((question, paraphrase))
+        self.pending_clarification = None
 
     def resolve_fragment(self, fragment: Sketch) -> Sketch:
         """Complete a fragment against the previous turn (or raise)."""
@@ -164,3 +175,4 @@ class Session:
     def reset(self) -> None:
         self.history.clear()
         self.transcript.clear()
+        self.pending_clarification = None

@@ -8,11 +8,20 @@ Pipeline per question::
 
 Dialogue: pass a :class:`~repro.core.dialogue.Session` to :meth:`ask` and
 elliptical follow-ups / pronouns resolve against the previous turn.
+
+:meth:`ask` returns a :class:`~repro.service.response.Response` envelope:
+user-input problems (parse failure, ambiguity, unknown values, a fragment
+with no context) are *reported* as statuses and diagnostics, never
+raised.  The lower-level stage methods (:meth:`parse`, the interpreter,
+the engine) still raise, and the legacy exception rides on
+``Response.error`` for one deprecation cycle.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import itertools
+import threading
+from dataclasses import dataclass, replace
 
 from repro.core.answer import Answer
 from repro.core.config import NliConfig
@@ -23,9 +32,21 @@ from repro.core.sqlgen import SqlGenerator
 from repro.core.tagger import QuestionTagger
 from repro.errors import (
     AmbiguityError,
+    ClarificationError,
     DialogueError,
+    EngineError,
     InterpretationError,
+    NliError,
     ParseFailure,
+)
+from repro.service.response import (
+    AMBIGUOUS_QUESTION,
+    EXECUTION_ERROR,
+    UNKNOWN_WORD,
+    Choice,
+    Diagnostic,
+    Response,
+    Status,
 )
 from repro.grammar.earley import EarleyParser, TerminalMatch
 from repro.grammar.english import build_english_grammar, grammar_literal_words
@@ -41,6 +62,17 @@ from repro.sqlengine.executor import Engine
 from repro.sqlengine.plancache import LruCache
 from repro.sqlengine.table import TableDelta
 from repro.valueindex.index import ValueIndex
+
+
+@dataclass(frozen=True)
+class _PendingClarification:
+    """Parked state of one AMBIGUOUS response, consumed by resolve()."""
+
+    question: str
+    words: tuple[str, ...]
+    corrections: tuple[tuple[str, str], ...]
+    interpretations: tuple[Interpretation, ...]
+    session: Session | None
 
 
 class _SessionTagger:
@@ -93,8 +125,12 @@ class NaturalLanguageInterface:
         #: Prepared-pipeline cache: question string -> normalize/parse
         #: results.  Cleared whenever the language layers change (a full
         #: rebuild or an applied delta), because cached parses may embed
-        #: value references resolved against the old index.
-        self._prepared: LruCache = LruCache(capacity=self.config.prepared_cache_size)
+        #: value references resolved against the old index.  The optional
+        #: TTL ages out one-off questions in long-running services.
+        self._prepared: LruCache = LruCache(
+            capacity=self.config.prepared_cache_size,
+            ttl_s=self.config.prepared_cache_ttl_s,
+        )
         #: (table, column) pairs whose live data feeds lexicon entries;
         #: deltas touching them force a lexicon rebuild (still cheap —
         #: O(schema + domain), not O(rows)).
@@ -102,14 +138,26 @@ class NaturalLanguageInterface:
         #: Row-level deltas received since the last refresh, drained by
         #: _ensure_fresh on the next question.
         self._pending_deltas: list[TableDelta] = []
+        #: When False, questions never refresh implicitly: the owner (the
+        #: thread-safe NliService) performs explicit refreshes under its
+        #: write lock instead, so concurrent readers cannot race a rebuild.
+        self.auto_refresh = True
         #: Refresh accounting, asserted by tests and benchmarks: the
         #: interleaved-DML story is "delta_refreshes go up, full_rebuilds
-        #: do not".
-        self.stats = {
+        #: do not".  Read through the :attr:`stats` property.
+        self._stats = {
             "full_rebuilds": 0,
             "delta_refreshes": 0,
             "deltas_applied": 0,
+            "asks": 0,
+            "clarifications_resolved": 0,
         }
+        self._stats_lock = threading.Lock()
+        #: Clarification registry: id -> _PendingClarification, single-use
+        #: (popped by resolve).  Bounded so abandoned clarifications age
+        #: out by LRU pressure instead of accumulating forever.
+        self._clarifications: LruCache = LruCache(capacity=64)
+        self._clarification_ids = itertools.count(1)
         self._build_language_layers()
         # Subscribe to row-level deltas (held weakly by the database, so a
         # dropped NLI does not linger as a listener).
@@ -133,9 +181,15 @@ class NaturalLanguageInterface:
             self.database, self.graph, self.domain, self.config.join_inference
         )
         self._prepared.clear()
+        # Parked clarifications hold interpretations resolved against the
+        # old schema/layers; after a full rebuild (catalog DDL) replaying
+        # them could reference dropped tables.  Row-level deltas are fine:
+        # a stale value reference just returns empty rows.
+        self._clarifications.clear()
         self._pending_deltas.clear()
         self._catalog_version = self.database.catalog_version
-        self.stats["full_rebuilds"] += 1
+        with self._stats_lock:
+            self._stats["full_rebuilds"] += 1
 
     def _on_delta(self, delta: TableDelta) -> None:
         """Database mutation callback: buffer the delta for the next ask."""
@@ -187,17 +241,49 @@ class NaturalLanguageInterface:
             )
         # Cached parses may hold ValueRefs into the old index state.
         self._prepared.clear()
-        self.stats["delta_refreshes"] += 1
-        self.stats["deltas_applied"] += len(deltas)
+        with self._stats_lock:
+            self._stats["delta_refreshes"] += 1
+            self._stats["deltas_applied"] += len(deltas)
 
-    def _ensure_fresh(self) -> None:
-        if (
-            self._pending_deltas
+    def needs_refresh(self) -> bool:
+        """True when DML/DDL happened since the language layers were built."""
+        return (
+            bool(self._pending_deltas)
             or self.database.catalog_version != self._catalog_version
-        ):
+        )
+
+    def refresh_if_needed(self) -> None:
+        if self.needs_refresh():
             self.refresh()
 
+    def _ensure_fresh(self) -> None:
+        if self.auto_refresh:
+            self.refresh_if_needed()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Refresh/ask accounting plus prepared-cache hit/miss/TTL counters."""
+        with self._stats_lock:
+            out = dict(self._stats)
+        prepared = self._prepared.stats
+        out["prepared_hits"] = prepared["hits"]
+        out["prepared_misses"] = prepared["misses"]
+        out["prepared_ttl_evictions"] = prepared["ttl_evictions"]
+        return out
+
     # -- pipeline stages (public for tests/diagnostics) -------------------------
+
+    def _word_is_known(self, token: Token) -> bool:
+        """One definition of "known word", shared by spelling correction
+        and the unknown-word failure diagnostics so they cannot diverge:
+        numbers, protected grammar words/pronouns, lexicon phrases and
+        value-index vocabulary all count."""
+        word = token.text
+        if token.is_number or word in self._protected:
+            return True
+        if self.lexicon.knows_word(word):
+            return True
+        return self.value_index is not None and self.value_index.contains_word(word)
 
     def normalize(self, question: str) -> tuple[list[Token], list[tuple[str, str]]]:
         """Tokenize + spelling-correct; returns tokens and corrections."""
@@ -213,11 +299,7 @@ class NaturalLanguageInterface:
         if self.config.spelling_correction:
             for i, token in enumerate(tokens):
                 word = token.text
-                if token.is_number or word in self._protected:
-                    continue
-                if self.lexicon.knows_word(word):
-                    continue
-                if self.value_index is not None and self.value_index.contains_word(word):
+                if self._word_is_known(token):
                     continue
                 corrected = self.lexicon.correct_word(word)
                 if corrected is None and self.value_index is not None:
@@ -276,85 +358,308 @@ class NaturalLanguageInterface:
         question: str,
         session: Session | None = None,
         clarify: bool = False,
-    ) -> Answer:
-        """Answer an English question.
+    ) -> Response:
+        """Answer an English question; always returns a :class:`Response`.
 
-        Raises :class:`ParseFailure`, :class:`InterpretationError` or
-        :class:`DialogueError` on failure; with ``clarify=True`` raises
-        :class:`AmbiguityError` when several readings tie instead of
-        picking the best.
+        User-input problems never raise: a parse failure, an unresolvable
+        fragment or (with ``clarify=True``) a tie between readings come
+        back as ``FAILED`` / ``NEEDS_CLARIFICATION`` / ``AMBIGUOUS``
+        responses carrying :class:`Diagnostic` records with token spans.
+        An ``AMBIGUOUS`` response enumerates :class:`Choice` objects and a
+        ``clarification_id`` accepted by :meth:`resolve`.
         """
-        tokens, corrections = self.normalize(question)
-        if not tokens:
-            raise ParseFailure("empty question")
-        sketches = self._parse_tokens(tokens, session, cache_key=question)
+        with self._stats_lock:
+            self._stats["asks"] += 1
+        tokens: list[Token] = []
+        interpreted = False
+        try:
+            tokens, corrections = self.normalize(question)
+            if not tokens:
+                raise ParseFailure("empty question")
+            sketches = self._parse_tokens(tokens, session, cache_key=question)
 
-        full = [s for s in sketches if not s.fragment]
-        fragments = [s for s in sketches if s.fragment]
-        used_fragment = False
+            full = [s for s in sketches if not s.fragment]
+            fragments = [s for s in sketches if s.fragment]
+            used_fragment = False
 
-        candidates: list[Sketch] = []
-        pronoun_used = session is not None and session.last_query is not None and any(
-            t.text in PRONOUNS for t in tokens
+            candidates: list[Sketch] = []
+            pronoun_used = session is not None and session.last_query is not None and any(
+                t.text in PRONOUNS for t in tokens
+            )
+            if full:
+                if pronoun_used:
+                    candidates = [session.resolve_pronoun_sketch(s) for s in full]
+                else:
+                    candidates = full
+            elif fragments:
+                if session is None or session.last_query is None:
+                    raise DialogueError(
+                        "this looks like a follow-up fragment, but there is no "
+                        "previous question to complete it from"
+                    )
+                candidates = [session.resolve_fragment(s) for s in fragments]
+                used_fragment = True
+            else:  # pragma: no cover - parser always yields one kind
+                raise ParseFailure("no usable parse", tokens=[t.text for t in tokens])
+
+            interpretations = self.interpreter.interpret(candidates)
+            interpreted = True
+            best = interpretations[0]
+            runners_up = interpretations[1 : self.config.max_interpretations]
+
+            if clarify and runners_up:
+                margin = best.score - runners_up[0].score
+                if margin <= self.config.clarification_margin:
+                    return self._ambiguous_response(
+                        question, tokens, corrections, session, interpretations
+                    )
+
+            select = self.sqlgen.generate(best.query)
+            sql = select.render()
+            result = self.engine.execute(select)
+            text = make_paraphrase(best.query)
+
+            alternatives = []
+            for other in runners_up:
+                try:
+                    alternatives.append(
+                        (make_paraphrase(other.query), self.sqlgen.generate_sql(other.query))
+                    )
+                except InterpretationError:  # pragma: no cover - defensive
+                    continue
+
+            answer = Answer(
+                question=question,
+                normalized_words=[t.text for t in tokens],
+                corrections=corrections,
+                interpretation=best,
+                sql=sql,
+                result=result,
+                paraphrase=text,
+                alternatives=alternatives,
+                was_fragment=used_fragment,
+            )
+            if session is not None:
+                session.remember(question, best.query, text)
+            return Response.answered(question, answer)
+        except (NliError, EngineError) as exc:
+            return self._failure_response(
+                question, tokens, exc, after_interpretation=interpreted
+            )
+
+    def ask_many(
+        self,
+        questions: list[str],
+        session: Session | None = None,
+        clarify: bool = False,
+    ) -> list[Response]:
+        """Answer a batch of questions with shared per-batch work.
+
+        One freshness check covers the whole batch (pending DML deltas are
+        absorbed once, not per question), and because no refresh can flush
+        the prepared cache mid-batch, repeated question strings share one
+        normalize/parse pass and the engine's materialized results.
+        """
+        # Honour auto_refresh: when an NliService owns this pipeline, the
+        # service performs refreshes under its write lock — refreshing
+        # here would mutate the language layers under a read lock.
+        self._ensure_fresh()
+        previous, self.auto_refresh = self.auto_refresh, False
+        try:
+            return [
+                self.ask(question, session=session, clarify=clarify)
+                for question in questions
+            ]
+        finally:
+            self.auto_refresh = previous
+
+    def resolve(self, clarification_id: str, choice_index: int) -> Response:
+        """Execute one choice of an AMBIGUOUS response, without re-parsing.
+
+        The interpretation chosen at ask() time is replayed directly
+        through SQL generation and execution.  When the original ask
+        carried a :class:`Session`, the resolution is remembered there, so
+        follow-up fragments bind to the clarified reading.  Raises
+        :class:`ClarificationError` for an unknown/consumed id or an
+        out-of-range index (caller programming errors, not user input).
+        """
+        pending: _PendingClarification | None = self._clarifications.get(
+            clarification_id
         )
-        if full:
-            if pronoun_used:
-                candidates = [session.resolve_pronoun_sketch(s) for s in full]
-            else:
-                candidates = full
-        elif fragments:
-            if session is None or session.last_query is None:
-                raise DialogueError(
-                    "this looks like a follow-up fragment, but there is no "
-                    "previous question to complete it from"
-                )
-            candidates = [session.resolve_fragment(s) for s in fragments]
-            used_fragment = True
-        else:  # pragma: no cover - parser always yields one kind
-            raise ParseFailure("no usable parse", tokens=[t.text for t in tokens])
-
-        interpretations = self.interpreter.interpret(candidates)
-        best = interpretations[0]
-        runners_up = interpretations[1 : self.config.max_interpretations]
-
-        if clarify and runners_up:
-            margin = best.score - runners_up[0].score
-            if margin <= self.config.clarification_margin:
-                choices = [i.describe() for i in interpretations]
-                raise AmbiguityError(
-                    "the question is ambiguous; candidate readings: "
-                    + " | ".join(choices),
-                    choices=choices,
-                )
-
-        select = self.sqlgen.generate(best.query)
-        sql = select.render()
-        result = self.engine.execute(select)
-        text = make_paraphrase(best.query)
-
-        alternatives = []
-        for other in runners_up:
-            try:
-                alternatives.append(
-                    (make_paraphrase(other.query), self.sqlgen.generate_sql(other.query))
-                )
-            except InterpretationError:  # pragma: no cover - defensive
-                continue
-
+        if pending is None:
+            raise ClarificationError(
+                f"unknown or already-resolved clarification id {clarification_id!r}"
+            )
+        if not 0 <= choice_index < len(pending.interpretations):
+            # Bad index leaves the clarification pending, so the user can
+            # simply pick again.
+            raise ClarificationError(
+                f"choice index {choice_index} out of range: clarification "
+                f"{clarification_id!r} offers {len(pending.interpretations)} choices"
+            )
+        # Consume the entry only once the choice is valid (single-use; a
+        # concurrent resolver losing this race gets the unknown-id error).
+        pending = self._clarifications.pop(clarification_id)
+        if pending is None:  # pragma: no cover - needs a concurrent resolve
+            raise ClarificationError(
+                f"unknown or already-resolved clarification id {clarification_id!r}"
+            )
+        chosen = pending.interpretations[choice_index]
+        try:
+            select = self.sqlgen.generate(chosen.query)
+            sql = select.render()
+            result = self.engine.execute(select)
+            text = make_paraphrase(chosen.query)
+        except (NliError, EngineError) as exc:
+            # Same contract as ask(): replay failures (e.g. the database
+            # changed under a parked clarification) become envelopes, not
+            # raises.  The clarification is consumed either way.
+            if pending.session is not None:
+                pending.session.pending_clarification = None
+            return Response(
+                status=Status.FAILED,
+                question=pending.question,
+                diagnostics=(
+                    Diagnostic(
+                        EXECUTION_ERROR, str(exc), span=(0, len(pending.words))
+                    ),
+                ),
+                tokens=pending.words,
+                error=exc,
+            )
         answer = Answer(
-            question=question,
-            normalized_words=[t.text for t in tokens],
-            corrections=corrections,
-            interpretation=best,
+            question=pending.question,
+            normalized_words=list(pending.words),
+            corrections=list(pending.corrections),
+            interpretation=chosen,
             sql=sql,
             result=result,
             paraphrase=text,
-            alternatives=alternatives,
-            was_fragment=used_fragment,
+        )
+        if pending.session is not None:
+            pending.session.remember(pending.question, chosen.query, text)
+            pending.session.pending_clarification = None
+        with self._stats_lock:
+            self._stats["clarifications_resolved"] += 1
+        return Response.answered(pending.question, answer)
+
+    # -- envelope construction ---------------------------------------------------
+
+    def _ambiguous_response(
+        self,
+        question: str,
+        tokens: list[Token],
+        corrections: list[tuple[str, str]],
+        session: Session | None,
+        interpretations: list[Interpretation],
+    ) -> Response:
+        words = tuple(t.text for t in tokens)
+        choices: list[Choice] = []
+        kept: list[Interpretation] = []
+        for interpretation in interpretations:
+            try:
+                sql = self.sqlgen.generate_sql(interpretation.query)
+                text = make_paraphrase(interpretation.query)
+            except (NliError, EngineError):  # pragma: no cover - defensive
+                continue
+            choices.append(
+                Choice(
+                    index=len(choices),
+                    paraphrase=text,
+                    sql=sql,
+                    score=interpretation.score,
+                )
+            )
+            kept.append(interpretation)
+        clarification_id = f"clar-{next(self._clarification_ids)}"
+        self._clarifications.put(
+            clarification_id,
+            _PendingClarification(
+                question=question,
+                words=words,
+                corrections=tuple(corrections),
+                interpretations=tuple(kept),
+                session=session,
+            ),
         )
         if session is not None:
-            session.remember(question, best.query, text)
-        return answer
+            session.pending_clarification = clarification_id
+        readings = [i.describe() for i in kept]
+        message = (
+            "the question is ambiguous; candidate readings: " + " | ".join(readings)
+        )
+        diagnostic = Diagnostic(
+            AMBIGUOUS_QUESTION,
+            message,
+            span=(0, len(words)),
+            suggestions=tuple(choice.paraphrase for choice in choices),
+        )
+        return Response(
+            status=Status.AMBIGUOUS,
+            question=question,
+            diagnostics=(diagnostic,),
+            choices=tuple(choices),
+            clarification_id=clarification_id,
+            tokens=words,
+            error=AmbiguityError(message, choices=readings),
+        )
+
+    def _failure_response(
+        self,
+        question: str,
+        tokens: list[Token],
+        error: Exception,
+        after_interpretation: bool = False,
+    ) -> Response:
+        words = tuple(t.text for t in tokens)
+        if after_interpretation and isinstance(error, InterpretationError):
+            # The interpreter succeeded; this came from SQL generation —
+            # report it as an execution-phase failure so stage accounting
+            # (evalkit) credits the interpret stage as reached.
+            return Response(
+                status=Status.FAILED,
+                question=question,
+                diagnostics=(
+                    Diagnostic(EXECUTION_ERROR, str(error), span=(0, len(words))),
+                ),
+                tokens=words,
+                error=error,
+            )
+        extra: tuple[Diagnostic, ...] = ()
+        if isinstance(error, (ParseFailure, InterpretationError)) and tokens:
+            extra = self._unknown_word_diagnostics(tokens)
+        return Response.from_error(
+            question, error, tokens=words, extra_diagnostics=extra
+        )
+
+    def _unknown_word_diagnostics(self, tokens: list[Token]) -> tuple[Diagnostic, ...]:
+        """Per-token diagnostics for words nothing in the system can bind.
+
+        These carry the precise token span plus spelling/value suggestions
+        — the machine-readable version of "did you mean ...?".
+        """
+        out = []
+        for i, token in enumerate(tokens):
+            word = token.text
+            if self._word_is_known(token):
+                continue
+            suggestions: list[str] = []
+            corrected = self.lexicon.correct_word(word)
+            if corrected and corrected != word:
+                suggestions.append(corrected)
+            if self.value_index is not None:
+                fuzzy = self.value_index.fuzzy_word(word)
+                if fuzzy and fuzzy != word and fuzzy not in suggestions:
+                    suggestions.append(fuzzy)
+            out.append(
+                Diagnostic(
+                    UNKNOWN_WORD,
+                    f"{word!r} matches no schema term, data value or grammar word",
+                    span=(i, i + 1),
+                    suggestions=tuple(suggestions),
+                )
+            )
+        return tuple(out)
 
     # -- diagnostics -----------------------------------------------------------------
 

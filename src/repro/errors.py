@@ -3,6 +3,18 @@
 Every layer raises a subclass of :class:`ReproError`, so applications can
 catch one base class at the API boundary while tests can assert on the
 specific failure mode.
+
+Deprecation note (service-layer API redesign): the user-input failures of
+the NL pipeline — :class:`ParseFailure`, :class:`InterpretationError`,
+:class:`AmbiguityError`, :class:`DialogueError` — are no longer *raised*
+by ``NaturalLanguageInterface.ask``.  They are reported as structured
+diagnostics on :class:`repro.service.Response` with the original
+exception instance carried on ``Response.error`` for one deprecation
+cycle (``Response.raise_for_status()`` re-raises it, and accessing an
+answer attribute such as ``.result`` on a failed response raises it too,
+so legacy ``try/except ReproError`` call sites keep working).  The
+classes themselves remain importable from here and are still raised by
+the lower-level pipeline stages (``parse``, ``interpret``, …).
 """
 
 from __future__ import annotations
@@ -96,3 +108,18 @@ class AmbiguityError(NliError):
 
 class DialogueError(NliError):
     """Follow-up could not be resolved against the session context."""
+
+
+# --------------------------------------------------------------------------
+# Service-layer errors
+# --------------------------------------------------------------------------
+
+
+class ClarificationError(NliError):
+    """A clarification could not be resolved: unknown (or already consumed)
+    clarification id, or a choice index outside the offered range.
+
+    Unlike the user-input failures above — which since the Response
+    envelope redesign are *reported* on :class:`repro.service.Response`
+    rather than raised — this is a caller programming error, so it raises.
+    """

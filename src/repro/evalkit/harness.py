@@ -1,4 +1,10 @@
-"""Evaluation harness: run systems over corpora and collect metrics."""
+"""Evaluation harness: run systems over corpora and collect metrics.
+
+Every system under evaluation — the full pipeline and both baselines —
+speaks the same :class:`~repro.service.Response` protocol, so the evalkit
+compares like with like: an ``ask()`` that returns a structured envelope
+whose diagnostics say *where* the pipeline gave up.
+"""
 
 from __future__ import annotations
 
@@ -8,18 +14,46 @@ from typing import Protocol
 from repro.core.config import NliConfig
 from repro.core.dialogue import Session
 from repro.core.pipeline import NaturalLanguageInterface
-from repro.datasets.corpus import DialogueTurn, DomainBundle, QuestionExample
-from repro.errors import NliError, ReproError
+from repro.datasets.corpus import DomainBundle, QuestionExample
 from repro.evalkit.metrics import StageCounts, Tally, answers_match
+from repro.service.response import (
+    EMPTY_QUESTION,
+    EXECUTION_ERROR,
+    INTERPRETATION_ERROR,
+    MISSING_CONTEXT,
+    PARSE_FAILURE,
+    Response,
+)
 from repro.sqlengine.executor import Engine
-from repro.sqlengine.result import ResultSet
 
 
 class QuestionAnswerer(Protocol):
-    """Anything that turns an English question into a ResultSet."""
+    """Anything that answers an English question with a Response."""
 
-    def answer(self, question: str) -> ResultSet:  # pragma: no cover
+    def ask(self, question: str) -> Response:  # pragma: no cover
         ...
+
+
+#: Primary diagnostic code -> last pipeline stage *reached* (StageCounts
+#: vocabulary).  A parse failure means only tokenization succeeded; an
+#: interpretation error means a parse existed; an execution error means an
+#: interpretation existed.
+_STAGE_BY_CODE = {
+    EMPTY_QUESTION: "tokenize",
+    PARSE_FAILURE: "tokenize",
+    MISSING_CONTEXT: "parse",
+    INTERPRETATION_ERROR: "parse",
+    EXECUTION_ERROR: "interpret",
+}
+
+
+def failure_stage(response: Response) -> str:
+    """The stage a non-answered response got stuck after."""
+    for diagnostic in response.diagnostics:
+        stage = _STAGE_BY_CODE.get(diagnostic.code)
+        if stage is not None:
+            return stage
+    return "tokenize"
 
 
 class NliSystem:
@@ -32,7 +66,11 @@ class NliSystem:
             bundle.database, domain=bundle.model, config=config
         )
 
-    def answer(self, question: str) -> ResultSet:
+    def ask(self, question: str) -> Response:
+        return self.nli.ask(question)
+
+    def answer(self, question: str):
+        """Legacy accessor: the raw ResultSet (raises on failure)."""
         return self.nli.ask(question).result
 
 
@@ -60,35 +98,12 @@ def evaluate_nli(
     result = EvalResult("nli", bundle.name)
     for example in examples if examples is not None else bundle.corpus:
         gold = gold_engine.execute(example.gold_sql)
-        try:
-            tokens, _ = nli.normalize(example.question)
-            if not tokens:
-                result.stages.record(example.question, "tokenize")
-                continue
-            try:
-                sketches = nli._parse_tokens(tokens, None)
-            except NliError:
-                result.stages.record(example.question, "tokenize")
-                continue
-            full = [s for s in sketches if not s.fragment]
-            if not full:
-                result.stages.record(example.question, "parse")
-                continue
-            try:
-                interpretations = nli.interpreter.interpret(full)
-            except NliError:
-                result.stages.record(example.question, "parse")
-                continue
-            best = interpretations[0]
-            try:
-                produced = nli.engine.execute(nli.sqlgen.generate(best.query))
-            except ReproError:
-                result.stages.record(example.question, "interpret")
-                continue
-            correct = answers_match(produced, gold)
+        response = nli.ask(example.question)
+        if response.ok:
+            correct = answers_match(response.answer.result, gold)
             result.stages.record(example.question, "answered", correct=correct)
-        except ReproError:
-            result.stages.record(example.question, "tokenize")
+        else:
+            result.stages.record(example.question, failure_stage(response))
     return result
 
 
@@ -102,12 +117,8 @@ def evaluate_system(
     tally = Tally()
     for example in examples if examples is not None else bundle.corpus:
         gold = gold_engine.execute(example.gold_sql)
-        try:
-            produced = system.answer(example.question)
-        except ReproError:
-            tally.add(False)
-            continue
-        tally.add(answers_match(produced, gold))
+        response = system.ask(example.question)
+        tally.add(response.ok and answers_match(response.answer.result, gold))
     return tally
 
 
@@ -130,11 +141,8 @@ def evaluate_dialogues(
         session = Session()
         for turn in session_script:
             gold = gold_engine.execute(turn.gold_sql)
-            try:
-                answer = nli.ask(turn.question, session=session)
-                correct = answers_match(answer.result, gold)
-            except ReproError:
-                correct = False
+            response = nli.ask(turn.question, session=session)
+            correct = response.ok and answers_match(response.answer.result, gold)
             if turn.is_followup:
                 outcome.followups.add(correct)
             else:
@@ -151,11 +159,8 @@ def per_feature_accuracy(
     buckets: dict[str, Tally] = {}
     for example in bundle.corpus:
         gold = gold_engine.execute(example.gold_sql)
-        try:
-            produced = nli.ask(example.question).result
-            correct = answers_match(produced, gold)
-        except ReproError:
-            correct = False
+        response = nli.ask(example.question)
+        correct = response.ok and answers_match(response.answer.result, gold)
         for feature in example.features:
             buckets.setdefault(feature, Tally()).add(correct)
     return buckets

@@ -1,0 +1,88 @@
+"""A writer-preferring read-write lock for the service facade.
+
+Many ``ask()`` callers only *read* the language layers and the database;
+only ``refresh()`` and DML writers mutate them.  A single mutex would
+serialize every question behind every other; the RW lock lets readers
+overlap while giving writers exclusivity.
+
+Writer preference: once a writer is waiting, new readers queue behind it,
+so a stream of questions cannot starve a pending ``refresh()``.  The lock
+is not reentrant (a reader must not try to take the write lock).
+
+``stats`` counts acquisitions and tracks the high-water mark of
+simultaneous readers — the observable proof (asserted by the F6
+benchmark) that readers actually proceed in parallel, which a single
+global lock can never show.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RwLock:
+    """Readers-writer lock with acquisition statistics."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self.stats = {
+            "read_acquires": 0,
+            "write_acquires": 0,
+            "max_concurrent_readers": 0,
+        }
+
+    # -- read side ---------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.stats["read_acquires"] += 1
+            if self._readers > self.stats["max_concurrent_readers"]:
+                self.stats["max_concurrent_readers"] = self._readers
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side --------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.stats["write_acquires"] += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

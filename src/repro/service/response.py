@@ -1,0 +1,303 @@
+"""The Response envelope: every caller's view of one question's outcome.
+
+The paper-era API raised :class:`~repro.errors.ParseFailure` /
+:class:`~repro.errors.InterpretationError` / :class:`~repro.errors.AmbiguityError`
+as control flow, which a web frontend cannot serialize and a batch caller
+cannot aggregate.  The envelope makes every outcome a value:
+
+* ``status`` — one of :class:`Status`;
+* ``answer`` — the rich :class:`~repro.core.answer.Answer` payload when
+  answered (rebuilt in wire form by :meth:`Response.from_dict`);
+* ``diagnostics`` — machine-readable :class:`Diagnostic` records (error
+  code, message, token span into ``tokens``, suggestions);
+* ``choices`` + ``clarification_id`` — the clarification protocol for
+  :data:`Status.AMBIGUOUS` responses, resolved without re-parsing via
+  ``service.resolve(clarification_id, choice_index)``;
+* ``error`` — the legacy exception instance, carried for one deprecation
+  cycle: ``raise_for_status()`` re-raises it, and accessing an answer
+  attribute (``.result`` …) on a non-answered response raises it too, so
+  pre-envelope ``try/except ReproError`` call sites keep working.
+
+``to_dict()`` emits only JSON primitives (lists, never tuples), so
+``json.loads(json.dumps(r.to_dict())) == r.to_dict()`` holds exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    AmbiguityError,
+    DialogueError,
+    EngineError,
+    InterpretationError,
+    NliError,
+    ParseFailure,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->service cycle
+    from repro.core.answer import Answer
+
+
+class Status(str, Enum):
+    """Outcome of one question (the envelope's discriminant)."""
+
+    ANSWERED = "answered"
+    AMBIGUOUS = "ambiguous"
+    NEEDS_CLARIFICATION = "needs_clarification"
+    FAILED = "failed"
+
+
+# Diagnostic codes (machine-readable; stages map onto them in the evalkit).
+EMPTY_QUESTION = "empty_question"
+PARSE_FAILURE = "parse_failure"
+UNKNOWN_WORD = "unknown_word"
+MISSING_CONTEXT = "missing_context"
+INTERPRETATION_ERROR = "interpretation_error"
+AMBIGUOUS_QUESTION = "ambiguous_question"
+EXECUTION_ERROR = "execution_error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One machine-readable problem report.
+
+    ``span`` is a half-open ``(start, end)`` token range into
+    ``Response.tokens`` (``(0, 0)`` for an empty question), so a frontend
+    can highlight the offending words; ``suggestions`` are candidate
+    replacements or paraphrases a user could pick from.
+    """
+
+    code: str
+    message: str
+    span: tuple[int, int] | None = None
+    suggestions: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "span": list(self.span) if self.span is not None else None,
+            "suggestions": list(self.suggestions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Diagnostic:
+        span = data.get("span")
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            span=tuple(span) if span is not None else None,  # type: ignore[arg-type]
+            suggestions=tuple(data.get("suggestions", ())),
+        )
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One candidate reading offered by an AMBIGUOUS response."""
+
+    index: int
+    paraphrase: str
+    sql: str
+    score: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "paraphrase": self.paraphrase,
+            "sql": self.sql,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Choice:
+        return cls(
+            index=data["index"],
+            paraphrase=data["paraphrase"],
+            sql=data["sql"],
+            score=data.get("score", 0.0),
+        )
+
+
+#: Answer attributes transparently reachable on the envelope.  On a
+#: non-answered response, touching one raises the carried legacy error —
+#: exactly what the pre-envelope ``ask()`` did — so old call sites that
+#: wrap ``ask(q).result`` in ``try/except ReproError`` keep working.
+_ANSWER_ATTRS = frozenset(
+    {
+        "result",
+        "sql",
+        "paraphrase",
+        "corrections",
+        "normalized_words",
+        "alternatives",
+        "was_fragment",
+        "interpretation",
+        "query",
+        "render",
+        "is_ambiguous",
+    }
+)
+
+
+@dataclass
+class Response:
+    """Everything the service produced for one question."""
+
+    status: Status
+    question: str
+    answer: Answer | None = None
+    diagnostics: tuple[Diagnostic, ...] = ()
+    choices: tuple[Choice, ...] = ()
+    clarification_id: str | None = None
+    #: Words of the question after normalization; diagnostic spans index
+    #: into this list.
+    tokens: tuple[str, ...] = ()
+    #: Legacy exception carrier (one deprecation cycle); never serialized.
+    error: Exception | None = field(default=None, compare=False)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.ANSWERED
+
+    def raise_for_status(self) -> None:
+        """Re-raise the legacy exception of a non-answered response."""
+        if self.status is Status.ANSWERED:
+            return
+        if self.error is not None:
+            raise self.error
+        raise NliError(self.diagnostics[0].message if self.diagnostics else self.status.value)
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called for attributes not found normally: delegate answer
+        # attributes, preserving the legacy raise on failure.
+        if name in _ANSWER_ATTRS:
+            answer = self.__dict__.get("answer")
+            if answer is None:
+                self.raise_for_status()
+                raise AttributeError(name)
+            return getattr(answer, name)
+        raise AttributeError(name)
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def answered(cls, question: str, answer: Answer) -> Response:
+        return cls(
+            status=Status.ANSWERED,
+            question=question,
+            answer=answer,
+            tokens=tuple(answer.normalized_words),
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        question: str,
+        error: Exception,
+        tokens: tuple[str, ...] = (),
+        extra_diagnostics: tuple[Diagnostic, ...] = (),
+    ) -> Response:
+        """Classify a legacy pipeline exception into an envelope.
+
+        Used by the pipeline itself and by the baselines, so every system
+        under evaluation speaks the same protocol.
+        """
+        span = (0, len(tokens))
+        if isinstance(error, ParseFailure):
+            if not tokens and getattr(error, "tokens", None):
+                tokens = tuple(error.tokens)
+                span = (0, len(tokens))
+            code = PARSE_FAILURE if tokens else EMPTY_QUESTION
+            status = Status.FAILED
+        elif isinstance(error, DialogueError):
+            code, status = MISSING_CONTEXT, Status.NEEDS_CLARIFICATION
+        elif isinstance(error, AmbiguityError):
+            code, status = AMBIGUOUS_QUESTION, Status.AMBIGUOUS
+        elif isinstance(error, InterpretationError):
+            code, status = INTERPRETATION_ERROR, Status.FAILED
+        elif isinstance(error, EngineError):
+            code, status = EXECUTION_ERROR, Status.FAILED
+        else:
+            code, status = EXECUTION_ERROR, Status.FAILED
+        diagnostics = (Diagnostic(code, str(error), span), *extra_diagnostics)
+        return cls(
+            status=status,
+            question=question,
+            diagnostics=diagnostics,
+            tokens=tuple(tokens),
+            error=error,
+        )
+
+    # -- JSON wire format --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Pure-JSON representation (lists only, no tuples/objects)."""
+        answer = None
+        if self.answer is not None:
+            a = self.answer
+            answer = {
+                "sql": a.sql,
+                "paraphrase": a.paraphrase,
+                "columns": list(a.result.columns),
+                "rows": [list(row) for row in a.result.rows],
+                "corrections": [list(pair) for pair in a.corrections],
+                "normalized_words": list(a.normalized_words),
+                "alternatives": [list(pair) for pair in a.alternatives],
+                "was_fragment": a.was_fragment,
+            }
+        return {
+            "status": self.status.value,
+            "question": self.question,
+            "answer": answer,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "choices": [c.to_dict() for c in self.choices],
+            "clarification_id": self.clarification_id,
+            "tokens": list(self.tokens),
+            "error_type": type(self.error).__name__ if self.error else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Response:
+        """Rebuild an envelope from :meth:`to_dict` output.
+
+        The answer payload comes back in *wire form*: a real
+        :class:`~repro.sqlengine.result.ResultSet` is reconstructed from
+        columns/rows, but ``interpretation`` (an in-process object graph)
+        is ``None`` on the wire.
+        """
+        from repro.core.answer import Answer
+        from repro.sqlengine.result import ResultSet
+
+        answer = None
+        wire = data.get("answer")
+        if wire is not None:
+            answer = Answer(
+                question=data["question"],
+                normalized_words=list(wire.get("normalized_words", [])),
+                corrections=[tuple(pair) for pair in wire.get("corrections", [])],
+                interpretation=None,
+                sql=wire.get("sql", ""),
+                result=ResultSet(
+                    list(wire.get("columns", [])),
+                    [tuple(row) for row in wire.get("rows", [])],
+                ),
+                paraphrase=wire.get("paraphrase", ""),
+                alternatives=[tuple(pair) for pair in wire.get("alternatives", [])],
+                was_fragment=wire.get("was_fragment", False),
+            )
+        return cls(
+            status=Status(data["status"]),
+            question=data["question"],
+            answer=answer,
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", [])
+            ),
+            choices=tuple(Choice.from_dict(c) for c in data.get("choices", [])),
+            clarification_id=data.get("clarification_id"),
+            tokens=tuple(data.get("tokens", [])),
+        )

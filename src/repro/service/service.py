@@ -1,0 +1,180 @@
+"""NliService: the thread-safe, multi-session facade over the pipeline.
+
+The raw :class:`~repro.core.pipeline.NaturalLanguageInterface` is a
+single-caller object: a lazily-triggered ``refresh()`` rebuilds the
+language layers in place, so concurrent ``ask()`` threads would race the
+rebuild.  The service closes that hole with a writer-preferring
+:class:`~repro.service.locks.RwLock`:
+
+* ``ask`` / ``ask_many`` / ``resolve`` run under the **read** lock, so any
+  number of question threads proceed in parallel;
+* ``refresh`` and DML/DDL through :meth:`execute` take the **write** lock
+  and get exclusivity.
+
+Implicit refresh is disabled on the wrapped pipeline
+(``nli.auto_refresh = False``); instead, every read entry point first
+absorbs pending deltas under the write lock when needed.  A delta that
+lands *while* readers are in flight is absorbed before the next question
+— readers see a consistent (possibly one-write stale) snapshot, never a
+torn one.
+
+Sessions: :meth:`open_session` issues ids for conversation state kept on
+the service (a web frontend holds a token, not an object); library
+callers may still pass their own :class:`~repro.core.dialogue.Session`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.config import NliConfig
+from repro.core.dialogue import Session
+from repro.core.pipeline import NaturalLanguageInterface
+from repro.lexicon.domain import DomainModel
+from repro.service.locks import RwLock
+from repro.service.response import Response
+from repro.sqlengine.database import Database
+from repro.sqlengine.result import ResultSet
+
+#: Statement prefixes that only read; everything else is a writer.
+_READ_ONLY_PREFIXES = ("select", "explain")
+
+
+class NliService:
+    """Thread-safe service API over one natural-language interface."""
+
+    def __init__(
+        self,
+        database: Database,
+        domain: DomainModel | None = None,
+        config: NliConfig | None = None,
+        nli: NaturalLanguageInterface | None = None,
+    ) -> None:
+        self._nli = nli or NaturalLanguageInterface(
+            database, domain=domain, config=config
+        )
+        # The service owns freshness: implicit refresh under a read lock
+        # would mutate the language layers while other readers use them.
+        self._nli.auto_refresh = False
+        self._lock = RwLock()
+        self._sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_counter = 0
+
+    @property
+    def nli(self) -> NaturalLanguageInterface:
+        """The wrapped pipeline (single-threaded access only)."""
+        return self._nli
+
+    @property
+    def database(self) -> Database:
+        return self._nli.database
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(self) -> str:
+        """Create a managed dialogue session; returns its id."""
+        with self._sessions_lock:
+            self._session_counter += 1
+            session_id = f"s{self._session_counter}"
+            self._sessions[session_id] = Session()
+        return session_id
+
+    def session(self, session_id: str) -> Session:
+        with self._sessions_lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"unknown session id {session_id!r}") from None
+
+    def close_session(self, session_id: str) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(session_id, None)
+
+    def _as_session(self, session: Session | str | None) -> Session | None:
+        if isinstance(session, str):
+            return self.session(session)
+        return session
+
+    # -- freshness ---------------------------------------------------------
+
+    def _absorb_writes(self) -> None:
+        """Apply pending DML deltas under the write lock (if any).
+
+        The cheap check runs lock-free; the refresh re-checks under the
+        write lock, so two racing readers cannot double-refresh and a
+        reader never mutates the layers while others read them.
+        """
+        if self._nli.needs_refresh():
+            with self._lock.write_locked():
+                self._nli.refresh_if_needed()
+
+    def refresh(self, full: bool = False) -> None:
+        """Explicitly rebuild/patch the language layers (exclusive)."""
+        with self._lock.write_locked():
+            self._nli.refresh(full=full)
+
+    # -- questions (read side) ---------------------------------------------
+
+    def ask(
+        self,
+        question: str,
+        session: Session | str | None = None,
+        clarify: bool = False,
+    ) -> Response:
+        """Answer one question; safe to call from many threads at once."""
+        resolved = self._as_session(session)
+        self._absorb_writes()
+        with self._lock.read_locked():
+            return self._nli.ask(question, session=resolved, clarify=clarify)
+
+    def ask_many(
+        self,
+        questions: list[str],
+        session: Session | str | None = None,
+        clarify: bool = False,
+    ) -> list[Response]:
+        """Answer a batch under one read-lock hold and one freshness pass."""
+        resolved = self._as_session(session)
+        self._absorb_writes()
+        with self._lock.read_locked():
+            return self._nli.ask_many(questions, session=resolved, clarify=clarify)
+
+    def resolve(self, clarification_id: str, choice_index: int) -> Response:
+        """Execute the chosen reading of an AMBIGUOUS response."""
+        self._absorb_writes()
+        with self._lock.read_locked():
+            return self._nli.resolve(clarification_id, choice_index)
+
+    def explain(self, question: str, session: Session | str | None = None) -> str:
+        resolved = self._as_session(session)
+        self._absorb_writes()
+        with self._lock.read_locked():
+            return self._nli.explain(question, session=resolved)
+
+    # -- SQL passthrough (write side for DML/DDL) --------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Run raw SQL: SELECT/EXPLAIN share the read lock, DML/DDL get
+        exclusivity (their deltas are absorbed before the next question)."""
+        if sql.lstrip().lower().startswith(_READ_ONLY_PREFIXES):
+            with self._lock.read_locked():
+                return self._nli.engine.execute(sql)
+        with self._lock.write_locked():
+            return self._nli.engine.execute(sql)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def lock_stats(self) -> dict[str, int]:
+        return dict(self._lock.stats)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Pipeline counters plus lock acquisition/concurrency counters."""
+        out = dict(self._nli.stats)
+        for key, value in self._lock.stats.items():
+            out[f"lock_{key}"] = value
+        with self._sessions_lock:
+            out["open_sessions"] = len(self._sessions)
+        return out

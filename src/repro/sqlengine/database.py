@@ -14,9 +14,10 @@ from repro.sqlengine.table import Table, TableDelta
 class Database:
     """A named collection of tables.
 
-    Foreign keys are checked on :meth:`insert` when ``enforce_fk`` is on
-    (default).  Bulk loaders may switch it off and call
-    :meth:`check_integrity` once at the end.
+    Foreign keys are checked on :meth:`insert` and (both directions) on
+    :meth:`update_rows` when ``enforce_fk`` is on (default).  Bulk
+    loaders may switch it off and call :meth:`check_integrity` once at
+    the end.
     """
 
     def __init__(self, name: str = "db", enforce_fk: bool = True) -> None:
@@ -181,7 +182,53 @@ class Database:
             count += 1
         return count
 
+    def update_rows(
+        self,
+        table_name: str,
+        updates: Iterable[tuple[int, Mapping[str, Any] | Sequence[Any]]],
+    ) -> int:
+        """Batch row replacement with referential-integrity enforcement.
+
+        Two directions are validated *before* anything mutates (so a
+        violation leaves the table untouched, matching the primary-key
+        behaviour of :meth:`Table.update_rows`):
+
+        * child side — an updated foreign-key value must match a parent
+          row, exactly as on :meth:`insert`;
+        * parent side — rewriting a referenced (primary-key) value must
+          not strand child rows still pointing at the old value.
+
+        Both reject with the same :class:`IntegrityError` shape as
+        INSERT-time FK violations.
+        """
+        table = self.table(table_name)
+        if not self.enforce_fk or not self._fk_involved(table):
+            # No outgoing or incoming foreign keys: skip the validation
+            # pass entirely (the common case on the DML hot path).
+            return table.update_rows(updates)
+        prepared = table.prepare_updates(updates)
+        self._check_update_fks(table, prepared)
+        self._check_no_stranded_children(table, prepared)
+        return table.apply_prepared_updates(prepared)
+
+    def update_row(
+        self, table_name: str, row_id: int, values: Mapping[str, Any] | Sequence[Any]
+    ) -> bool:
+        """Single-row convenience over :meth:`update_rows`."""
+        return self.update_rows(table_name, [(row_id, values)]) == 1
+
+    def _fk_involved(self, table: Table) -> bool:
+        """Does ``table`` have outgoing FKs, or any table referencing it?"""
+        if table.schema.foreign_keys:
+            return True
+        return any(
+            fk.ref_table == table.name
+            for other in self.tables()
+            for fk in other.schema.foreign_keys
+        )
+
     def _check_row_fks(self, table: Table, row: tuple[Any, ...]) -> None:
+        """Validate the row's outgoing FK values against their parents."""
         for fk in table.schema.foreign_keys:
             value = row[table.schema.column_index(fk.column)]
             if value is None:
@@ -192,6 +239,137 @@ class Database:
                     f"{table.name}.{fk.column}={value!r} has no match in "
                     f"{fk.ref_table}.{fk.ref_column}"
                 )
+
+    def _check_update_fks(
+        self,
+        table: Table,
+        prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]],
+    ) -> None:
+        """Child-side validation for a batch update.
+
+        Unchanged FK columns are skipped (their values were validated when
+        they entered the table).  A self-referencing FK is judged against
+        the table's *post-batch* state, so a batch that rewrites a key and
+        its in-batch references together (``SET id = id + 100,
+        manager_id = manager_id + 100``) is accepted.
+        """
+        final_values: dict[str, set[Any]] = {}
+
+        def final_column_state(column: str) -> set[Any]:
+            values = final_values.get(column)
+            if values is None:
+                pos = table.schema.column_index(column)
+                updating = {row_id for row_id, _, _ in prepared}
+                values = {new[pos] for _, new, _ in prepared}
+                for row_id, row in table.rows_with_ids():
+                    if row_id not in updating:
+                        values.add(row[pos])
+                final_values[column] = values
+            return values
+
+        for fk in table.schema.foreign_keys:
+            pos = table.schema.column_index(fk.column)
+            self_referencing = fk.ref_table == table.name
+            for _, new, old in prepared:
+                value = new[pos]
+                if value is None or old[pos] == value:
+                    continue
+                if self_referencing:
+                    matched = value in final_column_state(fk.ref_column)
+                else:
+                    matched = bool(
+                        self.table(fk.ref_table).lookup_equal(fk.ref_column, value)
+                    )
+                if not matched:
+                    raise IntegrityError(
+                        f"{table.name}.{fk.column}={value!r} has no match in "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )
+
+    def _check_no_stranded_children(
+        self,
+        table: Table,
+        prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]],
+    ) -> None:
+        """Reject updates that rewrite a referenced value away from its
+        children (the ROADMAP-listed FK hole: a parent PK rewrite used to
+        strand child rows silently)."""
+        incoming = [
+            (fk, child)
+            for child in self.tables()
+            for fk in child.schema.foreign_keys
+            if fk.ref_table == table.name
+        ]
+        if not incoming:
+            return
+        updating_ids = {row_id for row_id, _, _ in prepared}
+        for ref_column in {fk.ref_column for fk, _ in incoming}:
+            pos = table.schema.column_index(ref_column)
+            rewritten = {
+                old[pos]
+                for _, new, old in prepared
+                if old[pos] is not None and old[pos] != new[pos]
+            }
+            if not rewritten:
+                continue
+            # A value only disappears if no row (updated or untouched)
+            # still carries it after the batch applies.  With an index on
+            # the referenced column (the PK, usually) survival is a probe
+            # per rewritten value; otherwise one scan of the parent.
+            new_values = {new[pos] for _, new, _ in prepared}
+            index = table.hash_index(ref_column)
+            if index is not None:
+                removed = {
+                    value
+                    for value in rewritten
+                    if value not in new_values
+                    # The index still reflects pre-update state, so filter
+                    # out the rows being rewritten in this batch.
+                    and not any(
+                        row_id not in updating_ids
+                        for row_id in index.lookup(value)
+                    )
+                }
+            else:
+                surviving = set(new_values)
+                for row_id, row in table.rows_with_ids():
+                    if row_id not in updating_ids:
+                        surviving.add(row[pos])
+                removed = rewritten - surviving
+            if not removed:
+                continue
+            updated_new = {row_id: new for row_id, new, _ in prepared}
+            for fk, child in incoming:
+                if fk.ref_column != ref_column:
+                    continue
+                child_pos = child.schema.column_index(fk.column)
+                child_index = (
+                    child.hash_index(fk.column) if child is not table else None
+                )
+                if child_index is not None:
+                    # Indexed child FK column: probe per removed value
+                    # instead of scanning the child table.
+                    for value in removed:
+                        if any(
+                            child.row_by_id(row_id) is not None
+                            for row_id in child_index.lookup(value)
+                        ):
+                            raise IntegrityError(
+                                f"{child.name}.{fk.column}={value!r} has no "
+                                f"match in {table.name}.{ref_column}"
+                            )
+                    continue
+                for child_row_id, child_row in child.rows_with_ids():
+                    # Self-referencing updates: judge an updated row by its
+                    # post-update FK value, not the one being replaced.
+                    if child is table and child_row_id in updated_new:
+                        child_row = updated_new[child_row_id]
+                    value = child_row[child_pos]
+                    if value is not None and value in removed:
+                        raise IntegrityError(
+                            f"{child.name}.{fk.column}={value!r} has no match in "
+                            f"{table.name}.{ref_column}"
+                        )
 
     def check_integrity(self) -> list[str]:
         """Full referential-integrity sweep; returns violation messages."""

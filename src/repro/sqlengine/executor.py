@@ -697,10 +697,12 @@ class Engine:
             updated_rows.append((row_id, values))
         # In-place update: rows keep their ids and their position in the
         # table's insertion order (a delete+reinsert would move them to the
-        # end and change their ids).  The batch apply validates the final
-        # primary-key state before mutating, so a collision leaves the
-        # table untouched.
-        table.update_rows(updated_rows)
+        # end and change their ids).  Routed through the database so
+        # foreign keys are enforced in both directions (changed FK values
+        # must match a parent; a rewritten parent key must not strand
+        # children); PK and FK state are validated before mutating, so a
+        # violation leaves the table untouched.
+        self.database.update_rows(stmt.table, updated_rows)
         return ResultSet(["rows_affected"], [(len(ids),)])
 
 

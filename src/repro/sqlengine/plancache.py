@@ -21,6 +21,8 @@ table cannot echo an old stamp either.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Mapping
 
@@ -42,37 +44,94 @@ def _stamps_current(
 
 
 class LruCache:
-    """Minimal LRU mapping (also used by the NLI prepared-question cache)."""
+    """Thread-safe LRU mapping with optional per-entry TTL.
 
-    def __init__(self, capacity: int = 128) -> None:
+    Also used by the NLI prepared-question cache and the clarification
+    registry, both of which are hit by concurrent ``NliService.ask()``
+    readers — every public method holds an internal lock, because
+    ``OrderedDict`` reordering is not safe under free-threaded access.
+
+    ``ttl_s`` bounds an entry's age: a ``get``/``__contains__`` that finds
+    an entry older than the TTL treats it as a miss and evicts it
+    (counted in ``stats["ttl_evictions"]``).  ``None`` disables aging.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("cache TTL must be positive (or None)")
         self.capacity = capacity
-        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.RLock()
+        #: key -> (value, stored_at); stored_at is 0.0 when no TTL is set.
+        self._data: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "ttl_evictions": 0}
+
+    def _expired(self, stored_at: float) -> bool:
+        return self.ttl_s is not None and self._clock() - stored_at > self.ttl_s
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            return default
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            try:
+                value, stored_at = self._data[key]
+            except KeyError:
+                self.stats["misses"] += 1
+                return default
+            if self._expired(stored_at):
+                del self._data[key]
+                self.stats["ttl_evictions"] += 1
+                self.stats["misses"] += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats["hits"] += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            stored_at = self._clock() if self.ttl_s is not None else 0.0
+            self._data[key] = (value, stored_at)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry (honouring TTL), or ``default``."""
+        with self._lock:
+            try:
+                value, stored_at = self._data.pop(key)
+            except KeyError:
+                return default
+            if self._expired(stored_at):
+                self.stats["ttl_evictions"] += 1
+                return default
+            return value
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                return False
+            if self._expired(entry[1]):
+                del self._data[key]
+                self.stats["ttl_evictions"] += 1
+                return False
+            return True
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class _Entry:
@@ -112,6 +171,9 @@ class PlanCache:
     def __init__(self, capacity: int = 256, max_result_rows: int = 10_000) -> None:
         self._entries: LruCache = LruCache(capacity)
         self.max_result_rows = max_result_rows
+        #: Guards the read-check-store sequences and the stats counters —
+        #: the engine is shared by concurrent NliService readers.
+        self._lock = threading.RLock()
         self.stats = {
             "statement_hits": 0,
             "statement_misses": 0,
@@ -131,17 +193,19 @@ class PlanCache:
     # -- parsed statements -------------------------------------------------
 
     def statement(self, text: str) -> ast.Statement | None:
-        entry = self._entries.get(text)
-        if entry is not None and entry.statement is not None:
-            self.stats["statement_hits"] += 1
-            return entry.statement
-        self.stats["statement_misses"] += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(text)
+            if entry is not None and entry.statement is not None:
+                self.stats["statement_hits"] += 1
+                return entry.statement
+            self.stats["statement_misses"] += 1
+            return None
 
     def store_statement(self, text: str, stmt: ast.Statement) -> None:
-        entry = self._entry(text, create=True)
-        assert entry is not None
-        entry.statement = stmt
+        with self._lock:
+            entry = self._entry(text, create=True)
+            assert entry is not None
+            entry.statement = stmt
 
     # -- optimized plans ---------------------------------------------------
 
@@ -153,43 +217,46 @@ class PlanCache:
         ``version_of`` maps a table name to its current stamp (or None when
         dropped); the hit requires every dependency stamp to match.
         """
-        entry = self._entries.get(text)
-        if (
-            entry is not None
-            and entry.has_plan
-            and _stamps_current(entry.plan_stamps, version_of)
-        ):
-            self.stats["plan_hits"] += 1
-            return True, entry.plan
-        self.stats["plan_misses"] += 1
-        return False, None
+        with self._lock:
+            entry = self._entries.get(text)
+            if (
+                entry is not None
+                and entry.has_plan
+                and _stamps_current(entry.plan_stamps, version_of)
+            ):
+                self.stats["plan_hits"] += 1
+                return True, entry.plan
+            self.stats["plan_misses"] += 1
+            return False, None
 
     def store_plan(
         self, text: str, stamps: Mapping[str, int], plan: PlanNode | None
     ) -> None:
         """Cache ``plan`` with its dependency stamps (``{table: version}``)."""
-        entry = self._entry(text, create=True)
-        assert entry is not None
-        entry.plan = plan
-        entry.has_plan = True
-        entry.plan_stamps = dict(stamps)
+        with self._lock:
+            entry = self._entry(text, create=True)
+            assert entry is not None
+            entry.plan = plan
+            entry.has_plan = True
+            entry.plan_stamps = dict(stamps)
 
     # -- materialized results ----------------------------------------------
 
     def result(
         self, text: str, version_of: VersionLookup
     ) -> tuple[tuple[str, ...], tuple[tuple[Any, ...], ...]] | None:
-        entry = self._entries.get(text)
-        if (
-            entry is not None
-            and entry.rows is not None
-            and _stamps_current(entry.result_stamps, version_of)
-        ):
-            self.stats["result_hits"] += 1
-            assert entry.columns is not None
-            return entry.columns, entry.rows
-        self.stats["result_misses"] += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(text)
+            if (
+                entry is not None
+                and entry.rows is not None
+                and _stamps_current(entry.result_stamps, version_of)
+            ):
+                self.stats["result_hits"] += 1
+                assert entry.columns is not None
+                return entry.columns, entry.rows
+            self.stats["result_misses"] += 1
+            return None
 
     def store_result(
         self,
@@ -198,22 +265,23 @@ class PlanCache:
         columns: list[str],
         rows: list[tuple[Any, ...]],
     ) -> None:
-        if len(rows) > self.max_result_rows:
-            # Also drop any previously cached (now stale) copy: stamps are
-            # never reused, so it could never hit again — it would just
-            # stay pinned while the entry's statement/plan layers keep it
-            # warm in the LRU.
-            entry = self._entries.get(text)
-            if entry is not None:
-                entry.columns = None
-                entry.rows = None
-                entry.result_stamps = None
-            return
-        entry = self._entry(text, create=True)
-        assert entry is not None
-        entry.columns = tuple(columns)
-        entry.rows = tuple(rows)
-        entry.result_stamps = dict(stamps)
+        with self._lock:
+            if len(rows) > self.max_result_rows:
+                # Also drop any previously cached (now stale) copy: stamps
+                # are never reused, so it could never hit again — it would
+                # just stay pinned while the entry's statement/plan layers
+                # keep it warm in the LRU.
+                entry = self._entries.get(text)
+                if entry is not None:
+                    entry.columns = None
+                    entry.rows = None
+                    entry.result_stamps = None
+                return
+            entry = self._entry(text, create=True)
+            assert entry is not None
+            entry.columns = tuple(columns)
+            entry.rows = tuple(rows)
+            entry.result_stamps = dict(stamps)
 
     # -- management --------------------------------------------------------
 
@@ -221,6 +289,7 @@ class PlanCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        for key in self.stats:
-            self.stats[key] = 0
+        with self._lock:
+            self._entries.clear()
+            for key in self.stats:
+                self.stats[key] = 0

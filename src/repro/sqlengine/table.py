@@ -210,12 +210,29 @@ class Table:
         like ``SET id = id + 1`` — where intermediate states would collide
         — come out right.
         """
+        return self.apply_prepared_updates(self.prepare_updates(updates))
+
+    def prepare_updates(
+        self, updates: Iterable[tuple[int, Mapping[str, Any] | Sequence[Any]]]
+    ) -> list[tuple[int, tuple[Any, ...], tuple[Any, ...]]]:
+        """Normalise a batch into ``(row_id, new_row, old_row)`` triples.
+
+        Split out so callers that validate before applying (the database's
+        FK enforcement) can reuse the normalised rows instead of paying
+        for a second normalisation pass.
+        """
         prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]] = []
         for row_id, values in updates:
             old = self.row_by_id(row_id)
             if old is None:
                 continue
             prepared.append((row_id, self._normalise(values), old))
+        return prepared
+
+    def apply_prepared_updates(
+        self, prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]]
+    ) -> int:
+        """Validate final PK state, then two-phase-apply prepared triples."""
         if self._pk_index is not None and prepared:
             pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
             updating = {row_id for row_id, _, _ in prepared}

@@ -59,11 +59,16 @@ def test_intra_repo_markdown_links_resolve():
 
 
 def test_required_docs_exist():
-    for relative in ("README.md", "docs/architecture.md", "docs/explain.md"):
+    for relative in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/explain.md",
+        "docs/api.md",
+    ):
         assert (REPO_ROOT / relative).is_file(), f"missing {relative}"
 
 
-@pytest.mark.parametrize("doc", ["docs/explain.md", "README.md"])
+@pytest.mark.parametrize("doc", ["docs/explain.md", "README.md", "docs/api.md"])
 def test_doc_examples_run_as_doctests(doc):
     """Worked examples in the docs are executed against the real engine."""
     results = doctest.testfile(

@@ -10,6 +10,7 @@ import pytest
 from repro.core import NaturalLanguageInterface, NliConfig, Session
 from repro.datasets import fleet
 from repro.errors import AmbiguityError, DialogueError, NliError, ParseFailure
+from repro.service import Status
 from repro.sqlengine import Engine
 
 
@@ -151,25 +152,44 @@ class TestAnswerObject:
 
 
 class TestFailureModes:
+    """User-input problems come back as Response statuses, never raises."""
+
     def test_gibberish_fails(self, nli):
+        response = nli.ask("colorless green ideas sleep furiously")
+        assert response.status is Status.FAILED
+        assert response.diagnostics and response.diagnostics[0].span is not None
+        # The legacy exception rides along for one deprecation cycle.
         with pytest.raises(NliError):
-            nli.ask("colorless green ideas sleep furiously")
+            response.raise_for_status()
+
+    def test_failed_response_raises_legacy_error_on_result_access(self, nli):
+        response = nli.ask("colorless green ideas sleep furiously")
+        with pytest.raises(NliError):
+            response.result  # old call sites keep their try/except flow
 
     def test_empty_question(self, nli):
+        response = nli.ask("???")
+        assert response.status is Status.FAILED
         with pytest.raises(ParseFailure):
-            nli.ask("???")
+            response.raise_for_status()
 
     def test_fragment_without_session(self, nli):
+        response = nli.ask("what about the atlantic fleet")
+        assert response.status is Status.NEEDS_CLARIFICATION
         with pytest.raises(DialogueError):
-            nli.ask("what about the atlantic fleet")
+            response.raise_for_status()
 
-    def test_clarify_mode_raises_on_tie(self, fleet_db):
+    def test_clarify_mode_reports_tie(self, fleet_db):
         nli = NaturalLanguageInterface(
             fleet_db, domain=fleet.domain(),
             config=NliConfig(clarification_margin=10.0),
         )
+        response = nli.ask("ships from norfolk", clarify=True)
+        assert response.status is Status.AMBIGUOUS
+        assert len(response.choices) >= 2
+        assert response.clarification_id is not None
         with pytest.raises(AmbiguityError) as info:
-            nli.ask("ships from norfolk", clarify=True)
+            response.raise_for_status()
         assert len(info.value.choices) >= 2
 
 
@@ -289,8 +309,11 @@ class TestConfigKnobs:
             fleet_db, domain=fleet.domain(),
             config=NliConfig(spelling_correction=False),
         )
-        with pytest.raises(NliError):
-            nli.ask("how many shps are there")
+        response = nli.ask("how many shps are there")
+        assert not response.ok
+        # The diagnostic still points at the typo and suggests the fix.
+        unknown = [d for d in response.diagnostics if d.code == "unknown_word"]
+        assert unknown and "ships" in unknown[0].suggestions
 
     def test_value_index_off(self, fleet_db):
         nli = NaturalLanguageInterface(
@@ -300,8 +323,7 @@ class TestConfigKnobs:
         # schema-only questions still work
         assert nli.ask("how many ships are there").result.scalar() == 60
         # value-dependent questions cannot resolve
-        with pytest.raises(NliError):
-            nli.ask("ships from yokosuka")
+        assert nli.ask("ships from yokosuka").status is Status.FAILED
 
     def test_pairwise_join_inference(self, fleet_db):
         nli = NaturalLanguageInterface(

@@ -149,6 +149,98 @@ class TestInsertDeleteUpdate:
         assert fresh.execute("SELECT v FROM t WHERE id = 3").scalar() == 10
 
 
+class TestUpdateForeignKeys:
+    """UPDATE enforces FKs in both directions (the ROADMAP-listed hole)."""
+
+    def setup_parent_child(self, engine):
+        engine.execute("CREATE TABLE parent (id INT PRIMARY KEY, name TEXT)")
+        engine.execute(
+            "CREATE TABLE child (id INT PRIMARY KEY, pid INT REFERENCES parent(id))"
+        )
+        engine.execute("INSERT INTO parent VALUES (1, 'a'), (2, 'b')")
+        engine.execute("INSERT INTO child VALUES (10, 1), (11, 2)")
+
+    def test_parent_pk_rewrite_with_children_rejected(self, fresh):
+        self.setup_parent_child(fresh)
+        with pytest.raises(IntegrityError) as info:
+            fresh.execute("UPDATE parent SET id = 9 WHERE id = 1")
+        # Same error shape as INSERT-time FK violations.
+        assert "child.pid=1 has no match in parent.id" in str(info.value)
+        # The violation left the table untouched.
+        assert fresh.execute("SELECT id FROM parent").rows == [(1,), (2,)]
+
+    def test_parent_pk_rewrite_without_children_ok(self, fresh):
+        self.setup_parent_child(fresh)
+        fresh.execute("DELETE FROM child WHERE pid = 2")
+        fresh.execute("UPDATE parent SET id = 9 WHERE id = 2")
+        assert fresh.execute("SELECT COUNT(*) FROM parent WHERE id = 9").scalar() == 1
+
+    def test_parent_non_key_update_unaffected(self, fresh):
+        self.setup_parent_child(fresh)
+        fresh.execute("UPDATE parent SET name = 'renamed' WHERE id = 1")
+        assert fresh.execute(
+            "SELECT name FROM parent WHERE id = 1"
+        ).scalar() == "renamed"
+
+    def test_child_fk_update_to_missing_parent_rejected(self, fresh):
+        self.setup_parent_child(fresh)
+        with pytest.raises(IntegrityError) as info:
+            fresh.execute("UPDATE child SET pid = 42 WHERE id = 10")
+        assert "child.pid=42 has no match in parent.id" in str(info.value)
+
+    def test_child_fk_update_to_existing_parent_ok(self, fresh):
+        self.setup_parent_child(fresh)
+        fresh.execute("UPDATE child SET pid = 2 WHERE id = 10")
+        assert fresh.execute("SELECT pid FROM child WHERE id = 10").scalar() == 2
+
+    def test_child_fk_update_to_null_ok(self, fresh):
+        self.setup_parent_child(fresh)
+        fresh.execute("UPDATE child SET pid = NULL WHERE id = 10")
+        assert fresh.execute(
+            "SELECT COUNT(*) FROM child WHERE pid IS NULL"
+        ).scalar() == 1
+
+    def test_pk_shift_keeping_all_values_alive_ok(self, fresh):
+        # A batch that rewrites keys but keeps every referenced value
+        # present (a swap) must not be rejected.
+        self.setup_parent_child(fresh)
+        fresh.execute("UPDATE parent SET id = 3 - id")
+        assert sorted(fresh.execute("SELECT id FROM parent").rows) == [(1,), (2,)]
+
+    def test_self_referencing_batch_rewrite_ok(self, fresh):
+        # A batch that rewrites keys and their in-batch references together
+        # is judged against the post-batch state, not the pre-update one.
+        fresh.execute(
+            "CREATE TABLE emp (id INT PRIMARY KEY, manager_id INT REFERENCES emp(id))"
+        )
+        fresh.execute("INSERT INTO emp VALUES (1, 1), (2, 1)")
+        fresh.execute("UPDATE emp SET id = id + 100, manager_id = manager_id + 100")
+        assert sorted(fresh.execute("SELECT id, manager_id FROM emp").rows) == [
+            (101, 101), (102, 101),
+        ]
+        assert not fresh.database.check_integrity()
+
+    def test_self_referencing_strand_still_rejected(self, fresh):
+        fresh.execute(
+            "CREATE TABLE emp (id INT PRIMARY KEY, manager_id INT REFERENCES emp(id))"
+        )
+        fresh.execute("INSERT INTO emp VALUES (1, 1), (2, 1)")
+        with pytest.raises(IntegrityError):
+            fresh.execute("UPDATE emp SET id = 9 WHERE id = 1")
+
+    def test_enforcement_off_allows_stranding(self):
+        db = Database(enforce_fk=False)
+        engine = Engine(db)
+        engine.execute("CREATE TABLE parent (id INT PRIMARY KEY)")
+        engine.execute(
+            "CREATE TABLE child (id INT PRIMARY KEY, pid INT REFERENCES parent(id))"
+        )
+        engine.execute("INSERT INTO parent VALUES (1)")
+        engine.execute("INSERT INTO child VALUES (10, 1)")
+        engine.execute("UPDATE parent SET id = 9 WHERE id = 1")
+        assert db.check_integrity()  # the sweep still reports it
+
+
 class TestDmlUsesIndexes:
     """UPDATE/DELETE route WHERE matching through the scan-planning path."""
 
