@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.evalkit import evaluate_dialogues, format_table, pct
+from repro.evalkit import evaluate_dialogues, format_table
 
 from benchmarks.conftest import emit
 

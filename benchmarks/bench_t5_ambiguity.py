@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.core.config import NliConfig
 from repro.core.pipeline import NaturalLanguageInterface
-from repro.evalkit import answers_match, format_table, pct
+from repro.evalkit import answers_match, format_table
 from repro.sqlengine.executor import Engine
 
 from benchmarks.conftest import emit

@@ -11,7 +11,6 @@ why the semantic-grammar system beats it (Table 2).
 from __future__ import annotations
 
 from repro.baselines.protocol import ResponseProtocolMixin
-from repro.core.interpret import display_attrs
 from repro.errors import InterpretationError
 from repro.lexicon.builder import build_lexicon
 from repro.lexicon.domain import DomainModel

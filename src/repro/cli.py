@@ -7,6 +7,10 @@ Run one of the bundled domains::
     python -m repro.cli geography --explain
     echo "which rivers are in the usa" | python -m repro.cli geography --json
 
+Or serve one over HTTP (see ``docs/http.md``)::
+
+    python -m repro.cli serve fleet --port 8977 --state /tmp/fleet.jsonl
+
 Commands inside the session: ``\\q`` quit, ``\\reset`` clear dialogue
 context, ``\\explain <question>`` show the pipeline trace, ``\\sql
 <statement>`` run raw SQL, ``\\schema`` print the catalog.  When a
@@ -167,7 +171,106 @@ def answer_one(
     return response
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a bundled domain over HTTP (stdlib asyncio; "
+        "see docs/http.md for the endpoint reference).",
+    )
+    parser.add_argument(
+        "domain", choices=ALL_DOMAINS, nargs="?", default="fleet",
+        help="which bundled domain to serve (default: fleet)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8977,
+        help="bind port (0 picks an ephemeral port; default: 8977)",
+    )
+    parser.add_argument(
+        "--state", default=None, metavar="PATH",
+        help="JSONL session log: sessions and pending clarifications "
+             "survive a restart (default: not durable)",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=None, metavar="RATE",
+        help="per-session rate limit, questions/second (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=8,
+        help="rate-limit burst size (tokens; default: 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="worker threads answering questions (default: 8)",
+    )
+    parser.add_argument(
+        "--clarify-margin", type=float, default=CLARIFY_MARGIN,
+        help="score margin within which readings are reported as AMBIGUOUS "
+             f"when a request sets clarify (default: {CLARIFY_MARGIN})",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None, stdout=None) -> int:
+    """``repro serve``: run the asyncio HTTP front end until SIGINT/SIGTERM."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.server import NliHttpServer
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.qps is not None and args.qps <= 0:
+        parser.error("--qps must be positive (omit it to disable rate limiting)")
+    if args.burst < 1:
+        parser.error("--burst must be >= 1")
+    stdout = stdout or sys.stdout
+    bundle = load_bundle(args.domain)
+    config = NliConfig(
+        clarification_margin=args.clarify_margin,
+        rate_limit_qps=args.qps,
+        rate_limit_burst=args.burst,
+        service_workers=args.workers,
+    )
+    service = NliService(
+        bundle.database, domain=bundle.model, config=config,
+        persistence=args.state,
+    )
+
+    async def run() -> None:
+        server = NliHttpServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro NLIDB — domain: {args.domain} — listening on {server.url}",
+            file=stdout, flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # non-unix loops
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - non-unix fallback
+        pass
+    # Graceful exit: shrink the session log to live state and release the
+    # worker pool.  A kill -9 skips this, which is exactly what the append
+    # log is for.
+    service.compact_log()
+    service.close()
+    print("goodbye.", file=stdout)
+    return 0
+
+
 def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], stdout=stdout)
     args = build_parser().parse_args(argv)
     stdin = stdin or sys.stdin
     stdout = stdout or sys.stdout

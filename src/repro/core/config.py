@@ -56,3 +56,25 @@ class NliConfig:
     #: full language-layer rebuild is cheaper than replaying them one by
     #: one (bulk loads); below it, the value index updates incrementally.
     max_pending_deltas: int = 10_000
+
+    # -- service / server knobs ---------------------------------------------
+    #: Sustained questions-per-second allowed per rate-limit key (a session
+    #: id, or whatever client key the HTTP layer passes).  ``None`` (the
+    #: default) disables rate limiting entirely; the token bucket refills
+    #: at this rate up to ``rate_limit_burst`` tokens.  A limited request
+    #: costs nothing and comes back as a structured ``rate_limited``
+    #: Diagnostic (HTTP 429 at the server), never an exception.
+    rate_limit_qps: float | None = None
+    #: Bucket capacity for the per-key token bucket: how many questions a
+    #: key may burst through before the sustained ``rate_limit_qps`` rate
+    #: applies.
+    rate_limit_burst: int = 8
+    #: Worker threads behind the async face (``ask_async`` and friends).
+    #: This bounds how many questions make progress concurrently under the
+    #: service's read lock; HTTP requests beyond it queue in the executor.
+    service_workers: int = 8
+    #: Bound on id-managed sessions held by the service.  Session ids are
+    #: client-chosen over HTTP, so without a cap any client could grow
+    #: server memory (and the durability log) one fresh id at a time;
+    #: beyond the cap the least-recently-used session is closed.
+    max_sessions: int = 1024

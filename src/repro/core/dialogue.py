@@ -137,15 +137,48 @@ class Session:
     #: by the resolution, by ``remember`` (the user moved on) and by
     #: ``reset``.
     pending_clarification: str | None = None
+    #: The question text behind :attr:`pending_clarification`, kept so a
+    #: durable service can re-park the clarification after a restart by
+    #: re-asking it (see ``repro.service.persistence``).
+    pending_question: str | None = None
+    #: Replay log: one record per state-changing turn, JSON-serializable.
+    #: ``history`` holds live :class:`LogicalQuery` object graphs that do
+    #: not serialize; replaying these events through a deterministic
+    #: pipeline rebuilds it exactly.  ``choice`` is set when the turn was
+    #: answered by resolving a clarification (the picked index).
+    events: list[dict] = field(default_factory=list)
 
     @property
     def last_query(self) -> LogicalQuery | None:
         return self.history[-1] if self.history else None
 
-    def remember(self, question: str, query: LogicalQuery, paraphrase: str) -> None:
+    def remember(
+        self,
+        question: str,
+        query: LogicalQuery,
+        paraphrase: str,
+        *,
+        clarify: bool = False,
+        choice: int | None = None,
+    ) -> None:
         self.history.append(query)
         self.transcript.append((question, paraphrase))
+        self.events.append(
+            {"question": question, "clarify": bool(clarify or choice is not None),
+             "choice": choice}
+        )
         self.pending_clarification = None
+        self.pending_question = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (replay ``events`` to rebuild
+        ``history``; the object graph itself stays in-process)."""
+        return {
+            "transcript": [list(pair) for pair in self.transcript],
+            "events": [dict(event) for event in self.events],
+            "pending_question": self.pending_question,
+            "pending_clarification": self.pending_clarification,
+        }
 
     def resolve_fragment(self, fragment: Sketch) -> Sketch:
         """Complete a fragment against the previous turn (or raise)."""
@@ -175,4 +208,6 @@ class Session:
     def reset(self) -> None:
         self.history.clear()
         self.transcript.clear()
+        self.events.clear()
         self.pending_clarification = None
+        self.pending_question = None

@@ -64,6 +64,12 @@ from repro.sqlengine.table import TableDelta
 from repro.valueindex.index import ValueIndex
 
 
+#: Bound on parked clarifications (the pipeline registry is an LRU of this
+#: capacity; the service's durability bookkeeping uses the same bound so
+#: the two can never drift apart).
+CLARIFICATION_CAPACITY = 64
+
+
 @dataclass(frozen=True)
 class _PendingClarification:
     """Parked state of one AMBIGUOUS response, consumed by resolve()."""
@@ -156,7 +162,7 @@ class NaturalLanguageInterface:
         #: Clarification registry: id -> _PendingClarification, single-use
         #: (popped by resolve).  Bounded so abandoned clarifications age
         #: out by LRU pressure instead of accumulating forever.
-        self._clarifications: LruCache = LruCache(capacity=64)
+        self._clarifications: LruCache = LruCache(capacity=CLARIFICATION_CAPACITY)
         self._clarification_ids = itertools.count(1)
         self._build_language_layers()
         # Subscribe to row-level deltas (held weakly by the database, so a
@@ -440,7 +446,7 @@ class NaturalLanguageInterface:
                 was_fragment=used_fragment,
             )
             if session is not None:
-                session.remember(question, best.query, text)
+                session.remember(question, best.query, text, clarify=clarify)
             return Response.answered(question, answer)
         except (NliError, EngineError) as exc:
             return self._failure_response(
@@ -516,6 +522,7 @@ class NaturalLanguageInterface:
             # raises.  The clarification is consumed either way.
             if pending.session is not None:
                 pending.session.pending_clarification = None
+                pending.session.pending_question = None
             return Response(
                 status=Status.FAILED,
                 question=pending.question,
@@ -537,8 +544,9 @@ class NaturalLanguageInterface:
             paraphrase=text,
         )
         if pending.session is not None:
-            pending.session.remember(pending.question, chosen.query, text)
-            pending.session.pending_clarification = None
+            pending.session.remember(
+                pending.question, chosen.query, text, choice=choice_index
+            )
         with self._stats_lock:
             self._stats["clarifications_resolved"] += 1
         return Response.answered(pending.question, answer)
@@ -584,6 +592,7 @@ class NaturalLanguageInterface:
         )
         if session is not None:
             session.pending_clarification = clarification_id
+            session.pending_question = question
         readings = [i.describe() for i in kept]
         message = (
             "the question is ambiguous; candidate readings: " + " | ".join(readings)

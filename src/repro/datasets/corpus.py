@@ -617,7 +617,7 @@ def company_corpus(database: Database, seed: int = 5) -> list[QuestionExample]:
     ))
     c1, c2 = simple_customers[0], simple_customers[1]
     add(_ex(
-        d, f"customers in the software or finance industry",
+        d, "customers in the software or finance industry",
         "SELECT name FROM customer WHERE industry IN ('software', 'finance')",
         "member",
     ))

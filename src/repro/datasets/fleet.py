@@ -240,9 +240,8 @@ def build_database(seed: int = 7, ships: int = 60) -> Database:
 
 def domain() -> DomainModel:
     """NL configuration for the fleet database."""
-    ship_attr = lambda column, phrases, units=(): AttributeSpec(
-        "ship", column, tuple(phrases), tuple(units)
-    )
+    def ship_attr(column, phrases, units=()):
+        return AttributeSpec("ship", column, tuple(phrases), tuple(units))
     return DomainModel(
         name="fleet",
         entities=[

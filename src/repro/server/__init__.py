@@ -1,0 +1,28 @@
+"""Cross-process front end: a stdlib-asyncio HTTP server for the NLI.
+
+The paper's interface was a time-shared facility — many casual users at
+terminals querying one database.  This package is that shape on modern
+plumbing: ``repro serve fleet`` exposes the full
+:class:`~repro.service.response.Response` protocol over HTTP, speaking
+exactly the ``Response.to_dict()`` JSON the in-process API produces, so
+a clarification dialog started by one request can be resolved by the
+next — from a different process, or after a server restart.
+
+No dependencies beyond the standard library: the server is built
+directly on :func:`asyncio.start_server` with a small HTTP/1.1 reader.
+See ``docs/http.md`` for the endpoint reference.
+"""
+
+from repro.server.http import (
+    NliHttpServer,
+    ServerHandle,
+    response_http_code,
+    serve_in_thread,
+)
+
+__all__ = [
+    "NliHttpServer",
+    "ServerHandle",
+    "response_http_code",
+    "serve_in_thread",
+]

@@ -1,0 +1,555 @@
+"""The asyncio HTTP front end: ``Response.to_dict()`` over the wire.
+
+Endpoints (all JSON; see ``docs/http.md`` for shapes and curl examples):
+
+========  =============  ====================================================
+method    path           body / behaviour
+========  =============  ====================================================
+POST      /ask           ``{"question", "session"?, "clarify"?}`` -> envelope
+POST      /ask_many      ``{"questions": [...], ...}`` -> ``{"responses"}``
+POST      /resolve       ``{"clarification_id", "choice"}`` -> envelope
+POST      /sql           ``{"sql"}`` -> ``{"columns", "rows"}``
+GET       /stats         service + http counters
+GET       /healthz       liveness probe
+========  =============  ====================================================
+
+Status mapping follows the CLI's 0/2/3 exit-code convention:
+``ANSWERED`` -> 200, ``AMBIGUOUS`` / ``NEEDS_CLARIFICATION`` -> 409 (the
+request needs another round trip to complete), ``FAILED`` -> 422, and a
+rate-limited envelope -> 429 with a ``Retry-After`` header.  Transport
+problems use transport codes: malformed JSON or a missing field is 400,
+an unknown clarification id 404, an unknown path 404, a wrong method
+405, an oversized body 413.
+
+Concurrency: the event loop only parses requests and writes responses;
+every service call runs on the service's bounded worker pool via the
+async face (``ask_async`` & co.), so concurrent HTTP askers become
+concurrent readers under the service's RW lock while the loop stays
+responsive.
+
+One server-side optimization rides here: a **response cache** for
+session-less ``/ask`` requests.  Those are pure reads — no dialogue
+state, no parked interpretations — so the serialized envelope bytes are
+cached keyed by (question, clarify, database versions) and served
+without touching the pipeline.  Anything stateful (sessions, AMBIGUOUS
+responses, rate-limited envelopes) bypasses the cache, and a DML write
+anywhere invalidates it via the version stamps in the key.  The rate
+limiter is still charged on cache hits, so cached traffic cannot dodge
+its budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+from typing import Any, Awaitable, Callable
+
+from repro.errors import ClarificationError, EngineError, ReproError
+from repro.service.response import Response, Status
+from repro.service.service import NliService
+from repro.sqlengine.plancache import LruCache
+
+__all__ = [
+    "NliHttpServer",
+    "ServerHandle",
+    "response_http_code",
+    "serve_in_thread",
+]
+
+#: ``Response.status`` -> HTTP code (the CLI's 0/2/3 convention).
+STATUS_HTTP = {
+    Status.ANSWERED: 200,
+    Status.AMBIGUOUS: 409,
+    Status.NEEDS_CLARIFICATION: 409,
+    Status.FAILED: 422,
+}
+
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_LINES = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def response_http_code(response: Response) -> int:
+    """Map one envelope to its HTTP status code."""
+    if response.is_rate_limited:
+        return 429
+    return STATUS_HTTP[response.status]
+
+
+class _ApiError(Exception):
+    """A transport-level problem, rendered as ``{"error", "code"}`` JSON."""
+
+    def __init__(self, http_code: int, message: str, code: str = "bad_request"):
+        super().__init__(message)
+        self.http_code = http_code
+        self.payload = {"error": message, "code": code}
+        self.headers: dict[str, str] = {}
+
+
+def _rate_key(service: NliService, sid: str | None, client_ip: str) -> str:
+    """Rate-limit key: the session id once it exists, else the client
+    address.  Session *creation* is charged to the address, so a client
+    cannot mint a fresh bucket (and a server-side Session) per request
+    just by sending a new session id every time."""
+    if sid is not None and service.has_session(sid):
+        return sid
+    return client_ip
+
+
+def _retry_headers(response: Response) -> dict[str, str]:
+    retry = response.retry_after_s
+    if retry is None:
+        return {}
+    return {"Retry-After": str(max(1, math.ceil(retry)))}
+
+
+class NliHttpServer:
+    """One :class:`~repro.service.service.NliService` behind a socket."""
+
+    def __init__(
+        self,
+        service: NliService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port filled in by start()
+        self._server: asyncio.AbstractServer | None = None
+        #: (question, clarify, data version, catalog version) -> serialized
+        #: (http code, body bytes) for session-less asks.
+        self._cache: LruCache = LruCache(capacity=cache_size)
+        self.stats = {
+            "requests": 0,
+            "responses_cached": 0,
+            "cache_hits": 0,
+            "transport_errors": 0,
+            "internal_errors": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client_ip = peer[0] if isinstance(peer, tuple) else "local"
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ValueError:
+                    # StreamReader.readline raises ValueError when a line
+                    # (request line or header) exceeds its 64 KiB limit.
+                    request = None
+                    exc = _ApiError(
+                        400, "request head too large or malformed", "bad_request"
+                    )
+                except _ApiError as error:
+                    request = None
+                    exc = error
+                else:
+                    exc = None
+                if exc is not None:
+                    # Framing problem: answer it, then hang up — the stream
+                    # position is unreliable after a bad head.
+                    self.stats["transport_errors"] += 1
+                    blob = json.dumps(exc.payload).encode("utf-8")
+                    self._write_response(
+                        writer, exc.http_code, blob, False, exc.headers
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self.stats["requests"] += 1
+                try:
+                    code, payload, extra = await self._route(
+                        method, path, body, client_ip
+                    )
+                except _ApiError as exc:
+                    self.stats["transport_errors"] += 1
+                    code, payload, extra = exc.http_code, exc.payload, exc.headers
+                except ReproError as exc:
+                    # Library errors that escaped a handler's own mapping.
+                    self.stats["internal_errors"] += 1
+                    code, payload, extra = (
+                        422,
+                        {"error": str(exc), "code": type(exc).__name__},
+                        {},
+                    )
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    self.stats["internal_errors"] += 1
+                    code, payload, extra = (
+                        500,
+                        {"error": str(exc), "code": "internal_error"},
+                        {},
+                    )
+                body_blob = (
+                    payload
+                    if isinstance(payload, bytes)
+                    else json.dumps(payload).encode("utf-8")
+                )
+                self._write_response(writer, code, body_blob, keep_alive, extra)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            _BadRequestLine,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None  # clean EOF between requests
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].upper().startswith("HTTP/"):
+            raise _BadRequestLine(line)
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequestLine(b"too many headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            raise _ApiError(400, "invalid content-length header", "bad_request")
+        if length > MAX_BODY_BYTES:
+            # Read nothing further; answer 413 and drop the connection.
+            raise _ApiError(413, "request body too large", "body_too_large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        code: int,
+        body: bytes,
+        keep_alive: bool,
+        extra_headers: dict[str, str],
+    ) -> None:
+        reason = _REASONS.get(code, "Unknown")
+        lines = [
+            f"HTTP/1.1 {code} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes, client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        handlers: dict[tuple[str, str], Callable[..., Awaitable[Any]]] = {
+            ("POST", "/ask"): self._handle_ask,
+            ("POST", "/ask_many"): self._handle_ask_many,
+            ("POST", "/resolve"): self._handle_resolve,
+            ("POST", "/sql"): self._handle_sql,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/healthz"): self._handle_healthz,
+        }
+        handler = handlers.get((method, path))
+        if handler is None:
+            known_methods = [m for (m, p) in handlers if p == path]
+            if known_methods:
+                error = _ApiError(
+                    405, f"{path} only accepts {', '.join(known_methods)}",
+                    "method_not_allowed",
+                )
+                error.headers["Allow"] = ", ".join(known_methods)
+                raise error
+            raise _ApiError(404, f"no such endpoint: {path}", "unknown_endpoint")
+        if method == "POST":
+            return await handler(_parse_json_body(body), client_ip)
+        return await handler(client_ip)
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _handle_ask(
+        self, body: dict[str, Any], client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        question = _required_str(body, "question")
+        sid = _optional_str(body, "session")
+        clarify = bool(body.get("clarify", False))
+        client = _rate_key(self.service, sid, client_ip)
+        cache_key = None
+        if sid is None:
+            # Captured *before* the ask: a write that lands mid-ask bumps
+            # the version stamps, and storing this answer under the
+            # post-write key would serve it stale forever.
+            cache_key = self._ask_cache_key(question, clarify)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                retry_after = self.service.check_limit(client)
+                if retry_after:
+                    limited = Response.rate_limited(question, retry_after)
+                    return 429, limited.to_dict(), _retry_headers(limited)
+                self.stats["cache_hits"] += 1
+                return cached[0], cached[1], {}
+        else:
+            self.service.ensure_session(sid)
+        response = await self.service.ask_async(
+            question, session=sid, clarify=clarify, client=client
+        )
+        code = response_http_code(response)
+        payload = response.to_dict()
+        if sid is not None:
+            payload["session"] = sid
+        if (
+            cache_key is not None
+            and code != 429
+            and response.clarification_id is None
+        ):
+            # Stateless outcome: cache — and answer with — the serialized
+            # bytes, so the hot path serializes exactly once.
+            blob = json.dumps(payload).encode("utf-8")
+            self._cache.put(cache_key, (code, blob))
+            self.stats["responses_cached"] += 1
+            return code, blob, _retry_headers(response)
+        return code, payload, _retry_headers(response)
+
+    def _ask_cache_key(self, question: str, clarify: bool) -> tuple:
+        database = self.service.database
+        return (question, clarify, database.version, database.catalog_version)
+
+    async def _handle_ask_many(
+        self, body: dict[str, Any], client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        questions = body.get("questions")
+        if not isinstance(questions, list) or not all(
+            isinstance(q, str) for q in questions
+        ):
+            raise _ApiError(
+                400, "'questions' must be a list of strings", "bad_field"
+            )
+        sid = _optional_str(body, "session")
+        clarify = bool(body.get("clarify", False))
+        client = _rate_key(self.service, sid, client_ip)
+        if sid is not None:
+            self.service.ensure_session(sid)
+        responses = await self.service.ask_many_async(
+            questions, session=sid, clarify=clarify, client=client
+        )
+        payload: dict[str, Any] = {
+            "responses": [response.to_dict() for response in responses]
+        }
+        if sid is not None:
+            payload["session"] = sid
+        # The batch is charged as a unit, so rate limiting is all-or-nothing:
+        # surface it as 429 + Retry-After like a single ask.
+        if responses and all(response.is_rate_limited for response in responses):
+            return 429, payload, _retry_headers(responses[0])
+        return 200, payload, {}
+
+    async def _handle_resolve(
+        self, body: dict[str, Any], client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        clarification_id = _required_str(body, "clarification_id")
+        choice = body.get("choice")
+        if not isinstance(choice, int) or isinstance(choice, bool):
+            raise _ApiError(400, "'choice' must be an integer", "bad_field")
+        try:
+            response = await self.service.resolve_async(
+                clarification_id, choice, client=client_ip
+            )
+        except ClarificationError as exc:
+            if self.service.has_clarification(clarification_id):
+                # A bad index on a live clarification: the park survives
+                # and the client should simply pick again — that is a bad
+                # field, not a vanished resource.
+                raise _ApiError(400, str(exc), "bad_choice") from None
+            raise _ApiError(404, str(exc), "unknown_clarification") from None
+        return (
+            response_http_code(response),
+            response.to_dict(),
+            _retry_headers(response),
+        )
+
+    async def _handle_sql(
+        self, body: dict[str, Any], client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        sql = _required_str(body, "sql")
+        try:
+            result = await self.service.execute_async(sql)
+        except EngineError as exc:
+            raise _ApiError(422, str(exc), "engine_error") from None
+        return (
+            200,
+            {
+                "columns": list(result.columns),
+                "rows": [list(row) for row in result.rows],
+            },
+            {},
+        )
+
+    async def _handle_stats(self, client_ip: str) -> tuple[int, Any, dict[str, str]]:
+        return (
+            200,
+            {"service": self.service.stats, "http": dict(self.stats)},
+            {},
+        )
+
+    async def _handle_healthz(self, client_ip: str) -> tuple[int, Any, dict[str, str]]:
+        return 200, {"status": "ok"}, {}
+
+
+class _BadRequestLine(Exception):
+    """Unparseable request head: no useful reply address, just hang up."""
+
+
+def _parse_json_body(body: bytes) -> dict[str, Any]:
+    try:
+        parsed = json.loads(body or b"null")
+    except json.JSONDecodeError as exc:
+        raise _ApiError(400, f"request body is not valid JSON: {exc}",
+                        "malformed_json") from None
+    if not isinstance(parsed, dict):
+        raise _ApiError(400, "request body must be a JSON object",
+                        "malformed_json")
+    return parsed
+
+
+def _required_str(body: dict[str, Any], field: str) -> str:
+    value = body.get(field)
+    if not isinstance(value, str) or not value:
+        raise _ApiError(400, f"{field!r} must be a non-empty string",
+                        "bad_field")
+    return value
+
+
+def _optional_str(body: dict[str, Any], field: str) -> str | None:
+    value = body.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise _ApiError(400, f"{field!r} must be a non-empty string when given",
+                        "bad_field")
+    return value
+
+
+# -- embedding helpers (tests, docs, benchmarks) ---------------------------
+
+
+class ServerHandle:
+    """A server running on its own event-loop thread.
+
+    Returned by :func:`serve_in_thread`; ``url`` is ready immediately and
+    :meth:`stop` shuts the loop down and joins the thread.
+    """
+
+    def __init__(
+        self,
+        server: NliHttpServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+        stop_event: asyncio.Event,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stop_event = stop_event
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout=10)
+
+
+def serve_in_thread(
+    service: NliService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start an :class:`NliHttpServer` on a daemon thread; returns once the
+    socket is bound (so ``handle.url`` is immediately usable)."""
+    started = threading.Event()
+    holder: dict[str, Any] = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = NliHttpServer(service, host=host, port=port)
+            await server.start()
+            stop_event = asyncio.Event()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = stop_event
+            started.set()
+            try:
+                await stop_event.wait()
+            finally:
+                await server.aclose()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="nli-http", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):  # pragma: no cover - startup failure
+        raise RuntimeError("HTTP server failed to start within 10s")
+    return ServerHandle(holder["server"], holder["loop"], thread, holder["stop"])

@@ -18,6 +18,8 @@ from the exception-based API.
 """
 
 from repro.service.locks import RwLock
+from repro.service.persistence import SessionLog
+from repro.service.ratelimit import RateLimiter, TokenBucket
 from repro.service.response import (
     Choice,
     Diagnostic,
@@ -29,9 +31,12 @@ __all__ = [
     "Choice",
     "Diagnostic",
     "NliService",
+    "RateLimiter",
     "Response",
     "RwLock",
+    "SessionLog",
     "Status",
+    "TokenBucket",
 ]
 
 

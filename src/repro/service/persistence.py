@@ -1,0 +1,174 @@
+"""Durable sessions: a JSONL append-log that survives server restarts.
+
+A cross-process NLI must not lose a conversation when the process dies:
+the paper frames clarification dialogs as core to the casual-user
+experience, and a user who was just offered "did you mean [1] or [2]?"
+expects their pick to work against the *restarted* server too.
+
+Durability here is **replay-based**.  ``Session.history`` and parked
+clarifications hold live interpretation object graphs that do not
+serialize, but the pipeline is deterministic: asking the same questions
+against the same database rebuilds the same state.  So the log records
+*inputs*, one JSON object per line:
+
+``{"op": "open",    "sid": "alice"}``
+    a session id came into existence;
+``{"op": "turn",    "sid": "alice", "question": ..., "clarify": ...,
+"choice": ...}``
+    an answered turn (``choice`` set when it was answered by picking a
+    clarification option — replay re-asks and re-picks);
+``{"op": "park",    "sid": ..., "question": ..., "id": "clar-3",
+"choices": [...]}``
+    an AMBIGUOUS response parked interpretations under ``id`` (the
+    ``choices`` snapshot rides along for observability/debugging);
+``{"op": "resolve", "id": "clar-3", "choice": 1}``
+    the user picked; the park is consumed;
+``{"op": "close",   "sid": "alice"}``
+    the session ended.
+
+On startup :meth:`SessionLog.replay` feeds the log back through the
+service: sessions reopen with their full dialogue history, and pending
+clarifications re-park.  The pipeline mints *fresh* clarification ids
+during replay, so replay returns an alias map ``{persisted id -> live
+id}`` which the service consults in ``resolve()`` — the id a client took
+home before the crash keeps working.
+
+Appends ``flush()`` to the OS on every record: a ``kill -9`` loses
+nothing already acknowledged (only a power failure could, and the 1978
+hardware budget did not include battery-backed RAM either).  A torn
+final line — the process died mid-write — is skipped on load.
+:meth:`compact` atomically rewrites the file from live state, dropping
+closed sessions and consumed clarifications; the service runs it after
+every replay so the log stays proportional to live state, not history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ClarificationError
+from repro.service.response import Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import NliService
+
+__all__ = ["SessionLog"]
+
+
+class SessionLog:
+    """Append-only JSONL store of session/clarification events."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one event (flushed before returning)."""
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> list[dict[str, Any]]:
+        """All decodable records, skipping a torn final line."""
+        if not self.path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn write from a crash mid-append; everything before
+                    # it was flushed whole, so just stop trusting the tail.
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, service: NliService) -> dict[str, str]:
+        """Feed the log back through ``service``; returns the alias map
+        ``{persisted clarification id -> freshly minted id}``.
+
+        The caller (the service itself, during construction) must have
+        suspended logging, or every replayed turn would be re-appended.
+        """
+        aliases: dict[str, str] = {}
+        for record in self.load():
+            op = record.get("op")
+            try:
+                if op == "open":
+                    service.ensure_session(record["sid"])
+                elif op == "turn":
+                    self._replay_turn(service, record)
+                elif op == "park":
+                    response = service.ask(
+                        record["question"],
+                        session=record.get("sid"),
+                        clarify=True,
+                    )
+                    if response.clarification_id is not None:
+                        aliases[record["id"]] = response.clarification_id
+                elif op == "resolve":
+                    live = aliases.pop(record["id"], record["id"])
+                    service.resolve(live, record["choice"])
+                elif op == "close":
+                    service.close_session(record["sid"])
+            except (KeyError, ClarificationError):
+                # The database shifted under the log (or the log predates a
+                # schema change): replay what still makes sense, drop the
+                # rest.  Durability must never wedge startup.
+                continue
+        return aliases
+
+    @staticmethod
+    def _replay_turn(service: NliService, record: dict[str, Any]) -> None:
+        response = service.ask(
+            record["question"],
+            session=record.get("sid"),
+            clarify=record.get("clarify", False),
+        )
+        choice = record.get("choice")
+        if response.status is Status.AMBIGUOUS and choice is not None:
+            service.resolve(response.clarification_id, choice)
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, records: list[dict[str, Any]]) -> None:
+        """Atomically replace the log with ``records`` (the minimal event
+        stream for live state, produced by the service)."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)

@@ -1,0 +1,132 @@
+"""Per-key token-bucket rate limiting for the service layer.
+
+The paper's NLI is a shared facility: many casual users query one
+database concurrently, and one runaway script must not starve everyone
+else.  The classic token bucket gives each key (a session id, an HTTP
+client address — whatever the caller uses to mean "one user") a budget
+of ``burst`` questions that refills continuously at ``rate`` per second:
+short interactive flurries pass untouched, sustained floods are shaped
+to the configured rate.
+
+A limited request is *reported*, never raised: :meth:`RateLimiter.check`
+returns the seconds until the next token, and the service turns that
+into a structured ``rate_limited`` Diagnostic (HTTP 429 upstream).  The
+limiter is thread-safe and allocation-light — one lock, one dict, two
+floats per key — and idle buckets are pruned once they refill, so a
+long-running server does not accumulate a bucket per historical visitor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """One key's budget: ``capacity`` tokens refilling at ``rate``/s."""
+
+    __slots__ = ("capacity", "rate", "tokens", "stamp")
+
+    def __init__(self, rate: float, capacity: float, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.rate = rate
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self.stamp
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.stamp = now
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0 on success, else the
+        seconds until enough tokens will have refilled (nothing is taken)."""
+        self._refill(now)
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return 0.0
+        return (tokens - self.tokens) / self.rate
+
+    @property
+    def full(self) -> bool:
+        return self.tokens >= self.capacity
+
+
+class RateLimiter:
+    """A bucket per key, created on first use and pruned when idle.
+
+    ``clock`` is injectable for deterministic tests; production uses
+    ``time.monotonic`` so wall-clock jumps cannot grant or revoke budget.
+    """
+
+    #: Prune full (fully-refilled, hence idle) buckets past this many keys.
+    PRUNE_THRESHOLD = 1024
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        # Validate at construction, not at the first bucket creation: a
+        # server misconfigured with --qps 0 should fail at startup, not
+        # 500 on every request.
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.stats = {"allowed": 0, "limited": 0}
+
+    def check(self, key: str, tokens: float = 1.0) -> float:
+        """Charge ``tokens`` against ``key``'s bucket.
+
+        Returns 0.0 when the request is within budget, otherwise the
+        retry-after delay in seconds.  A batch charges ``tokens=len(batch)``
+        in one call, so splitting a flood into batches buys nothing.  The
+        charge is capped at the bucket capacity: a batch larger than the
+        burst drains the whole bucket rather than becoming permanently
+        unsatisfiable (a full bucket could never hold more than ``burst``
+        tokens, so the retry-after would be a lie).
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[key] = bucket
+            retry_after = bucket.try_acquire(now, min(tokens, bucket.capacity))
+            if retry_after == 0.0:
+                self.stats["allowed"] += 1
+            else:
+                self.stats["limited"] += 1
+            if len(self._buckets) > self.PRUNE_THRESHOLD:
+                self._prune(now)
+        return retry_after
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have fully refilled (idle long enough that
+        recreating them fresh is indistinguishable)."""
+        for key in [k for k, b in self._buckets.items() if _idle(b, now)]:
+            del self._buckets[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+def _idle(bucket: TokenBucket, now: float) -> bool:
+    bucket._refill(now)
+    return bucket.full

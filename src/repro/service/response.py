@@ -58,6 +58,7 @@ MISSING_CONTEXT = "missing_context"
 INTERPRETATION_ERROR = "interpretation_error"
 AMBIGUOUS_QUESTION = "ambiguous_question"
 EXECUTION_ERROR = "execution_error"
+RATE_LIMITED = "rate_limited"
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,9 @@ class Response:
     #: Words of the question after normalization; diagnostic spans index
     #: into this list.
     tokens: tuple[str, ...] = ()
+    #: Seconds to wait before retrying, set (only) on rate-limited
+    #: responses; the HTTP layer surfaces it as a ``Retry-After`` header.
+    retry_after_s: float | None = None
     #: Legacy exception carrier (one deprecation cycle); never serialized.
     error: Exception | None = field(default=None, compare=False)
 
@@ -193,6 +197,31 @@ class Response:
             answer=answer,
             tokens=tuple(answer.normalized_words),
         )
+
+    @classmethod
+    def rate_limited(cls, question: str, retry_after_s: float) -> Response:
+        """A FAILED envelope reporting that the caller's budget ran out.
+
+        ``retry_after_s`` (seconds until the token bucket refills enough
+        tokens) is a first-class field so wire callers can back off
+        precisely; the HTTP layer also surfaces it as a ``Retry-After``
+        header on the 429.
+        """
+        retry = max(retry_after_s, 0.0)
+        diagnostic = Diagnostic(
+            RATE_LIMITED, f"rate limit exceeded; retry in {retry:.2f}s"
+        )
+        return cls(
+            status=Status.FAILED,
+            question=question,
+            diagnostics=(diagnostic,),
+            retry_after_s=retry,
+            error=NliError(diagnostic.message),
+        )
+
+    @property
+    def is_rate_limited(self) -> bool:
+        return any(d.code == RATE_LIMITED for d in self.diagnostics)
 
     @classmethod
     def from_error(
@@ -258,6 +287,7 @@ class Response:
             "choices": [c.to_dict() for c in self.choices],
             "clarification_id": self.clarification_id,
             "tokens": list(self.tokens),
+            "retry_after_s": self.retry_after_s,
             "error_type": type(self.error).__name__ if self.error else None,
         }
 
@@ -300,4 +330,5 @@ class Response:
             choices=tuple(Choice.from_dict(c) for c in data.get("choices", [])),
             clarification_id=data.get("clarification_id"),
             tokens=tuple(data.get("tokens", [])),
+            retry_after_s=data.get("retry_after_s"),
         )

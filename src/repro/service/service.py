@@ -19,25 +19,59 @@ lands *while* readers are in flight is absorbed before the next question
 torn one.
 
 Sessions: :meth:`open_session` issues ids for conversation state kept on
-the service (a web frontend holds a token, not an object); library
-callers may still pass their own :class:`~repro.core.dialogue.Session`.
+the service (a web frontend holds a token, not an object);
+:meth:`ensure_session` get-or-creates a *client-chosen* id, which is what
+the HTTP layer uses — a stateless client just sends ``"session":
+"alice"`` with every request.  Library callers may still pass their own
+:class:`~repro.core.dialogue.Session` objects (those are not durable and
+not rate-limit keyed, since the service never sees an id for them).
+
+Three service-grade facilities ride on top of the lock:
+
+* **async face** — :meth:`ask_async` / :meth:`ask_many_async` /
+  :meth:`resolve_async` / :meth:`execute_async` run the blocking call on
+  a bounded worker pool (``config.service_workers`` threads), so an
+  asyncio front end gets real reader parallelism under the RW lock
+  without blocking its event loop;
+* **rate limiting** — a per-key token bucket
+  (:class:`~repro.service.ratelimit.RateLimiter`, enabled by
+  ``config.rate_limit_qps``) charges one token per question (a batch
+  charges its length); over-budget requests come back as structured
+  ``rate_limited`` envelopes, never exceptions;
+* **durability** — pass ``persistence=`` (a path or
+  :class:`~repro.service.persistence.SessionLog`) and every id-managed
+  session turn and parked clarification is appended to a JSONL log,
+  replayed on construction: a restarted service resumes mid-dialog, and
+  clarification ids issued before the restart still resolve (an alias
+  map translates them to the freshly minted ones).
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any
 
 from repro.core.config import NliConfig
 from repro.core.dialogue import Session
-from repro.core.pipeline import NaturalLanguageInterface
+from repro.core.pipeline import CLARIFICATION_CAPACITY, NaturalLanguageInterface
+from repro.errors import ClarificationError
 from repro.lexicon.domain import DomainModel
 from repro.service.locks import RwLock
-from repro.service.response import Response
+from repro.service.persistence import SessionLog
+from repro.service.ratelimit import RateLimiter
+from repro.service.response import Response, Status
 from repro.sqlengine.database import Database
 from repro.sqlengine.result import ResultSet
 
 #: Statement prefixes that only read; everything else is a writer.
 _READ_ONLY_PREFIXES = ("select", "explain")
+
+#: Rate-limit key used when a request carries neither a client key nor a
+#: managed session id.
+ANONYMOUS = "anonymous"
 
 
 class NliService:
@@ -49,6 +83,7 @@ class NliService:
         domain: DomainModel | None = None,
         config: NliConfig | None = None,
         nli: NaturalLanguageInterface | None = None,
+        persistence: SessionLog | str | None = None,
     ) -> None:
         self._nli = nli or NaturalLanguageInterface(
             database, domain=domain, config=config
@@ -60,6 +95,26 @@ class NliService:
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._session_counter = 0
+        #: Live parked clarifications: live id -> (question, managed sid or
+        #: None), kept for log compaction and key attribution.
+        self._parked: dict[str, tuple[str, str | None]] = {}
+        #: Persisted clarification id -> live id minted during replay.
+        self._clar_aliases: dict[str, str] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        cfg = self._nli.config
+        self._limiter: RateLimiter | None = (
+            RateLimiter(cfg.rate_limit_qps, cfg.rate_limit_burst)
+            if cfg.rate_limit_qps is not None
+            else None
+        )
+        self._persistence: SessionLog | None = None
+        if persistence is not None:
+            log = (
+                persistence
+                if isinstance(persistence, SessionLog)
+                else SessionLog(persistence)
+            )
+            self._restore(log)
 
     @property
     def nli(self) -> NaturalLanguageInterface:
@@ -70,26 +125,84 @@ class NliService:
     def database(self) -> Database:
         return self._nli.database
 
+    def close(self) -> None:
+        """Release the worker pool and the persistence file handle."""
+        with self._sessions_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if self._persistence is not None:
+            self._persistence.close()
+
     # -- sessions ----------------------------------------------------------
 
     def open_session(self) -> str:
-        """Create a managed dialogue session; returns its id."""
+        """Create a managed dialogue session; returns its generated id."""
         with self._sessions_lock:
-            self._session_counter += 1
-            session_id = f"s{self._session_counter}"
+            while True:
+                self._session_counter += 1
+                session_id = f"s{self._session_counter}"
+                if session_id not in self._sessions:
+                    break
             self._sessions[session_id] = Session()
+            evicted = self._evict_over_cap_locked()
+        self._log_session_churn(session_id, evicted)
         return session_id
+
+    def ensure_session(self, session_id: str) -> str:
+        """Get-or-create a session under a *client-chosen* id.
+
+        This is the stateless-frontend handshake: an HTTP client simply
+        sends the same ``"session"`` string with every request and the
+        first one creates it.  Generated (:meth:`open_session`) and
+        client-chosen ids share one namespace, bounded by
+        ``config.max_sessions`` (least-recently-used ids are closed when
+        a new one would exceed the cap).
+        """
+        with self._sessions_lock:
+            created = session_id not in self._sessions
+            if created:
+                self._sessions[session_id] = Session()
+                evicted = self._evict_over_cap_locked()
+            else:
+                evicted = []
+        if created:
+            self._log_session_churn(session_id, evicted)
+        return session_id
+
+    def _evict_over_cap_locked(self) -> list[str]:
+        """Drop least-recently-used sessions beyond the cap (lock held)."""
+        evicted = []
+        while len(self._sessions) > self._nli.config.max_sessions:
+            oldest = next(iter(self._sessions))
+            del self._sessions[oldest]
+            evicted.append(oldest)
+        return evicted
+
+    def _log_session_churn(self, opened: str, evicted: list[str]) -> None:
+        for session_id in evicted:
+            self._log({"op": "close", "sid": session_id})
+        self._log({"op": "open", "sid": opened})
+
+    def has_session(self, session_id: str) -> bool:
+        with self._sessions_lock:
+            return session_id in self._sessions
 
     def session(self, session_id: str) -> Session:
         with self._sessions_lock:
             try:
-                return self._sessions[session_id]
+                session = self._sessions.pop(session_id)
             except KeyError:
                 raise KeyError(f"unknown session id {session_id!r}") from None
+            # Reinsert at the back: access order drives cap eviction.
+            self._sessions[session_id] = session
+            return session
 
     def close_session(self, session_id: str) -> None:
         with self._sessions_lock:
-            self._sessions.pop(session_id, None)
+            existed = self._sessions.pop(session_id, None) is not None
+        if existed:
+            self._log({"op": "close", "sid": session_id})
 
     def _as_session(self, session: Session | str | None) -> Session | None:
         if isinstance(session, str):
@@ -114,6 +227,17 @@ class NliService:
         with self._lock.write_locked():
             self._nli.refresh(full=full)
 
+    # -- rate limiting -----------------------------------------------------
+
+    def check_limit(self, key: str, tokens: float = 1.0) -> float:
+        """Charge the rate limiter for ``key``: retry-after seconds when
+        over budget, else 0.0.  Public so front ends that short-circuit a
+        request (e.g. the HTTP layer's response cache) can still charge
+        the client's budget exactly once."""
+        if self._limiter is None:
+            return 0.0
+        return self._limiter.check(key, tokens)
+
     # -- questions (read side) ---------------------------------------------
 
     def ask(
@@ -121,36 +245,280 @@ class NliService:
         question: str,
         session: Session | str | None = None,
         clarify: bool = False,
+        client: str | None = None,
     ) -> Response:
-        """Answer one question; safe to call from many threads at once."""
+        """Answer one question; safe to call from many threads at once.
+
+        ``client`` keys the rate limiter (falling back to the session id,
+        then to one shared anonymous bucket).
+        """
+        sid = session if isinstance(session, str) else None
         resolved = self._as_session(session)
+        retry_after = self.check_limit(client or sid or ANONYMOUS)
+        if retry_after:
+            return Response.rate_limited(question, retry_after)
         self._absorb_writes()
         with self._lock.read_locked():
-            return self._nli.ask(question, session=resolved, clarify=clarify)
+            response = self._nli.ask(question, session=resolved, clarify=clarify)
+        self._record_ask(sid, question, clarify, response)
+        return response
 
     def ask_many(
         self,
         questions: list[str],
         session: Session | str | None = None,
         clarify: bool = False,
+        client: str | None = None,
     ) -> list[Response]:
-        """Answer a batch under one read-lock hold and one freshness pass."""
-        resolved = self._as_session(session)
-        self._absorb_writes()
-        with self._lock.read_locked():
-            return self._nli.ask_many(questions, session=resolved, clarify=clarify)
+        """Answer a batch under one read-lock hold and one freshness pass.
 
-    def resolve(self, clarification_id: str, choice_index: int) -> Response:
-        """Execute the chosen reading of an AMBIGUOUS response."""
+        The batch charges ``len(questions)`` rate-limit tokens up front
+        (capped at the burst capacity — an oversized batch drains the
+        whole bucket), so splitting a flood into batches buys no extra
+        budget.
+        """
+        sid = session if isinstance(session, str) else None
+        resolved = self._as_session(session)
+        retry_after = self.check_limit(
+            client or sid or ANONYMOUS, tokens=float(len(questions) or 1)
+        )
+        if retry_after:
+            return [Response.rate_limited(q, retry_after) for q in questions]
         self._absorb_writes()
         with self._lock.read_locked():
-            return self._nli.resolve(clarification_id, choice_index)
+            responses = self._nli.ask_many(
+                questions, session=resolved, clarify=clarify
+            )
+        for question, response in zip(questions, responses):
+            self._record_ask(sid, question, clarify, response)
+        return responses
+
+    def resolve(
+        self,
+        clarification_id: str,
+        choice_index: int,
+        client: str | None = None,
+    ) -> Response:
+        """Execute the chosen reading of an AMBIGUOUS response.
+
+        Accepts clarification ids minted before a restart: the persistence
+        replay leaves an alias from the persisted id to the live one.
+        """
+        with self._sessions_lock:
+            live_id = self._clar_aliases.get(clarification_id, clarification_id)
+            parked = self._parked.get(live_id)
+        key = client or (parked[1] if parked else None) or ANONYMOUS
+        retry_after = self.check_limit(key)
+        if retry_after:
+            return Response.rate_limited(clarification_id, retry_after)
+        self._absorb_writes()
+        try:
+            with self._lock.read_locked():
+                # Raises ClarificationError for unknown ids / bad indexes;
+                # the clarification is consumed on any Response (even
+                # FAILED).
+                response = self._nli.resolve(live_id, choice_index)
+        except ClarificationError:
+            # A bad *index* leaves the clarification parked (the user just
+            # picks again), but an id the pipeline no longer knows — LRU
+            # eviction, a consumed entry — is dead: drop our bookkeeping
+            # for it too, or abandoned ids would pin parks/aliases forever.
+            if self._nli._clarifications.get(live_id) is None:
+                with self._sessions_lock:
+                    self._clar_aliases.pop(clarification_id, None)
+                    self._parked.pop(live_id, None)
+            raise
+        with self._sessions_lock:
+            self._clar_aliases.pop(clarification_id, None)
+            self._parked.pop(live_id, None)
+        self._log({"op": "resolve", "id": clarification_id, "choice": choice_index})
+        return response
+
+    def has_clarification(self, clarification_id: str) -> bool:
+        """True while the id (pre- or post-restart form) is still parked
+        and resolvable — lets a front end distinguish "unknown id" from
+        "bad choice index on a live clarification"."""
+        with self._sessions_lock:
+            live_id = self._clar_aliases.get(clarification_id, clarification_id)
+        return self._nli._clarifications.get(live_id) is not None
 
     def explain(self, question: str, session: Session | str | None = None) -> str:
         resolved = self._as_session(session)
         self._absorb_writes()
         with self._lock.read_locked():
             return self._nli.explain(question, session=resolved)
+
+    # -- async face --------------------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._sessions_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._nli.config.service_workers,
+                    thread_name_prefix="nli-worker",
+                )
+            return self._executor
+
+    async def _run(self, call) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure_executor(), call)
+
+    async def ask_async(
+        self,
+        question: str,
+        session: Session | str | None = None,
+        clarify: bool = False,
+        client: str | None = None,
+    ) -> Response:
+        """:meth:`ask` on the worker pool — concurrent awaiters become
+        concurrent readers under the RW lock."""
+        return await self._run(
+            partial(self.ask, question, session=session, clarify=clarify,
+                    client=client)
+        )
+
+    async def ask_many_async(
+        self,
+        questions: list[str],
+        session: Session | str | None = None,
+        clarify: bool = False,
+        client: str | None = None,
+    ) -> list[Response]:
+        return await self._run(
+            partial(self.ask_many, questions, session=session, clarify=clarify,
+                    client=client)
+        )
+
+    async def resolve_async(
+        self,
+        clarification_id: str,
+        choice_index: int,
+        client: str | None = None,
+    ) -> Response:
+        return await self._run(
+            partial(self.resolve, clarification_id, choice_index, client=client)
+        )
+
+    async def execute_async(self, sql: str) -> ResultSet:
+        return await self._run(partial(self.execute, sql))
+
+    # -- persistence -------------------------------------------------------
+
+    def _restore(self, log: SessionLog) -> None:
+        """Replay ``log`` into this (fresh) service, then compact it.
+
+        Replay traffic is neither logged (``self._persistence`` is still
+        ``None``) nor rate-limited (it is our own history, not a client).
+        """
+        limiter, self._limiter = self._limiter, None
+        try:
+            self._clar_aliases = log.replay(self)
+        finally:
+            self._limiter = limiter
+        self._persistence = log
+        log.compact(self.dump_records())
+
+    def _log(self, record: dict[str, Any]) -> None:
+        log = self._persistence
+        if log is not None:
+            log.append(record)
+
+    def _record_ask(
+        self, sid: str | None, question: str, clarify: bool, response: Response
+    ) -> None:
+        """Track/persist the state change (if any) one ask produced."""
+        if response.status is Status.AMBIGUOUS and response.clarification_id:
+            with self._sessions_lock:
+                self._parked[response.clarification_id] = (question, sid)
+                # Mirror the pipeline registry's LRU bound: once it would
+                # have evicted the oldest park, ours (and any alias to it)
+                # is dead weight that would otherwise grow — and be
+                # re-parked by every compaction — forever.
+                while len(self._parked) > CLARIFICATION_CAPACITY:
+                    evicted = next(iter(self._parked))
+                    del self._parked[evicted]
+                    for external, live in list(self._clar_aliases.items()):
+                        if live == evicted:
+                            del self._clar_aliases[external]
+            self._log(
+                {
+                    "op": "park",
+                    "sid": sid,
+                    "question": question,
+                    "id": response.clarification_id,
+                    "choices": [choice.to_dict() for choice in response.choices],
+                }
+            )
+        elif response.status is Status.ANSWERED and sid is not None:
+            self._log(
+                {
+                    "op": "turn",
+                    "sid": sid,
+                    "question": question,
+                    "clarify": clarify,
+                    "choice": None,
+                }
+            )
+
+    def dump_records(self) -> list[dict[str, Any]]:
+        """The minimal replayable event stream for current live state.
+
+        Sessions replay from their :attr:`~repro.core.dialogue.Session.events`
+        logs (a turn answered via clarification replays as ask+pick, so no
+        park/resolve pair is needed); still-parked clarifications replay as
+        ``park`` records under the id the *client* holds (the persisted
+        alias when there is one).  A session's *current* pending
+        clarification is emitted right after its turns so replay leaves the
+        dialogue in the same state; abandoned parks (the user moved on)
+        replay session-less, so re-asking them cannot resurrect cleared
+        pending state or re-read a fragment against the wrong context.
+        Choices snapshots are not reconstructed here — they are
+        observability payload, re-captured on first use.
+        """
+        with self._sessions_lock:
+            sessions = list(self._sessions.items())
+            parked = dict(self._parked)
+            reverse = {live: ext for ext, live in self._clar_aliases.items()}
+        pending_parks: dict[str, dict[str, Any]] = {}
+        loose_parks: list[dict[str, Any]] = []
+        session_map = dict(sessions)
+        for live_id, (question, sid) in parked.items():
+            record = {
+                "op": "park",
+                "sid": None,
+                "question": question,
+                "id": reverse.get(live_id, live_id),
+                "choices": [],
+            }
+            session = session_map.get(sid)
+            if session is not None and session.pending_clarification == live_id:
+                record["sid"] = sid
+                pending_parks[sid] = record
+            else:
+                loose_parks.append(record)
+        records: list[dict[str, Any]] = []
+        for sid, session in sessions:
+            records.append({"op": "open", "sid": sid})
+            for event in session.events:
+                records.append(
+                    {
+                        "op": "turn",
+                        "sid": sid,
+                        "question": event["question"],
+                        "clarify": event["clarify"],
+                        "choice": event["choice"],
+                    }
+                )
+            if sid in pending_parks:
+                records.append(pending_parks[sid])
+        records.extend(loose_parks)
+        return records
+
+    def compact_log(self) -> None:
+        """Rewrite the persistence log to live state (no-op when not
+        durable); useful before a planned shutdown."""
+        if self._persistence is not None:
+            self._persistence.compact(self.dump_records())
 
     # -- SQL passthrough (write side for DML/DDL) --------------------------
 
@@ -171,10 +539,14 @@ class NliService:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Pipeline counters plus lock acquisition/concurrency counters."""
+        """Pipeline counters plus lock/limiter/durability counters."""
         out = dict(self._nli.stats)
         for key, value in self._lock.stats.items():
             out[f"lock_{key}"] = value
+        if self._limiter is not None:
+            out["rate_allowed"] = self._limiter.stats["allowed"]
+            out["rate_limited"] = self._limiter.stats["limited"]
         with self._sessions_lock:
             out["open_sessions"] = len(self._sessions)
+            out["parked_clarifications"] = len(self._parked)
         return out

@@ -64,11 +64,14 @@ def test_required_docs_exist():
         "docs/architecture.md",
         "docs/explain.md",
         "docs/api.md",
+        "docs/http.md",
     ):
         assert (REPO_ROOT / relative).is_file(), f"missing {relative}"
 
 
-@pytest.mark.parametrize("doc", ["docs/explain.md", "README.md", "docs/api.md"])
+@pytest.mark.parametrize(
+    "doc", ["docs/explain.md", "README.md", "docs/api.md", "docs/http.md"]
+)
 def test_doc_examples_run_as_doctests(doc):
     """Worked examples in the docs are executed against the real engine."""
     results = doctest.testfile(

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.evalkit import (
     StageCounts,

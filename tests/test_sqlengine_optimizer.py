@@ -269,7 +269,7 @@ class TestJoinReordering:
         assert not isinstance(plan, ReorderNode)
 
     def test_subquery_condition_disables_reorder(self):
-        plan = self.plan(
+        self.plan(
             "SELECT * FROM loan l JOIN book b ON l.book_id = b.id "
             "JOIN author a ON b.author_id = a.id "
             "WHERE a.id IN (SELECT id FROM author)"

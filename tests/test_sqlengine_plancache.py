@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sqlengine import Database, Engine
+from repro.sqlengine import Engine
 from repro.sqlengine.plancache import LruCache, PlanCache
 
 from tests.conftest import make_library_db

@@ -11,7 +11,6 @@ Covers the dependency-aware invalidation chain end to end:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import NaturalLanguageInterface
 from repro.datasets import fleet
