@@ -21,8 +21,9 @@ Quickstart::
         print(response.status, response.diagnostics)
 
 For concurrent callers use ``build_service`` (a thread-safe facade with
-a read-write lock, id-managed sessions and a clarification protocol);
-see ``docs/api.md`` for the Response envelope reference.
+MVCC snapshot reads, id-managed sessions and a clarification protocol);
+see ``docs/api.md`` for the Response envelope reference and
+``docs/concurrency.md`` for the snapshot/commit model.
 """
 
 from repro.errors import (
@@ -64,8 +65,9 @@ def build_interface(database, domain=None, config=None):
 def build_service(database, domain=None, config=None):
     """Construct a thread-safe :class:`repro.service.NliService` facade.
 
-    The service wraps the pipeline in a read-write lock (parallel askers,
-    exclusive refresh/DML) and manages dialogue sessions by id.
+    Askers run lock-free against pinned MVCC snapshots; refresh/DML
+    writers serialize at a commit point.  Dialogue sessions are managed
+    by id.
     """
     from repro.service import NliService
 

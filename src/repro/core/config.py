@@ -58,6 +58,16 @@ class NliConfig:
     max_pending_deltas: int = 10_000
 
     # -- service / server knobs ---------------------------------------------
+    #: MVCC snapshot reads (the default).  Every ``NliService`` question
+    #: pins an immutable database snapshot + language-layer bundle and
+    #: runs lock-free against them, so readers never queue behind a bulk
+    #: DML writer and never observe a torn statement; the service's RW
+    #: lock shrinks to guarding the write/refresh commit point, where the
+    #: writer itself absorbs its deltas before releasing.  Set False to
+    #: restore the PR-3 behaviour (readers hold the RW read lock for the
+    #: whole question; writers exclude them) — kept as the comparison
+    #: baseline for ``benchmarks/bench_f8_mvcc.py``.
+    mvcc_reads: bool = True
     #: Sustained questions-per-second allowed per rate-limit key (a session
     #: id, or whatever client key the HTTP layer passes).  ``None`` (the
     #: default) disables rate limiting entirely; the token bucket refills

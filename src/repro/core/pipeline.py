@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.core.answer import Answer
 from repro.core.config import NliConfig
@@ -68,6 +69,27 @@ from repro.valueindex.index import ValueIndex
 #: capacity; the service's durability bookkeeping uses the same bound so
 #: the two can never drift apart).
 CLARIFICATION_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class LanguageLayers:
+    """One immutable generation of everything derived from the database.
+
+    The pipeline publishes a new bundle atomically (a single reference
+    assignment) on every refresh; each question pins the bundle it started
+    with, so a concurrent refresh can never hand one ask a lexicon from
+    one generation and a value index from another.  ``epoch`` is a
+    monotone stamp participating in prepared-cache keys: an entry stored
+    by a reader on an old generation can never be served to a question
+    running on a newer one.
+    """
+
+    epoch: int
+    graph: SchemaGraph
+    lexicon: Any
+    value_index: ValueIndex | None
+    interpreter: Interpreter
+    sqlgen: SqlGenerator
 
 
 @dataclass(frozen=True)
@@ -148,6 +170,13 @@ class NaturalLanguageInterface:
         #: thread-safe NliService) performs explicit refreshes under its
         #: write lock instead, so concurrent readers cannot race a rebuild.
         self.auto_refresh = True
+        #: When True (set by an MVCC-mode NliService), a delta refresh
+        #: patches a *clone* of the value index and publishes a fresh
+        #: LanguageLayers bundle instead of mutating the live one — so
+        #: concurrent readers pinned to the old bundle never observe a
+        #: half-applied delta.  Single-threaded pipelines keep the cheaper
+        #: in-place patching.
+        self.copy_on_refresh = False
         #: Refresh accounting, asserted by tests and benchmarks: the
         #: interleaved-DML story is "delta_refreshes go up, full_rebuilds
         #: do not".  Read through the :attr:`stats` property.
@@ -170,21 +199,32 @@ class NaturalLanguageInterface:
         database.add_delta_listener(self._on_delta)
 
     def _build_language_layers(self) -> None:
-        """(Re)build everything derived from the database contents."""
-        self.graph = SchemaGraph(self.database)
-        self.lexicon = build_lexicon(
+        """(Re)build everything derived from the database contents.
+
+        The result is published as one :class:`LanguageLayers` bundle —
+        a single atomic reference swap, never a field-by-field mutation.
+        """
+        graph = SchemaGraph(self.database)
+        lexicon = build_lexicon(
             self.database, self.domain, synonym_fraction=self.config.synonym_fraction
         )
-        self.value_index = (
+        value_index = (
             ValueIndex(self.database, self.config.max_values_per_column)
             if self.config.use_value_index
             else None
         )
-        self.interpreter = Interpreter(
-            self.database, self.graph, self.domain, self.config.join_inference
-        )
-        self.sqlgen = SqlGenerator(
-            self.database, self.graph, self.domain, self.config.join_inference
+        previous: LanguageLayers | None = getattr(self, "_layers", None)
+        self._layers = LanguageLayers(
+            epoch=previous.epoch + 1 if previous is not None else 0,
+            graph=graph,
+            lexicon=lexicon,
+            value_index=value_index,
+            interpreter=Interpreter(
+                self.database, graph, self.domain, self.config.join_inference
+            ),
+            sqlgen=SqlGenerator(
+                self.database, graph, self.domain, self.config.join_inference
+            ),
         )
         self._prepared.clear()
         # Parked clarifications hold interpretations resolved against the
@@ -196,6 +236,33 @@ class NaturalLanguageInterface:
         self._catalog_version = self.database.catalog_version
         with self._stats_lock:
             self._stats["full_rebuilds"] += 1
+
+    # -- the published language-layer bundle ---------------------------------
+
+    @property
+    def layers(self) -> LanguageLayers:
+        """The current (immutable) language-layer generation."""
+        return self._layers
+
+    @property
+    def graph(self) -> SchemaGraph:
+        return self._layers.graph
+
+    @property
+    def lexicon(self):
+        return self._layers.lexicon
+
+    @property
+    def value_index(self) -> ValueIndex | None:
+        return self._layers.value_index
+
+    @property
+    def interpreter(self) -> Interpreter:
+        return self._layers.interpreter
+
+    @property
+    def sqlgen(self) -> SqlGenerator:
+        return self._layers.sqlgen
 
     def _on_delta(self, delta: TableDelta) -> None:
         """Database mutation callback: buffer the delta for the next ask."""
@@ -212,7 +279,15 @@ class NaturalLanguageInterface:
         entries (categorical entity nouns).  A full rebuild happens on
         catalog DDL (create/drop table), when deltas piled up past
         ``config.max_pending_deltas`` (bulk load), or on ``full=True``.
+
+        The new layer bundle is published inside the database's statement
+        scope, so :meth:`_pin` can never capture a snapshot/layers pair
+        that straddles the publish.
         """
+        with self.database.statement_scope():
+            self._refresh_locked(full)
+
+    def _refresh_locked(self, full: bool) -> None:
         if (
             full
             or self.database.catalog_version != self._catalog_version
@@ -229,22 +304,35 @@ class NaturalLanguageInterface:
         deltas = [d for d in deltas if d.added or d.removed]
         if not deltas:
             return
+        layers = self._layers
         rebuild_lexicon = False
-        for delta in deltas:
-            if self.value_index is not None:
-                self.value_index.apply_delta(delta)
-            if not rebuild_lexicon and self._lexicon_data_columns:
-                changed = delta.added + delta.removed
-                rebuild_lexicon = any(
-                    (delta.table, column) in self._lexicon_data_columns
-                    for column, _ in changed
-                )
+        if self._lexicon_data_columns:
+            rebuild_lexicon = any(
+                (delta.table, column) in self._lexicon_data_columns
+                for delta in deltas
+                for column, _ in delta.added + delta.removed
+            )
+        value_index = layers.value_index
+        if value_index is not None:
+            if self.copy_on_refresh:
+                # Publish mode: patch a clone so concurrent readers pinned
+                # to the old bundle never see a half-applied delta.
+                value_index = value_index.clone()
+            for delta in deltas:
+                value_index.apply_delta(delta)
+        lexicon = layers.lexicon
         if rebuild_lexicon:
-            self.lexicon = build_lexicon(
+            lexicon = build_lexicon(
                 self.database,
                 self.domain,
                 synonym_fraction=self.config.synonym_fraction,
             )
+        self._layers = replace(
+            layers,
+            epoch=layers.epoch + 1,
+            lexicon=lexicon,
+            value_index=value_index,
+        )
         # Cached parses may hold ValueRefs into the old index state.
         self._prepared.clear()
         with self._stats_lock:
@@ -279,23 +367,35 @@ class NaturalLanguageInterface:
 
     # -- pipeline stages (public for tests/diagnostics) -------------------------
 
-    def _word_is_known(self, token: Token) -> bool:
+    def _word_is_known(
+        self, token: Token, layers: LanguageLayers | None = None
+    ) -> bool:
         """One definition of "known word", shared by spelling correction
         and the unknown-word failure diagnostics so they cannot diverge:
         numbers, protected grammar words/pronouns, lexicon phrases and
         value-index vocabulary all count."""
+        layers = layers or self._layers
         word = token.text
         if token.is_number or word in self._protected:
             return True
-        if self.lexicon.knows_word(word):
+        if layers.lexicon.knows_word(word):
             return True
-        return self.value_index is not None and self.value_index.contains_word(word)
+        return layers.value_index is not None and layers.value_index.contains_word(
+            word
+        )
 
-    def normalize(self, question: str) -> tuple[list[Token], list[tuple[str, str]]]:
+    def normalize(
+        self, question: str, layers: LanguageLayers | None = None
+    ) -> tuple[list[Token], list[tuple[str, str]]]:
         """Tokenize + spelling-correct; returns tokens and corrections."""
         self._ensure_fresh()
-        # Config knobs are live-mutable, so they participate in the key.
-        norm_key = ("normalize", question, self.config.spelling_correction)
+        layers = layers or self._layers
+        # Config knobs are live-mutable, so they participate in the key;
+        # the layers epoch stamps the entry so a reader still running on
+        # an old generation cannot publish results a newer one would reuse.
+        norm_key = (
+            "normalize", question, self.config.spelling_correction, layers.epoch
+        )
         cached = self._prepared.get(norm_key)
         if cached is not None:
             tokens, corrections = cached
@@ -305,32 +405,40 @@ class NaturalLanguageInterface:
         if self.config.spelling_correction:
             for i, token in enumerate(tokens):
                 word = token.text
-                if self._word_is_known(token):
+                if self._word_is_known(token, layers):
                     continue
-                corrected = self.lexicon.correct_word(word)
-                if corrected is None and self.value_index is not None:
-                    corrected = self.value_index.fuzzy_word(word)
+                corrected = layers.lexicon.correct_word(word)
+                if corrected is None and layers.value_index is not None:
+                    corrected = layers.value_index.fuzzy_word(word)
                 if corrected is not None and corrected != word:
                     corrections.append((word, corrected))
                     tokens[i] = replace(token, text=corrected, corrected_from=word)
         self._prepared.put(norm_key, (tuple(tokens), tuple(corrections)))
         return tokens, corrections
 
-    def tag(self, tokens: list[Token]) -> QuestionTagger:
+    def tag(
+        self, tokens: list[Token], layers: LanguageLayers | None = None
+    ) -> QuestionTagger:
         self._ensure_fresh()
-        return QuestionTagger(tokens, self.lexicon, self.value_index, self._protected)
+        layers = layers or self._layers
+        return QuestionTagger(
+            tokens, layers.lexicon, layers.value_index, self._protected
+        )
 
     def parse(self, question: str, session: Session | None = None) -> list[Sketch]:
         """Tokenize/correct/tag/parse; returns all sketches."""
-        tokens, _ = self.normalize(question)
-        return self._parse_tokens(tokens, session, cache_key=question)
+        layers = self._layers
+        tokens, _ = self.normalize(question, layers)
+        return self._parse_tokens(tokens, session, cache_key=question, layers=layers)
 
     def _parse_tokens(
         self,
         tokens: list[Token],
         session: Session | None,
         cache_key: str | None = None,
+        layers: LanguageLayers | None = None,
     ) -> list[Sketch]:
+        layers = layers or self._layers
         pronoun_entity = None
         if session is not None and session.last_query is not None:
             if any(t.text in PRONOUNS for t in tokens):
@@ -343,12 +451,13 @@ class NaturalLanguageInterface:
             cache_key,
             self.config.spelling_correction,
             self.config.max_parses,
+            layers.epoch,
         )
         if cacheable:
             cached = self._prepared.get(parse_key)
             if cached is not None:
                 return list(cached)
-        tagger = self.tag(tokens)
+        tagger = self.tag(tokens, layers)
         matcher = _SessionTagger(tagger, pronoun_entity)
         words = [t.text for t in tokens]
         results = self.parser.parse(words, matcher, max_parses=self.config.max_parses)
@@ -373,16 +482,53 @@ class NaturalLanguageInterface:
         responses carrying :class:`Diagnostic` records with token spans.
         An ``AMBIGUOUS`` response enumerates :class:`Choice` objects and a
         ``clarification_id`` accepted by :meth:`resolve`.
+
+        MVCC read path: after the freshness pass, the question pins the
+        current language-layer bundle *and* a database snapshot (one
+        atomic capture — see :attr:`pin_guard`), and runs entirely
+        against them — so a write committing mid-question can neither
+        tear the tagging nor mix rows from two versions into one result.
+        The snapshot pin is released when the ask finishes.
         """
+        self._ensure_fresh()
+        layers, snapshot = self._pin()
+        try:
+            return self._ask_pinned(question, session, clarify, layers, snapshot)
+        finally:
+            snapshot.close()
+
+    def _pin(self) -> tuple[LanguageLayers, Any]:
+        """Capture the (layers, snapshot) pair for one read — atomically.
+
+        Both reads happen inside the database's statement scope (the
+        mutation lock snapshot capture uses anyway), and layer publishes
+        hold the same scope: a commit's mutate-then-publish is one unit
+        to pinning readers, so an ask can never run pre-write language
+        layers over post-write data or vice versa.  The scope is held
+        for the O(#tables) pin only, never for the ask itself.
+        """
+        with self.database.statement_scope():
+            return self._layers, self.database.snapshot()
+
+    def _ask_pinned(
+        self,
+        question: str,
+        session: Session | None,
+        clarify: bool,
+        layers: LanguageLayers,
+        snapshot: Any,
+    ) -> Response:
         with self._stats_lock:
             self._stats["asks"] += 1
         tokens: list[Token] = []
         interpreted = False
         try:
-            tokens, corrections = self.normalize(question)
+            tokens, corrections = self.normalize(question, layers)
             if not tokens:
                 raise ParseFailure("empty question")
-            sketches = self._parse_tokens(tokens, session, cache_key=question)
+            sketches = self._parse_tokens(
+                tokens, session, cache_key=question, layers=layers
+            )
 
             full = [s for s in sketches if not s.fragment]
             fragments = [s for s in sketches if s.fragment]
@@ -408,7 +554,7 @@ class NaturalLanguageInterface:
             else:  # pragma: no cover - parser always yields one kind
                 raise ParseFailure("no usable parse", tokens=[t.text for t in tokens])
 
-            interpretations = self.interpreter.interpret(candidates)
+            interpretations = layers.interpreter.interpret(candidates)
             interpreted = True
             best = interpretations[0]
             runners_up = interpretations[1 : self.config.max_interpretations]
@@ -417,19 +563,21 @@ class NaturalLanguageInterface:
                 margin = best.score - runners_up[0].score
                 if margin <= self.config.clarification_margin:
                     return self._ambiguous_response(
-                        question, tokens, corrections, session, interpretations
+                        question, tokens, corrections, session, interpretations,
+                        layers,
                     )
 
-            select = self.sqlgen.generate(best.query)
+            select = layers.sqlgen.generate(best.query)
             sql = select.render()
-            result = self.engine.execute(select)
+            result = self.engine.execute(select, snapshot=snapshot)
             text = make_paraphrase(best.query)
 
             alternatives = []
             for other in runners_up:
                 try:
                     alternatives.append(
-                        (make_paraphrase(other.query), self.sqlgen.generate_sql(other.query))
+                        (make_paraphrase(other.query),
+                         layers.sqlgen.generate_sql(other.query))
                     )
                 except InterpretationError:  # pragma: no cover - defensive
                     continue
@@ -450,7 +598,8 @@ class NaturalLanguageInterface:
             return Response.answered(question, answer)
         except (NliError, EngineError) as exc:
             return self._failure_response(
-                question, tokens, exc, after_interpretation=interpreted
+                question, tokens, exc, after_interpretation=interpreted,
+                layers=layers,
             )
 
     def ask_many(
@@ -462,21 +611,25 @@ class NaturalLanguageInterface:
         """Answer a batch of questions with shared per-batch work.
 
         One freshness check covers the whole batch (pending DML deltas are
-        absorbed once, not per question), and because no refresh can flush
-        the prepared cache mid-batch, repeated question strings share one
-        normalize/parse pass and the engine's materialized results.
+        absorbed once, not per question), and ONE (layers, snapshot) pair
+        is pinned for all of it: every answer in the batch reflects the
+        same committed data version even while writers keep committing,
+        and repeated question strings share one normalize/parse pass and
+        the engine's materialized results.
         """
         # Honour auto_refresh: when an NliService owns this pipeline, the
         # service performs refreshes under its write lock — refreshing
         # here would mutate the language layers under a read lock.
         self._ensure_fresh()
         previous, self.auto_refresh = self.auto_refresh, False
+        layers, snapshot = self._pin()
         try:
             return [
-                self.ask(question, session=session, clarify=clarify)
+                self._ask_pinned(question, session, clarify, layers, snapshot)
                 for question in questions
             ]
         finally:
+            snapshot.close()
             self.auto_refresh = previous
 
     def resolve(self, clarification_id: str, choice_index: int) -> Response:
@@ -511,11 +664,18 @@ class NaturalLanguageInterface:
                 f"unknown or already-resolved clarification id {clarification_id!r}"
             )
         chosen = pending.interpretations[choice_index]
+        # Same MVCC discipline as ask(): one atomically captured
+        # (layers, snapshot) pair, so a concurrent writer can neither
+        # tear the replay nor mix generation and execution versions.
+        layers, snapshot = self._pin()
         try:
-            select = self.sqlgen.generate(chosen.query)
-            sql = select.render()
-            result = self.engine.execute(select)
-            text = make_paraphrase(chosen.query)
+            try:
+                select = layers.sqlgen.generate(chosen.query)
+                sql = select.render()
+                result = self.engine.execute(select, snapshot=snapshot)
+                text = make_paraphrase(chosen.query)
+            finally:
+                snapshot.close()
         except (NliError, EngineError) as exc:
             # Same contract as ask(): replay failures (e.g. the database
             # changed under a parked clarification) become envelopes, not
@@ -560,13 +720,15 @@ class NaturalLanguageInterface:
         corrections: list[tuple[str, str]],
         session: Session | None,
         interpretations: list[Interpretation],
+        layers: LanguageLayers | None = None,
     ) -> Response:
+        layers = layers or self._layers
         words = tuple(t.text for t in tokens)
         choices: list[Choice] = []
         kept: list[Interpretation] = []
         for interpretation in interpretations:
             try:
-                sql = self.sqlgen.generate_sql(interpretation.query)
+                sql = layers.sqlgen.generate_sql(interpretation.query)
                 text = make_paraphrase(interpretation.query)
             except (NliError, EngineError):  # pragma: no cover - defensive
                 continue
@@ -619,6 +781,7 @@ class NaturalLanguageInterface:
         tokens: list[Token],
         error: Exception,
         after_interpretation: bool = False,
+        layers: LanguageLayers | None = None,
     ) -> Response:
         words = tuple(t.text for t in tokens)
         if after_interpretation and isinstance(error, InterpretationError):
@@ -636,28 +799,31 @@ class NaturalLanguageInterface:
             )
         extra: tuple[Diagnostic, ...] = ()
         if isinstance(error, (ParseFailure, InterpretationError)) and tokens:
-            extra = self._unknown_word_diagnostics(tokens)
+            extra = self._unknown_word_diagnostics(tokens, layers)
         return Response.from_error(
             question, error, tokens=words, extra_diagnostics=extra
         )
 
-    def _unknown_word_diagnostics(self, tokens: list[Token]) -> tuple[Diagnostic, ...]:
+    def _unknown_word_diagnostics(
+        self, tokens: list[Token], layers: LanguageLayers | None = None
+    ) -> tuple[Diagnostic, ...]:
         """Per-token diagnostics for words nothing in the system can bind.
 
         These carry the precise token span plus spelling/value suggestions
         — the machine-readable version of "did you mean ...?".
         """
+        layers = layers or self._layers
         out = []
         for i, token in enumerate(tokens):
             word = token.text
-            if self._word_is_known(token):
+            if self._word_is_known(token, layers):
                 continue
             suggestions: list[str] = []
-            corrected = self.lexicon.correct_word(word)
+            corrected = layers.lexicon.correct_word(word)
             if corrected and corrected != word:
                 suggestions.append(corrected)
-            if self.value_index is not None:
-                fuzzy = self.value_index.fuzzy_word(word)
+            if layers.value_index is not None:
+                fuzzy = layers.value_index.fuzzy_word(word)
                 if fuzzy and fuzzy != word and fuzzy not in suggestions:
                     suggestions.append(fuzzy)
             out.append(
@@ -674,27 +840,31 @@ class NaturalLanguageInterface:
 
     def explain(self, question: str, session: Session | None = None) -> str:
         """Multi-line trace of the pipeline for one question."""
-        tokens, corrections = self.normalize(question)
+        self._ensure_fresh()
+        layers = self._layers
+        tokens, corrections = self.normalize(question, layers)
         lines = [f"question: {question}"]
         lines.append("tokens:   " + " ".join(t.text for t in tokens))
         if corrections:
             lines.append(
                 "spelling: " + ", ".join(f"{a}->{b}" for a, b in corrections)
             )
-        tagger = self.tag(tokens)
+        tagger = self.tag(tokens, layers)
         for match in sorted(tagger.all_matches(), key=lambda m: (m.start, m.end)):
             payload = getattr(match.payload, "describe", lambda: match.payload)()
             lines.append(
                 f"  tag {match.category:7s} [{match.start}:{match.end}] {payload}"
             )
         try:
-            sketches = self._parse_tokens(tokens, session, cache_key=question)
+            sketches = self._parse_tokens(
+                tokens, session, cache_key=question, layers=layers
+            )
         except ParseFailure as exc:
             lines.append(f"parse:    FAILED ({exc})")
             return "\n".join(lines)
         lines.append(f"parses:   {len(sketches)}")
         try:
-            interpretations = self.interpreter.interpret(
+            interpretations = layers.interpreter.interpret(
                 [s for s in sketches if not s.fragment] or sketches
             )
         except InterpretationError as exc:
@@ -704,5 +874,5 @@ class NaturalLanguageInterface:
             marker = "*" if i == 0 else " "
             lines.append(f" {marker} [{interp.score:5.2f}] {interp.describe()}")
         best = interpretations[0]
-        lines.append("sql:      " + self.sqlgen.generate_sql(best.query))
+        lines.append("sql:      " + layers.sqlgen.generate_sql(best.query))
         return "\n".join(lines)

@@ -125,6 +125,17 @@ class SpellingCorrector:
         if not bucket:
             self._by_length.pop(len(lowered), None)
 
+    def clone(self) -> SpellingCorrector:
+        """Independent copy of the vocabulary (weights included), used by
+        copy-on-write publishers that patch a clone instead of mutating a
+        corrector other threads are reading."""
+        out = SpellingCorrector()
+        out._vocabulary = dict(self._vocabulary)
+        out._by_length = {
+            length: list(words) for length, words in self._by_length.items()
+        }
+        return out
+
     def __contains__(self, word: str) -> bool:
         return word.lower() in self._vocabulary
 

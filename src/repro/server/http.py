@@ -24,18 +24,20 @@ an unknown clarification id 404, an unknown path 404, a wrong method
 Concurrency: the event loop only parses requests and writes responses;
 every service call runs on the service's bounded worker pool via the
 async face (``ask_async`` & co.), so concurrent HTTP askers become
-concurrent readers under the service's RW lock while the loop stays
-responsive.
+concurrent MVCC snapshot readers — each pinned to a consistent database
+version, never queued behind a DML writer — while the loop stays
+responsive (see ``docs/concurrency.md``).
 
 One server-side optimization rides here: a **response cache** for
 session-less ``/ask`` requests.  Those are pure reads — no dialogue
 state, no parked interpretations — so the serialized envelope bytes are
-cached keyed by (question, clarify, database versions) and served
+cached keyed by (question, clarify, ``NliService.data_stamp()`` — the
+version stamp a snapshot pinned at that moment would carry) and served
 without touching the pipeline.  Anything stateful (sessions, AMBIGUOUS
-responses, rate-limited envelopes) bypasses the cache, and a DML write
-anywhere invalidates it via the version stamps in the key.  The rate
-limiter is still charged on cache hits, so cached traffic cannot dodge
-its budget.
+responses, rate-limited envelopes) bypasses the cache, and a DML commit
+anywhere moves the stamp, so a cached answer can never be served across
+data versions.  The rate limiter is still charged on cache hits, so
+cached traffic cannot dodge its budget.
 """
 
 from __future__ import annotations
@@ -314,7 +316,8 @@ class NliHttpServer:
             known_methods = [m for (m, p) in handlers if p == path]
             if known_methods:
                 error = _ApiError(
-                    405, f"{path} only accepts {', '.join(known_methods)}",
+                    405,
+                    f"{path} only accepts {', '.join(known_methods)}",
                     "method_not_allowed",
                 )
                 error.headers["Allow"] = ", ".join(known_methods)
@@ -370,8 +373,10 @@ class NliHttpServer:
         return code, payload, _retry_headers(response)
 
     def _ask_cache_key(self, question: str, clarify: bool) -> tuple:
-        database = self.service.database
-        return (question, clarify, database.version, database.catalog_version)
+        # The data stamp is the identity a snapshot pinned now would
+        # carry; the pre-ask capture in _handle_ask means an answer is
+        # only ever stored under the version it was computed against.
+        return (question, clarify, self.service.data_stamp())
 
     async def _handle_ask_many(
         self, body: dict[str, Any], client_ip: str
@@ -381,7 +386,9 @@ class NliHttpServer:
             isinstance(q, str) for q in questions
         ):
             raise _ApiError(
-                400, "'questions' must be a list of strings", "bad_field"
+                400,
+                "'questions' must be a list of strings",
+                "bad_field",
             )
         sid = _optional_str(body, "session")
         clarify = bool(body.get("clarify", False))
@@ -462,19 +469,18 @@ def _parse_json_body(body: bytes) -> dict[str, Any]:
     try:
         parsed = json.loads(body or b"null")
     except json.JSONDecodeError as exc:
-        raise _ApiError(400, f"request body is not valid JSON: {exc}",
-                        "malformed_json") from None
+        raise _ApiError(
+            400, f"request body is not valid JSON: {exc}", "malformed_json"
+        ) from None
     if not isinstance(parsed, dict):
-        raise _ApiError(400, "request body must be a JSON object",
-                        "malformed_json")
+        raise _ApiError(400, "request body must be a JSON object", "malformed_json")
     return parsed
 
 
 def _required_str(body: dict[str, Any], field: str) -> str:
     value = body.get(field)
     if not isinstance(value, str) or not value:
-        raise _ApiError(400, f"{field!r} must be a non-empty string",
-                        "bad_field")
+        raise _ApiError(400, f"{field!r} must be a non-empty string", "bad_field")
     return value
 
 
@@ -483,8 +489,11 @@ def _optional_str(body: dict[str, Any], field: str) -> str | None:
     if value is None:
         return None
     if not isinstance(value, str) or not value:
-        raise _ApiError(400, f"{field!r} must be a non-empty string when given",
-                        "bad_field")
+        raise _ApiError(
+            400,
+            f"{field!r} must be a non-empty string when given",
+            "bad_field",
+        )
     return value
 
 

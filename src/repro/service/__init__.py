@@ -8,10 +8,11 @@ exception-driven ``ask()`` of the paper era did not provide:
   readable :class:`Diagnostic` objects with token spans instead of raised
   exceptions, and enumerated :class:`Choice` objects for clarification
   dialogs;
-* :class:`NliService` — a thread-safe facade wrapping one
-  :class:`~repro.core.pipeline.NaturalLanguageInterface` in a
-  read-write lock, so concurrent ``ask()`` calls proceed in parallel
-  while ``refresh()`` and DML writers get exclusivity.
+* :class:`NliService` — a thread-safe facade over one
+  :class:`~repro.core.pipeline.NaturalLanguageInterface` with MVCC
+  snapshot reads: concurrent ``ask()`` calls run lock-free against
+  pinned database snapshots while ``refresh()`` and DML writers
+  serialize at a commit point (``docs/concurrency.md``).
 
 See ``docs/api.md`` for the envelope reference and the migration guide
 from the exception-based API.

@@ -1,9 +1,15 @@
 """A writer-preferring read-write lock for the service facade.
 
-Many ``ask()`` callers only *read* the language layers and the database;
-only ``refresh()`` and DML writers mutate them.  A single mutex would
-serialize every question behind every other; the RW lock lets readers
-overlap while giving writers exclusivity.
+Under MVCC snapshot reads (``NliConfig.mvcc_reads``, the default) the
+lock's job has shrunk to the **write/refresh commit point**: readers pin
+immutable snapshots instead of taking the read side, and only writers —
+DML/DDL through ``NliService.execute``, explicit ``refresh()``, and the
+out-of-band delta absorption fallback — serialize on the write side.
+The read side remains fully functional and is what the service uses in
+the legacy ``mvcc_reads=False`` mode (the measured baseline of
+``benchmarks/bench_f8_mvcc.py``), where readers hold it for the whole
+question and a single mutex would serialize every question behind every
+other.
 
 Writer preference: once a writer is waiting, new readers queue behind it,
 so a stream of questions cannot starve a pending ``refresh()``.  The lock
@@ -12,7 +18,8 @@ is not reentrant (a reader must not try to take the write lock).
 ``stats`` counts acquisitions and tracks the high-water mark of
 simultaneous readers — the observable proof (asserted by the F6
 benchmark) that readers actually proceed in parallel, which a single
-global lock can never show.
+global lock can never show.  In MVCC mode the service merges its own
+snapshot-reader gauge into the same keys (``NliService.lock_stats``).
 """
 
 from __future__ import annotations

@@ -174,7 +174,9 @@ class Response:
             return
         if self.error is not None:
             raise self.error
-        raise NliError(self.diagnostics[0].message if self.diagnostics else self.status.value)
+        raise NliError(
+            self.diagnostics[0].message if self.diagnostics else self.status.value
+        )
 
     def __getattr__(self, name: str) -> Any:
         # Only called for attributes not found normally: delegate answer

@@ -3,20 +3,32 @@
 The raw :class:`~repro.core.pipeline.NaturalLanguageInterface` is a
 single-caller object: a lazily-triggered ``refresh()`` rebuilds the
 language layers in place, so concurrent ``ask()`` threads would race the
-rebuild.  The service closes that hole with a writer-preferring
-:class:`~repro.service.locks.RwLock`:
+rebuild.  The service closes that hole with **MVCC snapshot reads**
+(``config.mvcc_reads``, the default):
 
-* ``ask`` / ``ask_many`` / ``resolve`` run under the **read** lock, so any
-  number of question threads proceed in parallel;
-* ``refresh`` and DML/DDL through :meth:`execute` take the **write** lock
-  and get exclusivity.
+* ``ask`` / ``ask_many`` / ``resolve`` pin an immutable database snapshot
+  plus the current language-layer bundle and run **lock-free** — readers
+  never queue behind a writer, never observe a half-applied statement,
+  and a reader pinned before a commit keeps seeing the pre-commit rows;
+* ``refresh`` and DML/DDL through :meth:`execute` serialize on the
+  :class:`~repro.service.locks.RwLock` write side — now only a **commit
+  point**: the writer mutates (copy-on-write detaches any pinned
+  snapshots), absorbs its own deltas, and publishes a fresh layer bundle
+  before releasing.  The only read-side wait left is the out-of-band
+  fallback below.
+
+With ``mvcc_reads=False`` the service reverts to the PR-3 discipline —
+readers hold the RW **read** lock for the whole question and writers get
+exclusivity — kept as the measured baseline for
+``benchmarks/bench_f8_mvcc.py``.  See ``docs/concurrency.md`` for the
+full model.
 
 Implicit refresh is disabled on the wrapped pipeline
-(``nli.auto_refresh = False``); instead, every read entry point first
-absorbs pending deltas under the write lock when needed.  A delta that
-lands *while* readers are in flight is absorbed before the next question
-— readers see a consistent (possibly one-write stale) snapshot, never a
-torn one.
+(``nli.auto_refresh = False``); the write path absorbs its own deltas at
+the commit point.  Deltas from *out-of-band* writes (direct ``Database``
+mutation behind the service's back) are absorbed by the next read entry
+point under the write lock — the one case where a reader may wait, and
+never longer than that single commit.
 
 Sessions: :meth:`open_session` issues ids for conversation state kept on
 the service (a web frontend holds a token, not an object);
@@ -51,8 +63,9 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from functools import partial
-from typing import Any
+from typing import Any, Iterator
 
 from repro.core.config import NliConfig
 from repro.core.dialogue import Session
@@ -92,6 +105,18 @@ class NliService:
         # would mutate the language layers while other readers use them.
         self._nli.auto_refresh = False
         self._lock = RwLock()
+        #: MVCC snapshot reads (default): readers pin snapshots instead of
+        #: holding the read lock, and refreshes publish cloned layers so
+        #: in-flight readers keep a consistent bundle.
+        self._mvcc = self._nli.config.mvcc_reads
+        if self._mvcc:
+            self._nli.copy_on_refresh = True
+        #: Reader-overlap gauge for the MVCC path: the RW lock no longer
+        #: sees readers, so concurrency is observed here and merged into
+        #: :attr:`lock_stats` (same keys the F6 benchmark asserts on).
+        self._reader_gauge_lock = threading.Lock()
+        self._readers_active = 0
+        self._reader_stats = {"read_acquires": 0, "max_concurrent_readers": 0}
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self._session_counter = 0
@@ -209,6 +234,32 @@ class NliService:
             return self.session(session)
         return session
 
+    # -- read access -------------------------------------------------------
+
+    @contextmanager
+    def _read_access(self) -> Iterator[None]:
+        """Scope of one read-side entry point.
+
+        MVCC mode: no lock at all — the pipeline pins its own snapshot +
+        layer bundle — but reader overlap is still counted so the
+        ``max_concurrent_readers`` observable survives the lock's demotion
+        to a commit point.  Legacy mode: the RW read lock, as before.
+        """
+        if not self._mvcc:
+            with self._lock.read_locked():
+                yield
+            return
+        with self._reader_gauge_lock:
+            self._readers_active += 1
+            self._reader_stats["read_acquires"] += 1
+            if self._readers_active > self._reader_stats["max_concurrent_readers"]:
+                self._reader_stats["max_concurrent_readers"] = self._readers_active
+        try:
+            yield
+        finally:
+            with self._reader_gauge_lock:
+                self._readers_active -= 1
+
     # -- freshness ---------------------------------------------------------
 
     def _absorb_writes(self) -> None:
@@ -216,7 +267,10 @@ class NliService:
 
         The cheap check runs lock-free; the refresh re-checks under the
         write lock, so two racing readers cannot double-refresh and a
-        reader never mutates the layers while others read them.
+        reader never mutates the layers while others read them.  In MVCC
+        mode writers absorb their own deltas at the commit point, so this
+        fires only for out-of-band database mutations — the single case
+        where a reader may wait on a writer, for at most one commit.
         """
         if self._nli.needs_refresh():
             with self._lock.write_locked():
@@ -258,7 +312,7 @@ class NliService:
         if retry_after:
             return Response.rate_limited(question, retry_after)
         self._absorb_writes()
-        with self._lock.read_locked():
+        with self._read_access():
             response = self._nli.ask(question, session=resolved, clarify=clarify)
         self._record_ask(sid, question, clarify, response)
         return response
@@ -285,9 +339,11 @@ class NliService:
         if retry_after:
             return [Response.rate_limited(q, retry_after) for q in questions]
         self._absorb_writes()
-        with self._lock.read_locked():
+        with self._read_access():
             responses = self._nli.ask_many(
-                questions, session=resolved, clarify=clarify
+                questions,
+                session=resolved,
+                clarify=clarify,
             )
         for question, response in zip(questions, responses):
             self._record_ask(sid, question, clarify, response)
@@ -313,7 +369,7 @@ class NliService:
             return Response.rate_limited(clarification_id, retry_after)
         self._absorb_writes()
         try:
-            with self._lock.read_locked():
+            with self._read_access():
                 # Raises ClarificationError for unknown ids / bad indexes;
                 # the clarification is consumed on any Response (even
                 # FAILED).
@@ -345,7 +401,7 @@ class NliService:
     def explain(self, question: str, session: Session | str | None = None) -> str:
         resolved = self._as_session(session)
         self._absorb_writes()
-        with self._lock.read_locked():
+        with self._read_access():
             return self._nli.explain(question, session=resolved)
 
     # -- async face --------------------------------------------------------
@@ -373,8 +429,13 @@ class NliService:
         """:meth:`ask` on the worker pool — concurrent awaiters become
         concurrent readers under the RW lock."""
         return await self._run(
-            partial(self.ask, question, session=session, clarify=clarify,
-                    client=client)
+            partial(
+                self.ask,
+                question,
+                session=session,
+                clarify=clarify,
+                client=client,
+            )
         )
 
     async def ask_many_async(
@@ -385,8 +446,13 @@ class NliService:
         client: str | None = None,
     ) -> list[Response]:
         return await self._run(
-            partial(self.ask_many, questions, session=session, clarify=clarify,
-                    client=client)
+            partial(
+                self.ask_many,
+                questions,
+                session=session,
+                clarify=clarify,
+                client=client,
+            )
         )
 
     async def resolve_async(
@@ -523,26 +589,75 @@ class NliService:
     # -- SQL passthrough (write side for DML/DDL) --------------------------
 
     def execute(self, sql: str) -> ResultSet:
-        """Run raw SQL: SELECT/EXPLAIN share the read lock, DML/DDL get
-        exclusivity (their deltas are absorbed before the next question)."""
-        if sql.lstrip().lower().startswith(_READ_ONLY_PREFIXES):
+        """Run raw SQL.
+
+        Reads: a SELECT runs lock-free against a pinned snapshot in MVCC
+        mode (the read lock in legacy mode); EXPLAIN briefly takes the
+        commit lock since it builds plans from live storage.  Writes
+        (DML/DDL) serialize on the write lock — the commit point — and in
+        MVCC mode absorb their own deltas before releasing, so readers
+        always find published-fresh language layers and never wait.
+        """
+        head = sql.lstrip().lower()
+        if head.startswith("select"):
+            with self._read_access():
+                if not self._mvcc:
+                    return self._nli.engine.execute(sql)
+                with self.database.snapshot() as snapshot:
+                    return self._nli.engine.execute(sql, snapshot=snapshot)
+        if head.startswith(_READ_ONLY_PREFIXES):
+            # EXPLAIN: plan building touches live tables; keep it brief
+            # and exclusive (in MVCC mode) rather than lock-free.
+            if self._mvcc:
+                with self._lock.write_locked():
+                    return self._nli.engine.execute(sql)
             with self._lock.read_locked():
                 return self._nli.engine.execute(sql)
         with self._lock.write_locked():
-            return self._nli.engine.execute(sql)
+            if not self._mvcc:
+                return self._nli.engine.execute(sql)
+            # Commit point: the statement and the layer publish share one
+            # database statement scope, so a reader pinning its
+            # (layers, snapshot) pair lands entirely before or entirely
+            # after this commit — never between the data change and the
+            # refreshed language layers.
+            with self.database.statement_scope():
+                result = self._nli.engine.execute(sql)
+                self._nli.refresh_if_needed()
+            return result
 
     # -- observability -----------------------------------------------------
 
+    def data_stamp(self) -> tuple[int, int]:
+        """Identity of the current committed data version — the stamp a
+        snapshot pinned right now would carry.  One write (to any table)
+        or catalog DDL changes it; response caches key serialized answers
+        by it so a stale entry can never be served across versions."""
+        database = self.database
+        return (database.catalog_version, database.version)
+
     @property
     def lock_stats(self) -> dict[str, int]:
-        return dict(self._lock.stats)
+        """RW-lock counters, with the MVCC reader gauge merged in: in MVCC
+        mode readers never touch the lock, so their acquisitions and
+        high-water overlap are counted by the service and folded into the
+        same keys the benchmarks and tests have always asserted on."""
+        out = dict(self._lock.stats)
+        with self._reader_gauge_lock:
+            out["read_acquires"] += self._reader_stats["read_acquires"]
+            out["max_concurrent_readers"] = max(
+                out["max_concurrent_readers"],
+                self._reader_stats["max_concurrent_readers"],
+            )
+        return out
 
     @property
     def stats(self) -> dict[str, int]:
         """Pipeline counters plus lock/limiter/durability counters."""
         out = dict(self._nli.stats)
-        for key, value in self._lock.stats.items():
+        for key, value in self.lock_stats.items():
             out[f"lock_{key}"] = value
+        out["snapshot_pins"] = self.database.snapshot_pins
         if self._limiter is not None:
             out["rate_allowed"] = self._limiter.stats["allowed"]
             out["rate_limited"] = self._limiter.stats["limited"]

@@ -18,6 +18,7 @@ from repro.sqlengine.parser import parse_select, parse_sql
 from repro.sqlengine.plancache import LruCache, PlanCache
 from repro.sqlengine.result import ResultSet
 from repro.sqlengine.schema import Column, ForeignKey, TableSchema
+from repro.sqlengine.snapshot import DatabaseSnapshot, TableSnapshot
 from repro.sqlengine.statistics import ColumnStats, TableStatistics
 from repro.sqlengine.table import Table, TableDelta
 from repro.sqlengine.types import SqlType
@@ -26,6 +27,7 @@ __all__ = [
     "Column",
     "ColumnStats",
     "Database",
+    "DatabaseSnapshot",
     "Engine",
     "ForeignKey",
     "LruCache",
@@ -35,6 +37,7 @@ __all__ = [
     "Table",
     "TableDelta",
     "TableSchema",
+    "TableSnapshot",
     "TableStatistics",
     "dump_csv",
     "dump_database_csv",

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import threading
 import weakref
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, SchemaError, UnknownTableError
 from repro.sqlengine.schema import TableSchema
@@ -33,6 +35,15 @@ class Database:
         #: Zero-arg holders resolving to a live listener or None (weak for
         #: bound methods, strong otherwise) — see add_delta_listener.
         self._delta_listeners: list[Callable[[], Any]] = []
+        #: One reentrant mutation lock shared by every table in this
+        #: database (installed as each table's ``_write_lock``): snapshot
+        #: capture holds it across all tables, so a pinned view is one
+        #: atomic cut of the whole database — never a mix of two commits —
+        #: and :meth:`statement_scope` holds it across a multi-row
+        #: statement so capture cannot land mid-statement.  Writers are
+        #: already serialized above (the service's commit lock), so
+        #: sharing one lock adds no write-side contention.
+        self._mutation_lock = threading.RLock()
 
     # -- schema/DML versioning ------------------------------------------------
 
@@ -64,6 +75,41 @@ class Database:
     def _tick(self) -> int:
         self._clock += 1
         return self._clock
+
+    # -- MVCC snapshots -------------------------------------------------------
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """Pin an immutable, version-stamped view of every table.
+
+        O(number of tables): the view shares live storage until the next
+        write, which detaches by copy-on-write — readers on the snapshot
+        never block writers and never observe a half-applied statement.
+        Release the pins with ``close()`` / a ``with`` block (a GC
+        finalizer covers abandoned snapshots).  See ``docs/concurrency.md``.
+        """
+        from repro.sqlengine.snapshot import DatabaseSnapshot
+
+        return DatabaseSnapshot(self)
+
+    @property
+    def snapshot_pins(self) -> int:
+        """Total live storage pins across all tables (observability: a
+        healthy idle service reports 0 — snapshots do not leak)."""
+        # list() snapshots the catalog atomically so lock-free stats
+        # readers cannot trip over a concurrent CREATE/DROP TABLE.
+        return sum(table._pinned for table in list(self._tables.values()))
+
+    @contextmanager
+    def statement_scope(self) -> Iterator[None]:
+        """Hold the mutation lock across one multi-mutation statement.
+
+        Per-row operations (a multi-row INSERT) each take the shared lock
+        themselves; wrapping the whole statement in this (reentrant)
+        scope guarantees no snapshot can be pinned between its rows, so
+        readers never observe a half-applied statement.
+        """
+        with self._mutation_lock:
+            yield
 
     def _on_table_mutation(self, delta: TableDelta) -> int:
         """Table-mutation callback: advance the clock, fan the delta out.
@@ -124,20 +170,25 @@ class Database:
                     f"{fk.ref_table!r}"
                 )
         table = Table(schema)
-        table._on_mutation = self._on_table_mutation
-        table._version = self._tick()
-        self._tables[schema.name] = table
-        self._catalog_version += 1
+        with self._mutation_lock:
+            # All tables share the database's mutation lock, so snapshot
+            # capture (which holds it) is atomic against every writer.
+            table._write_lock = self._mutation_lock
+            table._on_mutation = self._on_table_mutation
+            table._version = self._tick()
+            self._tables[schema.name] = table
+            self._catalog_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         lowered = name.lower()
-        if lowered not in self._tables:
-            raise UnknownTableError(f"no table named {name!r}")
-        self._tables[lowered]._on_mutation = None
-        del self._tables[lowered]
-        self._tick()
-        self._catalog_version += 1
+        with self._mutation_lock:
+            if lowered not in self._tables:
+                raise UnknownTableError(f"no table named {name!r}")
+            self._tables[lowered]._on_mutation = None
+            del self._tables[lowered]
+            self._tick()
+            self._catalog_version += 1
 
     def table(self, name: str) -> Table:
         lowered = name.lower()
@@ -162,24 +213,26 @@ class Database:
 
     def insert(self, table_name: str, values: Mapping[str, Any] | Sequence[Any]) -> int:
         table = self.table(table_name)
-        row_id = table.insert(values)
-        if self.enforce_fk:
-            row = table.row_by_id(row_id)
-            assert row is not None
-            try:
-                self._check_row_fks(table, row)
-            except IntegrityError:
-                table.delete_row(row_id)
-                raise
-        return row_id
+        if not self.enforce_fk or not table.schema.foreign_keys:
+            return table.insert(values)
+        # Validate *before* inserting: the old insert-then-compensate
+        # order let a concurrent snapshot pin the rejected row during the
+        # window between insert and rollback.  The row is normalised once
+        # and handed straight to the table.
+        row = table._normalise(values)
+        self._check_row_fks(table, row)
+        return table.insert_normalised(row)
 
     def insert_many(
         self, table_name: str, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
     ) -> int:
         count = 0
-        for values in rows:
-            self.insert(table_name, values)
-            count += 1
+        # One statement scope for the batch: a concurrent snapshot lands
+        # before or after the whole bulk insert, never between its rows.
+        with self.statement_scope():
+            for values in rows:
+                self.insert(table_name, values)
+                count += 1
         return count
 
     def update_rows(
@@ -228,10 +281,17 @@ class Database:
         )
 
     def _check_row_fks(self, table: Table, row: tuple[Any, ...]) -> None:
-        """Validate the row's outgoing FK values against their parents."""
+        """Validate a (not-yet-inserted) row's FK values against parents."""
         for fk in table.schema.foreign_keys:
             value = row[table.schema.column_index(fk.column)]
             if value is None:
+                continue
+            if (
+                fk.ref_table == table.name
+                and row[table.schema.column_index(fk.ref_column)] == value
+            ):
+                # Self-referencing row satisfies its own FK (it used to be
+                # found by the post-insert lookup; keep accepting it).
                 continue
             parent = self.table(fk.ref_table)
             if not parent.lookup_equal(fk.ref_column, value):

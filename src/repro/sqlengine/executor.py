@@ -11,6 +11,7 @@ directly from the AST, because those need expression-level evaluation.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable
 
 from repro.errors import (
@@ -114,11 +115,33 @@ class Engine:
             else None
         )
         self._evaluator = Evaluator(self._run_subquery)
+        #: Per-thread stack of pinned read sources (database snapshots):
+        #: concurrent readers share one Engine, each executing against its
+        #: own snapshot, so the current source must be thread-local.
+        self._tls = threading.local()
+
+    def _source(self) -> Any:
+        """The current read source: a pinned snapshot, or the live database."""
+        stack = getattr(self._tls, "sources", None)
+        return stack[-1] if stack else self.database
 
     # -- public API ------------------------------------------------------------
 
-    def execute(self, statement: str | ast.Statement) -> ResultSet:
-        """Parse (if needed) and execute one statement."""
+    def execute(
+        self, statement: str | ast.Statement, snapshot: Any = None
+    ) -> ResultSet:
+        """Parse (if needed) and execute one statement.
+
+        With ``snapshot`` (a :class:`~repro.sqlengine.snapshot.DatabaseSnapshot`),
+        the statement must be a SELECT and every table read — including
+        subqueries — resolves against the pinned snapshot instead of the
+        live database, so the result is consistent with one version even
+        while writers commit concurrently.  Plan-cache entries produced
+        this way are stamped with the snapshot's table versions, so they
+        can never serve rows across versions.
+        """
+        if snapshot is not None:
+            return self._execute_pinned(statement, snapshot)
         if isinstance(statement, str):
             stmt = self._parse_cached(statement)
             if isinstance(stmt, ast.Select) and self.plan_cache is not None:
@@ -139,6 +162,29 @@ class Engine:
         if isinstance(stmt, ast.Update):
             return self._execute_update(stmt)
         raise SqlSyntaxError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_pinned(
+        self, statement: str | ast.Statement, snapshot: Any
+    ) -> ResultSet:
+        """Run one SELECT with the thread's read source pinned to ``snapshot``."""
+        cache_key: str | None = None
+        if isinstance(statement, str):
+            stmt = self._parse_cached(statement)
+            cache_key = statement if self.plan_cache is not None else None
+        else:
+            stmt = statement
+        if not isinstance(stmt, ast.Select):
+            raise ExecutionError(
+                "snapshot execution supports only SELECT statements"
+            )
+        stack = getattr(self._tls, "sources", None)
+        if stack is None:
+            stack = self._tls.sources = []
+        stack.append(snapshot)
+        try:
+            return self._execute_select(stmt, cache_key=cache_key)
+        finally:
+            stack.pop()
 
     def explain(self, sql: str) -> str:
         """Describe the (optimized) access plan for a SELECT."""
@@ -189,10 +235,13 @@ class Engine:
         return deps
 
     def _dependency_stamps(self, select: ast.Select) -> dict[str, int]:
-        """Current ``{table: version}`` stamps for the statement's tables."""
+        """``{table: version}`` stamps for the statement's tables, as seen
+        by the current read source (the pinned snapshot when executing
+        against one, else the live database)."""
+        source = self._source()
         stamps: dict[str, int] = {}
         for name in self._dependencies(select):
-            version = self.database.table_version(name)
+            version = source.table_version(name)
             if version is not None:
                 stamps[name] = version
         return stamps
@@ -200,15 +249,16 @@ class Engine:
     def _plan_for(
         self, select: ast.Select, cache_key: str | None = None
     ) -> PlanNode | None:
+        source = self._source()
         if self.plan_cache is not None:
             if cache_key is None:
                 cache_key = self._statement_key(select)
-            hit, plan = self.plan_cache.plan(cache_key, self.database.table_version)
+            hit, plan = self.plan_cache.plan(cache_key, source.table_version)
             if hit:
                 return plan
-        plan = build_plan(select, self.database)
+        plan = build_plan(select, source)
         if self.use_optimizer:
-            plan = optimize(plan, self.database, use_indexes=self.use_indexes)
+            plan = optimize(plan, source, use_indexes=self.use_indexes)
         if self.plan_cache is not None:
             assert cache_key is not None
             self.plan_cache.store_plan(
@@ -233,7 +283,7 @@ class Engine:
                 # correlated/sub-selects depend on the outer row, so only
                 # their plans are shared.
                 cached = self.plan_cache.result(
-                    cache_key, self.database.table_version
+                    cache_key, self._source().table_version
                 )
                 if cached is not None:
                     columns, rows = cached
@@ -474,7 +524,7 @@ class Engine:
     def _run_scan(
         self, plan: ScanNode, outer_env: Env | None
     ) -> tuple[Scope, list[tuple[Any, ...]]]:
-        table = self.database.table(plan.table_name)
+        table = self._source().table(plan.table_name)
         scope = Scope([(plan.binding, col) for col in table.schema.column_names])
         candidate_ids = self._scan_candidate_ids(plan, table)
         if candidate_ids is None:
@@ -626,17 +676,21 @@ class Engine:
     def _execute_insert(self, stmt: ast.Insert) -> ResultSet:
         table = self.database.table(stmt.table)
         count = 0
-        for row_exprs in stmt.rows:
-            values = [self._const(expr) for expr in row_exprs]
-            if stmt.columns:
-                if len(values) != len(stmt.columns):
-                    raise PlanError("INSERT column/value count mismatch")
-                self.database.insert(stmt.table, dict(zip(stmt.columns, values)))
-            else:
-                if len(values) != len(table.schema.columns):
-                    raise PlanError("INSERT value count mismatch")
-                self.database.insert(stmt.table, values)
-            count += 1
+        # One statement scope around the row loop: a snapshot pinned by a
+        # concurrent reader lands before or after the whole multi-row
+        # INSERT, never between its rows.
+        with self.database.statement_scope():
+            for row_exprs in stmt.rows:
+                values = [self._const(expr) for expr in row_exprs]
+                if stmt.columns:
+                    if len(values) != len(stmt.columns):
+                        raise PlanError("INSERT column/value count mismatch")
+                    self.database.insert(stmt.table, dict(zip(stmt.columns, values)))
+                else:
+                    if len(values) != len(table.schema.columns):
+                        raise PlanError("INSERT value count mismatch")
+                    self.database.insert(stmt.table, values)
+                count += 1
         return ResultSet(["rows_affected"], [(count,)])
 
     def _matching_row_ids(self, table_name: str, where: ast.Expr | None) -> list[int]:
@@ -675,9 +729,11 @@ class Engine:
     def _execute_delete(self, stmt: ast.Delete) -> ResultSet:
         table = self.database.table(stmt.table)
         ids = self._matching_row_ids(stmt.table, stmt.where)
-        for row_id in ids:
-            table.delete_row(row_id)
-        return ResultSet(["rows_affected"], [(len(ids),)])
+        # One batched tombstone pass: a bulk DELETE emits a single
+        # coalesced TableDelta (and one version bump) for the whole
+        # statement instead of one listener callback per row.
+        count = table.delete_rows(ids)
+        return ResultSet(["rows_affected"], [(count,)])
 
     def _execute_update(self, stmt: ast.Update) -> ResultSet:
         table = self.database.table(stmt.table)

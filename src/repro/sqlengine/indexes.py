@@ -40,6 +40,13 @@ class HashIndex:
             return []
         return list(self._buckets.get(value, []))
 
+    def clone(self) -> HashIndex:
+        """Independent copy (bucket lists are not shared) for COW tables."""
+        out = HashIndex(self.column)
+        out._buckets = {value: list(ids) for value, ids in self._buckets.items()}
+        out._nulls = list(self._nulls)
+        return out
+
     def distinct_values(self) -> Iterator[Any]:
         return iter(self._buckets.keys())
 
@@ -110,6 +117,14 @@ class SortedIndex:
         if value is None:
             return []
         return self.range_lookup(value, value)
+
+    def clone(self) -> SortedIndex:
+        """Independent copy (key/id lists are not shared) for COW tables."""
+        out = SortedIndex(self.column)
+        out._keys = list(self._keys)
+        out._row_ids = list(self._row_ids)
+        out._nulls = list(self._nulls)
+        return out
 
     def min_value(self) -> Any:
         return self._keys[0] if self._keys else None

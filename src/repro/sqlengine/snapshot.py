@@ -1,0 +1,255 @@
+"""Immutable, version-stamped snapshot views over a database (MVCC reads).
+
+:meth:`Database.snapshot` pins the current storage of every table and
+returns a :class:`DatabaseSnapshot` — a read-only object exposing the
+subset of the :class:`~repro.sqlengine.database.Database` interface that
+the planner, optimizer and executor consult on the SELECT path.  Capture
+is O(number of tables): each :class:`TableSnapshot` *shares* the live row
+list, indexes and statistics; the first mutation after the pin detaches
+by cloning them (copy-on-write, see ``Table._materialise_for_write``), so
+
+* readers never block on writers — a SELECT pinned to a snapshot keeps
+  scanning its (now frozen) storage while a bulk UPDATE commits;
+* readers never see torn state — capture and mutation are mutually
+  exclusive under the database-wide mutation lock (shared by every
+  table), so a snapshot is one atomic, statement-consistent cut of the
+  whole database — never a mix of two commits across tables;
+* nothing leaks — pins are released explicitly (``close()`` /
+  context-manager exit) *and* by a GC finalizer, so a reader that dies
+  mid-scan drops its pin as soon as the snapshot object is collected.
+  A released (or collected) snapshot costs nothing; an unreleased one
+  merely makes the next write pay one extra clone.
+
+Version stamps are recorded at capture time: ``table_version`` /
+``table_versions`` report the pinned stamps, so plan-cache entries built
+against a snapshot are stamped with *its* versions and can never serve
+rows across versions (the stamp comparison in
+:class:`~repro.sqlengine.plancache.PlanCache` fails once the live table
+moves on).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.errors import UnknownTableError
+from repro.sqlengine.indexes import HashIndex, SortedIndex
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.statistics import TableStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sqlengine.database import Database
+    from repro.sqlengine.table import Table
+
+__all__ = ["DatabaseSnapshot", "TableSnapshot"]
+
+
+class TableSnapshot:
+    """Read-only view of one table's storage at a point in time.
+
+    Mirrors the read interface of :class:`~repro.sqlengine.table.Table`
+    (rows, row ids, index lookups, statistics), which is everything the
+    SELECT path touches.  Constructed by :meth:`Table.capture` under the
+    table's write lock; the pin it holds is released by :meth:`release`
+    or by garbage collection of the owning :class:`DatabaseSnapshot`.
+    """
+
+    __slots__ = (
+        "schema",
+        "statistics",
+        "_rows",
+        "_live_count",
+        "_hash_indexes",
+        "_sorted_indexes",
+        "_pk_index",
+        "_version",
+        "_release_cb",
+        "__weakref__",
+    )
+
+    def __init__(self, table: Table) -> None:
+        # Called with table._write_lock held: the captured references are
+        # a consistent statement boundary, and the pin counter was already
+        # incremented so the next mutation clones instead of mutating them.
+        self.schema: TableSchema = table.schema
+        self.statistics: TableStatistics = table.statistics
+        self._rows: list[tuple[Any, ...] | None] = table._rows
+        self._live_count: int = table._live_count
+        self._hash_indexes: dict[str, HashIndex] = table._hash_indexes
+        self._sorted_indexes: dict[str, SortedIndex] = table._sorted_indexes
+        self._pk_index: HashIndex | None = table._pk_index
+        self._version: int = table._version
+        generation = table._generation
+        self._release_cb = lambda: table._release_pin(generation)
+
+    def release(self) -> None:
+        """Drop the storage pin (idempotent)."""
+        callback, self._release_cb = self._release_cb, None
+        if callback is not None:
+            callback()
+
+    # -- read interface (mirrors Table) -------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def version(self) -> int:
+        """The table's version stamp at capture time."""
+        return self._version
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        return (row for row in self._rows if row is not None)
+
+    def rows_with_ids(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        return ((i, row) for i, row in enumerate(self._rows) if row is not None)
+
+    def row_by_id(self, row_id: int) -> tuple[Any, ...] | None:
+        if 0 <= row_id < len(self._rows):
+            return self._rows[row_id]
+        return None
+
+    def hash_index(self, column: str) -> HashIndex | None:
+        lowered = column.lower()
+        if self._pk_index is not None and lowered == self.schema.primary_key:
+            return self._pk_index
+        return self._hash_indexes.get(lowered)
+
+    def sorted_index(self, column: str) -> SortedIndex | None:
+        return self._sorted_indexes.get(column.lower())
+
+    def lookup_equal(self, column: str, value: Any) -> list[tuple[Any, ...]]:
+        index = self.hash_index(column)
+        pos = self.schema.column_index(column)
+        if index is not None:
+            out = []
+            for row_id in index.lookup(value):
+                row = self.row_by_id(row_id)
+                if row is not None:
+                    out.append(row)
+            return out
+        return [row for row in self.rows() if row[pos] == value]
+
+    def column_values(self, column: str) -> Iterator[Any]:
+        pos = self.schema.column_index(column)
+        return (row[pos] for row in self.rows())
+
+
+class DatabaseSnapshot:
+    """A pinned, immutable view of a whole database.
+
+    Duck-types the read side of :class:`~repro.sqlengine.database.Database`
+    — ``table()`` returns :class:`TableSnapshot` objects, and the version
+    accessors report the stamps recorded at capture.  Usable as a context
+    manager; :meth:`close` releases every table pin early, and a GC
+    finalizer does the same for snapshots that are simply dropped.
+
+    >>> from repro.sqlengine.database import Database
+    >>> from repro.sqlengine.schema import Column, TableSchema
+    >>> from repro.sqlengine.types import SqlType
+    >>> db = Database()
+    >>> _ = db.create_table(TableSchema("t", [Column("a", SqlType.INT)]))
+    >>> _ = db.insert("t", [1])
+    >>> with db.snapshot() as snap:
+    ...     _ = db.insert("t", [2])           # commits after the pin
+    ...     (len(snap.table("t")), len(db.table("t")))
+    (1, 2)
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.name = database.name
+        # Capture under the database-wide mutation lock: every table's
+        # writer path holds the same (reentrant) lock, so the snapshot is
+        # one atomic cut across ALL tables — it can never contain commit
+        # N's state of one table and commit N+1's of another — and the
+        # version stamps read here describe exactly the captured
+        # contents.  Writers are serialized above this (the service's
+        # commit lock), so the wait is bounded by one statement.
+        with database._mutation_lock:
+            self._tables: dict[str, TableSnapshot] = {
+                name: table.capture()
+                for name, table in database._tables.items()
+            }
+            self._version: int = database.version
+            self._catalog_version: int = database.catalog_version
+        # One release per pinned table; weakref.finalize also runs on GC,
+        # so an abandoned snapshot (reader died mid-scan) cannot leak pins.
+        self._finalizer = weakref.finalize(
+            self, _release_all, list(self._tables.values())
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release all table pins now (idempotent; also runs on GC)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> DatabaseSnapshot:
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- read interface (mirrors Database) -----------------------------------
+
+    @property
+    def version(self) -> int:
+        """The database clock at capture time."""
+        return self._version
+
+    @property
+    def catalog_version(self) -> int:
+        return self._catalog_version
+
+    @property
+    def stamp(self) -> tuple[int, int]:
+        """Compact identity of this snapshot's data version: one write (to
+        any table) or catalog DDL anywhere changes it.  Used by response
+        caches that key serialized answers by data version."""
+        return (self._catalog_version, self._version)
+
+    def table_version(self, name: str) -> int | None:
+        table = self._tables.get(name.lower())
+        return None if table is None else table.version
+
+    def table_versions(self) -> dict[str, int]:
+        return {name: table.version for name, table in self._tables.items()}
+
+    def table(self, name: str) -> TableSnapshot:
+        lowered = name.lower()
+        if lowered not in self._tables:
+            raise UnknownTableError(f"no table named {name!r}")
+        return self._tables[lowered]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> Iterable[TableSnapshot]:
+        return self._tables.values()
+
+    def schemas(self) -> list[TableSchema]:
+        return [t.schema for t in self._tables.values()]
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        return self.table(table_name).statistics
+
+
+def _release_all(tables: list[TableSnapshot]) -> None:
+    for table in tables:
+        table.release()

@@ -115,6 +115,16 @@ class ColumnStats:
             return self._nulls
         return self._counts.get(value, 0)
 
+    def clone(self) -> ColumnStats:
+        """Independent copy, used when a COW table detaches from a snapshot."""
+        out = ColumnStats()
+        out._counts = dict(self._counts)
+        out._nulls = self._nulls
+        out._min = self._min
+        out._max = self._max
+        out._extrema_dirty = self._extrema_dirty
+        return out
+
 
 class TableStatistics:
     """Row count plus per-column :class:`ColumnStats` for one table.
@@ -141,6 +151,20 @@ class TableStatistics:
     def version(self) -> int:
         """Monotone stamp bumped whenever these statistics change."""
         return self._version
+
+    def clone(self) -> TableStatistics:
+        """Independent copy sharing only the (immutable) schema.
+
+        Taken by :meth:`Table._materialise_for_write` so a pinned snapshot
+        keeps consistent statistics while the live table's copy keeps
+        updating incrementally.
+        """
+        out = TableStatistics.__new__(TableStatistics)
+        out.schema = self.schema
+        out._row_count = self._row_count
+        out._version = self._version
+        out._columns = {name: col.clone() for name, col in self._columns.items()}
+        return out
 
     def column(self, name: str) -> ColumnStats:
         return self._columns[name.lower()]

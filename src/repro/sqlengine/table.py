@@ -9,11 +9,20 @@ the NLI's value index) compare per-table stamps instead of one global
 counter, so a write to one table never invalidates state derived only from
 others.  Mutations also emit a :class:`TableDelta` — the row-level string
 values that entered or left TEXT columns — which the owning database
-broadcasts to listeners for incremental index maintenance.
+broadcasts to listeners for incremental index maintenance.  Bulk
+mutations (batched UPDATE via :meth:`Table.update_rows`, batched DELETE
+via :meth:`Table.delete_rows`) coalesce into **one** delta per statement.
+
+Row storage is **copy-on-write for snapshot readers** (MVCC): a pinned
+:class:`~repro.sqlengine.snapshot.TableSnapshot` shares the live rows,
+indexes and statistics until the next mutation, which first detaches by
+cloning them — so snapshot readers never block writers and never observe
+a half-applied statement.  See ``docs/concurrency.md``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -76,6 +85,64 @@ class Table:
         #: Set by the owning Database: called with the mutation's delta,
         #: returns the new version stamp from the database clock.
         self._on_mutation: Callable[[TableDelta], int] | None = None
+        #: MVCC bookkeeping.  ``_pinned`` counts live snapshots sharing the
+        #: *current* storage generation; the first mutation while pinned
+        #: copies rows/indexes/statistics (copy-on-write) so pinned readers
+        #: keep an immutable view.  ``_generation`` identifies the storage
+        #: so a late release of an already-detached pin is a no-op.  The
+        #: reentrant lock makes "capture a snapshot" and "mutate" mutually
+        #: atomic — a snapshot can never observe a half-applied statement.
+        #: Tables owned by a Database share ITS mutation lock (installed
+        #: by create_table), so a whole-database snapshot is one atomic
+        #: cut; standalone tables fall back to a private lock.
+        self._write_lock = threading.RLock()
+        self._pinned = 0
+        self._generation = 0
+
+    # -- snapshot pinning (MVCC) --------------------------------------------
+
+    def capture(self) -> "TableSnapshot":
+        """Pin the current storage and return an immutable view of it.
+
+        The view shares the live row list and indexes until the next
+        mutation, which detaches by cloning (:meth:`_materialise_for_write`)
+        — so capture is O(1) and the snapshot never sees later writes.
+        The pin is released via :meth:`TableSnapshot.release` (or its GC
+        finalizer), after which the storage may be mutated in place again.
+        """
+        from repro.sqlengine.snapshot import TableSnapshot
+
+        with self._write_lock:
+            self._pinned += 1
+            return TableSnapshot(self)
+
+    def _release_pin(self, generation: int) -> None:
+        with self._write_lock:
+            if generation == self._generation and self._pinned > 0:
+                self._pinned -= 1
+
+    def _materialise_for_write(self) -> None:
+        """Detach from pinned snapshots before mutating (COW).
+
+        Called under ``_write_lock`` by every mutation.  When no snapshot
+        pins the current storage this is a no-op; otherwise rows, indexes
+        and statistics are cloned once, the generation moves on, and the
+        pinned (old) objects are never touched again.
+        """
+        if not self._pinned:
+            return
+        self._rows = list(self._rows)
+        self._hash_indexes = {
+            name: index.clone() for name, index in self._hash_indexes.items()
+        }
+        self._sorted_indexes = {
+            name: index.clone() for name, index in self._sorted_indexes.items()
+        }
+        if self._pk_index is not None:
+            self._pk_index = self._pk_index.clone()
+        self.statistics = self.statistics.clone()
+        self._generation += 1
+        self._pinned = 0
 
     def _notify_mutation(self, delta: TableDelta) -> None:
         if self._on_mutation is not None:
@@ -148,45 +215,75 @@ class Table:
 
     def insert(self, values: Mapping[str, Any] | Sequence[Any]) -> int:
         """Insert one row; returns its row id."""
-        row = self._normalise(values)
-        if self._pk_index is not None:
-            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
-            pk_val = row[pk_pos]
-            if pk_val is None:
-                raise IntegrityError(
-                    f"primary key {self.name}.{self.schema.primary_key} cannot be NULL"
-                )
-            if self._pk_index.lookup(pk_val):
-                raise IntegrityError(
-                    f"duplicate primary key {pk_val!r} in table {self.name!r}"
-                )
-        row_id = len(self._rows)
-        self._rows.append(row)
-        self._live_count += 1
-        self._index_row(row_id, row)
-        self.statistics.on_insert(row)
-        self._notify_mutation(TableDelta(self.name, added=self._text_values(row)))
+        return self.insert_normalised(self._normalise(values))
+
+    def insert_normalised(self, row: tuple[Any, ...]) -> int:
+        """Insert an already-normalised row (one `_normalise` pass total
+        for callers — the FK-checking database — that prepared it)."""
+        with self._write_lock:
+            if self._pk_index is not None:
+                pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+                pk_val = row[pk_pos]
+                if pk_val is None:
+                    raise IntegrityError(
+                        f"primary key {self.name}.{self.schema.primary_key} cannot be NULL"
+                    )
+                if self._pk_index.lookup(pk_val):
+                    raise IntegrityError(
+                        f"duplicate primary key {pk_val!r} in table {self.name!r}"
+                    )
+            self._materialise_for_write()
+            row_id = len(self._rows)
+            self._rows.append(row)
+            self._live_count += 1
+            self._index_row(row_id, row)
+            self.statistics.on_insert(row)
+            self._notify_mutation(TableDelta(self.name, added=self._text_values(row)))
         return row_id
 
     def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
-        """Insert many rows; returns the number inserted."""
+        """Insert many rows under one lock scope; returns the number
+        inserted (a snapshot can never pin between the batch's rows)."""
         count = 0
-        for values in rows:
-            self.insert(values)
-            count += 1
+        with self._write_lock:
+            for values in rows:
+                self.insert(values)
+                count += 1
         return count
 
     def delete_row(self, row_id: int) -> bool:
         """Tombstone a row; returns True when a live row was removed."""
-        row = self.row_by_id(row_id)
-        if row is None:
-            return False
-        self._unindex_row(row_id, row)
-        self._rows[row_id] = None
-        self._live_count -= 1
-        self.statistics.on_delete(row)
-        self._notify_mutation(TableDelta(self.name, removed=self._text_values(row)))
-        return True
+        return self.delete_rows([row_id]) == 1
+
+    def delete_rows(self, row_ids: Iterable[int]) -> int:
+        """Tombstone a batch of rows, emitting **one** coalesced delta.
+
+        This is the bulk-DELETE path: a statement removing 10k rows
+        notifies delta listeners once (with all removed string values),
+        instead of enqueuing 10k per-row callbacks, and bumps the table
+        version once — exactly like a batched UPDATE.
+        """
+        with self._write_lock:
+            doomed: list[tuple[int, tuple[Any, ...]]] = []
+            seen: set[int] = set()
+            for row_id in row_ids:
+                row = self.row_by_id(row_id)
+                if row is None or row_id in seen:
+                    continue
+                seen.add(row_id)
+                doomed.append((row_id, row))
+            if not doomed:
+                return 0
+            self._materialise_for_write()
+            removed: list[tuple[str, str]] = []
+            for row_id, row in doomed:
+                self._unindex_row(row_id, row)
+                self._rows[row_id] = None
+                self._live_count -= 1
+                self.statistics.on_delete(row)
+                removed.extend(self._text_values(row))
+            self._notify_mutation(TableDelta(self.name, removed=tuple(removed)))
+            return len(doomed)
 
     def update_row(
         self, row_id: int, values: Mapping[str, Any] | Sequence[Any]
@@ -233,6 +330,12 @@ class Table:
         self, prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]]
     ) -> int:
         """Validate final PK state, then two-phase-apply prepared triples."""
+        with self._write_lock:
+            return self._apply_prepared_updates_locked(prepared)
+
+    def _apply_prepared_updates_locked(
+        self, prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]]
+    ) -> int:
         if self._pk_index is not None and prepared:
             pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
             updating = {row_id for row_id, _, _ in prepared}
@@ -252,6 +355,8 @@ class Table:
                         f"duplicate primary key {pk_val!r} in table {self.name!r}"
                     )
                 seen.add(pk_val)
+        if prepared:
+            self._materialise_for_write()
         for row_id, _, old in prepared:
             self._unindex_row(row_id, old)
         added: list[tuple[str, str]] = []
@@ -296,16 +401,18 @@ class Table:
 
     def create_hash_index(self, column: str) -> HashIndex:
         col = self.schema.column(column)
-        if col.name in self._hash_indexes:
-            return self._hash_indexes[col.name]
-        index = HashIndex(col.name)
-        pos = self.schema.column_index(col.name)
-        for row_id, row in self.rows_with_ids():
-            index.add(row[pos], row_id)
-        self._hash_indexes[col.name] = index
-        # Cached plans without the index are stale; values did not change.
-        self._notify_mutation(TableDelta(self.name, kind="ddl"))
-        return index
+        with self._write_lock:
+            if col.name in self._hash_indexes:
+                return self._hash_indexes[col.name]
+            index = HashIndex(col.name)
+            pos = self.schema.column_index(col.name)
+            for row_id, row in self.rows_with_ids():
+                index.add(row[pos], row_id)
+            self._materialise_for_write()
+            self._hash_indexes[col.name] = index
+            # Cached plans without the index are stale; values did not change.
+            self._notify_mutation(TableDelta(self.name, kind="ddl"))
+            return index
 
     def create_sorted_index(self, column: str) -> SortedIndex:
         col = self.schema.column(column)
@@ -313,16 +420,18 @@ class Table:
             raise TypeMismatchError(
                 f"sorted index unsupported on {col.sql_type} column {col.name!r}"
             )
-        if col.name in self._sorted_indexes:
-            return self._sorted_indexes[col.name]
-        index = SortedIndex(col.name)
-        pos = self.schema.column_index(col.name)
-        for row_id, row in self.rows_with_ids():
-            index.add(row[pos], row_id)
-        self._sorted_indexes[col.name] = index
-        # Cached plans without the index are stale; values did not change.
-        self._notify_mutation(TableDelta(self.name, kind="ddl"))
-        return index
+        with self._write_lock:
+            if col.name in self._sorted_indexes:
+                return self._sorted_indexes[col.name]
+            index = SortedIndex(col.name)
+            pos = self.schema.column_index(col.name)
+            for row_id, row in self.rows_with_ids():
+                index.add(row[pos], row_id)
+            self._materialise_for_write()
+            self._sorted_indexes[col.name] = index
+            # Cached plans without the index are stale; values did not change.
+            self._notify_mutation(TableDelta(self.name, kind="ddl"))
+            return index
 
     def hash_index(self, column: str) -> HashIndex | None:
         lowered = column.lower()

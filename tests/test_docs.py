@@ -58,19 +58,51 @@ def test_intra_repo_markdown_links_resolve():
     assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
 
 
+#: The documentation registry: every page under docs/ must appear here
+#: (and be linked from the README) or the orphan guard fails the build.
+REGISTERED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/explain.md",
+    "docs/api.md",
+    "docs/http.md",
+    "docs/concurrency.md",
+    "docs/benchmarks.md",
+)
+
+
 def test_required_docs_exist():
-    for relative in (
-        "README.md",
-        "docs/architecture.md",
-        "docs/explain.md",
-        "docs/api.md",
-        "docs/http.md",
-    ):
+    for relative in REGISTERED_DOCS:
         assert (REPO_ROOT / relative).is_file(), f"missing {relative}"
 
 
+def test_no_orphaned_doc_pages():
+    """Every docs/*.md page is registered here AND reachable from the
+    README — a page nobody links to (or that CI never checks) is a page
+    that silently rots."""
+    readme_targets = {
+        target.split("#", 1)[0]
+        for target in _intra_repo_links(REPO_ROOT / "README.md")
+    }
+    problems: list[str] = []
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        relative = page.relative_to(REPO_ROOT).as_posix()
+        if relative not in REGISTERED_DOCS:
+            problems.append(f"{relative} is not registered in tests/test_docs.py")
+        if relative not in readme_targets:
+            problems.append(f"{relative} is not linked from README.md")
+    assert not problems, "orphaned doc pages:\n" + "\n".join(problems)
+
+
 @pytest.mark.parametrize(
-    "doc", ["docs/explain.md", "README.md", "docs/api.md", "docs/http.md"]
+    "doc",
+    [
+        "docs/explain.md",
+        "README.md",
+        "docs/api.md",
+        "docs/http.md",
+        "docs/concurrency.md",
+    ],
 )
 def test_doc_examples_run_as_doctests(doc):
     """Worked examples in the docs are executed against the real engine."""

@@ -274,6 +274,7 @@ class TestDmlFreshness:
             "how many ships are there",
             nli.config.spelling_correction,
             nli.config.max_parses,
+            nli.layers.epoch,
         )
         assert parse_key in nli._prepared
         assert nli.ask("how many ships are there").result.scalar() == first

@@ -225,7 +225,7 @@ class TestClarificationProtocol:
         session = Session()
         ambiguous = nli.ask("ships from norfolk", session=session, clarify=True)
 
-        def boom(select):
+        def boom(select, snapshot=None):
             raise ExecutionError("replay failed")
 
         monkeypatch.setattr(nli.engine, "execute", boom)
