@@ -7,9 +7,11 @@ Run one of the bundled domains::
     python -m repro.cli geography --explain
     echo "which rivers are in the usa" | python -m repro.cli geography --json
 
-Or serve one over HTTP (see ``docs/http.md``)::
+Or serve one over HTTP (see ``docs/http.md``), durably — ``--data-dir``
+holds the WAL, snapshot checkpoints and the session log, and a restart
+recovers to the last committed statement (``docs/storage.md``)::
 
-    python -m repro.cli serve fleet --port 8977 --state /tmp/fleet.jsonl
+    python -m repro.cli serve fleet --port 8977 --data-dir /var/lib/repro
 
 Commands inside the session: ``\\q`` quit, ``\\reset`` clear dialogue
 context, ``\\explain <question>`` show the pipeline trace, ``\\sql
@@ -187,9 +189,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks an ephemeral port; default: 8977)",
     )
     parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable data directory: WAL + snapshot checkpoints for the "
+             "database (crash recovery to the last committed statement) "
+             "plus the session log at DIR/sessions.jsonl "
+             "(default: in-memory only)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=512, metavar="N",
+        help="committed WAL records between snapshot checkpoints; 0 "
+             "checkpoints only at startup and graceful shutdown "
+             "(default: 512)",
+    )
+    parser.add_argument(
         "--state", default=None, metavar="PATH",
-        help="JSONL session log: sessions and pending clarifications "
-             "survive a restart (default: not durable)",
+        help="deprecated alias: JSONL session log only, no database "
+             "durability (use --data-dir, which also persists the data)",
     )
     parser.add_argument(
         "--qps", type=float, default=None, metavar="RATE",
@@ -225,6 +240,14 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         parser.error("--qps must be positive (omit it to disable rate limiting)")
     if args.burst < 1:
         parser.error("--burst must be >= 1")
+    if args.checkpoint_every < 0:
+        parser.error("--checkpoint-every must be >= 0")
+    if args.data_dir is not None and args.state is not None:
+        parser.error(
+            "--state is a deprecated alias superseded by --data-dir; "
+            "pass only --data-dir (the session log moves to "
+            "DIR/sessions.jsonl)"
+        )
     stdout = stdout or sys.stdout
     bundle = load_bundle(args.domain)
     config = NliConfig(
@@ -232,10 +255,20 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         rate_limit_qps=args.qps,
         rate_limit_burst=args.burst,
         service_workers=args.workers,
+        data_dir=args.data_dir,
+        checkpoint_every=args.checkpoint_every,
     )
+    # --data-dir consolidates everything durable under one directory:
+    # WAL + checkpoints (via config.data_dir) and the session log beside
+    # them.  --state keeps the old sessions-only layout working.
+    persistence = args.state
+    if args.data_dir is not None:
+        import os
+
+        persistence = os.path.join(args.data_dir, "sessions.jsonl")
     service = NliService(
         bundle.database, domain=bundle.model, config=config,
-        persistence=args.state,
+        persistence=persistence,
     )
 
     async def run() -> None:
@@ -257,9 +290,10 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - non-unix fallback
         pass
-    # Graceful exit: shrink the session log to live state and release the
-    # worker pool.  A kill -9 skips this, which is exactly what the append
-    # log is for.
+    # Graceful exit: shrink the session log to live state, write a final
+    # snapshot checkpoint (collapsing the WAL), and release the worker
+    # pool.  A kill -9 skips all of this, which is exactly what the
+    # append logs are for.
     service.compact_log()
     service.close()
     print("goodbye.", file=stdout)

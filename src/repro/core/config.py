@@ -88,3 +88,20 @@ class NliConfig:
     #: server memory (and the durability log) one fresh id at a time;
     #: beyond the cap the least-recently-used session is closed.
     max_sessions: int = 1024
+
+    # -- durable storage knobs ----------------------------------------------
+    #: Data directory for the durable storage layer.  When set, the service
+    #: attaches a :class:`~repro.storage.StorageManager`: startup recovery
+    #: restores the newest checkpoint and replays the WAL tail, and every
+    #: committed DML/DDL statement is fsync'd to the write-ahead log before
+    #: the call returns.  ``None`` (the default) keeps the database purely
+    #: in memory, exactly as before.
+    data_dir: str | None = None
+    #: Committed WAL records between snapshot checkpoints.  Smaller values
+    #: bound recovery replay tighter at the cost of more frequent
+    #: serialization pauses on the writer path; 0 disables the cadence
+    #: (checkpoints then happen only at recovery and graceful shutdown).
+    checkpoint_every: int = 512
+    #: fsync every WAL append (the durability guarantee).  Disable only for
+    #: tests/benchmarks that simulate storage without paying for the disk.
+    wal_fsync: bool = True

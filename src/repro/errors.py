@@ -69,6 +69,21 @@ class ExecutionError(EngineError):
     """Runtime failure while executing a plan (e.g. divide by zero)."""
 
 
+class TransactionError(EngineError):
+    """Invalid transaction control: nested BEGIN, or COMMIT/ROLLBACK
+    with no open transaction."""
+
+
+# --------------------------------------------------------------------------
+# Storage errors
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Durable-storage failure: unreadable data directory, or a WAL /
+    checkpoint file written by a newer (unsupported) format version."""
+
+
 # --------------------------------------------------------------------------
 # NL pipeline errors
 # --------------------------------------------------------------------------

@@ -55,7 +55,17 @@ Three service-grade facilities ride on top of the lock:
   session turn and parked clarification is appended to a JSONL log,
   replayed on construction: a restarted service resumes mid-dialog, and
   clarification ids issued before the restart still resolve (an alias
-  map translates them to the freshly minted ones).
+  map translates them to the freshly minted ones);
+* **durable storage** — set ``config.data_dir`` and the service attaches
+  a :class:`~repro.storage.StorageManager`: every committed DML/DDL
+  statement is fsync'd to a write-ahead log before the call returns,
+  snapshot checkpoints bound recovery replay, and a restarted service
+  recovers to the last committed statement.  ``BEGIN`` / ``COMMIT`` /
+  ``ROLLBACK`` through :meth:`execute` open a multi-statement
+  transaction: the writer holds the commit-point write lock across
+  statements while concurrent readers keep answering lock-free from the
+  pinned pre-transaction overlay snapshot, and ROLLBACK restores rows,
+  indexes and statistics as if the transaction never ran.
 """
 
 from __future__ import annotations
@@ -78,6 +88,7 @@ from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response, Status
 from repro.sqlengine.database import Database
 from repro.sqlengine.result import ResultSet
+from repro.storage import StorageManager
 
 #: Statement prefixes that only read; everything else is a writer.
 _READ_ONLY_PREFIXES = ("select", "explain")
@@ -132,6 +143,31 @@ class NliService:
             if cfg.rate_limit_qps is not None
             else None
         )
+        #: Transaction gate: serializes BEGIN/COMMIT/ROLLBACK control (and
+        #: statements joining an open transaction) so exactly one client
+        #: transaction exists at a time.  The RW write lock itself is held
+        #: from BEGIN to COMMIT/ROLLBACK — it is not thread-affine, so the
+        #: commit may arrive on a different worker thread than the BEGIN.
+        self._txn_gate = threading.Lock()
+        self._txn_open = False
+        self._storage: StorageManager | None = None
+        if cfg.data_dir is not None:
+            self._storage = StorageManager(
+                self._nli.engine,
+                cfg.data_dir,
+                checkpoint_every=cfg.checkpoint_every,
+                fsync=cfg.wal_fsync,
+            )
+            report = self._storage.recover()
+            if report.recovered:
+                # Recovery replaced the in-memory seed: rebuild the
+                # language layers from scratch before any question runs.
+                self._nli.refresh(full=True)
+            self._storage.attach()
+        # Publish language layers atomically with COMMIT/ROLLBACK: the
+        # hook runs inside the transaction's closing statement scope,
+        # while the service still holds the write lock taken at BEGIN.
+        self._nli.engine.transactions.commit_hook = self._publish_txn
         self._persistence: SessionLog | None = None
         if persistence is not None:
             log = (
@@ -150,14 +186,23 @@ class NliService:
     def database(self) -> Database:
         return self._nli.database
 
+    @property
+    def storage(self) -> StorageManager | None:
+        """The durable storage manager (None when running in memory)."""
+        return self._storage
+
     def close(self) -> None:
-        """Release the worker pool and the persistence file handle."""
+        """Release the worker pool, the persistence file handle, and the
+        storage layer (writing a graceful-shutdown checkpoint, so the next
+        start restores from the checkpoint alone with an empty WAL tail)."""
         with self._sessions_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
         if self._persistence is not None:
             self._persistence.close()
+        if self._storage is not None:
+            self._storage.close()
 
     # -- sessions ----------------------------------------------------------
 
@@ -272,9 +317,22 @@ class NliService:
         fires only for out-of-band database mutations — the single case
         where a reader may wait on a writer, for at most one commit.
         """
+        if self._txn_open:
+            # An open transaction holds the write lock; its deltas publish
+            # at COMMIT/ROLLBACK (the commit hook), and readers meanwhile
+            # pair the pre-transaction overlay snapshot with the current —
+            # pre-transaction — language layers.
+            return
         if self._nli.needs_refresh():
             with self._lock.write_locked():
                 self._nli.refresh_if_needed()
+
+    def _publish_txn(self) -> None:
+        """Engine commit hook: absorb the transaction's (or rollback's)
+        deltas and publish fresh language layers *inside* the closing
+        statement scope, so no reader can pin the committed data with the
+        pre-commit layers.  Runs under the write lock held since BEGIN."""
+        self._nli.refresh_if_needed()
 
     def refresh(self, full: bool = False) -> None:
         """Explicitly rebuild/patch the language layers (exclusive)."""
@@ -592,13 +650,24 @@ class NliService:
         """Run raw SQL.
 
         Reads: a SELECT runs lock-free against a pinned snapshot in MVCC
-        mode (the read lock in legacy mode); EXPLAIN briefly takes the
-        commit lock since it builds plans from live storage.  Writes
-        (DML/DDL) serialize on the write lock — the commit point — and in
-        MVCC mode absorb their own deltas before releasing, so readers
-        always find published-fresh language layers and never wait.
+        mode (the read lock in legacy mode); EXPLAIN pins its own snapshot
+        inside the engine, so it is just as lock-free — it never queues
+        behind a bulk writer.  Autocommit writes (DML/DDL) serialize on
+        the write lock — the commit point — and in MVCC mode absorb their
+        own deltas before releasing, so readers always find
+        published-fresh language layers and never wait.
+
+        ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` open a multi-statement
+        transaction scope: BEGIN acquires the write lock and *holds* it
+        until the closing statement, while concurrent readers keep
+        answering lock-free from the pinned pre-transaction overlay
+        snapshot.  Statements between BEGIN and COMMIT join the open
+        transaction (serialized on the transaction gate).
         """
         head = sql.lstrip().lower()
+        word = head.split(None, 1)[0].rstrip(";") if head else ""
+        if word in ("begin", "commit", "rollback") or self._txn_open:
+            return self._execute_in_transaction(sql, word)
         if head.startswith("select"):
             with self._read_access():
                 if not self._mvcc:
@@ -606,12 +675,9 @@ class NliService:
                 with self.database.snapshot() as snapshot:
                     return self._nli.engine.execute(sql, snapshot=snapshot)
         if head.startswith(_READ_ONLY_PREFIXES):
-            # EXPLAIN: plan building touches live tables; keep it brief
-            # and exclusive (in MVCC mode) rather than lock-free.
-            if self._mvcc:
-                with self._lock.write_locked():
-                    return self._nli.engine.execute(sql)
-            with self._lock.read_locked():
+            # EXPLAIN: the engine plans against a snapshot it pins itself
+            # (the committed overlay during an open transaction).
+            with self._read_access():
                 return self._nli.engine.execute(sql)
         with self._lock.write_locked():
             if not self._mvcc:
@@ -626,6 +692,48 @@ class NliService:
                 self._nli.refresh_if_needed()
             return result
 
+    def _execute_in_transaction(self, sql: str, word: str) -> ResultSet:
+        """One statement on the transaction path.
+
+        The gate serializes transaction control: a second client's BEGIN
+        waits here until the first transaction closes (its COMMIT releases
+        the write lock the gate-holder then acquires).  Statement errors
+        inside an open transaction leave it open — the client decides
+        whether to ROLLBACK — but a failed BEGIN releases everything.
+        """
+        engine = self._nli.engine
+        with self._txn_gate:
+            if not self._txn_open:
+                if word != "begin":
+                    # Stray COMMIT/ROLLBACK (or a race with a transaction
+                    # that just closed): uniform engine TransactionError.
+                    return engine.execute(sql)
+                self._lock.acquire_write()
+                try:
+                    result = engine.execute(sql)
+                except BaseException:
+                    self._lock.release_write()
+                    raise
+                self._txn_open = True
+                return result
+            if word in ("commit", "rollback"):
+                try:
+                    return engine.execute(sql)
+                finally:
+                    # The engine hook published fresh layers inside the
+                    # closing scope; only then does the commit point open
+                    # up.  If COMMIT failed with the transaction still
+                    # open (WAL flush error), keep holding — the client
+                    # can still ROLLBACK.
+                    if not engine.transactions.active:
+                        self._txn_open = False
+                        self._lock.release_write()
+            # Any other statement joins the open transaction and runs
+            # against live storage (seeing the transaction's own writes);
+            # a nested BEGIN lands here too and raises in the engine
+            # without disturbing the open transaction.
+            return engine.execute(sql)
+
     # -- observability -----------------------------------------------------
 
     def data_stamp(self) -> tuple[int, int]:
@@ -634,6 +742,12 @@ class NliService:
         or catalog DDL changes it; response caches key serialized answers
         by it so a stale entry can never be served across versions."""
         database = self.database
+        overlay = database.txn_overlay
+        if overlay is not None:
+            # An open transaction: readers see the pinned pre-transaction
+            # overlay, so the *committed* identity is the overlay's stamp,
+            # not the live (uncommitted) version counters.
+            return overlay.stamp
         return (database.catalog_version, database.version)
 
     @property
@@ -652,15 +766,18 @@ class NliService:
         return out
 
     @property
-    def stats(self) -> dict[str, int]:
-        """Pipeline counters plus lock/limiter/durability counters."""
-        out = dict(self._nli.stats)
+    def stats(self) -> dict[str, Any]:
+        """Pipeline counters plus lock/limiter/storage/session counters."""
+        out: dict[str, Any] = dict(self._nli.stats)
         for key, value in self.lock_stats.items():
             out[f"lock_{key}"] = value
         out["snapshot_pins"] = self.database.snapshot_pins
         if self._limiter is not None:
             out["rate_allowed"] = self._limiter.stats["allowed"]
             out["rate_limited"] = self._limiter.stats["limited"]
+        if self._storage is not None:
+            for key, value in self._storage.stats().items():
+                out[f"storage_{key}"] = value
         with self._sessions_lock:
             out["open_sessions"] = len(self._sessions)
             out["parked_clarifications"] = len(self._parked)

@@ -342,7 +342,51 @@ class Update(Node):
         return f"UPDATE {self.table} SET {sets}{tail}"
 
 
-Statement = Select | CreateTable | Insert | Delete | Update
+@dataclass(frozen=True)
+class BeginTransaction(Node):
+    """``BEGIN [TRANSACTION|WORK]`` — open a multi-statement transaction."""
+
+    def render(self) -> str:
+        return "BEGIN"
+
+
+@dataclass(frozen=True)
+class CommitTransaction(Node):
+    """``COMMIT [TRANSACTION|WORK]`` — make the open transaction durable."""
+
+    def render(self) -> str:
+        return "COMMIT"
+
+
+@dataclass(frozen=True)
+class RollbackTransaction(Node):
+    """``ROLLBACK [TRANSACTION|WORK]`` — restore the pre-transaction state."""
+
+    def render(self) -> str:
+        return "ROLLBACK"
+
+
+@dataclass(frozen=True)
+class Explain(Node):
+    """``EXPLAIN <select>`` — describe the physical plan, one row per line."""
+
+    query: Select
+
+    def render(self) -> str:
+        return f"EXPLAIN {self.query.render()}"
+
+
+Statement = (
+    Select
+    | CreateTable
+    | Insert
+    | Delete
+    | Update
+    | Explain
+    | BeginTransaction
+    | CommitTransaction
+    | RollbackTransaction
+)
 
 
 def walk(expr: Expr):

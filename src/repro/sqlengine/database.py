@@ -7,7 +7,12 @@ import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import IntegrityError, SchemaError, UnknownTableError
+from repro.errors import (
+    IntegrityError,
+    SchemaError,
+    TransactionError,
+    UnknownTableError,
+)
 from repro.sqlengine.schema import TableSchema
 from repro.sqlengine.statistics import TableStatistics
 from repro.sqlengine.table import Table, TableDelta
@@ -44,6 +49,11 @@ class Database:
         #: already serialized above (the service's commit lock), so
         #: sharing one lock adds no write-side contention.
         self._mutation_lock = threading.RLock()
+        #: While a multi-statement transaction is open, the pre-BEGIN
+        #: snapshot is installed here and :meth:`snapshot` hands readers a
+        #: shared proxy over it — so nobody outside the transaction ever
+        #: observes uncommitted writes.  See ``begin_overlay``.
+        self._txn_overlay: "DatabaseSnapshot | None" = None
 
     # -- schema/DML versioning ------------------------------------------------
 
@@ -87,9 +97,73 @@ class Database:
         Release the pins with ``close()`` / a ``with`` block (a GC
         finalizer covers abandoned snapshots).  See ``docs/concurrency.md``.
         """
+        from repro.sqlengine.snapshot import DatabaseSnapshot, SharedSnapshot
+
+        overlay = self._txn_overlay
+        if overlay is not None:
+            # A transaction is in flight: readers get the committed
+            # pre-BEGIN view, never the uncommitted live storage.
+            return SharedSnapshot(overlay)
+        return DatabaseSnapshot(self)
+
+    # -- transaction overlay --------------------------------------------------
+
+    @property
+    def txn_overlay(self) -> "DatabaseSnapshot | None":
+        """The pre-transaction snapshot while BEGIN..COMMIT is open."""
+        return self._txn_overlay
+
+    def begin_overlay(self) -> "DatabaseSnapshot":
+        """Pin the current state and install it as the transaction overlay.
+
+        Until :meth:`clear_overlay`, every :meth:`snapshot` call returns a
+        shared proxy over this pinned view; direct table access (the
+        transaction's own statements) still sees live storage.
+        """
         from repro.sqlengine.snapshot import DatabaseSnapshot
 
-        return DatabaseSnapshot(self)
+        with self._mutation_lock:
+            if self._txn_overlay is not None:
+                raise TransactionError("a transaction is already open")
+            overlay = DatabaseSnapshot(self)
+            self._txn_overlay = overlay
+            return overlay
+
+    def clear_overlay(self) -> None:
+        """Drop the transaction overlay (COMMIT/ROLLBACK epilogue)."""
+        with self._mutation_lock:
+            self._txn_overlay = None
+
+    def rollback_to(self, snapshot: "DatabaseSnapshot") -> None:
+        """Restore every table to ``snapshot``'s captured state (ROLLBACK).
+
+        Tables created since the snapshot are dropped, dropped ones are
+        recreated, and changed ones are restored by *cloning* the
+        snapshot's captured storage (the snapshot may still be shared by
+        concurrent readers).  Version stamps are restored with the data —
+        the bytes match what those stamps described, so pre-transaction
+        plan-cache entries become valid again — but the global clock is
+        never rewound, and the catalog version is bumped unconditionally
+        so derived state (NLI language layers, response caches) rebuilds
+        from scratch instead of trusting deltas from the rolled-back
+        statements.
+        """
+        with self._mutation_lock:
+            for name in [n for n in self._tables if not snapshot.has_table(n)]:
+                self._tables[name]._on_mutation = None
+                del self._tables[name]
+            for captured in snapshot.tables():
+                live = self._tables.get(captured.schema.name)
+                if live is None:
+                    live = Table(captured.schema)
+                    live._write_lock = self._mutation_lock
+                    live._on_mutation = self._on_table_mutation
+                    self._tables[captured.schema.name] = live
+                    live.restore_from(captured)
+                elif live._version != captured.version:
+                    live.restore_from(captured)
+            self._tick()
+            self._catalog_version += 1
 
     @property
     def snapshot_pins(self) -> int:

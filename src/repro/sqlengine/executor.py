@@ -41,6 +41,7 @@ from repro.sqlengine.planner import (
 from repro.sqlengine.result import ResultSet
 from repro.sqlengine.schema import Column, ForeignKey, TableSchema
 from repro.sqlengine.types import SqlType, sort_key
+from repro.storage.transactions import TransactionManager
 
 _TYPE_NAMES = {
     "int": SqlType.INT,
@@ -115,6 +116,10 @@ class Engine:
             else None
         )
         self._evaluator = Evaluator(self._run_subquery)
+        #: Transaction scope: BEGIN/COMMIT/ROLLBACK routing plus the WAL
+        #: record hook for committed DML/DDL (a no-op until a
+        #: StorageManager attaches itself as the sink).
+        self.transactions = TransactionManager(database)
         #: Per-thread stack of pinned read sources (database snapshots):
         #: concurrent readers share one Engine, each executing against its
         #: own snapshot, so the current source must be thread-local.
@@ -153,15 +158,42 @@ class Engine:
             stmt = statement
         if isinstance(stmt, ast.Select):
             return self._execute_select(stmt)
+        if isinstance(stmt, ast.Explain):
+            return self._execute_explain(stmt)
+        if isinstance(stmt, ast.BeginTransaction):
+            self.transactions.begin()
+            return ResultSet(["status"], [("BEGIN",)])
+        if isinstance(stmt, ast.CommitTransaction):
+            self.transactions.commit()
+            return ResultSet(["status"], [("COMMIT",)])
+        if isinstance(stmt, ast.RollbackTransaction):
+            self.transactions.rollback()
+            return ResultSet(["status"], [("ROLLBACK",)])
+        text = statement if isinstance(statement, str) else None
         if isinstance(stmt, ast.CreateTable):
-            return self._execute_create(stmt)
+            return self._execute_logged(stmt, text, self._execute_create)
         if isinstance(stmt, ast.Insert):
-            return self._execute_insert(stmt)
+            return self._execute_logged(stmt, text, self._execute_insert)
         if isinstance(stmt, ast.Delete):
-            return self._execute_delete(stmt)
+            return self._execute_logged(stmt, text, self._execute_delete)
         if isinstance(stmt, ast.Update):
-            return self._execute_update(stmt)
+            return self._execute_logged(stmt, text, self._execute_update)
         raise SqlSyntaxError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_logged(self, stmt: Any, text: str | None, runner: Any) -> ResultSet:
+        """Run one DML/DDL statement and hand its SQL text to the
+        transaction scope (WAL buffering, or an autocommit append).
+
+        Mutation and record share one database statement scope, so a
+        checkpoint rotation — which also holds the scope — can never
+        separate a mutation from its WAL record; a due checkpoint then
+        runs in ``after_statement`` off the lock.
+        """
+        with self.database.statement_scope():
+            result = runner(stmt)
+            self.transactions.record(text if text is not None else stmt.render())
+        self.transactions.after_statement()
+        return result
 
     def _execute_pinned(
         self, statement: str | ast.Statement, snapshot: Any
@@ -187,14 +219,42 @@ class Engine:
             stack.pop()
 
     def explain(self, sql: str) -> str:
-        """Describe the (optimized) access plan for a SELECT."""
+        """Describe the (optimized) access plan for a SELECT.
+
+        Accepts either bare SELECT text or ``EXPLAIN SELECT ...``.  Plans
+        against a *pinned snapshot* (the committed pre-transaction view
+        while a transaction is open), so EXPLAIN never blocks behind a
+        writer holding the commit lock; cache entries are stamped with
+        the snapshot's table versions.
+        """
         stmt = self._parse_cached(sql)
+        cache_key: str | None = sql
+        if isinstance(stmt, ast.Explain):
+            stmt, cache_key = stmt.query, None
         if not isinstance(stmt, ast.Select):
             raise SqlSyntaxError("EXPLAIN supports only SELECT")
-        plan = self._plan_for(stmt, cache_key=sql)
+        return self._explain_plan(stmt, cache_key)
+
+    def _explain_plan(self, select: ast.Select, cache_key: str | None) -> str:
+        snapshot = self.database.snapshot()
+        try:
+            stack = getattr(self._tls, "sources", None)
+            if stack is None:
+                stack = self._tls.sources = []
+            stack.append(snapshot)
+            try:
+                plan = self._plan_for(select, cache_key=cache_key)
+            finally:
+                stack.pop()
+        finally:
+            snapshot.close()
         if plan is None:
             return "NoTable"
         return plan.describe()
+
+    def _execute_explain(self, stmt: ast.Explain) -> ResultSet:
+        description = self._explain_plan(stmt.query, None)
+        return ResultSet(["plan"], [(line,) for line in description.splitlines()])
 
     # -- SELECT ------------------------------------------------------------------
 

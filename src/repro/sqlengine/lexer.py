@@ -17,6 +17,7 @@ KEYWORDS = frozenset(
     group by having order asc desc limit join inner left cross on
     create table insert into values delete update set primary key
     references exists true false
+    begin commit rollback transaction work explain
     """.split()
 )
 

@@ -3,6 +3,8 @@
 Grammar (informal):
 
     statement   := select | create | insert | delete | update
+                 | EXPLAIN select
+                 | (BEGIN | COMMIT | ROLLBACK) [TRANSACTION | WORK]
     select      := SELECT [DISTINCT] items [FROM table_ref join* ]
                    [WHERE expr] [GROUP BY exprs] [HAVING expr]
                    [ORDER BY order_items] [LIMIT int]
@@ -108,6 +110,21 @@ class Parser:
             stmt = self._parse_delete()
         elif token.is_keyword("update"):
             stmt = self._parse_update()
+        elif token.is_keyword("explain"):
+            self._advance()
+            stmt = ast.Explain(self._parse_select())
+        elif token.is_keyword("begin"):
+            self._advance()
+            self._match_keyword("transaction", "work")
+            stmt = ast.BeginTransaction()
+        elif token.is_keyword("commit"):
+            self._advance()
+            self._match_keyword("transaction", "work")
+            stmt = ast.CommitTransaction()
+        elif token.is_keyword("rollback"):
+            self._advance()
+            self._match_keyword("transaction", "work")
+            stmt = ast.RollbackTransaction()
         else:
             raise SqlSyntaxError(
                 f"expected a statement, found {token.value!r}", token.position

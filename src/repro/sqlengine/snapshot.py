@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sqlengine.database import Database
     from repro.sqlengine.table import Table
 
-__all__ = ["DatabaseSnapshot", "TableSnapshot"]
+__all__ = ["DatabaseSnapshot", "SharedSnapshot", "TableSnapshot"]
 
 
 class TableSnapshot:
@@ -248,6 +248,40 @@ class DatabaseSnapshot:
 
     def statistics(self, table_name: str) -> TableStatistics:
         return self.table(table_name).statistics
+
+
+class SharedSnapshot:
+    """A non-owning view over a :class:`DatabaseSnapshot` someone else owns.
+
+    While a multi-statement transaction is open, :meth:`Database.snapshot`
+    hands every reader this proxy over the transaction's pre-BEGIN overlay
+    snapshot instead of pinning the live (uncommitted) storage — so
+    concurrent readers observe the last committed state, never a
+    transaction in flight.  ``close()`` is a no-op: the pins belong to the
+    transaction, which drops its reference at COMMIT/ROLLBACK (the last
+    reader's proxy then lets GC release them).
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: DatabaseSnapshot) -> None:
+        self._inner = inner
+
+    def close(self) -> None:
+        """No-op: the owning transaction controls the inner pins."""
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def __enter__(self) -> "SharedSnapshot":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self._inner, attr)
 
 
 def _release_all(tables: list[TableSnapshot]) -> None:

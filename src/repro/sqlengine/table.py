@@ -144,6 +144,35 @@ class Table:
         self._generation += 1
         self._pinned = 0
 
+    def restore_from(self, source: "TableSnapshot") -> None:
+        """Reset storage to a pinned snapshot's captured state (ROLLBACK).
+
+        Everything is *eagerly cloned* from the snapshot's captured
+        objects — the snapshot may still be shared by any number of
+        readers, so the restored table must never alias them.  The
+        version stamp is restored too: the data is bit-identical to what
+        that stamp described, so plan-cache entries built before the
+        rolled-back transaction become valid again.  The generation
+        moves on and the pin count resets, making release of any pin
+        taken against the pre-restore storage a no-op.
+        """
+        with self._write_lock:
+            self._rows = list(source._rows)
+            self._live_count = source._live_count
+            self._hash_indexes = {
+                name: index.clone() for name, index in source._hash_indexes.items()
+            }
+            self._sorted_indexes = {
+                name: index.clone() for name, index in source._sorted_indexes.items()
+            }
+            self._pk_index = (
+                source._pk_index.clone() if source._pk_index is not None else None
+            )
+            self.statistics = source.statistics.clone()
+            self._version = source._version
+            self._generation += 1
+            self._pinned = 0
+
     def _notify_mutation(self, delta: TableDelta) -> None:
         if self._on_mutation is not None:
             self._version = self._on_mutation(delta)

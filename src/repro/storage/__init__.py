@@ -1,0 +1,42 @@
+"""Durable storage: write-ahead log, snapshot checkpoints, crash recovery.
+
+The package sits *under* the SQL engine's MVCC commit point:
+
+* every committed DML/DDL statement appends its SQL text to an fsync'd,
+  torn-tail-tolerant JSONL write-ahead log (:mod:`repro.storage.wal`);
+* a periodic checkpoint serializes a pinned
+  :meth:`~repro.sqlengine.database.Database.snapshot` — the MVCC cut is
+  the unit of durability — via temp-file + atomic rename
+  (:mod:`repro.storage.checkpoint`);
+* startup recovery loads the newest valid checkpoint and replays the WAL
+  tail through the engine (:class:`repro.storage.manager.StorageManager`);
+* multi-statement ``BEGIN``/``COMMIT``/``ROLLBACK`` buffers WAL records
+  until COMMIT and restores the pre-transaction snapshot on ROLLBACK
+  (:class:`repro.storage.transactions.TransactionManager`).
+
+Both on-disk formats carry a magic string and a format version so future
+migrations have a hook; see ``docs/storage.md``.
+"""
+
+from repro.storage.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    restore_checkpoint,
+    write_checkpoint,
+)
+from repro.storage.manager import RecoveryReport, StorageManager
+from repro.storage.transactions import TransactionManager
+from repro.storage.wal import WAL_FORMAT, WriteAheadLog, read_wal
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "RecoveryReport",
+    "StorageManager",
+    "TransactionManager",
+    "WAL_FORMAT",
+    "WriteAheadLog",
+    "load_checkpoint",
+    "read_wal",
+    "restore_checkpoint",
+    "write_checkpoint",
+]

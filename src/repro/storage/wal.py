@@ -1,0 +1,149 @@
+"""The write-ahead log: an append-only JSONL file of committed SQL text.
+
+Layout (one JSON object per line):
+
+.. code-block:: text
+
+    {"magic": "repro-wal", "format": 1, "seq": 3}     <- header
+    {"txn": 0, "sql": "INSERT INTO ship ..."}          <- statement
+    {"commit": 0}                                      <- commit marker
+    {"txn": 1, "sql": "UPDATE ship ..."}
+    {"txn": 1, "sql": "DELETE FROM mission ..."}
+    {"commit": 1}
+
+Replay is *logical*: records carry the statement's SQL text, re-executed
+through the engine on recovery (execution is deterministic).  A group's
+statements only count once its ``commit`` marker is on disk — an
+autocommit statement writes its record and marker in one buffered write
+and one fsync, a multi-statement transaction buffers in memory and
+flushes the whole group at COMMIT — so a crash mid-transaction leaves
+nothing replayable and the uncommitted block is fully absent after
+recovery.
+
+Torn-tail tolerance mirrors :mod:`repro.service.persistence`: a crash
+mid-append leaves at most one undecodable final line, skipped on read.
+The header's ``format`` field is the migration hook: readers apply
+:data:`WAL_MIGRATIONS` to older formats and refuse newer ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import StorageError
+
+WAL_MAGIC = "repro-wal"
+#: Current on-disk format.  Bump when the record layout changes and add a
+#: migration below.
+WAL_FORMAT = 1
+
+#: ``{old_format: record_migrator}`` — each migrator rewrites one decoded
+#: record dict from ``old_format`` to ``old_format + 1``.  Empty today;
+#: the version header exists so tomorrow's change is a dict entry, not a
+#: flag day.
+WAL_MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+
+
+class WriteAheadLog:
+    """Appender for one WAL segment file.
+
+    The file (and its header line) is created lazily on the first append;
+    every append is one buffered write, one flush and — unless ``fsync``
+    is disabled — one ``os.fsync``, so an acknowledged statement survives
+    ``kill -9``.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike[str], seq: int, *, fsync: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self.seq = seq
+        self.records = 0
+        self._fsync = fsync
+        self._file: Any = None
+
+    def _handle(self) -> Any:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+            if self._file.tell() == 0:
+                header = {"magic": WAL_MAGIC, "format": WAL_FORMAT, "seq": self.seq}
+                self._file.write(json.dumps(header) + "\n")
+        return self._file
+
+    def append_group(self, txn_id: int, statements: Iterable[str]) -> int:
+        """Durably append one commit group (statements + commit marker).
+
+        Single buffered write + flush + fsync: either the whole group
+        (with its marker) is replayable after a crash, or none of it is.
+        """
+        lines = [
+            json.dumps({"txn": txn_id, "sql": sql}, ensure_ascii=False)
+            for sql in statements
+        ]
+        if not lines:
+            return 0
+        lines.append(json.dumps({"commit": txn_id}))
+        handle = self._handle()
+        handle.write("\n".join(lines) + "\n")
+        handle.flush()
+        if self._fsync:
+            os.fsync(handle.fileno())
+        self.records += len(lines) - 1
+        return len(lines) - 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_wal(path: str | os.PathLike[str]) -> list[str]:
+    """Return the committed statements of one WAL segment, in commit order.
+
+    * undecodable lines (the torn tail of a crash mid-append) are skipped;
+    * statements without a ``commit`` marker (a transaction interrupted by
+      the crash) are dropped entirely;
+    * a missing/garbled header makes the file empty (a crash at creation);
+    * a header from a *newer* format raises :class:`StorageError`, an
+      older one is migrated through :data:`WAL_MIGRATIONS`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    pending: dict[int, list[str]] = {}
+    committed: list[str] = []
+    migrators: list[Callable[[dict[str, Any]], dict[str, Any]]] = []
+    saw_header = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail (or corruption): skip the line
+            if not isinstance(record, dict):
+                continue
+            if not saw_header:
+                if record.get("magic") != WAL_MAGIC:
+                    return []  # not a WAL header: treat the file as empty
+                fmt = record.get("format")
+                if not isinstance(fmt, int) or fmt > WAL_FORMAT:
+                    raise StorageError(
+                        f"{path.name}: WAL format {fmt!r} is newer than "
+                        f"supported format {WAL_FORMAT}"
+                    )
+                while fmt < WAL_FORMAT:
+                    migrators.append(WAL_MIGRATIONS[fmt])
+                    fmt += 1
+                saw_header = True
+                continue
+            for migrate in migrators:
+                record = migrate(record)
+            if "sql" in record:
+                pending.setdefault(record.get("txn", 0), []).append(record["sql"])
+            elif "commit" in record:
+                committed.extend(pending.pop(record["commit"], []))
+    return committed

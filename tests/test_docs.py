@@ -67,6 +67,7 @@ REGISTERED_DOCS = (
     "docs/api.md",
     "docs/http.md",
     "docs/concurrency.md",
+    "docs/storage.md",
     "docs/benchmarks.md",
 )
 
@@ -102,6 +103,7 @@ def test_no_orphaned_doc_pages():
         "docs/api.md",
         "docs/http.md",
         "docs/concurrency.md",
+        "docs/storage.md",
     ],
 )
 def test_doc_examples_run_as_doctests(doc):
