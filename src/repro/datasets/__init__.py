@@ -1,6 +1,7 @@
-"""Synthetic evaluation domains: fleet (navy), company, geography."""
+"""Synthetic evaluation domains: fleet (navy), company, geography,
+saas (multi-tenant back office) and events (time-series operations)."""
 
-from repro.datasets import company, fleet, geography
+from repro.datasets import company, events, fleet, geography, saas
 from repro.datasets.corpus import (
     ALL_DOMAINS,
     DialogueTurn,
@@ -16,8 +17,10 @@ __all__ = [
     "DomainBundle",
     "QuestionExample",
     "company",
+    "events",
     "fleet",
     "geography",
     "load_all_bundles",
     "load_bundle",
+    "saas",
 ]

@@ -14,6 +14,7 @@ Feature tags (driving the Table-3 construct breakdown):
 ``negation`` negated condition       ``member``      or-lists (IN)
 ``nested``  nested subquery          ``order``       explicit ordering
 ``dialogue`` requires session context
+``ambiguous`` multiple plausible readings (clarification-path material)
 """
 
 from __future__ import annotations
@@ -21,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datasets import company as company_mod
+from repro.datasets import events as events_mod
 from repro.datasets import fleet as fleet_mod
 from repro.datasets import geography as geography_mod
+from repro.datasets import saas as saas_mod
 from repro.datasets.base import rng_for
 from repro.lexicon.domain import DomainModel
 from repro.sqlengine.database import Database
@@ -371,6 +374,41 @@ def fleet_corpus(database: Database, seed: int = 3) -> list[QuestionExample]:
         d, "show the officers ordered by name",
         "SELECT name FROM officer ORDER BY name",
         "order",
+    ))
+
+    # --- deliberately ambiguous -------------------------------------------
+    # "kennedy" is a ship AND an officer; "norfolk" a port AND a fleet
+    # headquarters; "pacific" a fleet, a fleet ocean and a deployment
+    # ocean.  At the default clarification margin the scorer auto-resolves
+    # to the gold reading; with a wide margin (the matrix's clarify sweep)
+    # these come back AMBIGUOUS and exercise the clarification path.
+    add(_ex(
+        d, "what is the displacement of the kennedy",
+        "SELECT displacement FROM ship WHERE name = 'Kennedy'",
+        "attr", "ambiguous",
+    ))
+    add(_ex(
+        d, "ships heavier than the kennedy",
+        "SELECT name FROM ship WHERE displacement > "
+        "(SELECT displacement FROM ship WHERE name = 'Kennedy')",
+        "nested", "compare", "ambiguous",
+    ))
+    add(_ex(
+        d, "ships from norfolk",
+        "SELECT DISTINCT ship.name FROM ship JOIN port ON "
+        "ship.home_port_id = port.id WHERE port.name = 'Norfolk'",
+        "select", "join", "ambiguous",
+    ))
+    add(_ex(
+        d, "how many ships are in the pacific fleet",
+        "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
+        "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'",
+        "count", "join", "ambiguous",
+    ))
+    add(_ex(
+        d, "the largest ship",
+        "SELECT name FROM ship ORDER BY displacement DESC LIMIT 1",
+        "super", "ambiguous",
     ))
 
     return examples
@@ -990,6 +1028,634 @@ def geography_dialogues(database: Database) -> list[list[DialogueTurn]]:
 
 
 # ==========================================================================
+# Saas corpus
+#
+# The schema is a *chain* (ticket -> project -> tenant), so "tickets of
+# acme" must route through a table the question never names — the
+# Steiner-tree join-inference case the star-shaped domains cannot reach.
+# ==========================================================================
+
+
+def saas_corpus(database: Database, seed: int = 11) -> list[QuestionExample]:
+    rng = rng_for(seed, "saas-corpus")
+    examples: list[QuestionExample] = []
+    add = examples.append
+    d = "saas"
+
+    tenants = [row[1] for row in database.table("tenant").rows()]
+    statuses = sorted(set(database.table("ticket").column_values("status")))
+    stages = sorted(set(database.table("project").column_values("stage")))
+    member_names = sorted(set(database.table("member").column_values("name")))
+
+    # --- plain listings -----------------------------------------------------
+    add(_ex(d, "show all tenants", "SELECT name FROM tenant", "select"))
+    add(_ex(d, "list the projects", "SELECT name FROM project", "select"))
+    add(_ex(d, "show me the members", "SELECT name FROM member", "select"))
+    add(_ex(d, "list all tickets", "SELECT code FROM ticket", "select"))
+    for s in statuses:
+        add(_ex(
+            d, f"show the {s} tickets",
+            f"SELECT code FROM ticket WHERE status = '{s}'",
+            "select", "attr",
+        ))
+    for stage in stages:
+        add(_ex(
+            d, f"which projects are {stage}",
+            f"SELECT name FROM project WHERE stage = '{stage}'",
+            "select", "attr",
+        ))
+
+    # --- selection via joins (1 hop) ---------------------------------------
+    for t in rng.sample(tenants, 3):
+        add(_ex(
+            d, f"the projects of {t.lower()}",
+            "SELECT DISTINCT project.name FROM project JOIN tenant ON "
+            f"project.tenant_id = tenant.id WHERE tenant.name = '{t}'",
+            "select", "join",
+        ))
+    for t in rng.sample(tenants, 2):
+        add(_ex(
+            d, f"members of {t.lower()}",
+            "SELECT DISTINCT member.name FROM member JOIN tenant ON "
+            f"member.tenant_id = tenant.id WHERE tenant.name = '{t}'",
+            "select", "join",
+        ))
+    add(_ex(
+        d, "tickets in the apollo project",
+        "SELECT DISTINCT ticket.code FROM ticket JOIN project ON "
+        "ticket.project_id = project.id WHERE project.name = 'Apollo'",
+        "select", "join",
+    ))
+    add(_ex(
+        d, "admins of globex",
+        "SELECT DISTINCT member.name FROM member JOIN tenant ON "
+        "member.tenant_id = tenant.id WHERE member.role = 'admin' "
+        "AND tenant.name = 'Globex'",
+        "select", "join",
+    ))
+    for name in rng.sample(member_names, 2):
+        add(_ex(
+            d, f"tickets assigned to {name.lower()}",
+            "SELECT DISTINCT ticket.code FROM ticket JOIN member ON "
+            f"ticket.assignee_id = member.id WHERE member.name = '{name}'",
+            "select", "join",
+        ))
+
+    # --- selection via joins (2 hops, Steiner path) ------------------------
+    # Assignees are drawn from the owning tenant's members, so the gold
+    # project-path SQL agrees with the assignee-path tree the inference
+    # may pick instead.
+    for t in rng.sample(tenants, 2):
+        add(_ex(
+            d, f"tickets of {t.lower()}",
+            "SELECT DISTINCT ticket.code FROM ticket "
+            "JOIN project ON ticket.project_id = project.id "
+            "JOIN tenant ON project.tenant_id = tenant.id "
+            f"WHERE tenant.name = '{t}'",
+            "select", "join",
+        ))
+
+    # --- attribute lookups --------------------------------------------------
+    add(_ex(d, "the seats of acme",
+            "SELECT seats FROM tenant WHERE name = 'Acme'", "attr"))
+    add(_ex(d, "what is the plan of umbrella",
+            "SELECT plan FROM tenant WHERE name = 'Umbrella'", "attr"))
+    add(_ex(d, "the region of cyberdyne",
+            "SELECT region FROM tenant WHERE name = 'Cyberdyne'", "attr"))
+    add(_ex(d, "the status of t1005",
+            "SELECT status FROM ticket WHERE code = 'T1005'", "attr"))
+    for name in rng.sample(member_names, 2):
+        add(_ex(
+            d, f"what is the role of {name.lower()}",
+            f"SELECT role FROM member WHERE name = '{name}'",
+            "attr",
+        ))
+
+    # --- counting -----------------------------------------------------------
+    add(_ex(d, "how many tickets are there",
+            "SELECT COUNT(*) FROM ticket", "count"))
+    add(_ex(d, "how many tenants are there",
+            "SELECT COUNT(*) FROM tenant", "count"))
+    add(_ex(d, "how many developers are there",
+            "SELECT COUNT(*) FROM member WHERE role = 'developer'", "count"))
+    add(_ex(
+        d, "how many members does globex have",
+        "SELECT COUNT(DISTINCT member.id) FROM member JOIN tenant ON "
+        "member.tenant_id = tenant.id WHERE tenant.name = 'Globex'",
+        "count", "join",
+    ))
+    add(_ex(
+        d, "how many open tickets does hooli have",
+        "SELECT COUNT(DISTINCT ticket.id) FROM ticket "
+        "JOIN project ON ticket.project_id = project.id "
+        "JOIN tenant ON project.tenant_id = tenant.id "
+        "WHERE ticket.status = 'open' AND tenant.name = 'Hooli'",
+        "count", "join",
+    ))
+    for t in rng.sample(tenants, 2):
+        add(_ex(
+            d, f"how many tickets does {t.lower()} have",
+            "SELECT COUNT(DISTINCT ticket.id) FROM ticket "
+            "JOIN project ON ticket.project_id = project.id "
+            "JOIN tenant ON project.tenant_id = tenant.id "
+            f"WHERE tenant.name = '{t}'",
+            "count", "join",
+        ))
+
+    # --- aggregates ---------------------------------------------------------
+    add(_ex(d, "the average seats of the tenants",
+            "SELECT AVG(seats) FROM tenant", "agg"))
+    add(_ex(d, "the total seats of the tenants",
+            "SELECT SUM(seats) FROM tenant", "agg"))
+    add(_ex(d, "the average priority of the open tickets",
+            "SELECT AVG(priority) FROM ticket WHERE status = 'open'", "agg"))
+
+    # --- superlatives -------------------------------------------------------
+    add(_ex(d, "the biggest tenant",
+            "SELECT name FROM tenant ORDER BY seats DESC LIMIT 1", "super"))
+    add(_ex(d, "the smallest tenant",
+            "SELECT name FROM tenant ORDER BY seats ASC LIMIT 1", "super"))
+    add(_ex(d, "the most urgent ticket",
+            "SELECT code FROM ticket ORDER BY priority DESC LIMIT 1", "super"))
+    add(_ex(d, "the oldest ticket",
+            "SELECT code FROM ticket ORDER BY opened ASC LIMIT 1", "super"))
+    add(_ex(d, "the newest ticket",
+            "SELECT code FROM ticket ORDER BY opened DESC LIMIT 1", "super"))
+
+    # --- comparisons --------------------------------------------------------
+    add(_ex(d, "which tenants have more than 100 seats",
+            "SELECT name FROM tenant WHERE seats > 100", "compare"))
+    add(_ex(d, "tenants with fewer than 50 seats",
+            "SELECT name FROM tenant WHERE seats < 50", "compare"))
+    add(_ex(d, "tickets with priority over 3",
+            "SELECT code FROM ticket WHERE priority > 3", "compare"))
+    add(_ex(d, "which tickets have priority over 4",
+            "SELECT code FROM ticket WHERE priority > 4", "compare"))
+    add(_ex(d, "tickets opened before 1973",
+            "SELECT code FROM ticket WHERE opened < 1973", "compare"))
+    add(_ex(d, "tickets opened after 1975",
+            "SELECT code FROM ticket WHERE opened > 1975", "compare"))
+
+    # --- negation -----------------------------------------------------------
+    add(_ex(d, "members that are not developers",
+            "SELECT name FROM member WHERE role != 'developer'", "negation"))
+    add(_ex(d, "tenants that are not on the free plan",
+            "SELECT name FROM tenant WHERE plan != 'free'", "negation"))
+    add(_ex(d, "tickets that are not open",
+            "SELECT code FROM ticket WHERE status != 'open'", "negation"))
+
+    # --- membership ---------------------------------------------------------
+    add(_ex(
+        d, "members in the acme or globex tenant",
+        "SELECT DISTINCT member.name FROM member JOIN tenant ON "
+        "member.tenant_id = tenant.id "
+        "WHERE tenant.name IN ('Acme', 'Globex')",
+        "member", "join",
+    ))
+    add(_ex(
+        d, "tenants on the free or starter plan",
+        "SELECT name FROM tenant WHERE plan IN ('free', 'starter')",
+        "member",
+    ))
+    add(_ex(
+        d, "projects from initech or umbrella",
+        "SELECT DISTINCT project.name FROM project JOIN tenant ON "
+        "project.tenant_id = tenant.id "
+        "WHERE tenant.name IN ('Initech', 'Umbrella')",
+        "member", "join",
+    ))
+
+    # --- nested -------------------------------------------------------------
+    add(_ex(
+        d, "tenants bigger than acme",
+        "SELECT name FROM tenant WHERE seats > "
+        "(SELECT seats FROM tenant WHERE name = 'Acme')",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "tenants with seats above average",
+        "SELECT name FROM tenant WHERE seats > "
+        "(SELECT AVG(seats) FROM tenant)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "tickets hotter than t1005",
+        "SELECT code FROM ticket WHERE priority > "
+        "(SELECT priority FROM ticket WHERE code = 'T1005')",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "tickets with priority above average",
+        "SELECT code FROM ticket WHERE priority > "
+        "(SELECT AVG(priority) FROM ticket)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "tickets newer than t1005",
+        "SELECT code FROM ticket WHERE opened > "
+        "(SELECT opened FROM ticket WHERE code = 'T1005')",
+        "nested", "compare",
+    ))
+
+    # --- grouping -----------------------------------------------------------
+    add(_ex(
+        d, "how many tickets are in each project",
+        "SELECT project.name, COUNT(DISTINCT ticket.id) FROM ticket JOIN "
+        "project ON ticket.project_id = project.id GROUP BY project.name "
+        "ORDER BY project.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "how many tickets per status",
+        "SELECT status, COUNT(id) FROM ticket GROUP BY status ORDER BY status",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "how many members per role",
+        "SELECT role, COUNT(id) FROM member GROUP BY role ORDER BY role",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "how many projects are in each tenant",
+        "SELECT tenant.name, COUNT(DISTINCT project.id) FROM project JOIN "
+        "tenant ON project.tenant_id = tenant.id GROUP BY tenant.name "
+        "ORDER BY tenant.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "average priority per status",
+        "SELECT status, AVG(priority) FROM ticket GROUP BY status "
+        "ORDER BY status",
+        "group", "agg",
+    ))
+    add(_ex(
+        d, "average seats per plan",
+        "SELECT plan, AVG(seats) FROM tenant GROUP BY plan ORDER BY plan",
+        "group", "agg",
+    ))
+
+    # --- ordering -----------------------------------------------------------
+    add(_ex(d, "list the tenants by seats",
+            "SELECT name FROM tenant ORDER BY seats ASC", "order"))
+    add(_ex(d, "list the tenants sorted by seats descending",
+            "SELECT name FROM tenant ORDER BY seats DESC", "order"))
+    add(_ex(d, "list the tickets sorted by priority descending",
+            "SELECT code FROM ticket ORDER BY priority DESC", "order"))
+
+    return examples
+
+
+def saas_dialogues(database: Database) -> list[list[DialogueTurn]]:
+    tickets_of = (
+        "SELECT COUNT(DISTINCT ticket.id) FROM ticket "
+        "JOIN project ON ticket.project_id = project.id "
+        "JOIN tenant ON project.tenant_id = tenant.id "
+        "WHERE tenant.name = '{t}'"
+    )
+    return [
+        [
+            DialogueTurn(
+                "how many tickets does acme have",
+                tickets_of.format(t="Acme"), False,
+            ),
+            DialogueTurn(
+                "what about globex",
+                tickets_of.format(t="Globex"), True,
+            ),
+            DialogueTurn(
+                "how many of them are open",
+                tickets_of.format(t="Globex").replace(
+                    "WHERE ", "WHERE ticket.status = 'open' AND "
+                ),
+                True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "show the open tickets",
+                "SELECT code FROM ticket WHERE status = 'open'",
+                False,
+            ),
+            DialogueTurn(
+                "only the ones with priority over 3",
+                "SELECT code FROM ticket WHERE status = 'open' "
+                "AND priority > 3",
+                True,
+            ),
+            DialogueTurn(
+                "what about the closed tickets",
+                "SELECT code FROM ticket WHERE status = 'closed' "
+                "AND priority > 3",
+                True,
+            ),
+        ],
+    ]
+
+
+# ==========================================================================
+# Events corpus
+#
+# A fact table (event) with two dimension chains; the location chain
+# (event -> host -> datacenter) is the second Steiner-tree case.
+# ==========================================================================
+
+
+def events_corpus(database: Database, seed: int = 13) -> list[QuestionExample]:
+    rng = rng_for(seed, "events-corpus")
+    examples: list[QuestionExample] = []
+    add = examples.append
+    d = "events"
+
+    datacenters = [row[1] for row in database.table("datacenter").rows()]
+    kinds = sorted(set(database.table("event").column_values("kind")))
+    services = [row[1] for row in database.table("service").rows()]
+
+    # --- plain listings -----------------------------------------------------
+    add(_ex(d, "show all hosts", "SELECT name FROM host", "select"))
+    add(_ex(d, "list the services", "SELECT name FROM service", "select"))
+    add(_ex(d, "list the datacenters", "SELECT name FROM datacenter", "select"))
+    add(_ex(d, "show all services", "SELECT name FROM service", "select"))
+    for kind in kinds:
+        add(_ex(
+            d, f"show the {kind}s",
+            f"SELECT id FROM event WHERE kind = '{kind}'",
+            "select", "attr",
+        ))
+    add(_ex(d, "which services are critical",
+            "SELECT name FROM service WHERE tier = 'critical'",
+            "select", "attr"))
+
+    # --- selection via joins (1 hop) ---------------------------------------
+    for dc in rng.sample(datacenters, 2):
+        add(_ex(
+            d, f"the hosts of {dc}",
+            "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+            f"host.datacenter_id = datacenter.id WHERE datacenter.name = '{dc}'",
+            "select", "join",
+        ))
+    add(_ex(
+        d, "hosts in singapore",
+        "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+        "host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name = 'singapore'",
+        "select", "join",
+    ))
+    for svc in rng.sample(services, 2):
+        add(_ex(
+            d, f"events of {svc}",
+            "SELECT DISTINCT event.id FROM event JOIN service ON "
+            f"event.service_id = service.id WHERE service.name = '{svc}'",
+            "select", "join",
+        ))
+    add(_ex(
+        d, "restarts of auth",
+        "SELECT DISTINCT event.id FROM event JOIN service ON "
+        "event.service_id = service.id WHERE event.kind = 'restart' "
+        "AND service.name = 'auth'",
+        "select", "join",
+    ))
+    add(_ex(
+        d, "warnings of the gateway service",
+        "SELECT DISTINCT event.id FROM event JOIN service ON "
+        "event.service_id = service.id WHERE event.kind = 'warning' "
+        "AND service.name = 'gateway'",
+        "select", "join",
+    ))
+
+    # --- attribute lookups --------------------------------------------------
+    add(_ex(d, "the country of tokyo",
+            "SELECT country FROM datacenter WHERE name = 'tokyo'", "attr"))
+    add(_ex(d, "what is the country of dublin",
+            "SELECT country FROM datacenter WHERE name = 'dublin'", "attr"))
+    add(_ex(d, "what is the tier of checkout",
+            "SELECT tier FROM service WHERE name = 'checkout'", "attr"))
+    add(_ex(d, "the cpus of alpha",
+            "SELECT cpus FROM host WHERE name = 'alpha'", "attr"))
+    add(_ex(d, "the cpus of zulu",
+            "SELECT cpus FROM host WHERE name = 'zulu'", "attr"))
+
+    # --- counting -----------------------------------------------------------
+    add(_ex(d, "how many events are there",
+            "SELECT COUNT(*) FROM event", "count"))
+    add(_ex(d, "how many hosts are there",
+            "SELECT COUNT(*) FROM host", "count"))
+    add(_ex(d, "how many alerts are there",
+            "SELECT COUNT(*) FROM event WHERE kind = 'alert'", "count"))
+    add(_ex(
+        d, "how many hosts are in dublin",
+        "SELECT COUNT(DISTINCT host.id) FROM host JOIN datacenter ON "
+        "host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name = 'dublin'",
+        "count", "join",
+    ))
+    add(_ex(
+        d, "how many deploys does billing have",
+        "SELECT COUNT(DISTINCT event.id) FROM event JOIN service ON "
+        "event.service_id = service.id WHERE event.kind = 'deploy' "
+        "AND service.name = 'billing'",
+        "count", "join",
+    ))
+    # 2-hop Steiner path: the question names neither host nor the join keys.
+    for dc in rng.sample(datacenters, 2):
+        add(_ex(
+            d, f"how many errors are in {dc}",
+            "SELECT COUNT(DISTINCT event.id) FROM event "
+            "JOIN host ON event.host_id = host.id "
+            "JOIN datacenter ON host.datacenter_id = datacenter.id "
+            f"WHERE event.kind = 'error' AND datacenter.name = '{dc}'",
+            "count", "join",
+        ))
+
+    # --- aggregates ---------------------------------------------------------
+    add(_ex(d, "the average duration of the events",
+            "SELECT AVG(duration) FROM event", "agg"))
+    add(_ex(d, "the total duration of the errors",
+            "SELECT SUM(duration) FROM event WHERE kind = 'error'", "agg"))
+    add(_ex(d, "the average severity of the warnings",
+            "SELECT AVG(severity) FROM event WHERE kind = 'warning'", "agg"))
+
+    # --- superlatives -------------------------------------------------------
+    add(_ex(d, "the slowest event",
+            "SELECT id FROM event ORDER BY duration DESC LIMIT 1", "super"))
+    add(_ex(d, "the gravest event",
+            "SELECT id FROM event ORDER BY severity DESC LIMIT 1", "super"))
+    add(_ex(d, "the beefiest host",
+            "SELECT name FROM host ORDER BY cpus DESC LIMIT 1", "super"))
+    add(_ex(d, "the earliest error",
+            "SELECT id FROM event WHERE kind = 'error' "
+            "ORDER BY day ASC LIMIT 1", "super"))
+    add(_ex(d, "the longest event",
+            "SELECT id FROM event ORDER BY duration DESC LIMIT 1", "super"))
+
+    # --- comparisons --------------------------------------------------------
+    add(_ex(d, "events with duration over 4000",
+            "SELECT id FROM event WHERE duration > 4000", "compare"))
+    add(_ex(d, "events with severity over 3",
+            "SELECT id FROM event WHERE severity > 3", "compare"))
+    add(_ex(d, "hosts with more than 16 cores",
+            "SELECT name FROM host WHERE cpus > 16", "compare"))
+    add(_ex(d, "hosts with cpus over 16",
+            "SELECT name FROM host WHERE cpus > 16", "compare"))
+    add(_ex(d, "events with day over 60",
+            "SELECT id FROM event WHERE day > 60", "compare"))
+    add(_ex(d, "errors with severity over 3",
+            "SELECT id FROM event WHERE kind = 'error' AND severity > 3",
+            "compare"))
+
+    # --- negation -----------------------------------------------------------
+    add(_ex(
+        d, "hosts that are not in frankfurt",
+        "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+        "host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name != 'frankfurt'",
+        "negation", "join",
+    ))
+    add(_ex(d, "services that are not critical",
+            "SELECT name FROM service WHERE tier != 'critical'", "negation"))
+
+    # --- membership ---------------------------------------------------------
+    add(_ex(
+        d, "hosts from frankfurt or dublin",
+        "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+        "host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name IN ('frankfurt', 'dublin')",
+        "member", "join",
+    ))
+    add(_ex(
+        d, "hosts in the sydney or tokyo datacenter",
+        "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+        "host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name IN ('sydney', 'tokyo')",
+        "member", "join",
+    ))
+    add(_ex(
+        d, "events in the checkout or billing service",
+        "SELECT DISTINCT event.id FROM event JOIN service ON "
+        "event.service_id = service.id "
+        "WHERE service.name IN ('checkout', 'billing')",
+        "member", "join",
+    ))
+
+    # --- nested -------------------------------------------------------------
+    add(_ex(
+        d, "events slower than average",
+        "SELECT id FROM event WHERE duration > "
+        "(SELECT AVG(duration) FROM event)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "events with duration above average",
+        "SELECT id FROM event WHERE duration > "
+        "(SELECT AVG(duration) FROM event)",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "hosts beefier than alpha",
+        "SELECT name FROM host WHERE cpus > "
+        "(SELECT cpus FROM host WHERE name = 'alpha')",
+        "nested", "compare",
+    ))
+    add(_ex(
+        d, "events with severity above average",
+        "SELECT id FROM event WHERE severity > "
+        "(SELECT AVG(severity) FROM event)",
+        "nested", "compare",
+    ))
+
+    # --- grouping -----------------------------------------------------------
+    add(_ex(
+        d, "how many hosts are in each datacenter",
+        "SELECT datacenter.name, COUNT(DISTINCT host.id) FROM host JOIN "
+        "datacenter ON host.datacenter_id = datacenter.id "
+        "GROUP BY datacenter.name ORDER BY datacenter.name",
+        "group", "count", "join",
+    ))
+    add(_ex(
+        d, "how many events per kind",
+        "SELECT kind, COUNT(id) FROM event GROUP BY kind ORDER BY kind",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "how many services per tier",
+        "SELECT tier, COUNT(id) FROM service GROUP BY tier ORDER BY tier",
+        "group", "count",
+    ))
+    add(_ex(
+        d, "average duration per kind",
+        "SELECT kind, AVG(duration) FROM event GROUP BY kind ORDER BY kind",
+        "group", "agg",
+    ))
+    add(_ex(
+        d, "average severity per kind",
+        "SELECT kind, AVG(severity) FROM event GROUP BY kind ORDER BY kind",
+        "group", "agg",
+    ))
+    # 2-hop Steiner path under a group-by.
+    add(_ex(
+        d, "how many events are in each datacenter",
+        "SELECT datacenter.name, COUNT(DISTINCT event.id) FROM event "
+        "JOIN host ON event.host_id = host.id "
+        "JOIN datacenter ON host.datacenter_id = datacenter.id "
+        "GROUP BY datacenter.name ORDER BY datacenter.name",
+        "group", "count", "join",
+    ))
+
+    # --- ordering -----------------------------------------------------------
+    add(_ex(d, "list the hosts by cpus",
+            "SELECT name FROM host ORDER BY cpus ASC", "order"))
+    add(_ex(d, "list the hosts sorted by cpus descending",
+            "SELECT name FROM host ORDER BY cpus DESC", "order"))
+    add(_ex(d, "list the events sorted by duration descending",
+            "SELECT id FROM event ORDER BY duration DESC", "order"))
+
+    return examples
+
+
+def events_dialogues(database: Database) -> list[list[DialogueTurn]]:
+    events_in = (
+        "SELECT COUNT(DISTINCT event.id) FROM event "
+        "JOIN host ON event.host_id = host.id "
+        "JOIN datacenter ON host.datacenter_id = datacenter.id "
+        "WHERE datacenter.name = '{dc}'"
+    )
+    return [
+        [
+            DialogueTurn(
+                "how many events are in frankfurt",
+                events_in.format(dc="frankfurt"), False,
+            ),
+            DialogueTurn(
+                "what about dublin",
+                events_in.format(dc="dublin"), True,
+            ),
+            DialogueTurn(
+                "and sydney",
+                events_in.format(dc="sydney"), True,
+            ),
+        ],
+        [
+            DialogueTurn(
+                "show the errors",
+                "SELECT id FROM event WHERE kind = 'error'",
+                False,
+            ),
+            DialogueTurn(
+                "only the ones with severity over 3",
+                "SELECT id FROM event WHERE kind = 'error' "
+                "AND severity > 3",
+                True,
+            ),
+            DialogueTurn(
+                "what about the warnings",
+                "SELECT id FROM event WHERE kind = 'warning' "
+                "AND severity > 3",
+                True,
+            ),
+        ],
+    ]
+
+
+# ==========================================================================
 # Wild (held-out phrasing) sets — NOT guaranteed to parse.
 #
 # Era evaluations distinguished "habitual" users (in-grammar phrasing,
@@ -1119,6 +1785,88 @@ def geography_wild(database: Database) -> list[QuestionExample]:
     ]
 
 
+def saas_wild(database: Database) -> list[QuestionExample]:
+    d = "saas"
+    return [
+        _ex(d, "i would like to see every tenant we have",
+            "SELECT name FROM tenant", "select"),
+        _ex(d, "could you possibly tell me the projects of acme",
+            "SELECT DISTINCT project.name FROM project JOIN tenant ON "
+            "project.tenant_id = tenant.id WHERE tenant.name = 'Acme'",
+            "select", "join"),
+        _ex(d, "members belonging to the acme tenant",
+            "SELECT DISTINCT member.name FROM member JOIN tenant ON "
+            "member.tenant_id = tenant.id WHERE tenant.name = 'Acme'",
+            "select", "join"),
+        _ex(d, "give the count of open tickets",
+            "SELECT COUNT(*) FROM ticket WHERE status = 'open'", "count"),
+        _ex(d, "what members have we got in the globex tenant",
+            "SELECT DISTINCT member.name FROM member JOIN tenant ON "
+            "member.tenant_id = tenant.id WHERE tenant.name = 'Globex'",
+            "select", "join"),
+        _ex(d, "enumerate the developers",
+            "SELECT name FROM member WHERE role = 'developer'", "select"),
+        _ex(d, "which tickets were opened in 1975",
+            "SELECT code FROM ticket WHERE opened = 1975", "compare"),
+        _ex(d, "are there any tenants with more than 300 seats",
+            "SELECT name FROM tenant WHERE seats > 300", "compare"),
+        _ex(d, "tenants not exceeding 50 seats",
+            "SELECT name FROM tenant WHERE seats <= 50",
+            "compare", "negation"),
+        _ex(d, "whats the biggest tenant",
+            "SELECT name FROM tenant ORDER BY seats DESC LIMIT 1", "super"),
+        _ex(d, "rank the tenants by the number of their projects",
+            "SELECT tenant.name, COUNT(DISTINCT project.id) FROM project "
+            "JOIN tenant ON project.tenant_id = tenant.id "
+            "GROUP BY tenant.name ORDER BY tenant.name",
+            "group", "count", "join"),
+        _ex(d, "display tenants alongside their seats",
+            "SELECT name, seats FROM tenant", "select"),
+        _ex(d, "the priority of each open ticket",
+            "SELECT priority FROM ticket WHERE status = 'open'", "attr"),
+    ]
+
+
+def events_wild(database: Database) -> list[QuestionExample]:
+    d = "events"
+    return [
+        _ex(d, "i would like to see every host we run",
+            "SELECT name FROM host", "select"),
+        _ex(d, "could you possibly tell me the hosts of frankfurt",
+            "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+            "host.datacenter_id = datacenter.id "
+            "WHERE datacenter.name = 'frankfurt'",
+            "select", "join"),
+        _ex(d, "what hosts have we got in dublin",
+            "SELECT DISTINCT host.name FROM host JOIN datacenter ON "
+            "host.datacenter_id = datacenter.id "
+            "WHERE datacenter.name = 'dublin'",
+            "select", "join"),
+        _ex(d, "give the count of errors",
+            "SELECT COUNT(*) FROM event WHERE kind = 'error'", "count"),
+        _ex(d, "enumerate the deploys",
+            "SELECT id FROM event WHERE kind = 'deploy'", "select"),
+        _ex(d, "events exceeding 4000 milliseconds",
+            "SELECT id FROM event WHERE duration > 4000", "compare"),
+        _ex(d, "are there any events slower than 4900 milliseconds",
+            "SELECT id FROM event WHERE duration > 4900", "compare"),
+        _ex(d, "events not exceeding 100 milliseconds",
+            "SELECT id FROM event WHERE duration <= 100",
+            "compare", "negation"),
+        _ex(d, "whats the beefiest box",
+            "SELECT name FROM host ORDER BY cpus DESC LIMIT 1", "super"),
+        _ex(d, "rank the datacenters by the number of their hosts",
+            "SELECT datacenter.name, COUNT(DISTINCT host.id) FROM host "
+            "JOIN datacenter ON host.datacenter_id = datacenter.id "
+            "GROUP BY datacenter.name ORDER BY datacenter.name",
+            "group", "count", "join"),
+        _ex(d, "display hosts alongside their cpus",
+            "SELECT name, cpus FROM host", "select"),
+        _ex(d, "the duration of each error",
+            "SELECT duration FROM event WHERE kind = 'error'", "attr"),
+    ]
+
+
 def wild_for(name: str, database: Database) -> list[QuestionExample]:
     if name == "fleet":
         return fleet_wild(database)
@@ -1126,6 +1874,10 @@ def wild_for(name: str, database: Database) -> list[QuestionExample]:
         return company_wild(database)
     if name == "geography":
         return geography_wild(database)
+    if name == "saas":
+        return saas_wild(database)
+    if name == "events":
+        return events_wild(database)
     raise ValueError(f"unknown domain {name!r}")
 
 
@@ -1154,10 +1906,22 @@ def load_bundle(name: str) -> DomainBundle:
             "geography", db, geography_mod.domain(),
             geography_corpus(db), geography_dialogues(db), geography_wild(db),
         )
+    if name == "saas":
+        db = saas_mod.build_database()
+        return DomainBundle(
+            "saas", db, saas_mod.domain(),
+            saas_corpus(db), saas_dialogues(db), saas_wild(db),
+        )
+    if name == "events":
+        db = events_mod.build_database()
+        return DomainBundle(
+            "events", db, events_mod.domain(),
+            events_corpus(db), events_dialogues(db), events_wild(db),
+        )
     raise ValueError(f"unknown domain {name!r}")
 
 
-ALL_DOMAINS = ("fleet", "company", "geography")
+ALL_DOMAINS = ("fleet", "company", "geography", "saas", "events")
 
 
 def load_all_bundles() -> list[DomainBundle]:

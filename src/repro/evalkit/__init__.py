@@ -10,23 +10,35 @@ from repro.evalkit.harness import (
     evaluate_system,
     per_feature_accuracy,
 )
-from repro.evalkit.metrics import StageCounts, Tally, answers_match
+from repro.evalkit.metrics import (
+    ResponseScore,
+    StageCounts,
+    Tally,
+    answer_set_matches,
+    answers_match,
+    failure_stage,
+    score_response,
+)
 from repro.evalkit.report import format_series, format_table, pct
 
 __all__ = [
     "DialogueEval",
     "EvalResult",
     "NliSystem",
+    "ResponseScore",
     "StageCounts",
     "Tally",
+    "answer_set_matches",
     "answers_match",
     "corrupt_question",
     "corrupt_word",
     "evaluate_dialogues",
     "evaluate_nli",
     "evaluate_system",
+    "failure_stage",
     "format_series",
     "format_table",
     "pct",
     "per_feature_accuracy",
+    "score_response",
 ]

@@ -15,16 +15,21 @@ from repro.core.config import NliConfig
 from repro.core.dialogue import Session
 from repro.core.pipeline import NaturalLanguageInterface
 from repro.datasets.corpus import DomainBundle, QuestionExample
-from repro.evalkit.metrics import StageCounts, Tally, answers_match
-from repro.service.response import (
-    EMPTY_QUESTION,
-    EXECUTION_ERROR,
-    INTERPRETATION_ERROR,
-    MISSING_CONTEXT,
-    PARSE_FAILURE,
-    Response,
-)
+from repro.evalkit.metrics import StageCounts, Tally, answers_match, failure_stage
+from repro.service.response import Response
 from repro.sqlengine.executor import Engine
+
+__all__ = [
+    "DialogueEval",
+    "EvalResult",
+    "NliSystem",
+    "QuestionAnswerer",
+    "evaluate_dialogues",
+    "evaluate_nli",
+    "evaluate_system",
+    "failure_stage",
+    "per_feature_accuracy",
+]
 
 
 class QuestionAnswerer(Protocol):
@@ -32,28 +37,6 @@ class QuestionAnswerer(Protocol):
 
     def ask(self, question: str) -> Response:  # pragma: no cover
         ...
-
-
-#: Primary diagnostic code -> last pipeline stage *reached* (StageCounts
-#: vocabulary).  A parse failure means only tokenization succeeded; an
-#: interpretation error means a parse existed; an execution error means an
-#: interpretation existed.
-_STAGE_BY_CODE = {
-    EMPTY_QUESTION: "tokenize",
-    PARSE_FAILURE: "tokenize",
-    MISSING_CONTEXT: "parse",
-    INTERPRETATION_ERROR: "parse",
-    EXECUTION_ERROR: "interpret",
-}
-
-
-def failure_stage(response: Response) -> str:
-    """The stage a non-answered response got stuck after."""
-    for diagnostic in response.diagnostics:
-        stage = _STAGE_BY_CODE.get(diagnostic.code)
-        if stage is not None:
-            return stage
-    return "tokenize"
 
 
 class NliSystem:

@@ -3,8 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
 
+from repro.service.response import (
+    EMPTY_QUESTION,
+    EXECUTION_ERROR,
+    INTERPRETATION_ERROR,
+    MISSING_CONTEXT,
+    PARSE_FAILURE,
+    Response,
+    Status,
+)
 from repro.sqlengine.result import ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sqlengine.executor import Engine
 
 
 def answers_match(produced: ResultSet, gold: ResultSet) -> bool:
@@ -16,6 +29,103 @@ def answers_match(produced: ResultSet, gold: ResultSet) -> bool:
     if produced.columns and gold.columns and len(produced.columns) != len(gold.columns):
         return False
     return produced.answer_set() == gold.answer_set()
+
+
+def answer_set_matches(
+    produced: ResultSet,
+    expected_rows: Iterable[tuple[Any, ...]],
+    expected_columns: int | None = None,
+) -> bool:
+    """Like :func:`answers_match`, against a *stored* answer set.
+
+    The gold side is plain rows (e.g. deserialized from a gold JSONL
+    file) rather than a live :class:`ResultSet`, so a regression in the
+    engine itself cannot silently re-derive a wrong gold answer.
+    """
+    if (
+        expected_columns is not None
+        and produced.columns
+        and len(produced.columns) != expected_columns
+    ):
+        return False
+    return produced.answer_set() == frozenset(tuple(row) for row in expected_rows)
+
+
+#: Primary diagnostic code -> last pipeline stage *reached* (StageCounts
+#: vocabulary).  A parse failure means only tokenization succeeded; an
+#: interpretation error means a parse existed; an execution error means an
+#: interpretation existed.
+_STAGE_BY_CODE = {
+    EMPTY_QUESTION: "tokenize",
+    PARSE_FAILURE: "tokenize",
+    MISSING_CONTEXT: "parse",
+    INTERPRETATION_ERROR: "parse",
+    EXECUTION_ERROR: "interpret",
+}
+
+
+def failure_stage(response: Response) -> str:
+    """The stage a non-answered response got stuck after."""
+    for diagnostic in response.diagnostics:
+        stage = _STAGE_BY_CODE.get(diagnostic.code)
+        if stage is not None:
+            return stage
+    return "tokenize"
+
+
+@dataclass(frozen=True)
+class ResponseScore:
+    """One response's outcome against a stored gold answer.
+
+    ``outcome`` is the failure-taxonomy label:
+
+    * ``correct`` — answered with the gold answer set;
+    * ``wrong_answer`` — answered, but with a different answer set;
+    * ``clarification_hit`` — ambiguous, and one offered choice's SQL
+      yields the gold answer (an attentive user recovers the answer);
+    * ``clarification_miss`` — ambiguous with no gold choice on offer;
+    * a stage name (``tokenize``/``parse``/``interpret``/``execute``) —
+      where a failed response got stuck.
+
+    ``strict`` counts toward headline accuracy; ``resolved`` additionally
+    credits clarification hits (the clarification-path score).
+    """
+
+    outcome: str
+    strict: bool
+    resolved: bool
+    clarified: bool
+
+
+def score_response(
+    response: Response,
+    expected_rows: Iterable[tuple[Any, ...]],
+    expected_columns: int | None = None,
+    engine: "Engine | None" = None,
+) -> ResponseScore:
+    """Score one response against a stored answer set.
+
+    Pass ``engine`` to score the clarification path: each choice offered
+    by an AMBIGUOUS response is executed and a hit is credited when any
+    of them produces the gold answer.  Without an engine, every
+    ambiguous response scores as a miss.
+    """
+    expected = frozenset(tuple(row) for row in expected_rows)
+    if response.status is Status.ANSWERED:
+        if answer_set_matches(response.answer.result, expected, expected_columns):
+            return ResponseScore("correct", True, True, False)
+        return ResponseScore("wrong_answer", False, False, False)
+    if response.status is Status.AMBIGUOUS:
+        if engine is not None:
+            for choice in response.choices:
+                try:
+                    produced = engine.execute(choice.sql)
+                except Exception:
+                    continue
+                if answer_set_matches(produced, expected, expected_columns):
+                    return ResponseScore("clarification_hit", False, True, True)
+        return ResponseScore("clarification_miss", False, False, True)
+    return ResponseScore(failure_stage(response), False, False, False)
 
 
 @dataclass

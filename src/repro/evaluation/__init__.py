@@ -1,0 +1,50 @@
+"""Gold-dataset evaluation matrix.
+
+Per-domain gold datasets (versioned JSONL: question, gold SQL, expected
+answer, question-class tags), a runner executing every
+(domain × configuration) cell, and an aggregator emitting one comparison
+table with per-cell accuracy, clarification rate and failure taxonomy.
+See ``docs/evaluation.md``.
+"""
+
+from repro.evaluation.configs import (
+    CONFIGURATION_NAMES,
+    CONFIGURATIONS,
+    EvalConfiguration,
+    get_configuration,
+)
+from repro.evaluation.goldsets import (
+    GOLD_DIR,
+    GoldItem,
+    build_goldset,
+    gold_path,
+    load_goldset,
+    normalize_answer,
+    regenerate,
+    write_goldset,
+)
+from repro.evaluation.runner import (
+    CellResult,
+    cell_questions,
+    run_cell,
+    run_matrix,
+)
+
+__all__ = [
+    "CONFIGURATIONS",
+    "CONFIGURATION_NAMES",
+    "CellResult",
+    "EvalConfiguration",
+    "GOLD_DIR",
+    "GoldItem",
+    "build_goldset",
+    "cell_questions",
+    "gold_path",
+    "get_configuration",
+    "load_goldset",
+    "normalize_answer",
+    "regenerate",
+    "run_cell",
+    "run_matrix",
+    "write_goldset",
+]

@@ -1,0 +1,235 @@
+"""Aggregate per-cell results into one comparison matrix + CI gate.
+
+``python -m repro.evaluation.collect_results`` runs any cells missing
+from the results directory, then emits the full comparison table as
+markdown (``matrix.md``) and JSON (``matrix.json``), prints it, and —
+with ``--check-baseline`` — fails (exit 2) when any cell's accuracy
+drops below the committed ``baseline_matrix.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.datasets import ALL_DOMAINS
+from repro.evalkit import format_table, pct
+from repro.evaluation.configs import CONFIGURATIONS, get_configuration
+from repro.evaluation.runner import CellResult, run_matrix
+
+#: The committed per-cell accuracy floor CI diffs against.
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_matrix.json"
+
+#: Accuracies are ratios of small integers; any real drop is >= 1/total.
+TOLERANCE = 1e-9
+
+DEFAULT_RESULTS_DIR = Path("benchmarks/results/evaluation")
+
+
+def matrix_json(cells: list[CellResult]) -> dict:
+    """The aggregate document (also the shape of ``baseline_matrix.json``)."""
+    out: dict = {"cells": {}}
+    for cell in cells:
+        out["cells"].setdefault(cell.configuration, {})[cell.domain] = {
+            "accuracy": round(cell.accuracy, 6),
+            "resolved_accuracy": round(cell.resolved_accuracy, 6),
+            "clarification_rate": round(cell.clarification_rate, 6),
+            "total": cell.total,
+            "taxonomy": dict(cell.taxonomy),
+        }
+    return out
+
+
+def matrix_markdown(cells: list[CellResult]) -> str:
+    """One markdown table: rows = configurations, columns = domains."""
+    domains = sorted({cell.domain for cell in cells}, key=list(ALL_DOMAINS).index)
+    by_key = {(c.configuration, c.domain): c for c in cells}
+    configurations = [
+        c.name for c in CONFIGURATIONS
+        if any(cell.configuration == c.name for cell in cells)
+    ]
+    lines = [
+        "# Evaluation matrix",
+        "",
+        "Cell format: `accuracy (resolved / clarified)` — `resolved`",
+        "credits AMBIGUOUS responses whose offered choices include the",
+        "gold reading; `clarified` is the clarification rate.",
+        "",
+        "| configuration | " + " | ".join(domains) + " |",
+        "|" + "---|" * (len(domains) + 1),
+    ]
+    for name in configurations:
+        row = [f"`{name}`"]
+        for domain in domains:
+            cell = by_key.get((name, domain))
+            if cell is None:
+                row.append("—")
+            else:
+                row.append(
+                    f"{pct(cell.accuracy)} ({pct(cell.resolved_accuracy)}"
+                    f" / {pct(cell.clarification_rate)})"
+                )
+        lines.append("| " + " | ".join(row) + " |")
+    lines += [
+        "",
+        "## Failure taxonomy (summed over domains)",
+        "",
+        "| configuration | wrong answer | clarification miss | no parse |"
+        " no interpretation | execution |",
+        "|" + "---|" * 6,
+    ]
+    for name in configurations:
+        tax = {"wrong_answer": 0, "clarification_miss": 0, "tokenize": 0,
+               "parse": 0, "interpret": 0, "execute": 0}
+        for domain in domains:
+            cell = by_key.get((name, domain))
+            if cell is not None:
+                for bucket, count in cell.taxonomy.items():
+                    tax[bucket] = tax.get(bucket, 0) + count
+        lines.append(
+            f"| `{name}` | {tax['wrong_answer']} | {tax['clarification_miss']}"
+            f" | {tax['tokenize'] + tax['parse']} | {tax['interpret']}"
+            f" | {tax['execute']} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def console_table(cells: list[CellResult]) -> str:
+    domains = sorted({cell.domain for cell in cells}, key=list(ALL_DOMAINS).index)
+    by_key = {(c.configuration, c.domain): c for c in cells}
+    configurations = [
+        c.name for c in CONFIGURATIONS
+        if any(cell.configuration == c.name for cell in cells)
+    ]
+    rows = []
+    for name in configurations:
+        row: list[str] = [name]
+        for domain in domains:
+            cell = by_key.get((name, domain))
+            row.append("—" if cell is None else pct(cell.accuracy))
+        rows.append(row)
+    return format_table(
+        ["configuration", *domains], rows,
+        title="Evaluation matrix — answer accuracy",
+    )
+
+
+def check_baseline(
+    cells: list[CellResult], baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Regressions of the current cells vs the committed baseline.
+
+    A cell below its recorded accuracy is a regression; so is a baseline
+    cell with no current counterpart (a silently dropped domain or
+    configuration).  New cells without a baseline entry pass — they gain
+    a floor once the baseline is regenerated.
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = {(c.configuration, c.domain): c for c in cells}
+    problems = []
+    for configuration, domains in baseline["cells"].items():
+        for domain, recorded in domains.items():
+            cell = current.get((configuration, domain))
+            if cell is None:
+                problems.append(
+                    f"cell ({configuration}, {domain}) missing from this run"
+                )
+            elif round(cell.accuracy, 6) < recorded["accuracy"] - TOLERANCE:
+                problems.append(
+                    f"cell ({configuration}, {domain}) regressed: "
+                    f"{cell.accuracy:.3f} < baseline {recorded['accuracy']:.3f}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.collect_results",
+        description="Run + aggregate the (domain x configuration) "
+        "evaluation matrix.",
+    )
+    parser.add_argument(
+        "--results-dir", type=Path, default=DEFAULT_RESULTS_DIR,
+        help=f"per-cell result directory (default: {DEFAULT_RESULTS_DIR})",
+    )
+    parser.add_argument(
+        "--domains", nargs="+", default=list(ALL_DOMAINS),
+        choices=ALL_DOMAINS, metavar="DOMAIN",
+        help="domains to cover (default: all)",
+    )
+    parser.add_argument(
+        "--configurations", nargs="+",
+        default=[c.name for c in CONFIGURATIONS], metavar="CONFIG",
+        help="configurations to cover (default: all)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="re-run cells even when their result files exist",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="exit 2 when any cell drops below baseline_matrix.json",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite baseline_matrix.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    configurations = tuple(
+        get_configuration(name) for name in args.configurations
+    )
+    print(
+        f"evaluation matrix: {len(args.domains)} domains x "
+        f"{len(configurations)} configurations -> {args.results_dir}"
+    )
+    cells = run_matrix(
+        args.results_dir,
+        domains=tuple(args.domains),
+        configurations=configurations,
+        force=args.force,
+        verbose=True,
+    )
+
+    document = matrix_json(cells)
+    args.results_dir.mkdir(parents=True, exist_ok=True)
+    (args.results_dir / "matrix.json").write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    (args.results_dir / "matrix.md").write_text(
+        matrix_markdown(cells), encoding="utf-8"
+    )
+    print()
+    print(console_table(cells))
+    print(f"\nwrote {args.results_dir / 'matrix.md'} and matrix.json")
+
+    drifted = [c for c in cells if c.gold_drift]
+    if drifted:
+        for cell in drifted:
+            print(
+                f"WARNING: gold drift in ({cell.configuration}, {cell.domain}): "
+                f"{cell.gold_drift} stored answers no longer match their SQL",
+                file=sys.stderr,
+            )
+
+    if args.write_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"baseline written: {BASELINE_PATH}")
+
+    if args.check_baseline:
+        problems = check_baseline(cells)
+        if problems:
+            print("\nBASELINE REGRESSIONS:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        print("baseline check: all cells at or above recorded accuracy")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Named pipeline configurations — the columns of the evaluation matrix.
+
+Each configuration fixes everything that varies between cells: which
+system answers (full NLI vs the two baselines), whether questions are
+spelling-corrupted before being asked (and at what rate/seed), whether
+the speller is enabled, and the clarification margin.  Corruption seeds
+are fixed so every run of a corrupted cell asks byte-identical questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NliConfig
+
+
+@dataclass(frozen=True)
+class EvalConfiguration:
+    """One column of the matrix."""
+
+    name: str
+    description: str
+    system: str = "nli"  # nli | keyword | template
+    corruption_rate: float = 0.0
+    corruption_seed: int = 0
+    spelling_correction: bool = True
+    clarification_margin: float = 0.0
+
+    def nli_config(self) -> NliConfig:
+        return NliConfig(
+            spelling_correction=self.spelling_correction,
+            clarification_margin=self.clarification_margin,
+        )
+
+
+CONFIGURATIONS: tuple[EvalConfiguration, ...] = (
+    EvalConfiguration(
+        "nli",
+        "full pipeline, clean questions",
+    ),
+    EvalConfiguration(
+        "nli-clarify-0.25",
+        "full pipeline, clarification margin 0.25",
+        clarification_margin=0.25,
+    ),
+    EvalConfiguration(
+        "nli-clarify-0.75",
+        "full pipeline, clarification margin 0.75",
+        clarification_margin=0.75,
+    ),
+    EvalConfiguration(
+        "nli-corrupt",
+        "full pipeline, questions corrupted at rate 0.3, speller on",
+        corruption_rate=0.3,
+        corruption_seed=71,
+    ),
+    EvalConfiguration(
+        "nli-corrupt-nospell",
+        "corrupted questions with the speller disabled (ablation)",
+        corruption_rate=0.3,
+        corruption_seed=71,
+        spelling_correction=False,
+    ),
+    EvalConfiguration(
+        "keyword",
+        "keyword-matching baseline",
+        system="keyword",
+    ),
+    EvalConfiguration(
+        "template",
+        "template-matching baseline",
+        system="template",
+    ),
+)
+
+#: Matrix column order, by name.
+CONFIGURATION_NAMES: tuple[str, ...] = tuple(c.name for c in CONFIGURATIONS)
+
+
+def get_configuration(name: str) -> EvalConfiguration:
+    for configuration in CONFIGURATIONS:
+        if configuration.name == name:
+            return configuration
+    raise ValueError(
+        f"unknown configuration {name!r} (known: {', '.join(CONFIGURATION_NAMES)})"
+    )

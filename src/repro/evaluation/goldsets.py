@@ -1,0 +1,151 @@
+"""Versioned gold datasets: one JSONL file per domain.
+
+Each file starts with a header record pinning the format and the domain,
+followed by one record per question::
+
+    {"format": "repro-gold", "version": 1, "domain": "fleet", "count": 94}
+    {"question": "...", "gold_sql": "...", "tags": [...],
+     "columns": 1, "answer": [[...], ...]}
+
+``answer`` is the *stored* expected answer set — the rows the gold SQL
+produced when the file was generated (floats rounded to 6 places, row
+order normalized).  Cells are scored against these stored rows, not
+against a re-execution of the gold SQL, so an engine regression cannot
+silently re-derive a wrong gold answer; a separate integrity pass
+(``gold_drift`` in the runner, plus a tier-1 test) re-executes the SQL
+and flags any divergence.
+
+Regenerate with ``python -m repro.evaluation.make_gold`` after changing
+a corpus or a dataset seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.datasets import DomainBundle, load_bundle
+from repro.sqlengine.executor import Engine
+from repro.sqlengine.result import ResultSet
+
+GOLD_FORMAT = "repro-gold"
+GOLD_VERSION = 1
+
+#: Directory holding the committed per-domain gold files.
+GOLD_DIR = Path(__file__).resolve().parent / "gold"
+
+
+@dataclass(frozen=True)
+class GoldItem:
+    """One gold question: text, SQL shape, tags and the expected answer."""
+
+    domain: str
+    question: str
+    gold_sql: str
+    tags: tuple[str, ...]
+    columns: int
+    answer: tuple[tuple[Any, ...], ...]
+
+    @property
+    def answer_set(self) -> frozenset[tuple[Any, ...]]:
+        return frozenset(self.answer)
+
+
+def normalize_answer(result: ResultSet) -> list[list[Any]]:
+    """The result's answer set as JSON-able rows in a stable order.
+
+    Rows may mix value types across columns (and contain NULLs), so the
+    sort key is the repr of the row — deterministic without requiring
+    inter-type comparability.
+    """
+    return [list(row) for row in sorted(result.answer_set(), key=repr)]
+
+
+def gold_path(domain: str, directory: Path | None = None) -> Path:
+    return (directory or GOLD_DIR) / f"{domain}.jsonl"
+
+
+def build_goldset(bundle: DomainBundle) -> list[GoldItem]:
+    """Derive the gold items for one domain from its corpus."""
+    engine = Engine(bundle.database)
+    items = []
+    for example in bundle.corpus:
+        gold = engine.execute(example.gold_sql)
+        items.append(GoldItem(
+            domain=bundle.name,
+            question=example.question,
+            gold_sql=example.gold_sql,
+            tags=tuple(sorted(example.features)),
+            columns=len(gold.columns),
+            answer=tuple(tuple(row) for row in normalize_answer(gold)),
+        ))
+    return items
+
+
+def write_goldset(items: list[GoldItem], path: Path) -> None:
+    """Serialize one domain's gold items (header first)."""
+    if not items:
+        raise ValueError("refusing to write an empty goldset")
+    domains = {item.domain for item in items}
+    if len(domains) != 1:
+        raise ValueError(f"one goldset per domain, got {sorted(domains)}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "format": GOLD_FORMAT,
+            "version": GOLD_VERSION,
+            "domain": items[0].domain,
+            "count": len(items),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for item in items:
+            fh.write(json.dumps({
+                "question": item.question,
+                "gold_sql": item.gold_sql,
+                "tags": list(item.tags),
+                "columns": item.columns,
+                "answer": [list(row) for row in item.answer],
+            }) + "\n")
+
+
+def load_goldset(domain: str, directory: Path | None = None) -> list[GoldItem]:
+    """Load one domain's committed gold items, validating the header."""
+    path = gold_path(domain, directory)
+    with path.open(encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty gold file")
+    header = json.loads(lines[0])
+    if header.get("format") != GOLD_FORMAT:
+        raise ValueError(f"{path}: not a {GOLD_FORMAT} file")
+    if header.get("version") != GOLD_VERSION:
+        raise ValueError(
+            f"{path}: version {header.get('version')} != {GOLD_VERSION}"
+        )
+    if header.get("domain") != domain:
+        raise ValueError(f"{path}: header domain {header.get('domain')!r}")
+    items = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        items.append(GoldItem(
+            domain=domain,
+            question=record["question"],
+            gold_sql=record["gold_sql"],
+            tags=tuple(record["tags"]),
+            columns=record["columns"],
+            answer=tuple(tuple(row) for row in record["answer"]),
+        ))
+    if len(items) != header.get("count"):
+        raise ValueError(
+            f"{path}: header count {header.get('count')} != {len(items)} items"
+        )
+    return items
+
+
+def regenerate(domain: str, directory: Path | None = None) -> Path:
+    """Rebuild one domain's gold file from its live corpus."""
+    path = gold_path(domain, directory)
+    write_goldset(build_goldset(load_bundle(domain)), path)
+    return path

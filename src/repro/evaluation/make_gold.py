@@ -1,0 +1,41 @@
+"""Regenerate the committed gold JSONL files from the live corpora.
+
+Usage::
+
+    python -m repro.evaluation.make_gold [DOMAIN ...]
+
+With no arguments, every domain is regenerated.  Run this after editing
+a corpus or changing a dataset seed, then re-run
+``python -m repro.evaluation.collect_results --force --write-baseline``
+so the committed matrix matches the new gold answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import ALL_DOMAINS
+from repro.evaluation.goldsets import regenerate
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.make_gold",
+        description="Regenerate per-domain gold JSONL files.",
+    )
+    parser.add_argument(
+        "domains", nargs="*", metavar="DOMAIN",
+        help="domains to regenerate (default: all)",
+    )
+    args = parser.parse_args(argv)
+    unknown = sorted(set(args.domains) - set(ALL_DOMAINS))
+    if unknown:
+        parser.error(f"unknown domain(s): {', '.join(unknown)}")
+    for domain in args.domains or ALL_DOMAINS:
+        path = regenerate(domain)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

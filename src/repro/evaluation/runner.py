@@ -1,0 +1,228 @@
+"""Run (domain × configuration) cells against the committed gold files.
+
+One *cell* asks every gold question of one domain under one
+configuration and scores the responses against the stored gold answers
+(clarification choices are executed, so an AMBIGUOUS response whose
+offered readings include the gold one is credited separately as a
+clarification hit).  ``run_matrix`` lays cells out on disk as::
+
+    <results_dir>/<configuration>/<domain>.json
+
+which is the layout ``collect_results`` aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.baselines import KeywordBaseline, TemplateBaseline
+from repro.core.pipeline import NaturalLanguageInterface
+from repro.datasets import ALL_DOMAINS, load_bundle
+from repro.datasets.base import rng_for
+from repro.evalkit import corrupt_question, score_response
+from repro.evaluation.configs import (
+    CONFIGURATIONS,
+    EvalConfiguration,
+)
+from repro.evaluation.goldsets import GoldItem, load_goldset
+from repro.sqlengine.executor import Engine
+
+#: Failure-taxonomy buckets, in report order.
+TAXONOMY = (
+    "wrong_answer",
+    "clarification_miss",
+    "tokenize",
+    "parse",
+    "interpret",
+    "execute",
+)
+
+#: Cap on the per-cell list of missed questions kept in the result JSON.
+MAX_RECORDED_MISSES = 25
+
+
+@dataclass
+class CellResult:
+    """Scored outcome of one (domain, configuration) cell."""
+
+    domain: str
+    configuration: str
+    total: int = 0
+    strict_correct: int = 0
+    resolved_correct: int = 0
+    clarifications: int = 0
+    gold_drift: int = 0
+    taxonomy: dict[str, int] = field(
+        default_factory=lambda: {bucket: 0 for bucket in TAXONOMY}
+    )
+    misses: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        return self.strict_correct / self.total if self.total else 0.0
+
+    @property
+    def resolved_accuracy(self) -> float:
+        return self.resolved_correct / self.total if self.total else 0.0
+
+    @property
+    def clarification_rate(self) -> float:
+        return self.clarifications / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "configuration": self.configuration,
+            "total": self.total,
+            "strict_correct": self.strict_correct,
+            "resolved_correct": self.resolved_correct,
+            "clarifications": self.clarifications,
+            "gold_drift": self.gold_drift,
+            "accuracy": round(self.accuracy, 6),
+            "resolved_accuracy": round(self.resolved_accuracy, 6),
+            "clarification_rate": round(self.clarification_rate, 6),
+            "taxonomy": dict(self.taxonomy),
+            "misses": list(self.misses),
+        }
+
+
+class _ClarifyingNli:
+    """The pipeline with the clarification protocol switched on.
+
+    ``clarify=True`` is what interactive front-ends (the CLI, the HTTP
+    service) pass, so the margin sweep measures the deployed behavior:
+    readings within ``clarification_margin`` of the best come back
+    AMBIGUOUS with choices instead of being silently auto-resolved.
+    """
+
+    def __init__(self, bundle, config) -> None:
+        self._nli = NaturalLanguageInterface(
+            bundle.database, domain=bundle.model, config=config
+        )
+
+    def ask(self, question: str):
+        return self._nli.ask(question, clarify=True)
+
+
+def _build_system(bundle, configuration: EvalConfiguration):
+    if configuration.system == "nli":
+        return _ClarifyingNli(bundle, configuration.nli_config())
+    if configuration.system == "keyword":
+        return KeywordBaseline(bundle.database, bundle.model)
+    if configuration.system == "template":
+        return TemplateBaseline(bundle.database, bundle.model)
+    raise ValueError(f"unknown system {configuration.system!r}")
+
+
+def cell_questions(
+    domain: str,
+    configuration: EvalConfiguration,
+    items: list[GoldItem],
+) -> list[str]:
+    """The questions a cell actually asks (corrupted when configured).
+
+    The corruption RNG is seeded per (seed, configuration, domain), so a
+    cell's question list is reproducible on its own — byte-identical
+    across runs and independent of cell execution order.
+    """
+    if configuration.corruption_rate <= 0.0:
+        return [item.question for item in items]
+    rng = rng_for(
+        configuration.corruption_seed, f"{configuration.name}:{domain}"
+    )
+    return [
+        corrupt_question(item.question, configuration.corruption_rate, rng)
+        for item in items
+    ]
+
+
+def run_cell(
+    domain: str,
+    configuration: EvalConfiguration,
+    items: list[GoldItem] | None = None,
+) -> CellResult:
+    """Ask every gold question of ``domain`` under ``configuration``."""
+    if items is None:
+        items = load_goldset(domain)
+    bundle = load_bundle(domain)
+    engine = Engine(bundle.database)
+    system = _build_system(bundle, configuration)
+    cell = CellResult(domain=domain, configuration=configuration.name)
+    questions = cell_questions(domain, configuration, items)
+    for item, question in zip(items, questions):
+        # Integrity: the committed answer must still be what the gold SQL
+        # produces.  Drift means a stale gold file or an engine change.
+        gold = engine.execute(item.gold_sql)
+        if gold.answer_set() != item.answer_set:
+            cell.gold_drift += 1
+        response = system.ask(question)
+        score = score_response(
+            response, item.answer, expected_columns=item.columns, engine=engine
+        )
+        cell.total += 1
+        if score.strict:
+            cell.strict_correct += 1
+        if score.resolved:
+            cell.resolved_correct += 1
+        if score.clarified:
+            cell.clarifications += 1
+        if score.outcome in cell.taxonomy:
+            cell.taxonomy[score.outcome] += 1
+            if len(cell.misses) < MAX_RECORDED_MISSES:
+                cell.misses.append(
+                    {"question": question, "outcome": score.outcome}
+                )
+    return cell
+
+
+def cell_path(results_dir: Path, configuration: str, domain: str) -> Path:
+    return results_dir / configuration / f"{domain}.json"
+
+
+def run_matrix(
+    results_dir: Path,
+    domains: tuple[str, ...] = ALL_DOMAINS,
+    configurations: tuple[EvalConfiguration, ...] = CONFIGURATIONS,
+    force: bool = False,
+    verbose: bool = False,
+) -> list[CellResult]:
+    """Run every missing cell, writing one JSON file per cell.
+
+    Existing cell files are reused unless ``force`` — the matrix is
+    resumable, and a partial results directory is completed rather than
+    recomputed.
+    """
+    cells: list[CellResult] = []
+    for configuration in configurations:
+        for domain in domains:
+            path = cell_path(results_dir, configuration.name, domain)
+            if path.exists() and not force:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                cell = CellResult(
+                    domain=data["domain"],
+                    configuration=data["configuration"],
+                    total=data["total"],
+                    strict_correct=data["strict_correct"],
+                    resolved_correct=data["resolved_correct"],
+                    clarifications=data["clarifications"],
+                    gold_drift=data["gold_drift"],
+                    taxonomy=data["taxonomy"],
+                    misses=data["misses"],
+                )
+            else:
+                cell = run_cell(domain, configuration)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(
+                    json.dumps(cell.to_dict(), indent=2) + "\n", encoding="utf-8"
+                )
+            if verbose:
+                print(
+                    f"  {configuration.name:<22} {domain:<10} "
+                    f"accuracy={cell.accuracy:.3f} "
+                    f"clarified={cell.clarification_rate:.3f}"
+                )
+            cells.append(cell)
+    return cells

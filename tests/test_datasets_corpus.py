@@ -11,7 +11,7 @@ from repro.errors import ReproError
 from repro.sqlengine import Engine
 
 
-@pytest.fixture(scope="module", params=["fleet", "company", "geography"])
+@pytest.fixture(scope="module", params=["fleet", "company", "geography", "saas", "events"])
 def bundle(request):
     return load_bundle(request.param)
 

@@ -69,6 +69,7 @@ REGISTERED_DOCS = (
     "docs/concurrency.md",
     "docs/storage.md",
     "docs/benchmarks.md",
+    "docs/evaluation.md",
 )
 
 
@@ -104,6 +105,7 @@ def test_no_orphaned_doc_pages():
         "docs/http.md",
         "docs/concurrency.md",
         "docs/storage.md",
+        "docs/evaluation.md",
     ],
 )
 def test_doc_examples_run_as_doctests(doc):

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the typo-injection corpus.
+
+The corruption module feeds the spelling-robustness rows of the
+evaluation matrix, so its invariants are load-bearing: a zero rate must
+be the identity, corruption must never add or remove words, and a fixed
+seed must reproduce a byte-identical corrupted corpus.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import rng_for
+from repro.evalkit.corruption import corrupt_question, corrupt_word
+
+# Question-like text: words of letters and digits joined by single
+# spaces (the tokenizer's view of a question after normalization).
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+questions = st.lists(words, min_size=1, max_size=12).map(" ".join)
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(question=questions, seed=seeds)
+def test_rate_zero_is_identity(question, seed):
+    rng = random.Random(seed)
+    assert corrupt_question(question, 0.0, rng) == question
+
+
+@given(question=questions, rate=rates, seed=seeds)
+def test_word_count_preserved(question, rate, seed):
+    corrupted = corrupt_question(question, rate, random.Random(seed))
+    assert len(corrupted.split()) == len(question.split())
+
+
+@given(question=questions, rate=rates, seed=seeds)
+def test_short_and_numeric_words_untouched(question, rate, seed):
+    corrupted = corrupt_question(question, rate, random.Random(seed))
+    for original, result in zip(question.split(), corrupted.split()):
+        if len(original) < 4 or not original.isalpha():
+            assert result == original
+
+
+@given(question=questions, rate=rates, seed=seeds)
+def test_same_seed_reproduces_byte_identical(question, rate, seed):
+    first = corrupt_question(question, rate, random.Random(seed))
+    second = corrupt_question(question, rate, random.Random(seed))
+    assert first == second
+
+
+@given(corpus=st.lists(questions, min_size=1, max_size=8), seed=seeds)
+@settings(max_examples=50)
+def test_corpus_reproduction_through_shared_rng(corpus, seed):
+    """One RNG threaded through a whole corpus reproduces it exactly.
+
+    This is the runner's actual usage: ``cell_questions`` seeds a single
+    ``rng_for`` stream and corrupts every question of the cell from it,
+    so reproducibility must survive sequential draws, not just
+    single-question calls.
+    """
+
+    def corrupt_all():
+        rng = rng_for(seed, "corpus")
+        return [corrupt_question(q, 0.5, rng) for q in corpus]
+
+    assert corrupt_all() == corrupt_all()
+
+
+@given(word=words, seed=seeds)
+def test_corrupt_word_leaves_short_words_alone(word, seed):
+    if len(word) < 4 or not word.isalpha():
+        assert corrupt_word(word, random.Random(seed)) == word
+
+
+@given(seed=seeds)
+def test_corrupt_word_single_edit_bounds(seed):
+    """One edit changes length by at most one character."""
+    word = "displacement"
+    corrupted = corrupt_word(word, random.Random(seed))
+    assert abs(len(corrupted) - len(word)) <= 1
+    # The first character is never edited (a swap can move the last one).
+    assert corrupted[0] == word[0]
+    assert set(corrupted) <= set(word) | set("qwertyuiopasdfghjklzxcvbnm")
+
+
+@given(rate=rates, seed=seeds)
+def test_full_rate_still_preserves_structure(rate, seed):
+    question = "which ships have a displacement over 1000 tons"
+    corrupted = corrupt_question(question, 1.0, random.Random(seed))
+    assert len(corrupted.split()) == len(question.split())
+    # Numbers and short words survive even at rate 1.0.
+    assert "1000" in corrupted.split()
+    assert "a" in corrupted.split()

@@ -1,0 +1,215 @@
+"""Edge cases of evalkit metrics: matching, staging, response scoring.
+
+Covers the comparison semantics the evaluation matrix leans on — empty
+result sets, NULL-bearing rows, float rounding — and the full outcome
+space of ``score_response``, including the clarification path where an
+AMBIGUOUS response's offered SQL is executed against a live engine.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.evalkit.metrics import (
+    ResponseScore,
+    answer_set_matches,
+    answers_match,
+    failure_stage,
+    score_response,
+)
+from repro.service.response import (
+    EMPTY_QUESTION,
+    EXECUTION_ERROR,
+    INTERPRETATION_ERROR,
+    MISSING_CONTEXT,
+    PARSE_FAILURE,
+    Choice,
+    Diagnostic,
+    Response,
+    Status,
+)
+from repro.sqlengine.result import ResultSet
+
+
+def rs(columns, rows):
+    return ResultSet(columns, rows)
+
+
+def answered(result):
+    from repro.core.answer import Answer
+
+    return Response.answered(
+        "q",
+        Answer(
+            question="q", normalized_words=["q"], corrections=[],
+            interpretation=None, sql="SELECT 1", result=result,
+            paraphrase="p",
+        ),
+    )
+
+
+def ambiguous(*sqls):
+    return Response(
+        status=Status.AMBIGUOUS,
+        question="q",
+        choices=tuple(
+            Choice(i, f"reading {i}", sql, 1.0 - i * 0.1)
+            for i, sql in enumerate(sqls)
+        ),
+    )
+
+
+def failed(code):
+    return Response(
+        status=Status.FAILED, question="q",
+        diagnostics=(Diagnostic(code, "boom"),),
+    )
+
+
+class TestAnswersMatch:
+    def test_identical(self):
+        assert answers_match(rs(["a"], [(1,), (2,)]), rs(["a"], [(1,), (2,)]))
+
+    def test_row_order_ignored(self):
+        assert answers_match(rs(["a"], [(2,), (1,)]), rs(["a"], [(1,), (2,)]))
+
+    def test_column_names_ignored(self):
+        assert answers_match(rs(["x"], [(1,)]), rs(["y"], [(1,)]))
+
+    def test_column_count_checked(self):
+        assert not answers_match(rs(["a", "b"], [(1, 2)]), rs(["a"], [(1,)]))
+
+    def test_both_empty(self):
+        assert answers_match(rs(["a"], []), rs(["b"], []))
+
+    def test_empty_vs_nonempty(self):
+        assert not answers_match(rs(["a"], []), rs(["a"], [(1,)]))
+
+    def test_null_rows(self):
+        assert answers_match(rs(["a"], [(None,)]), rs(["a"], [(None,)]))
+        assert not answers_match(rs(["a"], [(None,)]), rs(["a"], [(0,)]))
+
+    def test_float_tolerance(self):
+        # 0.1 + 0.2 != 0.3 exactly; answer_set rounds to 6 places.
+        assert answers_match(rs(["a"], [(0.1 + 0.2,)]), rs(["a"], [(0.3,)]))
+
+    def test_float_past_tolerance(self):
+        assert not answers_match(rs(["a"], [(0.300001,)]), rs(["a"], [(0.3,)]))
+
+
+class TestAnswerSetMatches:
+    """The stored-gold variant: expected side is plain rows, not a ResultSet."""
+
+    def test_match_against_stored_rows(self):
+        assert answer_set_matches(rs(["a"], [(1,), (2,)]), [[2], [1]])
+
+    def test_column_count_enforced_when_given(self):
+        produced = rs(["a", "b"], [(1, 2)])
+        assert not answer_set_matches(produced, [(1, 2)], expected_columns=1)
+        assert answer_set_matches(produced, [(1, 2)], expected_columns=2)
+
+    def test_column_count_skipped_when_none(self):
+        assert answer_set_matches(rs(["a", "b"], [(1, 2)]), [(1, 2)])
+
+    def test_empty_expected(self):
+        assert answer_set_matches(rs(["a"], []), [])
+        assert not answer_set_matches(rs(["a"], [(1,)]), [])
+
+    def test_null_in_stored_rows(self):
+        # JSON round-trips NULL as None and tuples as lists.
+        assert answer_set_matches(rs(["a"], [("x", None)]), [["x", None]])
+
+    def test_float_rounding_on_produced_side(self):
+        assert answer_set_matches(rs(["a"], [(0.1 + 0.2,)]), [[0.3]])
+
+
+class TestFailureStage:
+    @pytest.mark.parametrize(
+        "code, stage",
+        [
+            (EMPTY_QUESTION, "tokenize"),
+            (PARSE_FAILURE, "tokenize"),
+            (MISSING_CONTEXT, "parse"),
+            (INTERPRETATION_ERROR, "parse"),
+            (EXECUTION_ERROR, "interpret"),
+        ],
+    )
+    def test_code_mapping(self, code, stage):
+        assert failure_stage(failed(code)) == stage
+
+    def test_unknown_code_defaults_to_tokenize(self):
+        assert failure_stage(failed("something_new")) == "tokenize"
+
+    def test_no_diagnostics_defaults_to_tokenize(self):
+        response = Response(status=Status.FAILED, question="q")
+        assert failure_stage(response) == "tokenize"
+
+
+class TestScoreResponse:
+    def test_correct(self):
+        score = score_response(answered(rs(["a"], [(1,)])), [[1]])
+        assert score == ResponseScore("correct", True, True, False)
+
+    def test_wrong_answer(self):
+        score = score_response(answered(rs(["a"], [(1,)])), [[2]])
+        assert score == ResponseScore("wrong_answer", False, False, False)
+
+    def test_empty_answer_is_scoreable(self):
+        score = score_response(answered(rs(["a"], [])), [])
+        assert score.outcome == "correct"
+
+    def test_failed_scores_as_stage(self):
+        score = score_response(failed(PARSE_FAILURE), [[1]])
+        assert score == ResponseScore("tokenize", False, False, False)
+
+    def test_ambiguous_without_engine_is_a_miss(self):
+        response = ambiguous("SELECT name FROM author")
+        score = score_response(response, [[1]])
+        assert score == ResponseScore("clarification_miss", False, False, True)
+
+    def test_clarification_hit(self, engine):
+        gold = engine.execute(
+            "SELECT name FROM author WHERE country = 'usa'"
+        )
+        response = ambiguous(
+            "SELECT name FROM author WHERE country = 'poland'",
+            "SELECT name FROM author WHERE country = 'usa'",
+        )
+        score = score_response(
+            response, list(gold.answer_set()), engine=engine
+        )
+        assert score == ResponseScore("clarification_hit", False, True, True)
+
+    def test_clarification_miss_with_engine(self, engine):
+        response = ambiguous("SELECT name FROM author WHERE country = 'usa'")
+        score = score_response(response, [["nobody"]], engine=engine)
+        assert score == ResponseScore("clarification_miss", False, False, True)
+
+    def test_broken_choice_sql_is_skipped(self, engine):
+        gold = engine.execute("SELECT title FROM book")
+        response = ambiguous(
+            "SELECT nope FROM nothing",  # execution error: skipped
+            "SELECT title FROM book",
+        )
+        score = score_response(
+            response, list(gold.answer_set()), engine=engine
+        )
+        assert score.outcome == "clarification_hit"
+
+    def test_column_count_guards_clarification(self, engine):
+        # The choice's answer only matches when arity agrees with gold.
+        response = ambiguous("SELECT id, name FROM author")
+        rows = engine.execute("SELECT id, name FROM author").answer_set()
+        hit = score_response(
+            response, list(rows), expected_columns=2, engine=engine
+        )
+        miss = score_response(
+            response, list(rows), expected_columns=1, engine=engine
+        )
+        assert hit.outcome == "clarification_hit"
+        assert miss.outcome == "clarification_miss"
+
+    def test_score_is_frozen(self):
+        score = ResponseScore("correct", True, True, False)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            score.strict = False
