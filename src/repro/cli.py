@@ -181,7 +181,38 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "domain", choices=ALL_DOMAINS, nargs="?", default="fleet",
-        help="which bundled domain to serve (default: fleet)",
+        help="the default bundled domain to serve (default: fleet); "
+             "--data-dir is its durable directory",
+    )
+    parser.add_argument(
+        "--domain", action="append", default=None, dest="extra_domains",
+        metavar="NAME[=DIR]",
+        help="host an additional bundled domain on the same server, "
+             "optionally durable under DIR; repeatable.  Routed by path "
+             "(/d/NAME/ask) or a 'domain' request field; the positional "
+             "domain stays the default for bare paths",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1 = classic in-process serving). "
+             "With N > 1 the corpus is loaded once and forked N ways: "
+             "DML goes to one writer and replicates synchronously, asks "
+             "and SELECTs fan out round-robin, sessions stick to one "
+             "worker and are handed off if it crashes (docs/cluster.md)",
+    )
+    parser.add_argument(
+        "--respawn-delay", type=float, default=0.0, metavar="SECONDS",
+        help="pause before respawning a crashed worker (default: 0); "
+             "while any worker is down, DML answers 503 + Retry-After",
+    )
+    parser.add_argument(
+        "--domain-qps", type=float, default=None, metavar="RATE",
+        help="per-domain rate limit, requests/second, layered on top of "
+             "the per-session --qps limit (default: unlimited)",
+    )
+    parser.add_argument(
+        "--domain-burst", type=int, default=8,
+        help="per-domain rate-limit burst size (tokens; default: 8)",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument(
@@ -216,7 +247,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=8,
-        help="worker threads answering questions (default: 8)",
+        help="worker *threads* answering questions — per process when "
+             "--procs > 1 (default: 8).  --procs scales across cores; "
+             "--workers scales concurrent snapshot readers within each "
+             "process",
     )
     parser.add_argument(
         "--clarify-margin", type=float, default=CLARIFY_MARGIN,
@@ -226,13 +260,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _serve_specs(parser, args) -> list:
+    """The positional domain (+ --data-dir) and every --domain flag as
+    DomainSpecs, first one the default; duplicates are an error."""
+    from repro.cluster import DomainSpec
+
+    specs = [DomainSpec(args.domain, args.data_dir)]
+    for text in args.extra_domains or []:
+        try:
+            spec = DomainSpec.parse(text)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if any(existing.name == spec.name for existing in specs):
+            parser.error(f"--domain {spec.name}: domain listed twice")
+        specs.append(spec)
+    return specs
+
+
+def _serve_banner(args, specs, url: str) -> str:
+    """The startup banner.  The URL stays last on the line (tools parse
+    it with ``rsplit("listening on ", 1)``), and the classic
+    single-domain single-process banner is unchanged."""
+    if len(specs) == 1:
+        parts = [f"domain: {args.domain}"]
+    else:
+        parts = [f"domains: {', '.join(spec.name for spec in specs)}"]
+    if args.procs > 1:
+        parts.append(f"procs: {args.procs}")
+    return f"repro NLIDB — {' — '.join(parts)} — listening on {url}"
+
+
 def serve_main(argv: list[str] | None = None, stdout=None) -> int:
     """``repro serve``: run the asyncio HTTP front end until SIGINT/SIGTERM."""
     import asyncio
     import contextlib
     import signal
 
-    from repro.server import NliHttpServer
+    from repro.server import NliHttpServer, ServiceBackend
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
@@ -240,16 +304,27 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         parser.error("--qps must be positive (omit it to disable rate limiting)")
     if args.burst < 1:
         parser.error("--burst must be >= 1")
+    if args.domain_qps is not None and args.domain_qps <= 0:
+        parser.error("--domain-qps must be positive (omit it to disable)")
+    if args.domain_burst < 1:
+        parser.error("--domain-burst must be >= 1")
     if args.checkpoint_every < 0:
         parser.error("--checkpoint-every must be >= 0")
+    if args.procs < 1:
+        parser.error("--procs must be >= 1")
+    if args.respawn_delay < 0:
+        parser.error("--respawn-delay must be >= 0")
     if args.data_dir is not None and args.state is not None:
         parser.error(
             "--state is a deprecated alias superseded by --data-dir; "
             "pass only --data-dir (the session log moves to "
             "DIR/sessions.jsonl)"
         )
+    if args.procs > 1 and args.state is not None:
+        parser.error("--state (sessions-only persistence) predates cluster "
+                     "mode; use --data-dir with --procs")
     stdout = stdout or sys.stdout
-    bundle = load_bundle(args.domain)
+    specs = _serve_specs(parser, args)
     config = NliConfig(
         clarification_margin=args.clarify_margin,
         rate_limit_qps=args.qps,
@@ -258,6 +333,12 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         data_dir=args.data_dir,
         checkpoint_every=args.checkpoint_every,
     )
+    if args.procs > 1:
+        return _serve_cluster(args, specs, config, stdout)
+
+    # -- single-process path (--procs 1), one service per domain ----------
+    from repro.cluster import build_local_service
+
     # --data-dir consolidates everything durable under one directory:
     # WAL + checkpoints (via config.data_dir) and the session log beside
     # them.  --state keeps the old sessions-only layout working.
@@ -266,18 +347,24 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         import os
 
         persistence = os.path.join(args.data_dir, "sessions.jsonl")
-    service = NliService(
-        bundle.database, domain=bundle.model, config=config,
-        persistence=persistence,
-    )
+    bundle = load_bundle(args.domain)
+    services = {
+        args.domain: NliService(
+            bundle.database, domain=bundle.model, config=config,
+            persistence=persistence,
+        )
+    }
+    for spec in specs[1:]:
+        services[spec.name] = build_local_service(spec, config)
+    backend = ServiceBackend(services, default_domain=args.domain)
 
     async def run() -> None:
-        server = NliHttpServer(service, host=args.host, port=args.port)
-        await server.start()
-        print(
-            f"repro NLIDB — domain: {args.domain} — listening on {server.url}",
-            file=stdout, flush=True,
+        server = NliHttpServer(
+            host=args.host, port=args.port, backend=backend,
+            domain_qps=args.domain_qps, domain_burst=args.domain_burst,
         )
+        await server.start()
+        print(_serve_banner(args, specs, server.url), file=stdout, flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -294,8 +381,58 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
     # snapshot checkpoint (collapsing the WAL), and release the worker
     # pool.  A kill -9 skips all of this, which is exactly what the
     # append logs are for.
-    service.compact_log()
-    service.close()
+    for service in services.values():
+        service.compact_log()
+        service.close()
+    print("goodbye.", file=stdout)
+    return 0
+
+
+def _serve_cluster(args, specs, config, stdout) -> int:
+    """The --procs > 1 path: fork the pool before asyncio starts (a fork
+    must never cross a live event loop), then wire router + HTTP server
+    into the loop.  See docs/cluster.md."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.cluster import build_cluster, start_router
+    from repro.server import NliHttpServer
+
+    supervisor = build_cluster(
+        specs, args.procs, config, respawn_delay_s=args.respawn_delay
+    )
+
+    async def run() -> None:
+        router = await start_router(
+            supervisor, specs,
+            default_domain=args.domain, qps=args.qps, burst=args.burst,
+        )
+        server = NliHttpServer(
+            host=args.host, port=args.port, backend=router,
+            domain_qps=args.domain_qps, domain_burst=args.domain_burst,
+        )
+        await server.start()
+        print(_serve_banner(args, specs, server.url), file=stdout, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # non-unix loops
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await server.aclose()
+        # Workers compact their session logs and write a final checkpoint
+        # inside the shutdown op before the supervisor reaps them.
+        await router.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - non-unix fallback
+        pass
+    # The parent's pre-fork service images never served requests and own
+    # no storage; close just releases their thread pools.
+    for service in supervisor.services.values():
+        service.close()
     print("goodbye.", file=stdout)
     return 0
 

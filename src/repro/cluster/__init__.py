@@ -1,0 +1,96 @@
+"""Multi-process worker pool + multi-domain routing (``repro serve --procs``).
+
+One process, one GIL was the scaling ceiling: every ask, however
+read-only and snapshot-isolated, still shared a single interpreter.
+This package runs N **worker processes** behind the existing asyncio
+HTTP front end, and lets one server host many **domains** (databases):
+
+* :mod:`repro.cluster.registry` — what is hosted where
+  (``--domain NAME[=DIR]``), and the fork-after-load service builders;
+* :mod:`repro.cluster.ipc` — the length-prefixed JSON frame protocol
+  both sides of each worker socketpair speak;
+* :mod:`repro.cluster.worker` — the forked child: blocking frame loop
+  over copy-on-write-shared services;
+* :mod:`repro.cluster.supervisor` — forks, monitors, reaps, respawns;
+* :mod:`repro.cluster.router` — routing policy: single writer +
+  synchronous replication, round-robin reads, session affinity with
+  crash handoff, per-domain state.  Speaks the HTTP server's backend
+  protocol.
+
+Boot order matters (a fork must never cross a live event loop):
+:func:`build_cluster` loads everything and forks **before** asyncio
+starts; :func:`start_router` then wires the pool into the running loop.
+See ``docs/cluster.md`` for the architecture and failure matrix.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.registry import (
+    DomainSpec,
+    build_local_service,
+    build_parent_service,
+)
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor, WorkerDied, WorkerHandle
+from repro.core.config import NliConfig
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "DomainSpec",
+    "WorkerDied",
+    "WorkerHandle",
+    "build_cluster",
+    "build_local_service",
+    "build_parent_service",
+    "start_router",
+]
+
+
+def build_cluster(
+    specs: list[DomainSpec],
+    procs: int,
+    config: NliConfig,
+    *,
+    respawn_delay_s: float = 0.0,
+) -> ClusterSupervisor:
+    """Load every domain, restore durable state, and fork the pool.
+
+    Must run **before** any asyncio event loop exists in the process.
+    Returns the supervisor with all workers forked but not yet wired to
+    a loop — pass it to :func:`start_router` from inside the loop.
+    """
+    services = {spec.name: build_parent_service(spec, config) for spec in specs}
+    supervisor = ClusterSupervisor(
+        services,
+        {spec.name: spec for spec in specs},
+        procs,
+        threads=config.service_workers,
+        checkpoint_every=config.checkpoint_every,
+        wal_fsync=config.wal_fsync,
+        respawn_delay_s=respawn_delay_s,
+    )
+    supervisor.fork_initial()
+    return supervisor
+
+
+async def start_router(
+    supervisor: ClusterSupervisor,
+    specs: list[DomainSpec],
+    *,
+    default_domain: str | None = None,
+    qps: float | None = None,
+    burst: int = 8,
+) -> ClusterRouter:
+    """Wire a forked pool into the running loop; returns the live router
+    (sessions from any durable session log are already distributed)."""
+    router = ClusterRouter(
+        supervisor,
+        specs,
+        default_domain=default_domain,
+        qps=qps,
+        burst=burst,
+    )
+    await supervisor.start()
+    await router.start()
+    return router

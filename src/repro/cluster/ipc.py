@@ -1,0 +1,121 @@
+"""Frame protocol for supervisor <-> worker sockets.
+
+One frame = a 4-byte big-endian length prefix + a UTF-8 JSON object.
+The same framing is spoken from both sides of a ``socket.socketpair()``:
+
+* the **worker child** runs a blocking loop (:func:`recv_frame` /
+  :func:`send_frame` on the raw socket) — no event loop in the child,
+  every request is handed to a thread pool and the response frame is
+  written under a lock whenever it completes;
+* the **supervisor parent** wraps its end in asyncio streams
+  (:func:`read_frame` / :func:`write_frame`) so the HTTP event loop can
+  multiplex many in-flight requests per worker.
+
+Requests and responses are correlated by an ``id`` field (the parent
+mints it, the child echoes it); frames are otherwise free-form dicts —
+the op vocabulary lives in :mod:`repro.cluster.worker` (the serving
+side) and :mod:`repro.cluster.router` (the dispatching side).  JSON
+keeps the protocol debuggable with ``strace``/``socat`` and avoids
+pickle's arbitrary-code-on-load hazard across the privilege-identical
+but crash-isolated process boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]
+
+#: Refuse frames larger than this (a corrupt length prefix would
+#: otherwise ask for gigabytes); generous vs the HTTP body cap (1 MiB)
+#: because stats aggregation and session-adoption batches ride here too.
+MAX_FRAME_BYTES = 32 << 20
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """The stream is unframeable (oversized or torn length prefix)."""
+
+
+def _encode(payload: dict[str, Any]) -> bytes:
+    blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(blob)) + blob
+
+
+def _decode(blob: bytes) -> dict[str, Any]:
+    payload = json.loads(blob.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload
+
+
+# -- blocking side (worker child) ------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Write one frame; the caller serializes concurrent senders."""
+    sock.sendall(_encode(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    head = _recv_exact(sock, _LEN.size)
+    if head is None:
+        return None
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"incoming frame of {length} bytes exceeds cap")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("peer hung up mid-frame")
+    return _decode(body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- asyncio side (supervisor parent) --------------------------------------
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+    """Queue one frame on the stream (await ``writer.drain()`` after)."""
+    writer.write(_encode(payload))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF (the worker died or closed)."""
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"incoming frame of {length} bytes exceeds cap")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return _decode(body)

@@ -1,0 +1,295 @@
+"""The supervisor: forks, watches, and respawns the worker pool.
+
+Fork-after-load is the whole point: the parent builds every domain's
+language stack and restores durable state *once*, then ``os.fork()``
+gives each worker the loaded corpus for free — copy-on-write pages, no
+serialization, no per-worker load time.  The initial pool is forked
+**before** the asyncio event loop exists (a loop must never cross a
+fork); respawns fork from inside the running loop, which is safe only
+because the child's first acts are to close every foreign descriptor
+and enter a plain blocking frame loop (see
+:mod:`repro.cluster.worker`) — it never touches the inherited loop.
+
+Each worker is reached over its half of a ``socket.socketpair()``.  The
+parent side is wrapped in asyncio streams; a per-worker pump task reads
+response frames and resolves the matching in-flight future, so any
+number of requests can be outstanding against one worker.  EOF on the
+pump *is* the death signal — faster and more reliable than polling —
+with a ``waitpid`` sweep to reap the zombie and a delayed re-fork to
+bring the pool back to strength.  Routing policy (who owns which
+session, where DML goes, what happens to orphaned state) lives one
+level up, in :mod:`repro.cluster.router`; the supervisor only promises
+"N workers, numbered, worker 0 may attach storage, dead ones come
+back".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from typing import Any, Awaitable, Callable
+
+from repro.cluster.ipc import read_frame, write_frame
+from repro.cluster.registry import DomainSpec
+from repro.cluster.worker import worker_main
+from repro.service import NliService
+
+__all__ = ["ClusterSupervisor", "WorkerDied", "WorkerHandle"]
+
+
+class WorkerDied(Exception):
+    """The worker holding this request died before answering."""
+
+    def __init__(self, index: int) -> None:
+        super().__init__(f"worker {index} died")
+        self.index = index
+
+
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pid: int | None = None
+        self.sock: socket.socket | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.state = "starting"  # starting -> live -> dead -> starting ...
+        self.restarts = 0
+        self.respawning = False
+        self.pending: dict[int, asyncio.Future] = {}
+        self.pump_task: asyncio.Task | None = None
+
+    @property
+    def live(self) -> bool:
+        return self.state == "live"
+
+    @property
+    def is_writer(self) -> bool:
+        return self.index == 0
+
+    def fail_pending(self) -> None:
+        pending, self.pending = self.pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(WorkerDied(self.index))
+
+
+class ClusterSupervisor:
+    """Owns the pool: fork, connect, pump, reap, respawn, shut down."""
+
+    def __init__(
+        self,
+        services: dict[str, NliService],
+        specs: dict[str, DomainSpec],
+        procs: int,
+        *,
+        threads: int = 8,
+        checkpoint_every: int = 512,
+        wal_fsync: bool = True,
+        respawn_delay_s: float = 0.0,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        if not hasattr(os, "fork"):  # pragma: no cover - non-unix
+            raise RuntimeError("cluster mode needs os.fork()")
+        self.services = services
+        self.specs = specs
+        self.procs = procs
+        self.threads = threads
+        self.checkpoint_every = checkpoint_every
+        self.wal_fsync = wal_fsync
+        self.respawn_delay_s = respawn_delay_s
+        self.handles = [WorkerHandle(index) for index in range(procs)]
+        #: Router hooks.  ``on_worker_ready(handle)`` runs after a
+        #: respawned worker says hello and before it is marked live (the
+        #: router replays missed in-memory DML there); ``on_worker_death``
+        #: runs as soon as EOF lands (the router hands sessions off).
+        self.on_worker_ready: Callable[[WorkerHandle], Awaitable[None]] | None = None
+        self.on_worker_death: Callable[[WorkerHandle], Awaitable[None]] | None = None
+        self._request_counter = 0
+        self._reap_task: asyncio.Task | None = None
+        self._closing = False
+
+    # -- forking -----------------------------------------------------------
+
+    def fork_initial(self) -> None:
+        """Fork the whole pool; call before any event loop starts."""
+        for handle in self.handles:
+            self._fork(handle, catch_up=False)
+
+    def _fork(self, handle: WorkerHandle, *, catch_up: bool) -> None:
+        parent_sock, child_sock = socket.socketpair()
+        pid = os.fork()
+        if pid == 0:
+            parent_sock.close()
+            worker_main(  # never returns
+                child_sock,
+                self.services,
+                self.specs,
+                index=handle.index,
+                writer=handle.is_writer,
+                threads=self.threads,
+                checkpoint_every=self.checkpoint_every,
+                wal_fsync=self.wal_fsync,
+                catch_up=catch_up,
+            )
+        child_sock.close()
+        handle.pid = pid
+        handle.sock = parent_sock
+        handle.state = "starting"
+
+    # -- asyncio integration -----------------------------------------------
+
+    async def start(self) -> None:
+        """Wrap every forked worker in streams and wait until all are live."""
+        await asyncio.gather(*(self._connect(handle) for handle in self.handles))
+        self._reap_task = asyncio.create_task(self._reap_loop())
+
+    async def _connect(self, handle: WorkerHandle) -> None:
+        assert handle.sock is not None
+        reader, writer = await asyncio.open_connection(sock=handle.sock)
+        handle.reader, handle.writer = reader, writer
+        hello = await read_frame(reader)
+        if hello is None or hello.get("op") != "hello":
+            raise RuntimeError(f"worker {handle.index} failed to start")
+        # The pump must run *before* the ready hook: the hook catches the
+        # worker up over request(), which needs responses resolved.  The
+        # worker stays out of routing (state "starting") until caught up.
+        handle.pump_task = asyncio.create_task(self._pump(handle))
+        if self.on_worker_ready is not None:
+            await self.on_worker_ready(handle)
+        if handle.state == "dead":  # died while catching up
+            raise WorkerDied(handle.index)
+        handle.state = "live"
+
+    async def _pump(self, handle: WorkerHandle) -> None:
+        """Resolve response frames until EOF, then run the death path."""
+        assert handle.reader is not None
+        while True:
+            try:
+                frame = await read_frame(handle.reader)
+            except Exception:  # noqa: BLE001 - treat any stream wreck as death
+                frame = None
+            if frame is None:
+                break
+            future = handle.pending.pop(frame.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(frame)
+        await self._worker_died(handle)
+
+    async def _worker_died(self, handle: WorkerHandle) -> None:
+        if handle.state == "dead" or self._closing:
+            return
+        handle.state = "dead"
+        handle.fail_pending()
+        if handle.writer is not None:
+            handle.writer.close()
+        handle.reader = handle.writer = handle.sock = None
+        if self.on_worker_death is not None:
+            await self.on_worker_death(handle)
+        if not self._closing and not handle.respawning:
+            handle.respawning = True
+            asyncio.create_task(self._respawn(handle))
+
+    async def _respawn(self, handle: WorkerHandle, attempts: int = 5) -> None:
+        try:
+            if self.respawn_delay_s > 0:
+                await asyncio.sleep(self.respawn_delay_s)
+            for attempt in range(attempts):
+                if self._closing:
+                    return
+                handle.restarts += 1
+                handle.pending = {}
+                try:
+                    self._fork(handle, catch_up=True)
+                    await self._connect(handle)
+                    return
+                except (RuntimeError, OSError, WorkerDied):
+                    # The replacement died during startup (possibly while
+                    # the ready hook was catching it up); back off, refork.
+                    await asyncio.sleep(0.2 * (attempt + 1))
+            # Give up: the slot stays dead (reads keep flowing on siblings,
+            # DML stays paused) rather than fork-bombing the box.
+        finally:
+            handle.respawning = False
+
+    async def _reap_loop(self) -> None:
+        """Collect exited children so the process table stays clean."""
+        while True:
+            await asyncio.sleep(0.2)
+            try:
+                while True:
+                    pid, _ = os.waitpid(-1, os.WNOHANG)
+                    if pid == 0:
+                        break
+            except ChildProcessError:
+                pass
+
+    # -- requests ----------------------------------------------------------
+
+    def live_handles(self) -> list[WorkerHandle]:
+        return [handle for handle in self.handles if handle.live]
+
+    @property
+    def all_live(self) -> bool:
+        return all(handle.live for handle in self.handles)
+
+    async def request(
+        self, handle: WorkerHandle, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Send one op frame to ``handle`` and await its response.
+
+        Raises :class:`WorkerDied` if the worker is dead or dies before
+        answering — the router decides whether the op is safe to retry
+        elsewhere.  Workers in state "starting" are reachable: the ready
+        hook uses this to catch a respawn up before it joins routing.
+        """
+        if handle.state == "dead" or handle.writer is None:
+            raise WorkerDied(handle.index)
+        self._request_counter += 1
+        request_id = self._request_counter
+        payload = dict(payload, id=request_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        handle.pending[request_id] = future
+        try:
+            write_frame(handle.writer, payload)
+            await handle.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            handle.pending.pop(request_id, None)
+            raise WorkerDied(handle.index) from exc
+        return await future
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Graceful stop: every worker compacts + checkpoints, then exits."""
+        self._closing = True
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+        for handle in self.live_handles():
+            try:
+                await asyncio.wait_for(
+                    self.request(handle, {"op": "shutdown"}), timeout=15
+                )
+            except (WorkerDied, asyncio.TimeoutError):
+                pass
+            handle.state = "dead"
+            if handle.pump_task is not None:
+                handle.pump_task.cancel()
+            if handle.writer is not None:
+                handle.writer.close()
+        for handle in self.handles:
+            if handle.pid is None:
+                continue
+            # Anything still running already answered (or never will):
+            # forcible kill is safe, workers reply only after cleanup.
+            try:
+                os.kill(handle.pid, 9)
+            except OSError:
+                pass
+            try:
+                os.waitpid(handle.pid, 0)
+            except ChildProcessError:
+                pass

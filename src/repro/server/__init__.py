@@ -14,15 +14,19 @@ See ``docs/http.md`` for the endpoint reference.
 """
 
 from repro.server.http import (
+    ApiError,
     NliHttpServer,
     ServerHandle,
+    ServiceBackend,
     response_http_code,
     serve_in_thread,
 )
 
 __all__ = [
+    "ApiError",
     "NliHttpServer",
     "ServerHandle",
+    "ServiceBackend",
     "response_http_code",
     "serve_in_thread",
 ]

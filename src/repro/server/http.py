@@ -2,42 +2,73 @@
 
 Endpoints (all JSON; see ``docs/http.md`` for shapes and curl examples):
 
-========  =============  ====================================================
-method    path           body / behaviour
-========  =============  ====================================================
-POST      /ask           ``{"question", "session"?, "clarify"?}`` -> envelope
-POST      /ask_many      ``{"questions": [...], ...}`` -> ``{"responses"}``
-POST      /resolve       ``{"clarification_id", "choice"}`` -> envelope
-POST      /sql           ``{"sql"}`` -> ``{"columns", "rows"}``
-GET       /stats         service + http counters
-GET       /healthz       liveness probe
-========  =============  ====================================================
+========  ==================  ==============================================
+method    path                body / behaviour
+========  ==================  ==============================================
+POST      /ask                ``{"question", "session"?, "clarify"?,
+                              "domain"?}`` -> envelope
+POST      /ask_many           ``{"questions": [...], ...}`` -> ``{"responses"}``
+POST      /resolve            ``{"clarification_id", "choice"}`` -> envelope
+POST      /sql                ``{"sql"}`` -> ``{"columns", "rows"}``
+GET       /stats              service + http counters
+GET       /healthz            liveness probe
+any       /d/<domain>/<ep>    the same six endpoints, scoped to one domain
+========  ==================  ==============================================
 
 Status mapping follows the CLI's 0/2/3 exit-code convention:
 ``ANSWERED`` -> 200, ``AMBIGUOUS`` / ``NEEDS_CLARIFICATION`` -> 409 (the
 request needs another round trip to complete), ``FAILED`` -> 422, and a
 rate-limited envelope -> 429 with a ``Retry-After`` header.  Transport
 problems use transport codes: malformed JSON or a missing field is 400,
-an unknown clarification id 404, an unknown path 404, a wrong method
-405, an oversized body 413.
+an unknown clarification id (or domain) 404, an unknown path 404, a
+wrong method 405, an oversized body 413, a degraded cluster 503.
+
+**Backends.**  The server is split from what answers it: every handler
+talks to a *backend* — either :class:`ServiceBackend` (one or more
+in-process :class:`~repro.service.service.NliService`, the classic
+single-process mode) or the cluster router
+(:class:`repro.cluster.router.ClusterRouter`, a pool of forked worker
+processes).  The protocol is envelope *dicts* (already serializable), so
+the HTTP layer cannot tell local from routed.  A backend raises
+:class:`ApiError` for transport-shaped failures and exposes::
+
+    default_domain                       -> str
+    domains()                            -> list[str]
+    has_session(domain, sid)             -> bool        (sync, rate keys)
+    check_limit(domain, key, tokens=1)   -> float       (sync, cache hits)
+    data_stamp(domain)                   -> hashable    (sync, cache keys)
+    await ask(domain, q, sid, clarify, client)        -> envelope dict
+    await ask_many(domain, qs, sid, clarify, client)  -> [envelope, ...]
+    await resolve(domain, clar_id, choice, client)    -> envelope dict
+    await execute(domain, sql)           -> {"columns", "rows"}
+    await stats(domain | None)           -> dict (server adds "http")
+    await healthz()                      -> (code, payload, headers)
+    await aclose()
+
+**Multi-domain.**  One server hosts many databases: route by path
+prefix (``/d/geography/ask``) or by a ``"domain"`` body field; bare
+paths hit the default domain, so the single-domain API is unchanged.
+Layered on top is an optional **per-domain rate limiter**: a token
+bucket per domain, charged *before* the per-client bucket and refunded
+if the per-client check rejects — all-or-nothing, so one hot domain
+cannot starve the rest and a denied request consumes no budget anywhere.
 
 Concurrency: the event loop only parses requests and writes responses;
-every service call runs on the service's bounded worker pool via the
-async face (``ask_async`` & co.), so concurrent HTTP askers become
-concurrent MVCC snapshot readers — each pinned to a consistent database
-version, never queued behind a DML writer — while the loop stays
-responsive (see ``docs/concurrency.md``).
+every service call runs on the backend's worker pool (threads
+in-process, forked processes in cluster mode), so concurrent HTTP
+askers become concurrent MVCC snapshot readers — each pinned to a
+consistent database version, never queued behind a DML writer — while
+the loop stays responsive (see ``docs/concurrency.md``).
 
 One server-side optimization rides here: a **response cache** for
 session-less ``/ask`` requests.  Those are pure reads — no dialogue
 state, no parked interpretations — so the serialized envelope bytes are
-cached keyed by (question, clarify, ``NliService.data_stamp()`` — the
-version stamp a snapshot pinned at that moment would carry) and served
-without touching the pipeline.  Anything stateful (sessions, AMBIGUOUS
-responses, rate-limited envelopes) bypasses the cache, and a DML commit
-anywhere moves the stamp, so a cached answer can never be served across
-data versions.  The rate limiter is still charged on cache hits, so
-cached traffic cannot dodge its budget.
+cached keyed by (domain, question, clarify, ``data_stamp(domain)``) and
+served without touching the pipeline.  Anything stateful (sessions,
+AMBIGUOUS responses, rate-limited envelopes) bypasses the cache, and a
+DML commit anywhere moves the stamp, so a cached answer can never be
+served across data versions.  The rate limiters are still charged on
+cache hits, so cached traffic cannot dodge their budget.
 """
 
 from __future__ import annotations
@@ -49,13 +80,17 @@ import threading
 from typing import Any, Awaitable, Callable
 
 from repro.errors import ClarificationError, EngineError, ReproError
+from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response, Status
 from repro.service.service import NliService
 from repro.sqlengine.plancache import LruCache
 
 __all__ = [
+    "ApiError",
     "NliHttpServer",
     "ServerHandle",
+    "ServiceBackend",
+    "envelope_http_code",
     "response_http_code",
     "serve_in_thread",
 ]
@@ -81,6 +116,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -91,7 +127,15 @@ def response_http_code(response: Response) -> int:
     return STATUS_HTTP[response.status]
 
 
-class _ApiError(Exception):
+def envelope_http_code(payload: dict[str, Any]) -> int:
+    """The same mapping for an already-serialized envelope dict (the
+    backend protocol ships dicts, not Response objects)."""
+    if payload.get("retry_after_s") is not None:
+        return 429
+    return STATUS_HTTP[Status(payload["status"])]
+
+
+class ApiError(Exception):
     """A transport-level problem, rendered as ``{"error", "code"}`` JSON."""
 
     def __init__(self, http_code: int, message: str, code: str = "bad_request"):
@@ -101,38 +145,177 @@ class _ApiError(Exception):
         self.headers: dict[str, str] = {}
 
 
-def _rate_key(service: NliService, sid: str | None, client_ip: str) -> str:
+def _rate_key(backend: Any, domain: str, sid: str | None, client_ip: str) -> str:
     """Rate-limit key: the session id once it exists, else the client
     address.  Session *creation* is charged to the address, so a client
     cannot mint a fresh bucket (and a server-side Session) per request
     just by sending a new session id every time."""
-    if sid is not None and service.has_session(sid):
+    if sid is not None and backend.has_session(domain, sid):
         return sid
     return client_ip
 
 
-def _retry_headers(response: Response) -> dict[str, str]:
-    retry = response.retry_after_s
+def _payload_retry_headers(payload: dict[str, Any]) -> dict[str, str]:
+    retry = payload.get("retry_after_s")
     if retry is None:
         return {}
     return {"Retry-After": str(max(1, math.ceil(retry)))}
 
 
-class NliHttpServer:
-    """One :class:`~repro.service.service.NliService` behind a socket."""
+class ServiceBackend:
+    """One or more in-process services behind the backend protocol.
+
+    The single-process answer machine: each domain is a fully-owned
+    :class:`~repro.service.service.NliService` (its own storage, session
+    log and rate limiter), and every call is a thin adaptation of the
+    service's async face to envelope dicts.
+    """
 
     def __init__(
         self,
-        service: NliService,
+        services: dict[str, NliService],
+        default_domain: str | None = None,
+    ) -> None:
+        if not services:
+            raise ValueError("ServiceBackend needs at least one service")
+        self.services = services
+        self.default_domain = default_domain or next(iter(services))
+        if self.default_domain not in services:
+            raise ValueError(f"unknown default domain {self.default_domain!r}")
+
+    def domains(self) -> list[str]:
+        return list(self.services)
+
+    def _service(self, domain: str) -> NliService:
+        service = self.services.get(domain)
+        if service is None:
+            raise ApiError(404, f"no such domain: {domain}", "unknown_domain")
+        return service
+
+    def has_session(self, domain: str, sid: str) -> bool:
+        service = self.services.get(domain)
+        return service is not None and service.has_session(sid)
+
+    def check_limit(self, domain: str, key: str, tokens: float = 1.0) -> float:
+        return self._service(domain).check_limit(key, tokens)
+
+    def data_stamp(self, domain: str) -> Any:
+        return self._service(domain).data_stamp()
+
+    async def ask(
+        self,
+        domain: str,
+        question: str,
+        sid: str | None,
+        clarify: bool,
+        client: str,
+    ) -> dict[str, Any]:
+        service = self._service(domain)
+        if sid is not None:
+            service.ensure_session(sid)
+        response = await service.ask_async(
+            question, session=sid, clarify=clarify, client=client
+        )
+        return response.to_dict()
+
+    async def ask_many(
+        self,
+        domain: str,
+        questions: list[str],
+        sid: str | None,
+        clarify: bool,
+        client: str,
+    ) -> list[dict[str, Any]]:
+        service = self._service(domain)
+        if sid is not None:
+            service.ensure_session(sid)
+        responses = await service.ask_many_async(
+            questions, session=sid, clarify=clarify, client=client
+        )
+        return [response.to_dict() for response in responses]
+
+    async def resolve(
+        self, domain: str, clarification_id: str, choice: int, client: str
+    ) -> dict[str, Any]:
+        service = self._service(domain)
+        try:
+            response = await service.resolve_async(
+                clarification_id, choice, client=client
+            )
+        except ClarificationError as exc:
+            if service.has_clarification(clarification_id):
+                # A bad index on a live clarification: the park survives
+                # and the client should simply pick again — that is a bad
+                # field, not a vanished resource.
+                raise ApiError(400, str(exc), "bad_choice") from None
+            raise ApiError(404, str(exc), "unknown_clarification") from None
+        return response.to_dict()
+
+    async def execute(self, domain: str, sql: str) -> dict[str, Any]:
+        service = self._service(domain)
+        try:
+            result = await service.execute_async(sql)
+        except EngineError as exc:
+            raise ApiError(422, str(exc), "engine_error") from None
+        return {
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+        }
+
+    async def stats(self, domain: str | None = None) -> dict[str, Any]:
+        if domain is not None:
+            return {"service": self._service(domain).stats}
+        payload: dict[str, Any] = {
+            "service": self.services[self.default_domain].stats
+        }
+        if len(self.services) > 1:
+            payload["domains"] = {
+                name: service.stats for name, service in self.services.items()
+            }
+        return payload
+
+    async def healthz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        return 200, {"status": "ok"}, {}
+
+    async def aclose(self) -> None:
+        """Nothing to stop: service lifecycle belongs to whoever built
+        the services (the CLI closes them after the loop exits)."""
+
+
+class NliHttpServer:
+    """One backend (local services or a worker cluster) behind a socket."""
+
+    def __init__(
+        self,
+        service: NliService | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 256,
+        *,
+        backend: Any | None = None,
+        domain_qps: float | None = None,
+        domain_burst: int = 8,
     ) -> None:
-        self.service = service
+        if backend is None:
+            if service is None:
+                raise ValueError("pass a service or a backend")
+            backend = ServiceBackend({"default": service})
+        self.backend = backend
+        #: Convenience handle for embedders/tests: the default domain's
+        #: in-process service, when there is one (None in cluster mode).
+        self.service = service or getattr(backend, "services", {}).get(
+            backend.default_domain
+        )
         self.host = host
         self.port = port  # 0 = ephemeral; real port filled in by start()
         self._server: asyncio.AbstractServer | None = None
-        #: (question, clarify, data version, catalog version) -> serialized
+        #: The per-domain layer of the rate limiter: keyed by domain
+        #: name, charged before the per-client bucket, refunded when the
+        #: per-client bucket rejects (all-or-nothing).
+        self._domain_limiter = (
+            RateLimiter(domain_qps, domain_burst) if domain_qps is not None else None
+        )
+        #: (domain, question, clarify, data stamp) -> serialized
         #: (http code, body bytes) for session-less asks.
         self._cache: LruCache = LruCache(capacity=cache_size)
         self.stats = {
@@ -180,10 +363,10 @@ class NliHttpServer:
                     # StreamReader.readline raises ValueError when a line
                     # (request line or header) exceeds its 64 KiB limit.
                     request = None
-                    exc = _ApiError(
+                    exc = ApiError(
                         400, "request head too large or malformed", "bad_request"
                     )
-                except _ApiError as error:
+                except ApiError as error:
                     request = None
                     exc = error
                 else:
@@ -207,7 +390,7 @@ class NliHttpServer:
                     code, payload, extra = await self._route(
                         method, path, body, client_ip
                     )
-                except _ApiError as exc:
+                except ApiError as exc:
                     self.stats["transport_errors"] += 1
                     code, payload, extra = exc.http_code, exc.payload, exc.headers
                 except ReproError as exc:
@@ -272,10 +455,10 @@ class NliHttpServer:
         except ValueError:
             length = -1
         if length < 0:
-            raise _ApiError(400, "invalid content-length header", "bad_request")
+            raise ApiError(400, "invalid content-length header", "bad_request")
         if length > MAX_BODY_BYTES:
             # Read nothing further; answer 413 and drop the connection.
-            raise _ApiError(413, "request body too large", "body_too_large")
+            raise ApiError(413, "request body too large", "body_too_large")
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
@@ -300,9 +483,45 @@ class NliHttpServer:
 
     # -- routing -----------------------------------------------------------
 
+    def _split_domain(self, path: str) -> tuple[str | None, str]:
+        """``/d/<domain>/<endpoint>`` -> (domain, /endpoint); bare paths
+        pass through with no domain (resolved later from the body or the
+        default)."""
+        if not path.startswith("/d/"):
+            return None, path
+        rest = path[3:]
+        domain, sep, endpoint = rest.partition("/")
+        if not domain or not sep or not endpoint:
+            raise ApiError(
+                404, f"domain paths look like /d/<domain>/ask: {path}", "bad_path"
+            )
+        if domain not in self.backend.domains():
+            raise ApiError(404, f"no such domain: {domain}", "unknown_domain")
+        return domain, "/" + endpoint
+
+    def _resolve_domain(
+        self, path_domain: str | None, body: dict[str, Any]
+    ) -> str:
+        body_domain = _optional_str(body, "domain")
+        if body_domain is not None and body_domain not in self.backend.domains():
+            raise ApiError(
+                404, f"no such domain: {body_domain}", "unknown_domain"
+            )
+        if path_domain is not None:
+            if body_domain is not None and body_domain != path_domain:
+                raise ApiError(
+                    400,
+                    f"path says domain {path_domain!r} but body says "
+                    f"{body_domain!r}",
+                    "bad_field",
+                )
+            return path_domain
+        return body_domain or self.backend.default_domain
+
     async def _route(
         self, method: str, path: str, body: bytes, client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
+        domain, endpoint = self._split_domain(path)
         handlers: dict[tuple[str, str], Callable[..., Awaitable[Any]]] = {
             ("POST", "/ask"): self._handle_ask,
             ("POST", "/ask_many"): self._handle_ask_many,
@@ -311,154 +530,171 @@ class NliHttpServer:
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
         }
-        handler = handlers.get((method, path))
+        handler = handlers.get((method, endpoint))
         if handler is None:
-            known_methods = [m for (m, p) in handlers if p == path]
+            known_methods = [m for (m, p) in handlers if p == endpoint]
             if known_methods:
-                error = _ApiError(
+                error = ApiError(
                     405,
-                    f"{path} only accepts {', '.join(known_methods)}",
+                    f"{endpoint} only accepts {', '.join(known_methods)}",
                     "method_not_allowed",
                 )
                 error.headers["Allow"] = ", ".join(known_methods)
                 raise error
-            raise _ApiError(404, f"no such endpoint: {path}", "unknown_endpoint")
+            raise ApiError(404, f"no such endpoint: {path}", "unknown_endpoint")
         if method == "POST":
-            return await handler(_parse_json_body(body), client_ip)
-        return await handler(client_ip)
+            parsed = _parse_json_body(body)
+            return await handler(self._resolve_domain(domain, parsed), parsed, client_ip)
+        return await handler(domain, client_ip)
+
+    # -- the layered rate limiter ------------------------------------------
+
+    def _charge_domain(self, domain: str, tokens: float = 1.0) -> float:
+        """Charge the per-domain bucket; 0.0 when within budget."""
+        if self._domain_limiter is None:
+            return 0.0
+        return self._domain_limiter.check(domain, tokens)
+
+    def _refund_domain(self, domain: str, tokens: float = 1.0) -> None:
+        """The per-client layer rejected after the domain layer charged:
+        give the domain its tokens back, so a denied request consumes no
+        budget anywhere (all-or-nothing across the layers)."""
+        if self._domain_limiter is not None:
+            self._domain_limiter.refund(domain, tokens)
 
     # -- handlers ----------------------------------------------------------
 
     async def _handle_ask(
-        self, body: dict[str, Any], client_ip: str
+        self, domain: str, body: dict[str, Any], client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
         question = _required_str(body, "question")
         sid = _optional_str(body, "session")
         clarify = bool(body.get("clarify", False))
-        client = _rate_key(self.service, sid, client_ip)
+        client = _rate_key(self.backend, domain, sid, client_ip)
+        domain_retry = self._charge_domain(domain)
+        if domain_retry:
+            limited = Response.rate_limited(question, domain_retry)
+            return 429, limited.to_dict(), _payload_retry_headers(limited.to_dict())
         cache_key = None
         if sid is None:
             # Captured *before* the ask: a write that lands mid-ask bumps
             # the version stamps, and storing this answer under the
             # post-write key would serve it stale forever.
-            cache_key = self._ask_cache_key(question, clarify)
+            cache_key = self._ask_cache_key(domain, question, clarify)
             cached = self._cache.get(cache_key)
             if cached is not None:
-                retry_after = self.service.check_limit(client)
+                retry_after = self.backend.check_limit(domain, client)
                 if retry_after:
+                    self._refund_domain(domain)
                     limited = Response.rate_limited(question, retry_after)
-                    return 429, limited.to_dict(), _retry_headers(limited)
+                    payload = limited.to_dict()
+                    return 429, payload, _payload_retry_headers(payload)
                 self.stats["cache_hits"] += 1
                 return cached[0], cached[1], {}
-        else:
-            self.service.ensure_session(sid)
-        response = await self.service.ask_async(
-            question, session=sid, clarify=clarify, client=client
-        )
-        code = response_http_code(response)
-        payload = response.to_dict()
+        payload = await self.backend.ask(domain, question, sid, clarify, client)
+        code = envelope_http_code(payload)
+        if code == 429:
+            self._refund_domain(domain)
         if sid is not None:
             payload["session"] = sid
         if (
             cache_key is not None
             and code != 429
-            and response.clarification_id is None
+            and payload.get("clarification_id") is None
         ):
             # Stateless outcome: cache — and answer with — the serialized
             # bytes, so the hot path serializes exactly once.
             blob = json.dumps(payload).encode("utf-8")
             self._cache.put(cache_key, (code, blob))
             self.stats["responses_cached"] += 1
-            return code, blob, _retry_headers(response)
-        return code, payload, _retry_headers(response)
+            return code, blob, _payload_retry_headers(payload)
+        return code, payload, _payload_retry_headers(payload)
 
-    def _ask_cache_key(self, question: str, clarify: bool) -> tuple:
+    def _ask_cache_key(self, domain: str, question: str, clarify: bool) -> tuple:
         # The data stamp is the identity a snapshot pinned now would
         # carry; the pre-ask capture in _handle_ask means an answer is
         # only ever stored under the version it was computed against.
-        return (question, clarify, self.service.data_stamp())
+        return (domain, question, clarify, self.backend.data_stamp(domain))
 
     async def _handle_ask_many(
-        self, body: dict[str, Any], client_ip: str
+        self, domain: str, body: dict[str, Any], client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
         questions = body.get("questions")
         if not isinstance(questions, list) or not all(
             isinstance(q, str) for q in questions
         ):
-            raise _ApiError(
+            raise ApiError(
                 400,
                 "'questions' must be a list of strings",
                 "bad_field",
             )
         sid = _optional_str(body, "session")
         clarify = bool(body.get("clarify", False))
-        client = _rate_key(self.service, sid, client_ip)
-        if sid is not None:
-            self.service.ensure_session(sid)
-        responses = await self.service.ask_many_async(
-            questions, session=sid, clarify=clarify, client=client
+        client = _rate_key(self.backend, domain, sid, client_ip)
+        tokens = float(len(questions)) or 1.0
+        domain_retry = self._charge_domain(domain, tokens)
+        if domain_retry:
+            limited = Response.rate_limited("batch", domain_retry).to_dict()
+            payload = {"responses": [limited for _ in questions]}
+            if sid is not None:
+                payload["session"] = sid
+            return 429, payload, _payload_retry_headers(limited)
+        responses = await self.backend.ask_many(
+            domain, questions, sid, clarify, client
         )
-        payload: dict[str, Any] = {
-            "responses": [response.to_dict() for response in responses]
-        }
+        payload = {"responses": responses}
         if sid is not None:
             payload["session"] = sid
         # The batch is charged as a unit, so rate limiting is all-or-nothing:
         # surface it as 429 + Retry-After like a single ask.
-        if responses and all(response.is_rate_limited for response in responses):
-            return 429, payload, _retry_headers(responses[0])
+        if responses and all(
+            response.get("retry_after_s") is not None for response in responses
+        ):
+            self._refund_domain(domain, tokens)
+            return 429, payload, _payload_retry_headers(responses[0])
         return 200, payload, {}
 
     async def _handle_resolve(
-        self, body: dict[str, Any], client_ip: str
+        self, domain: str, body: dict[str, Any], client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
         clarification_id = _required_str(body, "clarification_id")
         choice = body.get("choice")
         if not isinstance(choice, int) or isinstance(choice, bool):
-            raise _ApiError(400, "'choice' must be an integer", "bad_field")
-        try:
-            response = await self.service.resolve_async(
-                clarification_id, choice, client=client_ip
-            )
-        except ClarificationError as exc:
-            if self.service.has_clarification(clarification_id):
-                # A bad index on a live clarification: the park survives
-                # and the client should simply pick again — that is a bad
-                # field, not a vanished resource.
-                raise _ApiError(400, str(exc), "bad_choice") from None
-            raise _ApiError(404, str(exc), "unknown_clarification") from None
-        return (
-            response_http_code(response),
-            response.to_dict(),
-            _retry_headers(response),
+            raise ApiError(400, "'choice' must be an integer", "bad_field")
+        domain_retry = self._charge_domain(domain)
+        if domain_retry:
+            limited = Response.rate_limited(clarification_id, domain_retry).to_dict()
+            return 429, limited, _payload_retry_headers(limited)
+        payload = await self.backend.resolve(
+            domain, clarification_id, choice, client_ip
         )
+        code = envelope_http_code(payload)
+        if code == 429:
+            self._refund_domain(domain)
+        return code, payload, _payload_retry_headers(payload)
 
     async def _handle_sql(
-        self, body: dict[str, Any], client_ip: str
+        self, domain: str, body: dict[str, Any], client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
         sql = _required_str(body, "sql")
-        try:
-            result = await self.service.execute_async(sql)
-        except EngineError as exc:
-            raise _ApiError(422, str(exc), "engine_error") from None
-        return (
-            200,
-            {
-                "columns": list(result.columns),
-                "rows": [list(row) for row in result.rows],
-            },
-            {},
-        )
+        domain_retry = self._charge_domain(domain)
+        if domain_retry:
+            error = ApiError(429, "domain rate limit exceeded", "rate_limited")
+            error.headers["Retry-After"] = str(max(1, math.ceil(domain_retry)))
+            raise error
+        return 200, await self.backend.execute(domain, sql), {}
 
-    async def _handle_stats(self, client_ip: str) -> tuple[int, Any, dict[str, str]]:
-        return (
-            200,
-            {"service": self.service.stats, "http": dict(self.stats)},
-            {},
-        )
+    async def _handle_stats(
+        self, domain: str | None, client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        payload = await self.backend.stats(domain)
+        payload["http"] = dict(self.stats)
+        return 200, payload, {}
 
-    async def _handle_healthz(self, client_ip: str) -> tuple[int, Any, dict[str, str]]:
-        return 200, {"status": "ok"}, {}
+    async def _handle_healthz(
+        self, domain: str | None, client_ip: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        return await self.backend.healthz()
 
 
 class _BadRequestLine(Exception):
@@ -469,18 +705,18 @@ def _parse_json_body(body: bytes) -> dict[str, Any]:
     try:
         parsed = json.loads(body or b"null")
     except json.JSONDecodeError as exc:
-        raise _ApiError(
+        raise ApiError(
             400, f"request body is not valid JSON: {exc}", "malformed_json"
         ) from None
     if not isinstance(parsed, dict):
-        raise _ApiError(400, "request body must be a JSON object", "malformed_json")
+        raise ApiError(400, "request body must be a JSON object", "malformed_json")
     return parsed
 
 
 def _required_str(body: dict[str, Any], field: str) -> str:
     value = body.get(field)
     if not isinstance(value, str) or not value:
-        raise _ApiError(400, f"{field!r} must be a non-empty string", "bad_field")
+        raise ApiError(400, f"{field!r} must be a non-empty string", "bad_field")
     return value
 
 
@@ -489,7 +725,7 @@ def _optional_str(body: dict[str, Any], field: str) -> str | None:
     if value is None:
         return None
     if not isinstance(value, str) or not value:
-        raise _ApiError(
+        raise ApiError(
             400,
             f"{field!r} must be a non-empty string when given",
             "bad_field",
@@ -534,7 +770,13 @@ class ServerHandle:
 
 
 def serve_in_thread(
-    service: NliService, host: str = "127.0.0.1", port: int = 0
+    service: NliService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    backend: Any | None = None,
+    domain_qps: float | None = None,
+    domain_burst: int = 8,
 ) -> ServerHandle:
     """Start an :class:`NliHttpServer` on a daemon thread; returns once the
     socket is bound (so ``handle.url`` is immediately usable)."""
@@ -543,7 +785,14 @@ def serve_in_thread(
 
     def run() -> None:
         async def main() -> None:
-            server = NliHttpServer(service, host=host, port=port)
+            server = NliHttpServer(
+                service,
+                host=host,
+                port=port,
+                backend=backend,
+                domain_qps=domain_qps,
+                domain_burst=domain_burst,
+            )
             await server.start()
             stop_event = asyncio.Event()
             holder["server"] = server

@@ -56,7 +56,67 @@ from repro.service.response import Status
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.service import NliService
 
-__all__ = ["SessionLog"]
+__all__ = ["SessionLog", "replay_records"]
+
+
+def replay_records(
+    service: NliService,
+    records: list[dict[str, Any]],
+    *,
+    skip_sids: frozenset[str] | set[str] = frozenset(),
+) -> dict[str, str]:
+    """Feed an event-record stream back through ``service``; returns the
+    alias map ``{persisted clarification id -> freshly minted id}``.
+
+    This is the replay core shared by :meth:`SessionLog.replay` (restart
+    recovery of a whole log) and by cluster session handoff
+    (:meth:`~repro.service.service.NliService.adopt_records`), where a
+    sibling worker replays only the sessions a dead worker owned —
+    ``skip_sids`` guards sessions the adopting service already holds, so
+    a stale record can never clobber live dialogue state.  Session-less
+    records (loose parks and their resolves) always replay.
+    """
+    aliases: dict[str, str] = {}
+    for record in records:
+        op = record.get("op")
+        sid = record.get("sid")
+        if sid is not None and sid in skip_sids:
+            continue
+        try:
+            if op == "open":
+                service.ensure_session(record["sid"])
+            elif op == "turn":
+                _replay_turn(service, record)
+            elif op == "park":
+                response = service.ask(
+                    record["question"],
+                    session=sid,
+                    clarify=True,
+                )
+                if response.clarification_id is not None:
+                    aliases[record["id"]] = response.clarification_id
+            elif op == "resolve":
+                live = aliases.pop(record["id"], record["id"])
+                service.resolve(live, record["choice"])
+            elif op == "close":
+                service.close_session(record["sid"])
+        except (KeyError, ClarificationError):
+            # The database shifted under the log (or the log predates a
+            # schema change): replay what still makes sense, drop the
+            # rest.  Durability must never wedge startup.
+            continue
+    return aliases
+
+
+def _replay_turn(service: NliService, record: dict[str, Any]) -> None:
+    response = service.ask(
+        record["question"],
+        session=record.get("sid"),
+        clarify=record.get("clarify", False),
+    )
+    choice = record.get("choice")
+    if response.status is Status.AMBIGUOUS and choice is not None:
+        service.resolve(response.clarification_id, choice)
 
 
 class SessionLog:
@@ -116,44 +176,7 @@ class SessionLog:
         The caller (the service itself, during construction) must have
         suspended logging, or every replayed turn would be re-appended.
         """
-        aliases: dict[str, str] = {}
-        for record in self.load():
-            op = record.get("op")
-            try:
-                if op == "open":
-                    service.ensure_session(record["sid"])
-                elif op == "turn":
-                    self._replay_turn(service, record)
-                elif op == "park":
-                    response = service.ask(
-                        record["question"],
-                        session=record.get("sid"),
-                        clarify=True,
-                    )
-                    if response.clarification_id is not None:
-                        aliases[record["id"]] = response.clarification_id
-                elif op == "resolve":
-                    live = aliases.pop(record["id"], record["id"])
-                    service.resolve(live, record["choice"])
-                elif op == "close":
-                    service.close_session(record["sid"])
-            except (KeyError, ClarificationError):
-                # The database shifted under the log (or the log predates a
-                # schema change): replay what still makes sense, drop the
-                # rest.  Durability must never wedge startup.
-                continue
-        return aliases
-
-    @staticmethod
-    def _replay_turn(service: NliService, record: dict[str, Any]) -> None:
-        response = service.ask(
-            record["question"],
-            session=record.get("sid"),
-            clarify=record.get("clarify", False),
-        )
-        choice = record.get("choice")
-        if response.status is Status.AMBIGUOUS and choice is not None:
-            service.resolve(response.clarification_id, choice)
+        return replay_records(service, self.load())
 
     # -- compaction --------------------------------------------------------
 

@@ -116,6 +116,22 @@ class RateLimiter:
                 self._prune(now)
         return retry_after
 
+    def refund(self, key: str, tokens: float = 1.0) -> None:
+        """Return ``tokens`` to ``key``'s bucket (never past capacity).
+
+        This is what makes *layered* limiting chargeable all-or-nothing:
+        a front end that charges a per-domain bucket and then finds the
+        per-client bucket empty refunds the domain charge, so a denied
+        request consumes no budget anywhere.  Refunding a key with no
+        bucket (pruned, or never charged) is a no-op.
+        """
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.tokens = min(
+                    bucket.capacity, bucket.tokens + min(tokens, bucket.capacity)
+                )
+
     def _prune(self, now: float) -> None:
         """Drop buckets that have fully refilled (idle long enough that
         recreating them fresh is indistinguishable)."""

@@ -83,7 +83,7 @@ from repro.core.pipeline import CLARIFICATION_CAPACITY, NaturalLanguageInterface
 from repro.errors import ClarificationError
 from repro.lexicon.domain import DomainModel
 from repro.service.locks import RwLock
-from repro.service.persistence import SessionLog
+from repro.service.persistence import SessionLog, replay_records
 from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response, Status
 from repro.sqlengine.database import Database
@@ -190,6 +190,20 @@ class NliService:
     def storage(self) -> StorageManager | None:
         """The durable storage manager (None when running in memory)."""
         return self._storage
+
+    def attach_storage(self, storage: StorageManager) -> None:
+        """Adopt an externally-prepared storage manager as the durable sink.
+
+        The cluster writer child uses this: the parent restored the data
+        directory read-only before forking, so the child's manager runs
+        ``recover(replay=False)`` itself and is attached here — from then
+        on every committed statement is WAL'd exactly as if the service
+        had owned storage from construction.
+        """
+        if self._storage is not None:
+            raise RuntimeError("service already has a storage manager")
+        self._storage = storage
+        storage.attach()
 
     def close(self) -> None:
         """Release the worker pool, the persistence file handle, and the
@@ -643,6 +657,38 @@ class NliService:
         durable); useful before a planned shutdown."""
         if self._persistence is not None:
             self._persistence.compact(self.dump_records())
+
+    def session_ids(self) -> list[str]:
+        """Ids of currently-open sessions (oldest first)."""
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    def adopt_records(self, records: list[dict[str, Any]]) -> dict[str, str]:
+        """Replay another service's event records into this one.
+
+        This is the cluster handoff path: when a worker dies, the router
+        replays the dead worker's session records into a sibling so the
+        dialogue (history *and* pending clarifications) survives.  The
+        replay is neither logged nor rate-limited — it is history, not new
+        client traffic — and sessions this service already holds are
+        skipped, so adoption can never clobber live state.  Returns the
+        clarification alias map (old id -> freshly minted id), which is
+        also merged into this service's alias table so clients keep using
+        the ids they already hold.
+        """
+        known = frozenset(self.session_ids())
+        limiter, self._limiter = self._limiter, None
+        persistence, self._persistence = self._persistence, None
+        try:
+            aliases = replay_records(self, records, skip_sids=known)
+        finally:
+            self._limiter = limiter
+            self._persistence = persistence
+        with self._sessions_lock:
+            self._clar_aliases.update(aliases)
+        if persistence is not None:
+            persistence.compact(self.dump_records())
+        return aliases
 
     # -- SQL passthrough (write side for DML/DDL) --------------------------
 

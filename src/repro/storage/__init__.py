@@ -24,7 +24,7 @@ from repro.storage.checkpoint import (
     restore_checkpoint,
     write_checkpoint,
 )
-from repro.storage.manager import RecoveryReport, StorageManager
+from repro.storage.manager import RecoveryReport, StorageManager, restore_database
 from repro.storage.transactions import TransactionManager
 from repro.storage.wal import WAL_FORMAT, WriteAheadLog, read_wal
 
@@ -38,5 +38,6 @@ __all__ = [
     "load_checkpoint",
     "read_wal",
     "restore_checkpoint",
+    "restore_database",
     "write_checkpoint",
 ]

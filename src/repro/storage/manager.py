@@ -22,7 +22,7 @@ from __future__ import annotations
 import re
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -41,6 +41,17 @@ _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
 _WAL_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
 
 
+def _scan_dir(data_dir: Path, pattern: re.Pattern[str]) -> dict[int, Path]:
+    if not data_dir.is_dir():
+        return {}
+    out: dict[int, Path] = {}
+    for path in data_dir.iterdir():
+        match = pattern.match(path.name)
+        if match:
+            out[int(match.group(1))] = path
+    return out
+
+
 @dataclass(frozen=True)
 class RecoveryReport:
     """What startup recovery found and did."""
@@ -55,6 +66,72 @@ class RecoveryReport:
     def recovered(self) -> bool:
         """True when on-disk state replaced the in-memory seed."""
         return self.checkpoint_seq is not None or self.replayed > 0
+
+
+def restore_database(
+    engine: "Engine", data_dir: str | Path, *, attempts: int = 3
+) -> RecoveryReport:
+    """Rebuild ``engine``'s database from ``data_dir`` **without writing**.
+
+    The read-only half of :meth:`StorageManager.recover`: restore the
+    newest valid checkpoint, replay the committed WAL tail over it, and
+    leave the directory untouched.  Because nothing is written, any
+    number of processes can restore from the same chain concurrently —
+    this is how cluster read workers (and respawned workers catching up)
+    share one writer-owned data directory.  If the writer checkpoints
+    and prunes mid-restore a segment can vanish underfoot (``OSError``);
+    the whole restore then retries against a rescan — the new checkpoint
+    that justified the prune covers everything the lost segment held.
+    """
+    data_dir = Path(data_dir)
+    last_error: OSError | None = None
+    for _ in range(max(1, attempts)):
+        try:
+            return _restore_once(engine, data_dir)
+        except OSError as exc:  # pragma: no cover - prune race, timing
+            last_error = exc
+    raise StorageError(
+        f"could not restore from {data_dir}: chain kept shifting underfoot"
+    ) from last_error
+
+
+def _restore_once(engine: "Engine", data_dir: Path) -> RecoveryReport:
+    start = time.perf_counter()
+    checkpoints = _scan_dir(data_dir, _CHECKPOINT_RE)
+    wals = _scan_dir(data_dir, _WAL_RE)
+
+    checkpoint_seq: int | None = None
+    restored_rows = 0
+    for seq in sorted(checkpoints, reverse=True):
+        try:
+            payload = load_checkpoint(checkpoints[seq])
+        except StorageError:
+            raise  # newer format: never silently fall back past it
+        except (ValueError, OSError, KeyError):
+            continue  # corrupt/unreadable: fall back to the older one
+        restored_rows = restore_checkpoint(engine.database, payload)
+        checkpoint_seq = seq
+        break
+
+    replayed = 0
+    replay_errors = 0
+    floor = checkpoint_seq if checkpoint_seq is not None else 0
+    for seq in sorted(s for s in wals if s >= floor):
+        for sql in read_wal(wals[seq]):
+            try:
+                engine.execute(sql)
+            except ReproError:
+                replay_errors += 1
+            else:
+                replayed += 1
+
+    return RecoveryReport(
+        checkpoint_seq=checkpoint_seq,
+        restored_rows=restored_rows,
+        replayed=replayed,
+        replay_errors=replay_errors,
+        duration_ms=(time.perf_counter() - start) * 1000.0,
+    )
 
 
 class StorageManager:
@@ -95,14 +172,7 @@ class StorageManager:
     # -- discovery -----------------------------------------------------------
 
     def _scan(self, pattern: re.Pattern[str]) -> dict[int, Path]:
-        if not self.data_dir.is_dir():
-            return {}
-        out: dict[int, Path] = {}
-        for path in self.data_dir.iterdir():
-            match = pattern.match(path.name)
-            if match:
-                out[int(match.group(1))] = path
-        return out
+        return _scan_dir(self.data_dir, pattern)
 
     def _checkpoint_path(self, seq: int) -> Path:
         return self.data_dir / f"checkpoint-{seq:08d}.json"
@@ -112,7 +182,7 @@ class StorageManager:
 
     # -- recovery ------------------------------------------------------------
 
-    def recover(self) -> RecoveryReport:
+    def recover(self, *, replay: bool = True) -> RecoveryReport:
         """Restore the newest valid checkpoint, replay the WAL tail, then
         collapse the chain into a fresh checkpoint + empty WAL segment.
 
@@ -123,49 +193,33 @@ class StorageManager:
         still on disk and replay over it); a checkpoint or WAL written by
         a *newer* format version raises :class:`StorageError` instead of
         being silently skipped.
+
+        ``replay=False`` skips the restore phase — for a process whose
+        in-memory database *already* reflects the chain (a cluster writer
+        child restored it before forking) — but still collapses the chain
+        so writes have a live WAL segment to land in.
         """
         start = time.perf_counter()
         self.data_dir.mkdir(parents=True, exist_ok=True)
-        checkpoints = self._scan(_CHECKPOINT_RE)
-        wals = self._scan(_WAL_RE)
+        if replay:
+            report = restore_database(self.engine, self.data_dir)
+        else:
+            report = RecoveryReport(
+                checkpoint_seq=None,
+                restored_rows=0,
+                replayed=0,
+                replay_errors=0,
+                duration_ms=0.0,
+            )
 
-        checkpoint_seq: int | None = None
-        restored_rows = 0
-        for seq in sorted(checkpoints, reverse=True):
-            try:
-                payload = load_checkpoint(checkpoints[seq])
-            except StorageError:
-                raise  # newer format: never silently fall back past it
-            except (ValueError, OSError, KeyError):
-                continue  # corrupt/unreadable: fall back to the older one
-            restored_rows = restore_checkpoint(self.database, payload)
-            checkpoint_seq = seq
-            break
-
-        replayed = 0
-        replay_errors = 0
-        floor = checkpoint_seq if checkpoint_seq is not None else 0
-        for seq in sorted(s for s in wals if s >= floor):
-            for sql in read_wal(wals[seq]):
-                try:
-                    self.engine.execute(sql)
-                except ReproError:
-                    replay_errors += 1
-                else:
-                    replayed += 1
-
-        self._seq = max([0, *checkpoints, *wals])
+        self._seq = max([0, *self._scan(_CHECKPOINT_RE), *self._scan(_WAL_RE)])
         # Collapse the chain: one fresh checkpoint bounds the next
         # recovery's replay, and doubles as the initial checkpoint of an
         # empty directory (first boot durably captures the seed).
         self.checkpoint()
 
-        report = RecoveryReport(
-            checkpoint_seq=checkpoint_seq,
-            restored_rows=restored_rows,
-            replayed=replayed,
-            replay_errors=replay_errors,
-            duration_ms=(time.perf_counter() - start) * 1000.0,
+        report = replace(
+            report, duration_ms=(time.perf_counter() - start) * 1000.0
         )
         self.last_recovery = report
         return report

@@ -1,0 +1,218 @@
+"""Cluster plumbing units: frames, domain specs, refunds, handoff slices.
+
+Everything here runs without forking — the end-to-end pool lives in
+``test_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.ipc import (
+    FrameError,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+from repro.cluster.registry import DomainSpec
+from repro.cluster.router import _records_for, _statement_word
+from repro.service.ratelimit import RateLimiter
+
+
+class TestFrames:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return left, right
+
+    def test_roundtrip(self):
+        left, right = self._pair()
+        try:
+            payload = {"op": "ask", "question": "how many ships", "id": 7}
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_in_order(self):
+        left, right = self._pair()
+        try:
+            for i in range(50):
+                send_frame(left, {"id": i})
+            for i in range(50):
+                assert recv_frame(right) == {"id": i}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = self._pair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = self._pair()
+        try:
+            # A length prefix promising bytes that never arrive.
+            left.sendall(struct.pack(">I", 100) + b'{"tru')
+            left.close()
+            with pytest.raises(FrameError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_rejected_both_ways(self):
+        left, right = self._pair()
+        try:
+            with pytest.raises(FrameError):
+                send_frame(left, {"blob": "x" * (33 << 20)})
+            # A hostile/corrupt length prefix is rejected before any
+            # allocation of that size.
+            left.sendall(struct.pack(">I", 1 << 30))
+            with pytest.raises(FrameError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_payload_rejected(self):
+        left, right = self._pair()
+        try:
+            blob = b"[1, 2, 3]"
+            left.sendall(struct.pack(">I", len(blob)) + blob)
+            with pytest.raises(FrameError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_asyncio_side_speaks_same_protocol(self):
+        import asyncio
+
+        left, right = socket.socketpair()
+
+        def blocking_peer():
+            request = recv_frame(right)
+            send_frame(right, {"id": request["id"], "ok": True})
+            right.close()
+
+        thread = threading.Thread(target=blocking_peer)
+        thread.start()
+
+        async def parent():
+            reader, writer = await asyncio.open_connection(sock=left)
+            write_frame(writer, {"op": "ping", "id": 1})
+            await writer.drain()
+            frame = await read_frame(reader)
+            eof = await read_frame(reader)
+            writer.close()
+            return frame, eof
+
+        frame, eof = asyncio.run(parent())
+        thread.join()
+        assert frame == {"id": 1, "ok": True}
+        assert eof is None  # clean EOF maps to None, not an exception
+
+
+class TestDomainSpec:
+    def test_bare_name(self):
+        spec = DomainSpec.parse("fleet")
+        assert spec == DomainSpec("fleet", None)
+        assert not spec.durable
+        assert spec.session_log_path is None
+
+    def test_name_with_data_dir(self, tmp_path):
+        spec = DomainSpec.parse(f"geography={tmp_path}")
+        assert spec.name == "geography"
+        assert spec.durable
+        assert spec.session_log_path == str(tmp_path / "sessions.jsonl")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError, match="unknown domain"):
+            DomainSpec.parse("narnia")
+
+    def test_empty_data_dir_rejected(self):
+        with pytest.raises(ValueError, match="empty data directory"):
+            DomainSpec.parse("fleet=  ")
+
+
+class TestStatementWord:
+    @pytest.mark.parametrize(
+        ("sql", "word"),
+        [
+            ("SELECT * FROM ship", "select"),
+            ("  explain select 1", "explain"),
+            ("INSERT INTO port VALUES (1)", "insert"),
+            ("BEGIN;", "begin"),
+            ("", ""),
+        ],
+    )
+    def test_head_word(self, sql, word):
+        assert _statement_word(sql) == word
+
+
+class TestRefund:
+    def test_refund_restores_tokens(self):
+        limiter = RateLimiter(0.001, burst=2)
+        assert limiter.check("k") == 0.0
+        assert limiter.check("k") == 0.0
+        assert limiter.check("k") > 0  # bucket drained
+        limiter.refund("k")
+        assert limiter.check("k") == 0.0  # the refunded token
+
+    def test_refund_never_exceeds_capacity(self):
+        limiter = RateLimiter(0.001, burst=2)
+        limiter.check("k")
+        limiter.refund("k", tokens=50.0)
+        # Capacity is 2: exactly two checks pass, not fifty.
+        assert limiter.check("k") == 0.0
+        assert limiter.check("k") == 0.0
+        assert limiter.check("k") > 0
+
+    def test_refund_unknown_key_is_noop(self):
+        RateLimiter(1.0, burst=2).refund("never-charged")
+
+
+class TestRecordsFor:
+    EVENTS = [
+        {"op": "open", "sid": "a"},
+        {"op": "open", "sid": "b"},
+        {"op": "turn", "sid": "a", "question": "q1", "clarify": False,
+         "choice": None},
+        {"op": "park", "sid": "a", "question": "q2", "id": "clar-a",
+         "choices": []},
+        {"op": "park", "sid": None, "question": "q3", "id": "clar-loose",
+         "choices": []},
+        {"op": "resolve", "id": "clar-a", "choice": 0},
+        {"op": "resolve", "id": "clar-loose", "choice": 1},
+        {"op": "turn", "sid": "b", "question": "q4", "clarify": False,
+         "choice": None},
+    ]
+
+    def test_selects_only_the_moved_sessions(self):
+        records = _records_for(self.EVENTS, {"a"}, set())
+        ops = [(r["op"], r.get("sid"), r.get("id")) for r in records]
+        assert ops == [
+            ("open", "a", None),
+            ("turn", "a", None),
+            ("park", "a", "clar-a"),
+            ("resolve", None, "clar-a"),  # follows its park, no sid needed
+        ]
+
+    def test_loose_clarification_moves_with_its_resolve(self):
+        records = _records_for(self.EVENTS, set(), {"clar-loose"})
+        ops = [(r["op"], r.get("id")) for r in records]
+        assert ops == [("park", "clar-loose"), ("resolve", "clar-loose")]
+
+    def test_other_sessions_resolves_stay_behind(self):
+        records = _records_for(self.EVENTS, {"b"}, set())
+        ops = [(r["op"], r.get("sid")) for r in records]
+        assert ops == [("open", "b"), ("turn", "b")]

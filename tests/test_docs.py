@@ -67,6 +67,7 @@ REGISTERED_DOCS = (
     "docs/api.md",
     "docs/http.md",
     "docs/concurrency.md",
+    "docs/cluster.md",
     "docs/storage.md",
     "docs/benchmarks.md",
     "docs/evaluation.md",
@@ -104,6 +105,7 @@ def test_no_orphaned_doc_pages():
         "docs/api.md",
         "docs/http.md",
         "docs/concurrency.md",
+        "docs/cluster.md",
         "docs/storage.md",
         "docs/evaluation.md",
     ],

@@ -458,3 +458,129 @@ class TestConcurrentAskers:
             thread.join()
         assert not errors
         assert server.server.stats["requests"] >= 48
+
+
+class TestMultiDomainLocal:
+    """One server, several in-process services behind a ServiceBackend."""
+
+    @pytest.fixture(scope="class")
+    def multi(self):
+        from repro.datasets import load_bundle
+        from repro.server import ServiceBackend
+
+        services = {}
+        for name in ("fleet", "geography"):
+            bundle = load_bundle(name)
+            services[name] = NliService(
+                bundle.database, domain=bundle.model,
+                config=NliConfig(clarification_margin=10.0),
+            )
+        backend = ServiceBackend(services, default_domain="fleet")
+        handle = serve_in_thread(backend=backend, domain_qps=0.001,
+                                 domain_burst=3)
+        yield handle
+        handle.stop()
+        for svc in services.values():
+            svc.close()
+
+    def test_path_routing_hits_the_named_domain(self, multi):
+        code, wire, _ = _call(
+            multi.url, "/d/geography/ask",
+            {"question": "which rivers are in the usa"},
+        )
+        assert code == 200
+        assert wire["status"] == "answered"
+
+    def test_body_domain_field_routes_too(self, multi):
+        code, wire, _ = _call(
+            multi.url, "/ask",
+            {"question": "which rivers are in the usa",
+             "domain": "geography"},
+        )
+        assert code == 200
+
+    def test_bare_path_uses_default_domain(self, multi):
+        code, wire, _ = _call(
+            multi.url, "/ask", {"question": "how many ships are there"}
+        )
+        assert code == 200
+        assert wire["answer"]["rows"] == [[60]]
+
+    def test_conflicting_path_and_body_domain_400(self, multi):
+        code, wire, _ = _call(
+            multi.url, "/d/fleet/ask",
+            {"question": "hello", "domain": "geography"},
+        )
+        assert code == 400
+        assert wire["code"] == "bad_field"
+
+    def test_unknown_domain_404_both_spellings(self, multi):
+        code, wire, _ = _call(multi.url, "/d/narnia/ask", {"question": "q"})
+        assert code == 404
+        assert wire["code"] == "unknown_domain"
+        code, wire, _ = _call(
+            multi.url, "/ask", {"question": "q", "domain": "narnia"}
+        )
+        assert code == 404
+        assert wire["code"] == "unknown_domain"
+
+    def test_per_domain_stats_and_overall(self, multi):
+        code, wire, _ = _call(multi.url, "/d/geography/stats")
+        assert code == 200
+        assert "service" in wire and "http" in wire
+        code, overall, _ = _call(multi.url, "/stats")
+        assert set(overall["domains"]) == {"fleet", "geography"}
+
+    def test_domain_bucket_limits_one_domain_not_the_other(self, multi):
+        # Burst 3 at ~zero refill: drain geography's bucket...
+        codes = []
+        for _ in range(5):
+            code, wire, headers = _call(
+                multi.url, "/d/geography/ask",
+                {"question": "which rivers are in the usa"},
+            )
+            codes.append(code)
+            if code == 429:
+                assert "Retry-After" in headers
+                assert wire["retry_after_s"] is not None
+        assert 429 in codes
+        # ...fleet's bucket is untouched: its requests still land.
+        code, wire, _ = _call(
+            multi.url, "/ask", {"question": "how many ships are there"}
+        )
+        assert code == 200
+
+
+class TestDomainRefund:
+    """All-or-nothing across the limiter layers: a per-client rejection
+    refunds the domain bucket."""
+
+    def test_per_key_rejection_gives_domain_tokens_back(self):
+        svc = NliService(
+            fleet.build_database(seed=5, ships=60),
+            domain=fleet.domain(),
+            # Per-session limiter that rejects from the second request on.
+            config=NliConfig(rate_limit_qps=0.001, rate_limit_burst=1),
+        )
+        from repro.server import ServiceBackend
+
+        backend = ServiceBackend({"fleet": svc})
+        handle = serve_in_thread(backend=backend, domain_qps=0.001,
+                                 domain_burst=8)
+        try:
+            question = {"question": "how many ships are there"}
+            code, _, _ = _call(handle.url, "/ask", question)
+            assert code == 200
+            # Five more: every one 429s at the per-client layer.  Without
+            # the refund these would also drain 5 domain tokens.
+            for _ in range(5):
+                code, _, _ = _call(handle.url, "/ask", question)
+                assert code == 429
+            limiter = handle.server._domain_limiter
+            bucket = limiter._buckets["fleet"]
+            # One domain token spent (the single 200), the refunds put
+            # the rejected requests' tokens back.
+            assert bucket.tokens >= limiter.burst - 1.5
+        finally:
+            handle.stop()
+            svc.close()
