@@ -206,6 +206,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "while any worker is down, DML answers 503 + Retry-After",
     )
     parser.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="with --procs > 1: a worker that holds one request longer "
+             "than this is treated as wedged — killed and respawned like "
+             "a crash — instead of hanging clients forever (0 disables; "
+             "default: 60)",
+    )
+    parser.add_argument(
         "--domain-qps", type=float, default=None, metavar="RATE",
         help="per-domain rate limit, requests/second, layered on top of "
              "the per-session --qps limit (default: unlimited)",
@@ -314,6 +321,8 @@ def serve_main(argv: list[str] | None = None, stdout=None) -> int:
         parser.error("--procs must be >= 1")
     if args.respawn_delay < 0:
         parser.error("--respawn-delay must be >= 0")
+    if args.request_timeout < 0:
+        parser.error("--request-timeout must be >= 0 (0 disables it)")
     if args.data_dir is not None and args.state is not None:
         parser.error(
             "--state is a deprecated alias superseded by --data-dir; "
@@ -400,7 +409,8 @@ def _serve_cluster(args, specs, config, stdout) -> int:
     from repro.server import NliHttpServer
 
     supervisor = build_cluster(
-        specs, args.procs, config, respawn_delay_s=args.respawn_delay
+        specs, args.procs, config, respawn_delay_s=args.respawn_delay,
+        request_timeout_s=args.request_timeout or None,
     )
 
     async def run() -> None:

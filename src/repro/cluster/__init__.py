@@ -53,6 +53,7 @@ def build_cluster(
     config: NliConfig,
     *,
     respawn_delay_s: float = 0.0,
+    request_timeout_s: float | None = 60.0,
 ) -> ClusterSupervisor:
     """Load every domain, restore durable state, and fork the pool.
 
@@ -69,6 +70,7 @@ def build_cluster(
         checkpoint_every=config.checkpoint_every,
         wal_fsync=config.wal_fsync,
         respawn_delay_s=respawn_delay_s,
+        request_timeout_s=request_timeout_s,
     )
     supervisor.fork_initial()
     return supervisor

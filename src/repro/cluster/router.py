@@ -9,8 +9,11 @@ workers alive):
   After the writer acks, the statement is **synchronously replicated**
   to every other worker before the client sees 200 — so a read routed
   to any sibling observes the write (read-your-writes), at the cost of
-  write latency scaling with the pool.  Reads (``ask``, ``SELECT``)
-  fan out round-robin across *all* workers, writer included.
+  write latency scaling with the pool.  A replica that fails to apply
+  has diverged and is evicted (killed and respawned into catch-up)
+  instead of staying in rotation with stale rows.  Reads (``ask``,
+  ``SELECT``) fan out round-robin across *all* workers, writer
+  included.
 * **Session affinity.**  Dialogue state (history, pending
   clarifications) lives in exactly one worker's memory: a session is
   assigned a worker on first sight and sticks.  The router mirrors
@@ -40,9 +43,11 @@ it from a local in-process service.
 from __future__ import annotations
 
 import asyncio
+import json
 import math
-from typing import Any
+from typing import Any, Iterator
 
+from repro.cluster.ipc import MAX_FRAME_BYTES
 from repro.cluster.registry import DomainSpec
 from repro.cluster.supervisor import ClusterSupervisor, WorkerDied, WorkerHandle
 from repro.server.http import ApiError
@@ -55,10 +60,38 @@ __all__ = ["ClusterRouter"]
 #: Statement heads that route to any reader when no transaction is open.
 _READ_WORDS = ("select", "explain")
 
+#: Byte budget for one ``apply`` frame's statements.  Well under the
+#: frame cap so a transaction of many 1 MiB ``/sql`` bodies replicates
+#: as several frames instead of one unframeable monster.
+_APPLY_BUDGET = MAX_FRAME_BYTES // 4
+
+
+class _ReplicaApplyFailed(Exception):
+    """A live replica answered ``ok: false`` to a replicated statement."""
+
 
 def _statement_word(sql: str) -> str:
     head = sql.lstrip().lower()
     return head.split(None, 1)[0].rstrip(";") if head else ""
+
+
+def _statement_chunks(
+    statements: list[str], budget: int = _APPLY_BUDGET
+) -> Iterator[list[str]]:
+    """Split a statement batch into sublists whose JSON-encoded size
+    stays under ``budget`` (a single oversized statement still ships
+    alone — the HTTP body cap keeps it far below the frame cap)."""
+    chunk: list[str] = []
+    size = 0
+    for sql in statements:
+        cost = len(json.dumps(sql)) + 1
+        if chunk and size + cost > budget:
+            yield chunk
+            chunk, size = [], 0
+        chunk.append(sql)
+        size += cost
+    if chunk:
+        yield chunk
 
 
 def _records_for(
@@ -520,9 +553,17 @@ class ClusterRouter:
                     if word == "commit":
                         statements = state.txn_buffer
                         state.txn_buffer = None
-                        await self._replicate(state, statements)
+                        # The writer has durably committed: move the
+                        # data stamp *now* so the response cache can
+                        # never serve pre-commit rows, and release the
+                        # transaction gate no matter how replication
+                        # goes — a replica failure degrades the pool, it
+                        # must not wedge every future BEGIN.
                         state.write_count += 1
-                        state.txn_lock.release()
+                        try:
+                            await self._replicate(state, statements)
+                        finally:
+                            state.txn_lock.release()
                     elif word == "rollback":
                         state.txn_buffer = None
                         state.txn_lock.release()
@@ -531,8 +572,8 @@ class ClusterRouter:
                     return result
                 if word not in _READ_WORDS:
                     state.counters["dml_statements"] += 1
-                    await self._replicate(state, [sql])
                     state.write_count += 1
+                    await self._replicate(state, [sql])
                 return result
         except BaseException:
             if began and state.txn_buffer is None:
@@ -562,34 +603,53 @@ class ClusterRouter:
         self, state: _DomainState, statements: list[str]
     ) -> None:
         """Apply acked statements on every non-writer worker before the
-        client sees the ack (synchronous, read-your-writes).  A replica
-        dying mid-apply is fine — it catches up on respawn; an apply
-        *error* on a live replica is counted (the same statement already
-        committed on the writer, so divergence here mirrors what a WAL
-        replay error would be)."""
+        client sees the ack (synchronous, read-your-writes).
+
+        Never raises — the writer already committed, so the ack stands
+        whatever the replicas do.  A replica dying mid-apply is fine (it
+        catches up on respawn); a live replica that *fails* to apply has
+        diverged from the writer and is evicted — SIGKILLed into the
+        normal death → respawn → catch-up path — rather than left in
+        read rotation serving rows that are missing the write.  The
+        eviction surfaces in ``/healthz`` as degraded until the respawn
+        rejoins.  Statements ship in size-bounded chunks so a large
+        transaction can never exceed the IPC frame cap."""
         if not statements:
             return
         if not state.spec.durable:
             state.dml_history.extend(statements)
-        payload = {
-            "op": "apply",
-            "domain": state.spec.name,
-            "statements": statements,
-        }
+        chunks = list(_statement_chunks(statements))
         replicas = [h for h in self.supervisor.handles if h.live and h.index != 0]
         results = await asyncio.gather(
-            *(self.supervisor.request(handle, payload) for handle in replicas),
+            *(self._apply_on(handle, state, chunks) for handle in replicas),
             return_exceptions=True,
         )
-        for frame in results:
-            if isinstance(frame, WorkerDied):
-                continue
-            if isinstance(frame, BaseException):
-                raise frame
-            if frame.get("ok", False):
-                state.counters["replicated_statements"] += len(statements)
-            else:
+        for handle, result in zip(replicas, results):
+            if isinstance(result, WorkerDied):
+                continue  # catches up from the chain / history on respawn
+            if isinstance(result, BaseException):
                 state.counters["replication_errors"] += 1
+                self.supervisor.evict(handle)
+            else:
+                state.counters["replicated_statements"] += len(statements)
+
+    async def _apply_on(
+        self,
+        handle: WorkerHandle,
+        state: _DomainState,
+        chunks: list[list[str]],
+    ) -> None:
+        for chunk in chunks:
+            frame = await self.supervisor.request(
+                handle,
+                {
+                    "op": "apply",
+                    "domain": state.spec.name,
+                    "statements": chunk,
+                },
+            )
+            if not frame.get("ok", False):
+                raise _ReplicaApplyFailed(frame.get("error", "apply failed"))
 
     # -- failure handling --------------------------------------------------
 
@@ -652,14 +712,15 @@ class ClusterRouter:
         """
         for state in self._domains.values():
             if not state.spec.durable and state.dml_history:
-                await self.supervisor.request(
-                    handle,
-                    {
-                        "op": "apply",
-                        "domain": state.spec.name,
-                        "statements": list(state.dml_history),
-                    },
-                )
+                for chunk in _statement_chunks(list(state.dml_history)):
+                    await self.supervisor.request(
+                        handle,
+                        {
+                            "op": "apply",
+                            "domain": state.spec.name,
+                            "statements": chunk,
+                        },
+                    )
             sids = {
                 sid
                 for sid, owner in state.session_owner.items()
@@ -684,6 +745,7 @@ class ClusterRouter:
     # -- backend protocol: observability -----------------------------------
 
     async def stats(self, domain: str | None = None) -> dict[str, Any]:
+        await self.supervisor.sweep()
         worker_stats: dict[int, dict[str, Any]] = {}
         for handle in self.supervisor.live_handles():
             try:
@@ -743,6 +805,9 @@ class ClusterRouter:
         }
 
     async def healthz(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        # Reap-before-report: a worker that is already a zombie must not
+        # show as live for the instant before its socket EOF lands.
+        await self.supervisor.sweep()
         workers = [
             {
                 "index": handle.index,

@@ -89,6 +89,7 @@ class ClusterSupervisor:
         checkpoint_every: int = 512,
         wal_fsync: bool = True,
         respawn_delay_s: float = 0.0,
+        request_timeout_s: float | None = 60.0,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -101,7 +102,15 @@ class ClusterSupervisor:
         self.checkpoint_every = checkpoint_every
         self.wal_fsync = wal_fsync
         self.respawn_delay_s = respawn_delay_s
+        #: A worker that takes longer than this to answer one request is
+        #: considered wedged and evicted (SIGKILL -> respawn); ``None``
+        #: disables the watchdog.
+        self.request_timeout_s = request_timeout_s
         self.handles = [WorkerHandle(index) for index in range(procs)]
+        #: pids we forked and have not yet reaped.  Signalling anything
+        #: outside this set is forbidden: a reaped pid may already have
+        #: been recycled by the OS for an unrelated process.
+        self._children: set[int] = set()
         #: Router hooks.  ``on_worker_ready(handle)`` runs after a
         #: respawned worker says hello and before it is marked live (the
         #: router replays missed in-memory DML there); ``on_worker_death``
@@ -137,6 +146,7 @@ class ClusterSupervisor:
             )
         child_sock.close()
         handle.pid = pid
+        self._children.add(pid)
         handle.sock = parent_sock
         handle.state = "starting"
 
@@ -183,6 +193,9 @@ class ClusterSupervisor:
         if handle.state == "dead" or self._closing:
             return
         handle.state = "dead"
+        # The pid now names an exiting (soon reaped, eventually recycled)
+        # process: forget it so no later signal can hit a stranger.
+        handle.pid = None
         handle.fail_pending()
         if handle.writer is not None:
             handle.writer.close()
@@ -219,13 +232,49 @@ class ClusterSupervisor:
         """Collect exited children so the process table stays clean."""
         while True:
             await asyncio.sleep(0.2)
-            try:
-                while True:
-                    pid, _ = os.waitpid(-1, os.WNOHANG)
-                    if pid == 0:
-                        break
-            except ChildProcessError:
-                pass
+            await self.sweep()
+
+    async def sweep(self) -> None:
+        """Synchronously notice already-exited children.
+
+        Death detection is normally EOF-driven, which is fast but
+        *asynchronous*: for an instant after a SIGKILL the handle still
+        says "live".  The sweep reaps zombies non-blockingly and runs
+        the death path for any handle whose process is gone before its
+        pump saw EOF — ``/healthz`` calls it first, so a 200 never
+        reports a zombie as a live worker.  Idempotent against the pump:
+        whoever gets there second sees state "dead" and backs off.
+        """
+        reaped: set[int] = set()
+        try:
+            while True:
+                pid, _ = os.waitpid(-1, os.WNOHANG)
+                if pid == 0:
+                    break
+                self._children.discard(pid)
+                reaped.add(pid)
+        except ChildProcessError:
+            pass
+        for handle in self.handles:
+            if handle.live and handle.pid in reaped:
+                await self._worker_died(handle)
+
+    def evict(self, handle: WorkerHandle) -> None:
+        """Forcibly retire a worker that is wedged (no answer within the
+        request timeout) or diverged (failed to apply a replicated
+        statement the writer committed).  SIGKILL makes its socket EOF,
+        which runs the ordinary death path: pending requests fail fast,
+        sessions hand off, and the respawn catches the replacement up
+        from the checkpoint + WAL chain / DML history before it rejoins
+        routing."""
+        if handle.state == "dead" or handle.pid is None:
+            return
+        if handle.pid not in self._children:
+            return  # already reaped: the pid may belong to a stranger
+        try:
+            os.kill(handle.pid, 9)
+        except OSError:
+            pass
 
     # -- requests ----------------------------------------------------------
 
@@ -245,6 +294,11 @@ class ClusterSupervisor:
         answering — the router decides whether the op is safe to retry
         elsewhere.  Workers in state "starting" are reachable: the ready
         hook uses this to catch a respawn up before it joins routing.
+        A worker that holds the request past ``request_timeout_s`` is
+        evicted (it wedged without crashing: a stuck thread pool cannot
+        be told apart from a dead process by its caller) and the request
+        fails with :class:`WorkerDied` — the respawn machinery takes it
+        from there.
         """
         if handle.state == "dead" or handle.writer is None:
             raise WorkerDied(handle.index)
@@ -259,7 +313,20 @@ class ClusterSupervisor:
         except (ConnectionError, OSError) as exc:
             handle.pending.pop(request_id, None)
             raise WorkerDied(handle.index) from exc
-        return await future
+        except BaseException:
+            # e.g. FrameError on an oversized payload: the worker is
+            # fine, the frame never went out — don't leak the future.
+            handle.pending.pop(request_id, None)
+            raise
+        if not self.request_timeout_s:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self.request_timeout_s)
+        except asyncio.TimeoutError:
+            handle.pending.pop(request_id, None)
+            if not self._closing:
+                self.evict(handle)
+            raise WorkerDied(handle.index) from None
 
     # -- shutdown ----------------------------------------------------------
 
@@ -280,16 +347,18 @@ class ClusterSupervisor:
                 handle.pump_task.cancel()
             if handle.writer is not None:
                 handle.writer.close()
-        for handle in self.handles:
-            if handle.pid is None:
-                continue
-            # Anything still running already answered (or never will):
-            # forcible kill is safe, workers reply only after cleanup.
+        # Anything still running already answered (or never will):
+        # forcible kill is safe, workers reply only after cleanup.  Only
+        # pids still in the un-reaped children set are signalled — a pid
+        # the reap loop already collected (a worker that died earlier, or
+        # a respawn that gave up) may have been recycled by the OS.
+        for pid in list(self._children):
             try:
-                os.kill(handle.pid, 9)
+                os.kill(pid, 9)
             except OSError:
                 pass
             try:
-                os.waitpid(handle.pid, 0)
+                os.waitpid(pid, 0)
             except ChildProcessError:
                 pass
+            self._children.discard(pid)

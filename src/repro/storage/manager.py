@@ -88,7 +88,7 @@ def restore_database(
     for _ in range(max(1, attempts)):
         try:
             return _restore_once(engine, data_dir)
-        except OSError as exc:  # pragma: no cover - prune race, timing
+        except OSError as exc:
             last_error = exc
     raise StorageError(
         f"could not restore from {data_dir}: chain kept shifting underfoot"
@@ -107,8 +107,14 @@ def _restore_once(engine: "Engine", data_dir: Path) -> RecoveryReport:
             payload = load_checkpoint(checkpoints[seq])
         except StorageError:
             raise  # newer format: never silently fall back past it
-        except (ValueError, OSError, KeyError):
-            continue  # corrupt/unreadable: fall back to the older one
+        except OSError:
+            # The writer checkpointed and pruned underfoot: this scan is
+            # stale.  Propagate so :func:`restore_database` retries on a
+            # rescan — falling back here could "succeed" with only the
+            # WAL tail replayed over an older (or empty) base.
+            raise
+        except (ValueError, KeyError):
+            continue  # corrupt: fall back to the older one
         restored_rows = restore_checkpoint(engine.database, payload)
         checkpoint_seq = seq
         break

@@ -69,8 +69,25 @@ class ClusterProc:
             for worker in self.stats()["cluster"]["workers"]
         }
 
-    def kill_worker(self, index: int) -> None:
-        os.kill(self.worker_pids()[index], signal.SIGKILL)
+    def kill_worker(self, index: int, wait: bool = True) -> None:
+        """SIGKILL a worker.  Signal delivery and the router's EOF-driven
+        death detection are both asynchronous, so by default block until
+        the router has noticed — otherwise a following wait_healthy()
+        can catch a stale 200 from the instant before the death lands.
+        ``wait=False`` races the detection on purpose."""
+        pid = self.worker_pids()[index]
+        os.kill(pid, signal.SIGKILL)
+        if not wait:
+            return
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            worker = {
+                w["index"]: w for w in self.stats()["cluster"]["workers"]
+            }[index]
+            if not worker["live"] or worker["pid"] != pid:
+                return
+            time.sleep(0.02)
+        raise AssertionError(f"death of worker {index} was never noticed")
 
     def wait_healthy(self, timeout: float = 20.0) -> None:
         deadline = time.monotonic() + timeout
@@ -221,7 +238,7 @@ class TestFailure:
         # Kill the owner and immediately re-ask: the router dispatches to
         # the (still-listed) owner, sees WorkerDied, hands the session
         # off and retries on a sibling — the client just sees 200.
-        cluster.kill_worker(owner)
+        cluster.kill_worker(owner, wait=False)
         code, wire, _ = cluster.post(
             "/ask", {"question": "how many fleets are there", "session": sid}
         )
@@ -258,7 +275,9 @@ class TestFailure:
         assert cluster.post(
             "/sql", {"sql": INSERT.format(id=903, name="lost")}
         )[0] == 200
-        cluster.kill_worker(0)
+        # Race the COMMIT against recovery (wait=False): if it beats the
+        # respawn it must answer 503, never silently land.
+        cluster.kill_worker(0, wait=False)
         # COMMIT cannot land: the group never reached the WAL, so the
         # router answers 503 and the transaction evaporates everywhere.
         code, wire, headers = cluster.post("/sql", {"sql": "COMMIT"})

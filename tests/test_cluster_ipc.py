@@ -6,6 +6,8 @@ Everything here runs without forking — the end-to-end pool lives in
 
 from __future__ import annotations
 
+import asyncio
+import os
 import socket
 import struct
 import threading
@@ -20,7 +22,13 @@ from repro.cluster.ipc import (
     write_frame,
 )
 from repro.cluster.registry import DomainSpec
-from repro.cluster.router import _records_for, _statement_word
+from repro.cluster.router import (
+    ClusterRouter,
+    _records_for,
+    _statement_chunks,
+    _statement_word,
+)
+from repro.cluster.supervisor import ClusterSupervisor, WorkerDied
 from repro.service.ratelimit import RateLimiter
 
 
@@ -181,7 +189,219 @@ class TestRefund:
         RateLimiter(1.0, burst=2).refund("never-charged")
 
 
-class TestRecordsFor:
+class TestStatementChunks:
+    def test_small_batch_is_one_chunk(self):
+        assert list(_statement_chunks(["a", "b"])) == [["a", "b"]]
+
+    def test_splits_on_budget_preserving_order(self):
+        statements = [f"stmt-{i:02d}" for i in range(10)]
+        chunks = list(_statement_chunks(statements, budget=30))
+        assert len(chunks) > 1
+        assert [s for chunk in chunks for s in chunk] == statements
+
+    def test_oversized_single_statement_ships_alone(self):
+        assert list(_statement_chunks(["y" * 100], budget=10)) == [["y" * 100]]
+
+    def test_empty_batch_yields_nothing(self):
+        assert list(_statement_chunks([])) == []
+
+
+class _StubHandle:
+    def __init__(self, index: int):
+        self.index = index
+        self.state = "live"
+        self.pid = 1000 + index
+        self.restarts = 0
+
+    @property
+    def live(self) -> bool:
+        return self.state == "live"
+
+    @property
+    def is_writer(self) -> bool:
+        return self.index == 0
+
+
+class _StubSupervisor:
+    """Just enough supervisor for the router's write path, no forking."""
+
+    def __init__(self, respond, procs: int = 2):
+        self.procs = procs
+        self.respawn_delay_s = 0.0
+        self.handles = [_StubHandle(i) for i in range(procs)]
+        self.requests: list[tuple[int, dict]] = []
+        self.evicted: list[int] = []
+        self._respond = respond
+        self.on_worker_death = None
+        self.on_worker_ready = None
+
+    def live_handles(self):
+        return [handle for handle in self.handles if handle.live]
+
+    @property
+    def all_live(self) -> bool:
+        return all(handle.live for handle in self.handles)
+
+    async def request(self, handle, payload):
+        self.requests.append((handle.index, payload))
+        out = self._respond(handle, payload)
+        if isinstance(out, BaseException):
+            raise out
+        return out
+
+    def evict(self, handle) -> None:
+        self.evicted.append(handle.index)
+
+    async def sweep(self) -> None:
+        pass
+
+
+def _sql_ok(handle, payload):
+    return {"ok": True, "columns": [], "rows": []}
+
+
+class TestReplicationFailureContainment:
+    """A replica that cannot apply an acked statement must degrade the
+    pool — never wedge the transaction gate or poison the commit."""
+
+    def _router(self, respond) -> tuple[_StubSupervisor, ClusterRouter]:
+        supervisor = _StubSupervisor(respond)
+        return supervisor, ClusterRouter(supervisor, [DomainSpec.parse("fleet")])
+
+    def test_commit_releases_gate_when_replica_apply_fails(self):
+        def respond(handle, payload):
+            if payload["op"] == "apply":
+                return {"ok": False, "error": "diverged"}
+            return _sql_ok(handle, payload)
+
+        async def scenario():
+            supervisor, router = self._router(respond)
+            await router.execute("fleet", "BEGIN")
+            await router.execute("fleet", "INSERT INTO port VALUES (1)")
+            result = await router.execute("fleet", "COMMIT")
+            assert result == {"columns": [], "rows": []}
+            state = router._domains["fleet"]
+            # The writer committed: the stamp moved and the gate reopened
+            # even though the replica failed to apply.
+            assert state.write_count == 1
+            assert not state.txn_lock.locked()
+            assert state.counters["replication_errors"] == 1
+            assert supervisor.evicted == [1]
+            # The next transaction starts immediately (no deadlock).
+            await asyncio.wait_for(router.execute("fleet", "BEGIN"), timeout=1)
+            await router.execute("fleet", "ROLLBACK")
+
+        asyncio.run(scenario())
+
+    def test_commit_contains_replication_exception(self):
+        def respond(handle, payload):
+            if payload["op"] == "apply":
+                return FrameError("oversized frame")
+            return _sql_ok(handle, payload)
+
+        async def scenario():
+            supervisor, router = self._router(respond)
+            await router.execute("fleet", "BEGIN")
+            await router.execute("fleet", "INSERT INTO port VALUES (1)")
+            await router.execute("fleet", "COMMIT")  # must not raise
+            state = router._domains["fleet"]
+            assert state.write_count == 1
+            assert not state.txn_lock.locked()
+            assert state.counters["replication_errors"] == 1
+            assert supervisor.evicted == [1]
+
+        asyncio.run(scenario())
+
+    def test_autocommit_ack_stands_despite_replica_failure(self):
+        def respond(handle, payload):
+            if payload["op"] == "apply":
+                return {"ok": False, "error": "diverged"}
+            return _sql_ok(handle, payload)
+
+        async def scenario():
+            supervisor, router = self._router(respond)
+            result = await router.execute(
+                "fleet", "INSERT INTO port VALUES (1)"
+            )
+            assert result == {"columns": [], "rows": []}
+            state = router._domains["fleet"]
+            assert state.write_count == 1
+            assert supervisor.evicted == [1]
+
+        asyncio.run(scenario())
+
+    def test_dead_replica_is_skipped_not_evicted(self):
+        def respond(handle, payload):
+            if payload["op"] == "apply":
+                return WorkerDied(handle.index)
+            return _sql_ok(handle, payload)
+
+        async def scenario():
+            supervisor, router = self._router(respond)
+            await router.execute("fleet", "INSERT INTO port VALUES (1)")
+            state = router._domains["fleet"]
+            # Death mid-apply is the respawn path's job, not divergence.
+            assert supervisor.evicted == []
+            assert state.counters["replication_errors"] == 0
+            assert state.write_count == 1
+
+        asyncio.run(scenario())
+
+
+class TestRequestWatchdog:
+    def _wire(self, sup):
+        """Attach a never-answering peer socket to worker 0's handle."""
+
+        async def attach():
+            handle = sup.handles[0]
+            left, right = socket.socketpair()
+            handle.reader, handle.writer = await asyncio.open_connection(
+                sock=left
+            )
+            handle.state = "live"
+            return handle, right
+
+        return attach
+
+    def test_timeout_evicts_the_wedged_worker(self):
+        async def scenario():
+            sup = ClusterSupervisor({}, {}, 1, request_timeout_s=0.05)
+            handle, peer = await self._wire(sup)()
+            evicted = []
+            sup.evict = lambda h: evicted.append(h.index)
+            with pytest.raises(WorkerDied):
+                await sup.request(handle, {"op": "ping"})
+            assert evicted == [0]
+            assert handle.pending == {}
+            handle.writer.close()
+            peer.close()
+
+        asyncio.run(scenario())
+
+    def test_oversized_payload_fails_fast_without_leaking(self):
+        async def scenario():
+            sup = ClusterSupervisor({}, {}, 1, request_timeout_s=None)
+            handle, peer = await self._wire(sup)()
+            with pytest.raises(FrameError):
+                await sup.request(handle, {"blob": "x" * (33 << 20)})
+            assert handle.pending == {}
+            handle.writer.close()
+            peer.close()
+
+        asyncio.run(scenario())
+
+    def test_evict_never_signals_reaped_pids(self, monkeypatch):
+        sup = ClusterSupervisor({}, {}, 1)
+        handle = sup.handles[0]
+        handle.state = "live"
+        handle.pid = 999999
+        calls = []
+        monkeypatch.setattr(os, "kill", lambda *args: calls.append(args))
+        sup.evict(handle)  # pid unknown to the children set: reaped
+        assert calls == []
+        sup._children.add(999999)
+        sup.evict(handle)
+        assert calls == [(999999, 9)]
     EVENTS = [
         {"op": "open", "sid": "a"},
         {"op": "open", "sid": "b"},

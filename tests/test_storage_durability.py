@@ -221,6 +221,56 @@ class TestRecovery:
         assert _rows(fresh) == expected
         manager.close()
 
+    def test_pruned_checkpoint_mid_restore_retries_against_rescan(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.storage.manager as manager_mod
+
+        engine = _engine()
+        manager = _manager(engine, tmp_path)
+        engine.execute("INSERT INTO items VALUES (10, 'ten', 100)")
+        expected = _rows(engine)
+        del manager
+        # Simulate the cluster writer checkpointing + pruning between the
+        # restore's directory scan and its read of the newest checkpoint:
+        # the first load sees a vanished file, the rescan a whole chain.
+        # A vanished file must trigger that rescan — falling back like a
+        # corrupt checkpoint would "succeed" with only the WAL tail
+        # replayed over an empty base.
+        real_load = manager_mod.load_checkpoint
+        calls = {"n": 0}
+
+        def flaky_load(path):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise FileNotFoundError(path)
+            return real_load(path)
+
+        monkeypatch.setattr(manager_mod, "load_checkpoint", flaky_load)
+        fresh = Engine(Database())
+        report = manager_mod.restore_database(fresh, tmp_path)
+        assert calls["n"] >= 2
+        assert report.checkpoint_seq is not None
+        assert _rows(fresh) == expected
+
+    def test_restore_gives_up_when_chain_keeps_vanishing(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.storage.manager as manager_mod
+
+        engine = _engine()
+        manager = _manager(engine, tmp_path)
+        del manager
+
+        def always_gone(path):
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(manager_mod, "load_checkpoint", always_gone)
+        with pytest.raises(StorageError, match="shifting underfoot"):
+            manager_mod.restore_database(
+                Engine(Database()), tmp_path, attempts=2
+            )
+
     def test_replay_alone_rebuilds_without_any_checkpoint(self, tmp_path):
         engine = _engine()
         manager = _manager(engine, tmp_path)
