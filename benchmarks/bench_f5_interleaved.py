@@ -52,9 +52,9 @@ def _interleaved_round_ms(nli: NaturalLanguageInterface, i: int, rebuild: bool) 
     _insert_ship(nli, i)
     if rebuild:
         nli.refresh(full=True)  # emulate global-counter invalidation
-    answer = nli.ask(QUESTION)
+    response = nli.ask(QUESTION)
     elapsed = (time.perf_counter() - start) * 1000.0
-    assert answer.result.scalar() == SHIPS + (i + 1)  # stays correct
+    assert response.answer.result.scalar() == SHIPS + (i + 1)  # stays correct
     return elapsed
 
 

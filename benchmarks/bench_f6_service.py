@@ -84,7 +84,7 @@ def _batch_ms() -> tuple[float, NaturalLanguageInterface]:
     responses = nli.ask_many(questions)
     elapsed = (time.perf_counter() - start) * 1000.0
     assert all(r.ok for r in responses)
-    assert responses[0].result.scalar() == SHIPS + len(questions)
+    assert responses[0].answer.result.scalar() == SHIPS + len(questions)
     return elapsed, nli
 
 

@@ -86,7 +86,7 @@ class _Workload:
                 response = self.service.ask(QUESTION)
                 latencies.append(time.perf_counter() - start)
                 assert response.ok, response.diagnostics
-                assert response.result.scalar() == SHIPS
+                assert response.answer.result.scalar() == SHIPS
                 asks += 1
                 # Consistency probe: one committed generation per sample —
                 # a torn or cross-version read would mix two.

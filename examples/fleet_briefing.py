@@ -27,7 +27,7 @@ def main() -> None:
         "ships heavier than the enterprise",
     ]
     for question in briefing:
-        answer = nli.ask(question, session=session)
+        answer = nli.ask(question, session=session).answer
         print(f"\nADMIRAL: {question}")
         print(f"SYSTEM:  {answer.paraphrase}")
         print(answer.result.pretty(max_rows=6))

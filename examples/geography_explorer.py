@@ -26,7 +26,7 @@ def main() -> None:
         "mountains higher than 6000 meters",
         "what is the population of china?",
     ]:
-        answer = nli.ask(question)
+        answer = nli.ask(question).answer
         print(f"\nQ: {question}")
         print(f"   SQL: {answer.sql}")
         print(answer.result.pretty(max_rows=6))

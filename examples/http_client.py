@@ -48,40 +48,51 @@ def call(url: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as error:
         # 409/422/429 still carry a JSON envelope — that's the protocol,
-        # not a transport failure.
+        # not a transport failure.  Transport errors (400/404/413/503 …)
+        # come back as {"error": {"code", "message", "retry_after_s"}}.
         return error.code, json.loads(error.read())
 
 
+def describe_failure(body: dict) -> str:
+    """One line for a non-answered body, either protocol or transport."""
+    if "error" in body:  # transport error: the uniform {"error": {...}} shape
+        error = body["error"]
+        suffix = (f" (retry in {error['retry_after_s']}s)"
+                  if error.get("retry_after_s") else "")
+        return f"{error['code']}: {error['message']}{suffix}"
+    return body["diagnostics"][0]["message"]
+
+
 def demo(url: str) -> None:
-    code, health = call(url, "/healthz")
+    code, health = call(url, "/v1/healthz")
     print(f"server: {url} -> {health['status']} ({code})")
 
     for question in DEMO_QUESTIONS:
-        code, envelope = call(url, "/ask", {"question": question})
+        code, envelope = call(url, "/v1/ask", {"question": question})
         print(f"\nQ: {question}  [HTTP {code}]")
-        if envelope["status"] == "answered":
+        if envelope.get("status") == "answered":
             print(f"A: {envelope['answer']['paraphrase']}")
         else:
-            print(f"!: {envelope['diagnostics'][0]['message']}")
+            print(f"!: {describe_failure(envelope)}")
 
     # The clarification dialog, cross-process: ask with clarify on, pick a
     # reading by number, then send an elliptical follow-up in the same
     # session — it binds to the clarified reading.
     question = "ships from norfolk"
     code, envelope = call(
-        url, "/ask", {"question": question, "clarify": True, "session": "demo"}
+        url, "/v1/ask", {"question": question, "clarify": True, "session": "demo"}
     )
     print(f"\nQ: {question}  [HTTP {code}]")
     if envelope["status"] == "ambiguous":
         for choice in envelope["choices"]:
             print(f"   [{choice['index'] + 1}] {choice['paraphrase']}")
         code, resolved = call(
-            url, "/resolve",
+            url, "/v1/resolve",
             {"clarification_id": envelope["clarification_id"], "choice": 0},
         )
         print(f"picked [1] -> [HTTP {code}] {resolved['answer']['paraphrase']}")
         code, followup = call(
-            url, "/ask",
+            url, "/v1/ask",
             {"question": "what about the carriers", "session": "demo"},
         )
         print(f"follow-up -> [HTTP {code}] {followup['answer']['paraphrase']}")
@@ -89,7 +100,7 @@ def demo(url: str) -> None:
         print(f"A: {envelope['answer']['paraphrase']} (not ambiguous at this "
               "margin — start the server with a larger --clarify-margin)")
 
-    code, stats = call(url, "/stats")
+    code, stats = call(url, "/v1/stats")
     http_stats = stats["http"]
     print(f"\nserver stats: {http_stats['requests']} requests, "
           f"{http_stats['cache_hits']} response-cache hits")
@@ -100,7 +111,7 @@ def bench(url: str, count: int, questions: list[str]) -> None:
     ok = 0
     start = time.perf_counter()
     for i in range(count):
-        code, _ = call(url, "/ask", {"question": questions[i % len(questions)]})
+        code, _ = call(url, "/v1/ask", {"question": questions[i % len(questions)]})
         ok += code == 200
     elapsed = time.perf_counter() - start
     print(json.dumps({"requests": count, "ok": ok, "elapsed_s": elapsed}))

@@ -22,7 +22,7 @@ def main() -> None:
         "employees with salary above average",
         "how many employees per title",
     ]:
-        answer = nli.ask(question)
+        answer = nli.ask(question).answer
         print(f"\nQ: {question}")
         print(f"   {answer.paraphrase}")
         print(answer.result.pretty(max_rows=8))
@@ -31,7 +31,7 @@ def main() -> None:
     print(nli.explain("total salary of the employees in the sales department"))
 
     print("\n=== surviving alternatives (ambiguity) ===")
-    answer = nli.ask("show the employees in chicago")
+    answer = nli.ask("show the employees in chicago").answer
     print(f"chosen: {answer.paraphrase}")
     for paraphrase, sql in answer.alternatives:
         print(f"  also considered: {paraphrase}\n    {sql}")

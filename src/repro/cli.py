@@ -13,6 +13,11 @@ recovers to the last committed statement (``docs/storage.md``)::
 
     python -m repro.cli serve fleet --port 8977 --data-dir /var/lib/repro
 
+Follow a standing question against a running server (one JSON frame
+per line as committed writes change the answer — ``docs/streaming.md``)::
+
+    python -m repro.cli subscribe "how many ships are there" --url http://127.0.0.1:8977
+
 Commands inside the session: ``\\q`` quit, ``\\reset`` clear dialogue
 context, ``\\explain <question>`` show the pipeline trace, ``\\sql
 <statement>`` run raw SQL, ``\\schema`` print the catalog.  When a
@@ -447,11 +452,102 @@ def _serve_cluster(args, specs, config, stdout) -> int:
     return 0
 
 
+def build_subscribe_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro subscribe",
+        description=(
+            "Follow one standing question against a running server: "
+            "GET /v1/subscribe and print one JSON frame per line as "
+            "committed writes change the answer (docs/streaming.md)."
+        ),
+    )
+    parser.add_argument("question", help="the English question to keep live")
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8977",
+        help="base URL of a `repro serve` instance (default %(default)s)",
+    )
+    parser.add_argument("--domain", default=None, help="domain to ask against")
+    parser.add_argument(
+        "--session", default=None, help="session id for dialogue context"
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="close after N answer/error frames (0 = run until interrupted)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=10.0,
+        help="idle keep-alive interval in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="print every frame including heartbeats (default: answers only)",
+    )
+    return parser
+
+
+def subscribe_main(argv: list[str] | None = None, stdout=None) -> int:
+    """``repro subscribe`` — a streaming HTTP client over /v1/subscribe."""
+    import http.client
+    import urllib.parse
+
+    stdout = stdout or sys.stdout
+    args = build_subscribe_parser().parse_args(argv)
+    parts = urllib.parse.urlsplit(args.url)
+    if parts.scheme not in ("http", ""):
+        print(f"unsupported URL scheme: {parts.scheme}", file=sys.stderr)
+        return 2
+    query: dict[str, str] = {
+        "question": args.question,
+        "heartbeat": str(args.heartbeat),
+    }
+    if args.domain:
+        query["domain"] = args.domain
+    if args.session:
+        query["session"] = args.session
+    if args.frames > 0:
+        query["frames"] = str(args.frames)
+    target = "/v1/subscribe?" + urllib.parse.urlencode(query)
+    connection = http.client.HTTPConnection(parts.netloc or args.url)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        if response.status != 200:
+            print(response.read().decode("utf-8", "replace"), file=stdout)
+            return 2
+        # http.client undoes the chunked framing: each readline() is one
+        # NDJSON frame, arriving as the server pushes it.
+        while True:
+            line = response.readline()
+            if not line:
+                return 0  # stream terminated cleanly
+            frame = json.loads(line)
+            if not args.raw and frame.get("type") == "heartbeat":
+                continue
+            print(json.dumps(frame), file=stdout, flush=True)
+            if frame.get("type") == "closed":
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"connection failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        connection.close()
+
+
 def main(argv: list[str] | None = None, stdin=None, stdout=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:], stdout=stdout)
+    if argv and argv[0] == "subscribe":
+        return subscribe_main(argv[1:], stdout=stdout)
     args = build_parser().parse_args(argv)
     stdin = stdin or sys.stdin
     stdout = stdout or sys.stdout

@@ -34,6 +34,16 @@ workers alive):
   one batch at COMMIT; a writer crash mid-transaction discards the
   buffer — the WAL never saw the group, so recovery and replicas agree
   the transaction never happened.
+* **Standing subscriptions.**  ``subscribe`` pins the question to one
+  reader (the session's owner when a session rides along, round-robin
+  otherwise); that worker's in-process registry re-evaluates on
+  relevant commits — which every worker sees, because replicated DML is
+  applied everywhere — and pushes frames back as unsolicited ``event``
+  frames the supervisor routes here.  The router keeps its own bounded
+  drop-oldest queue per subscription (the second backpressure stage,
+  guarding against slow HTTP clients) and, when the owning worker dies,
+  re-registers the subscription on the adopting sibling so the stream
+  survives a SIGKILL with at most a duplicate answer frame.
 
 The router speaks the backend protocol of
 :class:`repro.server.http.NliHttpServer` — the HTTP layer cannot tell
@@ -43,6 +53,7 @@ it from a local in-process service.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import math
 from typing import Any, Iterator
@@ -54,6 +65,7 @@ from repro.server.http import ApiError
 from repro.service.persistence import SessionLog
 from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response
+from repro.service.subscriptions import DEFAULT_QUEUE_FRAMES
 
 __all__ = ["ClusterRouter"]
 
@@ -160,12 +172,80 @@ class _DomainState:
             "replication_errors": 0,
             "handoffs": 0,
             "retried_reads": 0,
+            "subscriptions_opened": 0,
+            "subscription_handoffs": 0,
         }
 
     def record(self, event: dict[str, Any]) -> None:
         self.events.append(event)
         if self.session_log is not None:
             self.session_log.append(event)
+
+
+class _ClusterSubscription:
+    """Router-side record of one standing subscription.
+
+    Holds the id the HTTP client knows (``rsub-N``), which worker
+    currently owns the service-level subscription, and a bounded
+    drop-oldest frame queue the connection loop drains.  Speaks the
+    same stream interface as the local backend's
+    ``_LocalSubscriptionStream`` (``id`` / ``question`` / ``tables`` /
+    ``queue_frames`` / ``next_frame`` / ``aclose``), so the HTTP layer
+    cannot tell cluster streams from in-process ones.
+    """
+
+    def __init__(
+        self,
+        router: "ClusterRouter",
+        domain: str,
+        rsub_id: str,
+        question: str,
+        sid: str | None,
+        queue_frames: int,
+    ) -> None:
+        self._router = router
+        self.domain = domain
+        self.id = rsub_id
+        self.question = question
+        self.sid = sid
+        self.queue_frames = max(1, queue_frames)
+        self.tables: list[str] = []
+        #: Index of the worker whose registry evaluates this question.
+        self.owner: int | None = None
+        self.closed = False
+        self.dropped = 0
+        self._queue: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+
+    def enqueue(self, frame: dict[str, Any]) -> None:
+        """Buffer one worker-pushed frame (event-loop thread only).
+
+        The worker already bounds its service-level queue; this queue is
+        the second stage, protecting the router from an HTTP client that
+        reads slower than the worker pushes.  Frames are rewritten to
+        carry the router id — the only subscription id the client knows.
+        """
+        if self.closed:
+            return
+        frame = dict(frame, subscription=self.id)
+        while self._queue.qsize() >= self.queue_frames:
+            try:
+                self._queue.get_nowait()
+                self.dropped += 1
+            except asyncio.QueueEmpty:  # pragma: no cover - single thread
+                break
+        self._queue.put_nowait(frame)
+
+    async def next_frame(self, timeout: float) -> dict[str, Any] | None:
+        try:
+            frame = await asyncio.wait_for(self._queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+        if frame.get("type") == "closed":
+            self.closed = True
+        return frame
+
+    async def aclose(self) -> None:
+        await self._router._unsubscribe(self)
 
 
 class ClusterRouter:
@@ -188,8 +268,12 @@ class ClusterRouter:
         self._limiter = RateLimiter(qps, burst) if qps is not None else None
         self._rr = 0
         self._handoff_lock = asyncio.Lock()
+        #: Router subscription id ("rsub-N") -> live subscription record.
+        self._subs: dict[str, _ClusterSubscription] = {}
+        self._sub_ids = itertools.count(1)
         supervisor.on_worker_death = self._on_worker_death
         supervisor.on_worker_ready = self._on_worker_ready
+        supervisor.on_worker_event = self._on_worker_event
 
     # -- backend protocol: introspection -----------------------------------
 
@@ -651,6 +735,121 @@ class ClusterRouter:
             if not frame.get("ok", False):
                 raise _ReplicaApplyFailed(frame.get("error", "apply failed"))
 
+    # -- backend protocol: standing subscriptions --------------------------
+
+    async def subscribe(
+        self,
+        domain: str,
+        question: str,
+        sid: str | None,
+        client: str,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+    ) -> _ClusterSubscription:
+        """Pin a standing subscription to one reader and return its
+        stream.  A session rides with its sticky owner (dialogue state
+        and the subscription must live in the same worker's memory);
+        session-less subscriptions round-robin like any read."""
+        state = self._state(domain)
+        record = _ClusterSubscription(
+            self, domain, f"rsub-{next(self._sub_ids)}", question, sid, queue_frames
+        )
+        for _ in range(max(2, self.supervisor.procs)):
+            if sid is not None:
+                handle = self._assign_session(state, sid)
+            else:
+                handle = self._next_reader(self._live_or_503())
+            # Visible to the event hook *before* the worker answers: the
+            # initial answer frame can arrive ahead of the subscribe ack.
+            self._subs[record.id] = record
+            try:
+                await self._register_subscription(record, handle)
+            except WorkerDied:
+                self._subs.pop(record.id, None)
+                record._queue = asyncio.Queue()  # drop pre-crash frames
+                await self._handoff_index(handle.index)
+                continue
+            except ApiError:
+                self._subs.pop(record.id, None)
+                raise
+            state.counters["subscriptions_opened"] += 1
+            return record
+        raise self._degraded_error("no worker survived the request")
+
+    async def _register_subscription(
+        self, record: _ClusterSubscription, handle: WorkerHandle
+    ) -> None:
+        record.owner = handle.index
+        frame = await self.supervisor.request(
+            handle,
+            {
+                "op": "subscribe",
+                "domain": record.domain,
+                "question": record.question,
+                "session": record.sid,
+                "sub": record.id,
+                "queue": record.queue_frames,
+            },
+        )
+        if not frame.get("ok", False):
+            raise ApiError(
+                422,
+                frame.get("error", "subscribe failed"),
+                "subscription_failed",
+            )
+        record.tables = [str(table) for table in frame.get("tables", [])]
+        record.queue_frames = int(frame.get("queue_frames", record.queue_frames))
+
+    async def _unsubscribe(self, record: _ClusterSubscription) -> None:
+        self._subs.pop(record.id, None)
+        if record.closed:
+            return
+        record.closed = True
+        handle = self._owner_handle(record.owner)
+        if handle is None:
+            return
+        try:
+            await self.supervisor.request(
+                handle,
+                {"op": "unsubscribe", "domain": record.domain, "sub": record.id},
+            )
+        except WorkerDied:
+            pass  # the owner died with the subscription; nothing to undo
+
+    def _on_worker_event(self, handle: WorkerHandle, frame: dict[str, Any]) -> None:
+        """Supervisor hook: route one unsolicited worker push.  Frames
+        from a worker that no longer owns the subscription (it was
+        re-registered elsewhere after an eviction) are dropped."""
+        record = self._subs.get(frame.get("sub", ""))
+        if record is None or record.owner != handle.index:
+            return
+        inner = frame.get("frame")
+        if isinstance(inner, dict):
+            record.enqueue(inner)
+
+    async def _handoff_subscriptions(
+        self, state: _DomainState, index: int, target: WorkerHandle
+    ) -> None:
+        """Re-register every subscription worker ``index`` owned on
+        ``target`` (the same sibling that adopted its sessions).  The
+        fresh registration re-evaluates, so the client sees at most one
+        duplicate answer frame across the failover — never a gap.  A
+        subscription the target rejects (or that dies with it) is closed
+        so its stream ends instead of silently idling forever."""
+        for record in list(self._subs.values()):
+            if (
+                record.domain != state.spec.name
+                or record.owner != index
+                or record.closed
+            ):
+                continue
+            try:
+                await self._register_subscription(record, target)
+            except (WorkerDied, ApiError):
+                self._subs.pop(record.id, None)
+                record.enqueue({"type": "closed", "subscription": record.id})
+                continue
+            state.counters["subscription_handoffs"] += 1
+
     # -- failure handling --------------------------------------------------
 
     async def _on_worker_death(self, handle: WorkerHandle) -> None:
@@ -674,6 +873,7 @@ class ClusterRouter:
                 return  # nobody to adopt; respawn-time adoption covers it
             for state in self._domains.values():
                 await self._handoff_domain(state, index, targets[0])
+                await self._handoff_subscriptions(state, index, targets[0])
 
     async def _handoff_domain(
         self, state: _DomainState, index: int, target: WorkerHandle
@@ -741,6 +941,10 @@ class ClusterRouter:
                         "records": records,
                     },
                 )
+            # Subscriptions still pointing at this index never found a
+            # sibling (it was the only worker): re-register them on the
+            # respawn so their streams resume instead of starving.
+            await self._handoff_subscriptions(state, handle.index, handle)
 
     # -- backend protocol: observability -----------------------------------
 
@@ -801,6 +1005,11 @@ class ClusterRouter:
             "sessions": len(state.session_owner),
             "session_owners": dict(state.session_owner),
             "clarification_owners": dict(state.clar_owner),
+            "subscription_owners": {
+                record.id: record.owner
+                for record in self._subs.values()
+                if record.domain == name and not record.closed
+            },
             "durable": state.spec.durable,
         }
 

@@ -114,9 +114,15 @@ class ClusterSupervisor:
         #: Router hooks.  ``on_worker_ready(handle)`` runs after a
         #: respawned worker says hello and before it is marked live (the
         #: router replays missed in-memory DML there); ``on_worker_death``
-        #: runs as soon as EOF lands (the router hands sessions off).
+        #: runs as soon as EOF lands (the router hands sessions off);
+        #: ``on_worker_event`` receives unsolicited ``op: "event"``
+        #: frames (subscription pushes — they carry no request id, so
+        #: they bypass reply correlation entirely).
         self.on_worker_ready: Callable[[WorkerHandle], Awaitable[None]] | None = None
         self.on_worker_death: Callable[[WorkerHandle], Awaitable[None]] | None = None
+        self.on_worker_event: (
+            Callable[[WorkerHandle, dict[str, Any]], None] | None
+        ) = None
         self._request_counter = 0
         self._reap_task: asyncio.Task | None = None
         self._closing = False
@@ -184,6 +190,13 @@ class ClusterSupervisor:
                 frame = None
             if frame is None:
                 break
+            if frame.get("op") == "event":
+                # A worker-initiated push (standing subscription frame),
+                # not a reply: hand it to the router synchronously — the
+                # hook only enqueues, so it cannot stall the pump.
+                if self.on_worker_event is not None:
+                    self.on_worker_event(handle, frame)
+                continue
             future = handle.pending.pop(frame.get("id"), None)
             if future is not None and not future.done():
                 future.set_result(frame)

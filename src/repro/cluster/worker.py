@@ -27,10 +27,20 @@ resolve     pick a clarification choice (``live`` rides on errors so the
 execute     raw SQL -> ``{"columns", "rows"}`` (the writer's DML path)
 apply       replicated DML statements from the writer, applied in order
 adopt       another worker's session records -> alias map (handoff)
+subscribe   register a standing subscription under a router-chosen id;
+            its frames come back as unsolicited ``op: "event"`` frames
+unsubscribe close a standing subscription and stop its pump thread
 stats       per-domain service counters + pid
 ping        liveness probe
 shutdown    compact + close every service, then exit 0
 ==========  =============================================================
+
+``subscribe`` is the one op that makes a worker *push*: a per-
+subscription pump thread drains the service-level frame queue and sends
+``{"op": "event", "sub": <id>, "frame": {...}}`` frames (no ``id`` key,
+so the supervisor's reply correlation ignores them and routes them to
+its event hook instead).  Sends are serialized on the worker's send
+lock, so events interleave safely with in-flight replies.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.cluster.ipc import FrameError, recv_frame, send_frame
 from repro.cluster.registry import DomainSpec
 from repro.errors import ClarificationError, EngineError, ReproError
 from repro.service import NliService
+from repro.service.subscriptions import Subscription, SubscriptionFailed
 from repro.storage import StorageManager, restore_database
 
 __all__ = ["worker_main"]
@@ -95,6 +106,9 @@ class _Worker:
         self.checkpoint_every = checkpoint_every
         self.wal_fsync = wal_fsync
         self._send_lock = threading.Lock()
+        #: Router subscription id -> (service subscription, pump thread).
+        self._subs: dict[str, Subscription] = {}
+        self._subs_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -243,6 +257,17 @@ class _Worker:
         if op == "adopt":
             aliases = self._service(request).adopt_records(request["records"])
             return {"aliases": aliases}
+        if op == "subscribe":
+            return self._subscribe(request)
+        if op == "unsubscribe":
+            sub_id = request.get("sub", "")
+            with self._subs_lock:
+                subscription = self._subs.pop(sub_id, None)
+            if subscription is not None:
+                # unsubscribe() closes the queue; the pump thread drains
+                # the "closed" sentinel and exits.
+                self._service(request).unsubscribe(subscription.id)
+            return {"removed": subscription is not None}
         if op == "stats":
             return {
                 "pid": os.getpid(),
@@ -254,6 +279,51 @@ class _Worker:
         if op == "ping":
             return {"pid": os.getpid()}
         raise ReproError(f"unknown cluster op {op!r}")
+
+    # -- standing subscriptions --------------------------------------------
+
+    def _subscribe(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Register a subscription under the router's id and start its
+        pump thread (frames flow back as unsolicited events)."""
+        service = self._service(request)
+        sub_id = request["sub"]
+        sid = request.get("session")
+        if sid is not None:
+            service.ensure_session(sid)
+        try:
+            subscription = service.subscribe(
+                request["question"],
+                sid,
+                queue_frames=int(request.get("queue", 64)),
+            )
+        except SubscriptionFailed as exc:
+            raise ReproError(str(exc)) from None
+        with self._subs_lock:
+            self._subs[sub_id] = subscription
+        pump = threading.Thread(
+            target=self._pump_subscription,
+            args=(sub_id, subscription),
+            name=f"sub-pump-{sub_id}",
+            daemon=True,
+        )
+        pump.start()
+        return {
+            "sub": sub_id,
+            "tables": sorted(subscription.tables),
+            "queue_frames": subscription.queue_frames,
+        }
+
+    def _pump_subscription(self, sub_id: str, subscription: Subscription) -> None:
+        """Drain one subscription's queue into unsolicited event frames."""
+        while True:
+            frame = subscription.next_frame(timeout=1.0)
+            if frame is None:
+                continue  # heartbeats are the router's job, not ours
+            self._reply({"op": "event", "sub": sub_id, "frame": frame})
+            if frame.get("type") == "closed":
+                with self._subs_lock:
+                    self._subs.pop(sub_id, None)
+                return
 
 
 def _jsonable_stats(stats: dict[str, Any]) -> dict[str, Any]:

@@ -13,8 +13,8 @@ elliptical follow-ups / pronouns resolve against the previous turn.
 user-input problems (parse failure, ambiguity, unknown values, a fragment
 with no context) are *reported* as statuses and diagnostics, never
 raised.  The lower-level stage methods (:meth:`parse`, the interpreter,
-the engine) still raise, and the legacy exception rides on
-``Response.error`` for one deprecation cycle.
+the engine) still raise; the envelope records the original exception
+class name as ``Response.error_type``.
 """
 
 from __future__ import annotations
@@ -692,7 +692,7 @@ class NaturalLanguageInterface:
                     ),
                 ),
                 tokens=pending.words,
-                error=exc,
+                error_type=type(exc).__name__,
             )
         answer = Answer(
             question=pending.question,
@@ -772,7 +772,7 @@ class NaturalLanguageInterface:
             choices=tuple(choices),
             clarification_id=clarification_id,
             tokens=words,
-            error=AmbiguityError(message, choices=readings),
+            error_type="AmbiguityError",
         )
 
     def _failure_response(
@@ -795,7 +795,7 @@ class NaturalLanguageInterface:
                     Diagnostic(EXECUTION_ERROR, str(error), span=(0, len(words))),
                 ),
                 tokens=words,
-                error=error,
+                error_type=type(error).__name__,
             )
         extra: tuple[Diagnostic, ...] = ()
         if isinstance(error, (ParseFailure, InterpretationError)) and tokens:

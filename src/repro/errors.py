@@ -4,17 +4,15 @@ Every layer raises a subclass of :class:`ReproError`, so applications can
 catch one base class at the API boundary while tests can assert on the
 specific failure mode.
 
-Deprecation note (service-layer API redesign): the user-input failures of
-the NL pipeline — :class:`ParseFailure`, :class:`InterpretationError`,
-:class:`AmbiguityError`, :class:`DialogueError` — are no longer *raised*
-by ``NaturalLanguageInterface.ask``.  They are reported as structured
-diagnostics on :class:`repro.service.Response` with the original
-exception instance carried on ``Response.error`` for one deprecation
-cycle (``Response.raise_for_status()`` re-raises it, and accessing an
-answer attribute such as ``.result`` on a failed response raises it too,
-so legacy ``try/except ReproError`` call sites keep working).  The
-classes themselves remain importable from here and are still raised by
-the lower-level pipeline stages (``parse``, ``interpret``, …).
+Service-layer note: the user-input failures of the NL pipeline —
+:class:`ParseFailure`, :class:`InterpretationError`,
+:class:`AmbiguityError`, :class:`DialogueError` — are not *raised* by
+``NaturalLanguageInterface.ask``.  They are reported as structured
+diagnostics on :class:`repro.service.Response`, which records the
+exception class name as ``Response.error_type``; callers that want
+exception control flow use ``Response.raise_for_status()``.  The classes
+themselves remain importable from here and are still raised by the
+lower-level pipeline stages (``parse``, ``interpret``, …).
 """
 
 from __future__ import annotations

@@ -54,7 +54,10 @@ class NliSystem:
 
     def answer(self, question: str):
         """Legacy accessor: the raw ResultSet (raises on failure)."""
-        return self.nli.ask(question).result
+        response = self.nli.ask(question)
+        response.raise_for_status()
+        assert response.answer is not None
+        return response.answer.result
 
 
 @dataclass

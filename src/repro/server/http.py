@@ -1,19 +1,29 @@
 """The asyncio HTTP front end: ``Response.to_dict()`` over the wire.
 
-Endpoints (all JSON; see ``docs/http.md`` for shapes and curl examples):
+Endpoints (all JSON; see ``docs/http.md`` for shapes and curl examples;
+``docs/streaming.md`` for the subscription stream):
 
-========  ==================  ==============================================
-method    path                body / behaviour
-========  ==================  ==============================================
-POST      /ask                ``{"question", "session"?, "clarify"?,
-                              "domain"?}`` -> envelope
-POST      /ask_many           ``{"questions": [...], ...}`` -> ``{"responses"}``
-POST      /resolve            ``{"clarification_id", "choice"}`` -> envelope
-POST      /sql                ``{"sql"}`` -> ``{"columns", "rows"}``
-GET       /stats              service + http counters
-GET       /healthz            liveness probe
-any       /d/<domain>/<ep>    the same six endpoints, scoped to one domain
-========  ==================  ==============================================
+========  =====================  ===========================================
+method    path                   body / behaviour
+========  =====================  ===========================================
+POST      /v1/ask                ``{"question", "session"?, "clarify"?,
+                                 "domain"?, "limit"?, "cursor"?}`` -> envelope
+POST      /v1/ask_many           ``{"questions": [...], ...}`` -> ``{"responses"}``
+POST      /v1/resolve            ``{"clarification_id", "choice"}`` -> envelope
+POST      /v1/sql                ``{"sql", "limit"?, "cursor"?}``
+                                 -> ``{"columns", "rows", ...}``
+GET       /v1/subscribe?...      standing subscription: a chunked stream of
+                                 JSON answer frames (v1-only, no bare alias)
+GET       /v1/stats              service + http counters
+GET       /v1/healthz            liveness probe
+any       /v1/d/<domain>/<ep>    the same endpoints, scoped to one domain
+========  =====================  ===========================================
+
+The API is mounted under the ``/v1`` version prefix; the bare legacy
+paths (``/ask``, ``/d/geography/ask``, …) remain as aliases that answer
+identically **plus** a ``Deprecation: true`` header, so pre-v1 clients
+keep working while announcing their migration path.  The streaming
+endpoint is v1-only.
 
 Status mapping follows the CLI's 0/2/3 exit-code convention:
 ``ANSWERED`` -> 200, ``AMBIGUOUS`` / ``NEEDS_CLARIFICATION`` -> 409 (the
@@ -21,7 +31,22 @@ request needs another round trip to complete), ``FAILED`` -> 422, and a
 rate-limited envelope -> 429 with a ``Retry-After`` header.  Transport
 problems use transport codes: malformed JSON or a missing field is 400,
 an unknown clarification id (or domain) 404, an unknown path 404, a
-wrong method 405, an oversized body 413, a degraded cluster 503.
+wrong method 405, an oversized body 413, a degraded cluster 503 — all
+with one uniform body shape::
+
+    {"error": {"code": "...", "message": "...", "retry_after_s": null}}
+
+(``retry_after_s`` is a number on 429/503 responses that also carry a
+``Retry-After`` header).  Envelope outcomes (409/422/429 *asks*) keep
+the full ``Response.to_dict()`` body — they are answers, not transport
+failures.
+
+**Pagination.**  ``/sql`` and ``/ask`` accept ``limit`` (page size) and
+``cursor`` (the ``next_cursor`` token from the previous page).  The
+token is stable: it encodes the page offset plus a digest of the query
+identity, so replaying it against a different statement is a 400 rather
+than silently wrong rows.  Without ``limit``/``cursor`` the body is
+byte-identical to the unpaginated behaviour.
 
 **Backends.**  The server is split from what answers it: every handler
 talks to a *backend* — either :class:`ServiceBackend` (one or more
@@ -41,9 +66,14 @@ the HTTP layer cannot tell local from routed.  A backend raises
     await ask_many(domain, qs, sid, clarify, client)  -> [envelope, ...]
     await resolve(domain, clar_id, choice, client)    -> envelope dict
     await execute(domain, sql)           -> {"columns", "rows"}
+    await subscribe(domain, q, sid, client, queue_frames) -> stream
     await stats(domain | None)           -> dict (server adds "http")
     await healthz()                      -> (code, payload, headers)
     await aclose()
+
+A *stream* (returned by ``subscribe``) exposes ``id`` / ``question`` /
+``tables`` attributes plus ``await next_frame(timeout)`` (``None`` on
+timeout — the heartbeat tick) and ``await aclose()``.
 
 **Multi-domain.**  One server hosts many databases: route by path
 prefix (``/d/geography/ask``) or by a ``"domain"`` body field; bare
@@ -74,15 +104,25 @@ cache hits, so cached traffic cannot dodge their budget.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
+import hashlib
 import json
 import math
 import threading
+import urllib.parse
 from typing import Any, Awaitable, Callable
 
 from repro.errors import ClarificationError, EngineError, ReproError
 from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response, Status
 from repro.service.service import NliService
+from repro.service.subscriptions import (
+    DEFAULT_QUEUE_FRAMES,
+    MAX_QUEUE_FRAMES,
+    Subscription,
+    SubscriptionFailed,
+)
 from repro.sqlengine.plancache import LruCache
 
 __all__ = [
@@ -136,13 +176,42 @@ def envelope_http_code(payload: dict[str, Any]) -> int:
 
 
 class ApiError(Exception):
-    """A transport-level problem, rendered as ``{"error", "code"}`` JSON."""
+    """A transport-level problem, rendered as the uniform error envelope
+    ``{"error": {"code", "message", "retry_after_s"}}`` (the same shape
+    for every 4xx/5xx transport failure)."""
 
-    def __init__(self, http_code: int, message: str, code: str = "bad_request"):
+    def __init__(
+        self,
+        http_code: int,
+        message: str,
+        code: str = "bad_request",
+        retry_after_s: float | None = None,
+    ):
         super().__init__(message)
         self.http_code = http_code
-        self.payload = {"error": message, "code": code}
         self.headers: dict[str, str] = {}
+        self.payload = _error_envelope(code, message)
+        if retry_after_s is not None:
+            self.set_retry_after(retry_after_s)
+
+    def set_retry_after(self, seconds: float) -> None:
+        """Record the backoff in both the body and the header."""
+        seconds = max(seconds, 0.0)
+        self.payload["error"]["retry_after_s"] = seconds
+        self.headers["Retry-After"] = str(max(1, math.ceil(seconds)))
+
+
+def _error_envelope(
+    code: str, message: str, retry_after_s: float | None = None
+) -> dict[str, Any]:
+    """The one body shape every transport error uses."""
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after_s": retry_after_s,
+        }
+    }
 
 
 def _rate_key(backend: Any, domain: str, sid: str | None, client_ip: str) -> str:
@@ -262,6 +331,31 @@ class ServiceBackend:
             "rows": [list(row) for row in result.rows],
         }
 
+    async def subscribe(
+        self,
+        domain: str,
+        question: str,
+        sid: str | None,
+        client: str,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+    ) -> "_LocalSubscriptionStream":
+        service = self._service(domain)
+        if sid is not None:
+            service.ensure_session(sid)
+        loop = asyncio.get_running_loop()
+        try:
+            subscription = await loop.run_in_executor(
+                None,
+                lambda: service.subscribe(question, sid, queue_frames=queue_frames),
+            )
+        except SubscriptionFailed as exc:
+            raise ApiError(
+                envelope_http_code(exc.response.to_dict()),
+                str(exc),
+                "subscription_failed",
+            ) from None
+        return _LocalSubscriptionStream(service, subscription)
+
     async def stats(self, domain: str | None = None) -> dict[str, Any]:
         if domain is not None:
             return {"service": self._service(domain).stats}
@@ -280,6 +374,40 @@ class ServiceBackend:
     async def aclose(self) -> None:
         """Nothing to stop: service lifecycle belongs to whoever built
         the services (the CLI closes them after the loop exits)."""
+
+
+class _LocalSubscriptionStream:
+    """Async face over one in-process :class:`Subscription`.
+
+    ``next_frame`` parks the blocking queue wait on the loop's default
+    thread pool, so the event loop keeps serving other clients while a
+    subscription idles between commits.
+    """
+
+    def __init__(self, service: NliService, subscription: Subscription) -> None:
+        self._service = service
+        self._subscription = subscription
+        self.id = subscription.id
+        self.question = subscription.question
+        self.tables = sorted(subscription.tables)
+        self.queue_frames = subscription.queue_frames
+
+    async def next_frame(self, timeout: float) -> dict[str, Any] | None:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._subscription.next_frame, timeout)
+
+    async def aclose(self) -> None:
+        self._service.unsubscribe(self.id)
+
+
+class _StreamPlan:
+    """What ``/v1/subscribe`` hands back to the connection loop: the
+    backend stream plus the client's streaming knobs."""
+
+    def __init__(self, stream: Any, heartbeat_s: float, max_frames: int | None) -> None:
+        self.stream = stream
+        self.heartbeat_s = heartbeat_s
+        self.max_frames = max_frames
 
 
 class NliHttpServer:
@@ -324,6 +452,7 @@ class NliHttpServer:
             "cache_hits": 0,
             "transport_errors": 0,
             "internal_errors": 0,
+            "subscriptions_streamed": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -387,9 +516,13 @@ class NliHttpServer:
                 keep_alive = headers.get("connection", "").lower() != "close"
                 self.stats["requests"] += 1
                 try:
-                    code, payload, extra = await self._route(
-                        method, path, body, client_ip
-                    )
+                    routed = await self._route(method, path, body, client_ip)
+                    if isinstance(routed, _StreamPlan):
+                        # The subscription stream owns the connection from
+                        # here: chunked frames until either side closes.
+                        await self._stream_subscription(writer, routed)
+                        break
+                    code, payload, extra = routed
                 except ApiError as exc:
                     self.stats["transport_errors"] += 1
                     code, payload, extra = exc.http_code, exc.payload, exc.headers
@@ -398,14 +531,14 @@ class NliHttpServer:
                     self.stats["internal_errors"] += 1
                     code, payload, extra = (
                         422,
-                        {"error": str(exc), "code": type(exc).__name__},
+                        _error_envelope(type(exc).__name__, str(exc)),
                         {},
                     )
                 except Exception as exc:  # noqa: BLE001 - last-resort 500
                     self.stats["internal_errors"] += 1
                     code, payload, extra = (
                         500,
-                        {"error": str(exc), "code": "internal_error"},
+                        _error_envelope("internal_error", str(exc)),
                         {},
                     )
                 body_blob = (
@@ -520,8 +653,31 @@ class NliHttpServer:
 
     async def _route(
         self, method: str, path: str, body: bytes, client_ip: str
-    ) -> tuple[int, Any, dict[str, str]]:
+    ) -> tuple[int, Any, dict[str, str]] | _StreamPlan:
+        path, _, query_string = path.partition("?")
+        versioned = path == "/v1" or path.startswith("/v1/")
+        if versioned:
+            path = path[3:] or "/"
         domain, endpoint = self._split_domain(path)
+        if endpoint == "/subscribe":
+            if method != "GET":
+                error = ApiError(
+                    405, "/subscribe only accepts GET", "method_not_allowed"
+                )
+                error.headers["Allow"] = "GET"
+                raise error
+            if not versioned:
+                # Streaming endpoints are v1-only: no legacy alias.
+                raise ApiError(
+                    404,
+                    "subscriptions are v1-only: GET /v1/subscribe?question=...",
+                    "unknown_endpoint",
+                )
+            params = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(query_string).items()
+            }
+            return await self._handle_subscribe(domain, params, client_ip)
         handlers: dict[tuple[str, str], Callable[..., Awaitable[Any]]] = {
             ("POST", "/ask"): self._handle_ask,
             ("POST", "/ask_many"): self._handle_ask_many,
@@ -544,8 +700,16 @@ class NliHttpServer:
             raise ApiError(404, f"no such endpoint: {path}", "unknown_endpoint")
         if method == "POST":
             parsed = _parse_json_body(body)
-            return await handler(self._resolve_domain(domain, parsed), parsed, client_ip)
-        return await handler(domain, client_ip)
+            result = await handler(
+                self._resolve_domain(domain, parsed), parsed, client_ip
+            )
+        else:
+            result = await handler(domain, client_ip)
+        if not versioned:
+            # Legacy (unversioned) alias: same answer, plus the signpost.
+            code, payload, extra = result
+            result = code, payload, {**extra, "Deprecation": "true"}
+        return result
 
     # -- the layered rate limiter ------------------------------------------
 
@@ -570,6 +734,7 @@ class NliHttpServer:
         question = _required_str(body, "question")
         sid = _optional_str(body, "session")
         clarify = bool(body.get("clarify", False))
+        limit, cursor = _page_params(body)
         client = _rate_key(self.backend, domain, sid, client_ip)
         domain_retry = self._charge_domain(domain)
         if domain_retry:
@@ -590,7 +755,14 @@ class NliHttpServer:
                     payload = limited.to_dict()
                     return 429, payload, _payload_retry_headers(payload)
                 self.stats["cache_hits"] += 1
-                return cached[0], cached[1], {}
+                if limit is None and cursor is None:
+                    return cached[0], cached[1], {}
+                # Page the cached envelope: decode a private copy — the
+                # cache always holds the full, unpaginated body.
+                payload = self._page_envelope(
+                    json.loads(cached[1]), domain, question, limit, cursor
+                )
+                return cached[0], payload, {}
         payload = await self.backend.ask(domain, question, sid, clarify, client)
         code = envelope_http_code(payload)
         if code == 429:
@@ -607,8 +779,36 @@ class NliHttpServer:
             blob = json.dumps(payload).encode("utf-8")
             self._cache.put(cache_key, (code, blob))
             self.stats["responses_cached"] += 1
-            return code, blob, _payload_retry_headers(payload)
+            if limit is None and cursor is None:
+                return code, blob, _payload_retry_headers(payload)
+            payload = self._page_envelope(
+                json.loads(blob), domain, question, limit, cursor
+            )
+            return code, payload, _payload_retry_headers(payload)
+        if limit is not None or cursor is not None:
+            payload = self._page_envelope(payload, domain, question, limit, cursor)
         return code, payload, _payload_retry_headers(payload)
+
+    def _page_envelope(
+        self,
+        payload: dict[str, Any],
+        domain: str,
+        question: str,
+        limit: int | None,
+        cursor: str | None,
+    ) -> dict[str, Any]:
+        """Apply limit/cursor to an envelope's answer rows (no-op when the
+        outcome carries no answer — failures page nothing)."""
+        answer = payload.get("answer")
+        if not answer:
+            return payload
+        page, next_cursor, total = _paginate(
+            answer["rows"], limit, cursor, f"ask\x00{domain}\x00{question}"
+        )
+        payload["answer"] = {**answer, "rows": page}
+        payload["next_cursor"] = next_cursor
+        payload["total_rows"] = total
+        return payload
 
     def _ask_cache_key(self, domain: str, question: str, clarify: bool) -> tuple:
         # The data stamp is the identity a snapshot pinned now would
@@ -677,12 +877,130 @@ class NliHttpServer:
         self, domain: str, body: dict[str, Any], client_ip: str
     ) -> tuple[int, Any, dict[str, str]]:
         sql = _required_str(body, "sql")
+        limit, cursor = _page_params(body)
         domain_retry = self._charge_domain(domain)
         if domain_retry:
-            error = ApiError(429, "domain rate limit exceeded", "rate_limited")
-            error.headers["Retry-After"] = str(max(1, math.ceil(domain_retry)))
-            raise error
-        return 200, await self.backend.execute(domain, sql), {}
+            raise ApiError(
+                429,
+                "domain rate limit exceeded",
+                "rate_limited",
+                retry_after_s=domain_retry,
+            )
+        payload = await self.backend.execute(domain, sql)
+        if limit is None and cursor is None:
+            return 200, payload, {}
+        page, next_cursor, total = _paginate(
+            payload["rows"], limit, cursor, f"sql\x00{domain}\x00{sql}"
+        )
+        payload["rows"] = page
+        payload["next_cursor"] = next_cursor
+        payload["total_rows"] = total
+        return 200, payload, {}
+
+    async def _handle_subscribe(
+        self, domain: str | None, params: dict[str, str], client_ip: str
+    ) -> _StreamPlan:
+        """``GET /v1/subscribe?question=...`` — validate, register, and
+        hand the connection loop a stream plan.
+
+        Query parameters: ``question`` (required), ``session``,
+        ``domain``, ``queue`` (frame-queue bound, drop-oldest beyond it),
+        ``heartbeat`` (seconds between keep-alive frames while idle) and
+        ``frames`` (close the stream after N answer/error frames — handy
+        for scripted consumers).
+        """
+        question = params.get("question")
+        if not question:
+            raise ApiError(400, "'question' query parameter is required", "bad_field")
+        sid = params.get("session") or None
+        domain = self._resolve_domain(domain, {"domain": params.get("domain")})
+        queue_frames = _int_param(
+            params, "queue", DEFAULT_QUEUE_FRAMES, 1, MAX_QUEUE_FRAMES
+        )
+        heartbeat_s = _float_param(params, "heartbeat", 10.0, 0.05, 3600.0)
+        max_frames = _int_param(params, "frames", 0, 0, 1 << 30) or None
+        client = _rate_key(self.backend, domain, sid, client_ip)
+        domain_retry = self._charge_domain(domain)
+        if domain_retry:
+            raise ApiError(
+                429,
+                "domain rate limit exceeded",
+                "rate_limited",
+                retry_after_s=domain_retry,
+            )
+        retry_after = self.backend.check_limit(domain, client)
+        if retry_after:
+            self._refund_domain(domain)
+            raise ApiError(
+                429, "rate limit exceeded", "rate_limited", retry_after_s=retry_after
+            )
+        stream = await self.backend.subscribe(
+            domain, question, sid, client, queue_frames
+        )
+        return _StreamPlan(stream, heartbeat_s, max_frames)
+
+    async def _stream_subscription(
+        self, writer: asyncio.StreamWriter, plan: _StreamPlan
+    ) -> None:
+        """Write the subscription as a chunked-transfer NDJSON stream.
+
+        One JSON object per chunk: a ``subscribed`` hello first, then
+        ``answer`` / ``error`` frames as commits touch the subscribed
+        tables, ``heartbeat`` frames while idle, and a final ``closed``
+        frame (followed by the terminating chunk) when the subscription
+        ends server-side.  A client disconnect tears the subscription
+        down (the ``finally`` unsubscribes), so an abandoned stream does
+        not keep re-evaluating forever.
+        """
+        self.stats["subscriptions_streamed"] += 1
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "Cache-Control: no-store\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head)
+            self._write_chunk(
+                writer,
+                {
+                    "type": "subscribed",
+                    "subscription": plan.stream.id,
+                    "question": plan.stream.question,
+                    "tables": list(plan.stream.tables),
+                    "queue_frames": plan.stream.queue_frames,
+                    "heartbeat_s": plan.heartbeat_s,
+                },
+            )
+            await writer.drain()
+            sent = 0
+            while True:
+                frame = await plan.stream.next_frame(plan.heartbeat_s)
+                if frame is None:
+                    frame = {
+                        "type": "heartbeat",
+                        "subscription": plan.stream.id,
+                    }
+                self._write_chunk(writer, frame)
+                await writer.drain()
+                if frame.get("type") == "closed":
+                    break
+                if frame.get("type") in ("answer", "error"):
+                    sent += 1
+                    if plan.max_frames is not None and sent >= plan.max_frames:
+                        break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; cleanup below
+        finally:
+            await plan.stream.aclose()
+
+    @staticmethod
+    def _write_chunk(writer: asyncio.StreamWriter, frame: dict[str, Any]) -> None:
+        data = json.dumps(frame).encode("utf-8") + b"\n"
+        writer.write(f"{len(data):X}\r\n".encode("latin-1") + data + b"\r\n")
 
     async def _handle_stats(
         self, domain: str | None, client_ip: str
@@ -699,6 +1017,120 @@ class NliHttpServer:
 
 class _BadRequestLine(Exception):
     """Unparseable request head: no useful reply address, just hang up."""
+
+
+# -- pagination -------------------------------------------------------------
+
+
+def _page_params(body: dict[str, Any]) -> tuple[int | None, str | None]:
+    """Validate the optional ``limit`` / ``cursor`` body fields."""
+    limit = body.get("limit")
+    if limit is not None and (
+        not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+    ):
+        raise ApiError(400, "'limit' must be a positive integer", "bad_field")
+    cursor = body.get("cursor")
+    if cursor is not None and (not isinstance(cursor, str) or not cursor):
+        raise ApiError(
+            400, "'cursor' must be a non-empty string when given", "bad_field"
+        )
+    return limit, cursor
+
+
+def _identity_digest(identity: str) -> str:
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+
+
+def _encode_cursor(offset: int, limit: int, identity: str) -> str:
+    token = json.dumps(
+        {"v": 1, "o": offset, "l": limit, "k": _identity_digest(identity)},
+        separators=(",", ":"),
+    )
+    return base64.urlsafe_b64encode(token.encode("ascii")).decode("ascii")
+
+
+def _decode_cursor(cursor: str, identity: str) -> tuple[int, int]:
+    """Offset + page size from a cursor token; 400 on garbage or a token
+    minted for a different statement (the identity digest mismatch)."""
+    try:
+        raw = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        data = json.loads(raw)
+        offset, limit, key = data["o"], data["l"], data["k"]
+        if not isinstance(offset, int) or not isinstance(limit, int):
+            raise ValueError("bad cursor fields")
+    except (
+        ValueError,
+        KeyError,
+        TypeError,
+        binascii.Error,
+        UnicodeDecodeError,
+    ):
+        raise ApiError(400, "malformed cursor token", "bad_cursor") from None
+    if key != _identity_digest(identity) or offset < 0 or limit < 1:
+        raise ApiError(
+            400,
+            "cursor does not belong to this query",
+            "bad_cursor",
+        )
+    return offset, limit
+
+
+def _paginate(
+    rows: list[Any], limit: int | None, cursor: str | None, identity: str
+) -> tuple[list[Any], str | None, int]:
+    """One page of ``rows``: (page, next_cursor, total row count).
+
+    The cursor token remembers the page size, so follow-up requests may
+    send just the cursor; an explicit ``limit`` on a follow-up overrides
+    the remembered size from that page on.
+    """
+    offset = 0
+    if cursor is not None:
+        offset, cursor_limit = _decode_cursor(cursor, identity)
+        if limit is None:
+            limit = cursor_limit
+    assert limit is not None  # _page_params guarantees one of the two
+    page = rows[offset : offset + limit]
+    next_offset = offset + limit
+    next_cursor = (
+        _encode_cursor(next_offset, limit, identity)
+        if next_offset < len(rows)
+        else None
+    )
+    return page, next_cursor, len(rows)
+
+
+# -- query-string parameter validation --------------------------------------
+
+
+def _int_param(
+    params: dict[str, str], name: str, default: int, lo: int, hi: int
+) -> int:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ApiError(400, f"{name!r} must be an integer", "bad_field") from None
+    if not lo <= value <= hi:
+        raise ApiError(400, f"{name!r} must be between {lo} and {hi}", "bad_field")
+    return value
+
+
+def _float_param(
+    params: dict[str, str], name: str, default: float, lo: float, hi: float
+) -> float:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ApiError(400, f"{name!r} must be a number", "bad_field") from None
+    if not lo <= value <= hi or value != value:
+        raise ApiError(400, f"{name!r} must be between {lo} and {hi}", "bad_field")
+    return value
 
 
 def _parse_json_body(body: bytes) -> dict[str, Any]:

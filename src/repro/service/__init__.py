@@ -37,12 +37,15 @@ __all__ = [
     "RwLock",
     "SessionLog",
     "Status",
+    "Subscription",
+    "SubscriptionFailed",
     "TokenBucket",
 ]
 
 
 def __getattr__(name: str):
-    # NliService is resolved lazily (PEP 562): the pipeline imports
+    # NliService (and the subscription types, which import the pipeline's
+    # neighbours) are resolved lazily (PEP 562): the pipeline imports
     # repro.service.response at module load, which triggers this package's
     # __init__ — an eager `from .service import NliService` here would
     # close the cycle back into the half-initialized pipeline module.
@@ -50,4 +53,8 @@ def __getattr__(name: str):
         from repro.service.service import NliService
 
         return NliService
+    if name in ("Subscription", "SubscriptionFailed"):
+        from repro.service import subscriptions
+
+        return getattr(subscriptions, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

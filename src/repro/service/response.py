@@ -13,10 +13,15 @@ cannot aggregate.  The envelope makes every outcome a value:
 * ``choices`` + ``clarification_id`` — the clarification protocol for
   :data:`Status.AMBIGUOUS` responses, resolved without re-parsing via
   ``service.resolve(clarification_id, choice_index)``;
-* ``error`` — the legacy exception instance, carried for one deprecation
-  cycle: ``raise_for_status()`` re-raises it, and accessing an answer
-  attribute (``.result`` …) on a non-answered response raises it too, so
-  pre-envelope ``try/except ReproError`` call sites keep working.
+* ``error_type`` — the class name of the pipeline exception the outcome
+  was classified from (``"ParseFailure"``, ``"ClarificationError"`` …),
+  or ``None``; callers that want exception control flow call
+  ``raise_for_status()``, which raises :class:`~repro.errors.NliError`
+  built from the primary diagnostic.
+
+The PR-3 attribute-delegation shim (``response.result`` re-raising the
+carried exception on failure) completed its deprecation cycle and is
+gone: read answer attributes via ``response.answer``.
 
 ``to_dict()`` emits only JSON primitives (lists, never tuples), so
 ``json.loads(json.dumps(r.to_dict())) == r.to_dict()`` holds exactly.
@@ -24,7 +29,7 @@ cannot aggregate.  The envelope makes every outcome a value:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any
 
@@ -122,27 +127,6 @@ class Choice:
         )
 
 
-#: Answer attributes transparently reachable on the envelope.  On a
-#: non-answered response, touching one raises the carried legacy error —
-#: exactly what the pre-envelope ``ask()`` did — so old call sites that
-#: wrap ``ask(q).result`` in ``try/except ReproError`` keep working.
-_ANSWER_ATTRS = frozenset(
-    {
-        "result",
-        "sql",
-        "paraphrase",
-        "corrections",
-        "normalized_words",
-        "alternatives",
-        "was_fragment",
-        "interpretation",
-        "query",
-        "render",
-        "is_ambiguous",
-    }
-)
-
-
 @dataclass
 class Response:
     """Everything the service produced for one question."""
@@ -159,8 +143,9 @@ class Response:
     #: Seconds to wait before retrying, set (only) on rate-limited
     #: responses; the HTTP layer surfaces it as a ``Retry-After`` header.
     retry_after_s: float | None = None
-    #: Legacy exception carrier (one deprecation cycle); never serialized.
-    error: Exception | None = field(default=None, compare=False)
+    #: Class name of the pipeline exception this outcome was classified
+    #: from (``None`` for answered responses); survives the wire.
+    error_type: str | None = None
 
     # -- convenience -------------------------------------------------------
 
@@ -169,25 +154,16 @@ class Response:
         return self.status is Status.ANSWERED
 
     def raise_for_status(self) -> None:
-        """Re-raise the legacy exception of a non-answered response."""
+        """Raise :class:`NliError` if the question was not answered.
+
+        The message is the primary diagnostic's; ``error_type`` names the
+        original pipeline exception class for callers that dispatch on it.
+        """
         if self.status is Status.ANSWERED:
             return
-        if self.error is not None:
-            raise self.error
         raise NliError(
             self.diagnostics[0].message if self.diagnostics else self.status.value
         )
-
-    def __getattr__(self, name: str) -> Any:
-        # Only called for attributes not found normally: delegate answer
-        # attributes, preserving the legacy raise on failure.
-        if name in _ANSWER_ATTRS:
-            answer = self.__dict__.get("answer")
-            if answer is None:
-                self.raise_for_status()
-                raise AttributeError(name)
-            return getattr(answer, name)
-        raise AttributeError(name)
 
     # -- construction helpers ----------------------------------------------
 
@@ -218,7 +194,7 @@ class Response:
             question=question,
             diagnostics=(diagnostic,),
             retry_after_s=retry,
-            error=NliError(diagnostic.message),
+            error_type="NliError",
         )
 
     @property
@@ -261,7 +237,7 @@ class Response:
             question=question,
             diagnostics=diagnostics,
             tokens=tuple(tokens),
-            error=error,
+            error_type=type(error).__name__,
         )
 
     # -- JSON wire format --------------------------------------------------
@@ -290,7 +266,7 @@ class Response:
             "clarification_id": self.clarification_id,
             "tokens": list(self.tokens),
             "retry_after_s": self.retry_after_s,
-            "error_type": type(self.error).__name__ if self.error else None,
+            "error_type": self.error_type,
         }
 
     @classmethod
@@ -333,4 +309,5 @@ class Response:
             clarification_id=data.get("clarification_id"),
             tokens=tuple(data.get("tokens", [])),
             retry_after_s=data.get("retry_after_s"),
+            error_type=data.get("error_type"),
         )

@@ -86,6 +86,11 @@ from repro.service.locks import RwLock
 from repro.service.persistence import SessionLog, replay_records
 from repro.service.ratelimit import RateLimiter
 from repro.service.response import Response, Status
+from repro.service.subscriptions import (
+    DEFAULT_QUEUE_FRAMES,
+    Subscription,
+    SubscriptionRegistry,
+)
 from repro.sqlengine.database import Database
 from repro.sqlengine.result import ResultSet
 from repro.storage import StorageManager
@@ -168,6 +173,11 @@ class NliService:
         # hook runs inside the transaction's closing statement scope,
         # while the service still holds the write lock taken at BEGIN.
         self._nli.engine.transactions.commit_hook = self._publish_txn
+        # Standing subscriptions: the registry buffers the *table names*
+        # of row deltas; commit points hand it the touched set, and only
+        # subscriptions whose stamped tables intersect are re-evaluated.
+        self._subscriptions = SubscriptionRegistry(self)
+        self.database.add_delta_listener(self._subscriptions.on_delta)
         self._persistence: SessionLog | None = None
         if persistence is not None:
             log = (
@@ -209,6 +219,7 @@ class NliService:
         """Release the worker pool, the persistence file handle, and the
         storage layer (writing a graceful-shutdown checkpoint, so the next
         start restores from the checkpoint alone with an empty WAL tail)."""
+        self._subscriptions.close()
         with self._sessions_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
@@ -340,6 +351,9 @@ class NliService:
         if self._nli.needs_refresh():
             with self._lock.write_locked():
                 self._nli.refresh_if_needed()
+            # Out-of-band mutations are committed data too: give standing
+            # subscriptions their (buffered) touched tables.
+            self._subscriptions.commit()
 
     def _publish_txn(self) -> None:
         """Engine commit hook: absorb the transaction's (or rollback's)
@@ -475,6 +489,35 @@ class NliService:
         self._absorb_writes()
         with self._read_access():
             return self._nli.explain(question, session=resolved)
+
+    # -- standing subscriptions --------------------------------------------
+
+    def subscribe(
+        self,
+        question: str,
+        session_id: str | None = None,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+    ) -> Subscription:
+        """Register a live question (see ``service/subscriptions.py``).
+
+        Parses once, pushes the initial answer as frame 0, and from then
+        on re-evaluates the cached plan only when a committed write
+        touches one of the plan's tables.  Raises
+        :class:`~repro.service.subscriptions.SubscriptionFailed` (carrying
+        the failure envelope) when the question cannot be answered.
+        """
+        self._absorb_writes()
+        return self._subscriptions.register(
+            question, session_id, queue_frames=queue_frames
+        )
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Close a standing subscription; False if the id is unknown."""
+        return self._subscriptions.unsubscribe(subscription_id)
+
+    @property
+    def subscriptions(self) -> SubscriptionRegistry:
+        return self._subscriptions
 
     # -- async face --------------------------------------------------------
 
@@ -727,16 +770,21 @@ class NliService:
                 return self._nli.engine.execute(sql)
         with self._lock.write_locked():
             if not self._mvcc:
-                return self._nli.engine.execute(sql)
-            # Commit point: the statement and the layer publish share one
-            # database statement scope, so a reader pinning its
-            # (layers, snapshot) pair lands entirely before or entirely
-            # after this commit — never between the data change and the
-            # refreshed language layers.
-            with self.database.statement_scope():
                 result = self._nli.engine.execute(sql)
-                self._nli.refresh_if_needed()
-            return result
+            else:
+                # Commit point: the statement and the layer publish share
+                # one database statement scope, so a reader pinning its
+                # (layers, snapshot) pair lands entirely before or
+                # entirely after this commit — never between the data
+                # change and the refreshed language layers.
+                with self.database.statement_scope():
+                    result = self._nli.engine.execute(sql)
+                    self._nli.refresh_if_needed()
+        # The write is visible and the lock released: wake subscriptions
+        # whose stamped tables this statement touched (set intersection
+        # only — an unrelated write costs an idle subscription nothing).
+        self._subscriptions.commit()
+        return result
 
     def _execute_in_transaction(self, sql: str, word: str) -> ResultSet:
         """One statement on the transaction path.
@@ -774,6 +822,11 @@ class NliService:
                     if not engine.transactions.active:
                         self._txn_open = False
                         self._lock.release_write()
+                        # Transaction closed (committed or rolled back):
+                        # notify subscriptions once, for the whole batch.
+                        # A rollback that restored the old rows is pushed
+                        # nowhere — re-evaluation dedupes by content.
+                        self._subscriptions.commit()
             # Any other statement joins the open transaction and runs
             # against live storage (seeing the transaction's own writes);
             # a nested BEGIN lands here too and raises in the engine
@@ -827,4 +880,9 @@ class NliService:
         with self._sessions_lock:
             out["open_sessions"] = len(self._sessions)
             out["parked_clarifications"] = len(self._parked)
+        subs = self._subscriptions.stats_snapshot()
+        out["subscriptions_active"] = subs.pop("subscriptions_active")
+        out["subscriptions_opened"] = subs.pop("subscriptions_opened")
+        for key, value in subs.items():
+            out[f"subscription_{key}"] = value
         return out

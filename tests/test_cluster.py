@@ -149,7 +149,7 @@ class TestBasics:
     def test_unknown_domain_404(self, cluster):
         code, wire, _ = cluster.post("/d/narnia/ask", {"question": "hello"})
         assert code == 404
-        assert wire["code"] == "unknown_domain"
+        assert wire["error"]["code"] == "unknown_domain"
 
     def test_healthz_reports_every_worker(self, cluster):
         cluster.wait_healthy()
@@ -219,7 +219,7 @@ class TestWritePath:
     def test_engine_error_maps_to_422(self, cluster):
         code, wire, _ = cluster.post("/sql", {"sql": "SELECT * FROM nope"})
         assert code == 422
-        assert wire["code"] == "engine_error"
+        assert wire["error"]["code"] == "engine_error"
 
 
 class TestFailure:
@@ -282,7 +282,7 @@ class TestFailure:
         # router answers 503 and the transaction evaporates everywhere.
         code, wire, headers = cluster.post("/sql", {"sql": "COMMIT"})
         assert code == 503
-        assert wire["code"] == "cluster_degraded"
+        assert wire["error"]["code"] == "cluster_degraded"
         assert "Retry-After" in headers
         cluster.wait_healthy()
         for _ in range(6):
@@ -340,7 +340,7 @@ class TestDegradedMode:
                 "/sql", {"sql": INSERT.format(id=906, name="paused")}
             )
             assert code == 503
-            assert wire["code"] == "cluster_degraded"
+            assert wire["error"]["code"] == "cluster_degraded"
             assert "Retry-After" in headers
             # ...but reads keep flowing on the survivor.
             code, wire, _ = server.post(
@@ -432,3 +432,80 @@ class TestDurableCluster:
             assert code == 200
         finally:
             assert server.stop() == 0
+
+
+SHIP_INSERT = (
+    "INSERT INTO ship (id, name, type_id, fleet_id, home_port_id, "
+    "commander_id, displacement, length, speed, commissioned, crew) "
+    "VALUES ({id}, 'sub-{id}', 1, 2, 6, 1, 1000, 100, 30, 2000, 100)"
+)
+
+
+class TestStandingSubscriptions:
+    """GET /v1/subscribe against the cluster: the subscription is pinned
+    to one reader, replicated DML triggers that worker's re-evaluation,
+    and SIGKILLing the owner re-registers it on a sibling without
+    breaking the stream."""
+
+    def _post_sql_retry(self, cluster, sql: str) -> None:
+        """Writes 503 while the pool is respawning; retry through it."""
+        deadline = time.monotonic() + 20
+        while True:
+            code, _, _ = cluster.post("/v1/sql", {"sql": sql})
+            if code == 200:
+                return
+            assert code == 503, f"unexpected {code}"
+            assert time.monotonic() < deadline, "write never got through"
+            time.sleep(0.2)
+
+    def test_push_survives_owner_sigkill(self, cluster):
+        import http.client
+
+        cluster.wait_healthy()
+        host = cluster.url.split("//", 1)[1]
+        connection = http.client.HTTPConnection(host, timeout=60)
+        connection.request(
+            "GET",
+            "/v1/subscribe?question=how%20many%20ships%20are%20there"
+            "&heartbeat=60",
+        )
+        response = connection.getresponse()
+        assert response.status == 200
+        try:
+            hello = json.loads(response.readline())
+            assert hello["type"] == "subscribed"
+            assert hello["tables"] == ["ship"]
+            first = json.loads(response.readline())
+            assert first["type"] == "answer"
+            count = first["envelope"]["answer"]["rows"][0][0]
+
+            owners = cluster.stats()["cluster"]["domains"]["fleet"][
+                "subscription_owners"
+            ]
+            owner = owners[hello["subscription"]]
+
+            # A replicated relevant write pushes within one commit.
+            self._post_sql_retry(cluster, SHIP_INSERT.format(id=9501))
+            frame = json.loads(response.readline())
+            assert frame["type"] == "answer"
+            assert frame["envelope"]["answer"]["rows"][0][0] == count + 1
+
+            # Kill the owner: the router re-registers on a sibling and
+            # the fresh registration pushes a current answer.
+            cluster.kill_worker(owner)
+            frame = json.loads(response.readline())
+            assert frame["type"] == "answer"
+            assert frame["envelope"]["answer"]["rows"][0][0] == count + 1
+            cluster.wait_healthy()
+            stats = cluster.stats()["cluster"]["domains"]["fleet"]
+            assert stats["subscription_owners"][hello["subscription"]] != owner
+            assert stats["router"]["subscription_handoffs"] >= 1
+
+            # Writes keep pushing through the adopted registration.
+            self._post_sql_retry(cluster, SHIP_INSERT.format(id=9502))
+            frame = json.loads(response.readline())
+            assert frame["type"] == "answer"
+            assert frame["envelope"]["answer"]["rows"][0][0] == count + 2
+        finally:
+            response.close()
+            connection.close()

@@ -66,6 +66,7 @@ REGISTERED_DOCS = (
     "docs/explain.md",
     "docs/api.md",
     "docs/http.md",
+    "docs/streaming.md",
     "docs/concurrency.md",
     "docs/cluster.md",
     "docs/storage.md",
@@ -104,6 +105,7 @@ def test_no_orphaned_doc_pages():
         "README.md",
         "docs/api.md",
         "docs/http.md",
+        "docs/streaming.md",
         "docs/concurrency.md",
         "docs/cluster.md",
         "docs/storage.md",

@@ -104,17 +104,17 @@ class TestTransportErrors:
     def test_malformed_json_is_400(self, server):
         code, wire, _ = _call(server.url, "/ask", raw=b"{not json at all")
         assert code == 400
-        assert wire["code"] == "malformed_json"
+        assert wire["error"]["code"] == "malformed_json"
 
     def test_non_object_body_is_400(self, server):
         code, wire, _ = _call(server.url, "/ask", raw=b'["a", "list"]')
         assert code == 400
-        assert wire["code"] == "malformed_json"
+        assert wire["error"]["code"] == "malformed_json"
 
     def test_missing_question_is_400(self, server):
         code, wire, _ = _call(server.url, "/ask", {"quesiton": "typo"})
         assert code == 400
-        assert wire["code"] == "bad_field"
+        assert wire["error"]["code"] == "bad_field"
 
     def test_non_string_question_is_400(self, server):
         code, wire, _ = _call(server.url, "/ask", {"question": 42})
@@ -127,7 +127,7 @@ class TestTransportErrors:
     def test_unknown_path_is_404(self, server):
         code, wire, _ = _call(server.url, "/nope", {"question": "x"})
         assert code == 404
-        assert wire["code"] == "unknown_endpoint"
+        assert wire["error"]["code"] == "unknown_endpoint"
 
     def test_wrong_method_is_405_with_allow(self, server):
         code, wire, headers = _call(server.url, "/ask")  # GET
@@ -140,7 +140,7 @@ class TestTransportErrors:
             {"clarification_id": "clar-999999", "choice": 0},
         )
         assert code == 404
-        assert wire["code"] == "unknown_clarification"
+        assert wire["error"]["code"] == "unknown_clarification"
 
     def test_bad_choice_type_is_400(self, server):
         code, wire, _ = _call(
@@ -160,7 +160,7 @@ class TestTransportErrors:
             {"clarification_id": ambiguous["clarification_id"], "choice": 99},
         )
         assert code == 400
-        assert wire["code"] == "bad_choice"
+        assert wire["error"]["code"] == "bad_choice"
         # Still parked: picking a valid index afterwards works.
         code, resolved, _ = _call(
             server.url, "/resolve",
@@ -266,7 +266,7 @@ class TestProtocolFlows:
     def test_sql_error_is_422(self, server):
         code, wire, _ = _call(server.url, "/sql", {"sql": "SELEKT nope"})
         assert code == 422
-        assert wire["code"] == "engine_error"
+        assert wire["error"]["code"] == "engine_error"
 
     def test_healthz_and_stats(self, server):
         code, health, _ = _call(server.url, "/healthz")
@@ -512,17 +512,17 @@ class TestMultiDomainLocal:
             {"question": "hello", "domain": "geography"},
         )
         assert code == 400
-        assert wire["code"] == "bad_field"
+        assert wire["error"]["code"] == "bad_field"
 
     def test_unknown_domain_404_both_spellings(self, multi):
         code, wire, _ = _call(multi.url, "/d/narnia/ask", {"question": "q"})
         assert code == 404
-        assert wire["code"] == "unknown_domain"
+        assert wire["error"]["code"] == "unknown_domain"
         code, wire, _ = _call(
             multi.url, "/ask", {"question": "q", "domain": "narnia"}
         )
         assert code == 404
-        assert wire["code"] == "unknown_domain"
+        assert wire["error"]["code"] == "unknown_domain"
 
     def test_per_domain_stats_and_overall(self, multi):
         code, wire, _ = _call(multi.url, "/d/geography/stats")

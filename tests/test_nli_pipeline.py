@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import NaturalLanguageInterface, NliConfig, Session
 from repro.datasets import fleet
-from repro.errors import AmbiguityError, DialogueError, NliError, ParseFailure
+from repro.errors import NliError
 from repro.service import Status
 from repro.sqlengine import Engine
 
@@ -32,42 +32,42 @@ def sql(fleet_db):
 class TestBasicQuestions:
     def test_count_all(self, nli, sql):
         expected = sql.execute("SELECT COUNT(*) FROM ship").scalar()
-        assert nli.ask("how many ships are there?").result.scalar() == expected
+        assert nli.ask("how many ships are there?").answer.result.scalar() == expected
 
     def test_list_with_join(self, nli, sql):
         gold = sql.execute(
             "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
             "ship.fleet_id = fleet.id WHERE fleet.name = 'Pacific'"
         )
-        answer = nli.ask("show the ships in the pacific fleet")
+        answer = nli.ask("show the ships in the pacific fleet").answer
         assert set(answer.result.rows) == set(gold.rows)
 
     def test_attribute_lookup(self, nli, sql):
         gold = sql.execute("SELECT displacement FROM ship WHERE name = 'Enterprise'")
-        answer = nli.ask("what is the displacement of the enterprise")
+        answer = nli.ask("what is the displacement of the enterprise").answer
         assert answer.result.rows == gold.rows
 
     def test_multi_attribute_lookup(self, nli):
-        answer = nli.ask("what is the speed and length of the enterprise")
+        answer = nli.ask("what is the speed and length of the enterprise").answer
         assert len(answer.result.columns) == 2
 
     def test_superlative(self, nli, sql):
         gold = sql.execute(
             "SELECT name FROM ship ORDER BY displacement DESC LIMIT 1"
         )
-        assert nli.ask("which ship has the largest displacement").result.rows == gold.rows
+        assert nli.ask("which ship has the largest displacement").answer.result.rows == gold.rows
 
     def test_top_k_superlative(self, nli):
-        assert len(nli.ask("the 3 oldest ships").result) == 3
+        assert len(nli.ask("the 3 oldest ships").answer.result) == 3
 
     def test_comparison_with_unit(self, nli, sql):
         gold = sql.execute("SELECT name FROM ship WHERE displacement > 50000")
-        answer = nli.ask("ships with displacement over 50000 tons")
+        answer = nli.ask("ships with displacement over 50000 tons").answer
         assert set(answer.result.rows) == set(gold.rows)
 
     def test_unit_implies_attribute(self, nli, sql):
         gold = sql.execute("SELECT name FROM ship WHERE crew > 4000")
-        answer = nli.ask("ships with more than 4000 men")
+        answer = nli.ask("ships with more than 4000 men").answer
         assert set(answer.result.rows) == set(gold.rows)
 
     def test_negation(self, nli, sql):
@@ -75,29 +75,29 @@ class TestBasicQuestions:
             "SELECT DISTINCT ship.name FROM ship JOIN fleet ON "
             "ship.fleet_id = fleet.id WHERE fleet.name != 'Pacific'"
         )
-        answer = nli.ask("ships that are not in the pacific fleet")
+        answer = nli.ask("ships that are not in the pacific fleet").answer
         assert set(answer.result.rows) == set(gold.rows)
 
     def test_membership(self, nli):
-        answer = nli.ask("ships from yokosuka or rota")
+        answer = nli.ask("ships from yokosuka or rota").answer
         assert "IN ('Yokosuka', 'Rota')" in answer.sql
 
     def test_nested_instance_comparison(self, nli):
-        answer = nli.ask("ships heavier than the enterprise")
+        answer = nli.ask("ships heavier than the enterprise").answer
         assert "SELECT" in answer.sql.split("(SELECT", 1)[1].upper() or True
         assert answer.sql.count("SELECT") == 2  # outer + subquery
 
     def test_nested_average_comparison(self, nli):
-        answer = nli.ask("ships heavier than average")
+        answer = nli.ask("ships heavier than average").answer
         assert "AVG(ship.displacement)" in answer.sql
 
     def test_group_by(self, nli):
-        answer = nli.ask("how many ships are in each fleet")
+        answer = nli.ask("how many ships are in each fleet").answer
         assert "GROUP BY" in answer.sql
         assert len(answer.result) == 4  # four fleets
 
     def test_order_suffix(self, nli):
-        answer = nli.ask("list the ships sorted by displacement descending")
+        answer = nli.ask("list the ships sorted by displacement descending").answer
         values = [
             row[0]
             for row in nli.engine.execute(
@@ -112,42 +112,42 @@ class TestBasicQuestions:
             "SELECT DISTINCT ship.name FROM ship JOIN shiptype ON "
             "ship.type_id = shiptype.id WHERE shiptype.name = 'carrier'"
         )
-        assert set(nli.ask("show the carriers").result.rows) == set(gold.rows)
+        assert set(nli.ask("show the carriers").answer.result.rows) == set(gold.rows)
 
     def test_value_synonym(self, nli):
-        answer = nli.ask("how many subs are there")
+        answer = nli.ask("how many subs are there").answer
         assert "submarine" in answer.sql
 
     def test_between(self, nli):
-        answer = nli.ask("ships with crew between 100 and 300")
+        answer = nli.ask("ships with crew between 100 and 300").answer
         assert "BETWEEN 100 AND 300" in answer.sql
 
     def test_year_equality(self, nli, sql):
         gold = sql.execute("SELECT name FROM ship WHERE commissioned = 1970")
-        answer = nli.ask("ships commissioned in 1970")
+        answer = nli.ask("ships commissioned in 1970").answer
         assert set(answer.result.rows) == set(gold.rows)
 
 
 class TestAnswerObject:
     def test_paraphrase_mentions_entity(self, nli):
-        answer = nli.ask("how many ships are there")
+        answer = nli.ask("how many ships are there").answer
         assert "ships" in answer.paraphrase
 
     def test_render_includes_table(self, nli):
-        text = nli.ask("show the fleets").render()
+        text = nli.ask("show the fleets").answer.render()
         assert "Pacific" in text
 
     def test_alternatives_for_ambiguous_value(self, nli):
-        answer = nli.ask("ships from norfolk")
+        answer = nli.ask("ships from norfolk").answer
         # norfolk = port name AND fleet headquarters -> >1 reading
         assert answer.is_ambiguous
 
     def test_normalized_words(self, nli):
-        answer = nli.ask("What's the displacement of the Enterprise?")
+        answer = nli.ask("What's the displacement of the Enterprise?").answer
         assert answer.normalized_words[0] == "what"
 
     def test_spelling_corrections_reported(self, nli):
-        answer = nli.ask("how many shps are there")
+        answer = nli.ask("how many shps are there").answer
         assert ("shps", "ships") in answer.corrections
 
 
@@ -158,25 +158,29 @@ class TestFailureModes:
         response = nli.ask("colorless green ideas sleep furiously")
         assert response.status is Status.FAILED
         assert response.diagnostics and response.diagnostics[0].span is not None
-        # The legacy exception rides along for one deprecation cycle.
         with pytest.raises(NliError):
             response.raise_for_status()
 
-    def test_failed_response_raises_legacy_error_on_result_access(self, nli):
+    def test_failed_response_has_no_answer_attributes(self, nli):
+        # The PR-3 attribute-delegation shim is gone: the envelope does
+        # not proxy answer attributes, failed or not.
         response = nli.ask("colorless green ideas sleep furiously")
-        with pytest.raises(NliError):
-            response.result  # old call sites keep their try/except flow
+        with pytest.raises(AttributeError):
+            response.result
+        assert response.answer is None
 
     def test_empty_question(self, nli):
         response = nli.ask("???")
         assert response.status is Status.FAILED
-        with pytest.raises(ParseFailure):
+        assert response.error_type == "ParseFailure"
+        with pytest.raises(NliError):
             response.raise_for_status()
 
     def test_fragment_without_session(self, nli):
         response = nli.ask("what about the atlantic fleet")
         assert response.status is Status.NEEDS_CLARIFICATION
-        with pytest.raises(DialogueError):
+        assert response.error_type == "DialogueError"
+        with pytest.raises(NliError):
             response.raise_for_status()
 
     def test_clarify_mode_reports_tie(self, fleet_db):
@@ -188,16 +192,16 @@ class TestFailureModes:
         assert response.status is Status.AMBIGUOUS
         assert len(response.choices) >= 2
         assert response.clarification_id is not None
-        with pytest.raises(AmbiguityError) as info:
+        assert response.error_type == "AmbiguityError"
+        with pytest.raises(NliError):
             response.raise_for_status()
-        assert len(info.value.choices) >= 2
 
 
 class TestDialogue:
     def test_substitution_followup(self, nli, sql):
         session = Session()
         nli.ask("how many ships are in the pacific fleet", session=session)
-        answer = nli.ask("what about the atlantic fleet", session=session)
+        answer = nli.ask("what about the atlantic fleet", session=session).answer
         gold = sql.execute(
             "SELECT COUNT(DISTINCT ship.id) FROM ship JOIN fleet ON "
             "ship.fleet_id = fleet.id WHERE fleet.name = 'Atlantic'"
@@ -208,13 +212,13 @@ class TestDialogue:
     def test_pronoun_reference(self, nli):
         session = Session()
         nli.ask("show the ships in the atlantic fleet", session=session)
-        answer = nli.ask("how many of them are submarines", session=session)
+        answer = nli.ask("how many of them are submarines", session=session).answer
         assert "Atlantic" in answer.sql and "submarine" in answer.sql
 
     def test_refinement_keeps_conditions(self, nli):
         session = Session()
         nli.ask("show the carriers", session=session)
-        answer = nli.ask("only the ones commissioned after 1970", session=session)
+        answer = nli.ask("only the ones commissioned after 1970", session=session).answer
         assert "carrier" in answer.sql and "> 1970" in answer.sql
 
     def test_transcript_recorded(self, nli):
@@ -228,7 +232,7 @@ class TestDialogue:
     def test_entity_switch_followup(self, nli):
         session = Session()
         nli.ask("show the carriers commissioned after 1970", session=session)
-        answer = nli.ask("what about the cruisers", session=session)
+        answer = nli.ask("what about the cruisers", session=session).answer
         assert "cruiser" in answer.sql and "> 1970" in answer.sql
 
 
@@ -246,29 +250,29 @@ class TestDmlFreshness:
         nli.engine.execute(
             "INSERT INTO fleet VALUES (5, 'Arctic', 'Arctic', 'Reykjavik')"
         )
-        answer = nli.ask("how many ships are in the arctic fleet")
+        answer = nli.ask("how many ships are in the arctic fleet").answer
         assert answer.result.scalar() == 0
         assert "Arctic" in answer.sql
 
     def test_inserted_ship_counted(self):
         nli = self._fresh_nli()
-        before = nli.ask("how many ships are there").result.scalar()
+        before = nli.ask("how many ships are there").answer.result.scalar()
         nli.engine.execute(
             "INSERT INTO ship VALUES (999, 'Zumwalt', 3, 1, 1, 1, "
             "8000, 600, 30, 1976, 150)"
         )
-        assert nli.ask("how many ships are there").result.scalar() == before + 1
+        assert nli.ask("how many ships are there").answer.result.scalar() == before + 1
 
     def test_manual_refresh(self):
         nli = self._fresh_nli()
         nli.database.table("fleet").insert((6, "Baltic", "Baltic", "Kiel"))
         nli.refresh()
-        answer = nli.ask("how many ships are in the baltic fleet")
+        answer = nli.ask("how many ships are in the baltic fleet").answer
         assert answer.result.scalar() == 0
 
     def test_repeated_question_uses_prepared_cache(self):
         nli = self._fresh_nli()
-        first = nli.ask("how many ships are there").result.scalar()
+        first = nli.ask("how many ships are there").answer.result.scalar()
         parse_key = (
             "parse",
             "how many ships are there",
@@ -277,7 +281,7 @@ class TestDmlFreshness:
             nli.layers.epoch,
         )
         assert parse_key in nli._prepared
-        assert nli.ask("how many ships are there").result.scalar() == first
+        assert nli.ask("how many ships are there").answer.result.scalar() == first
 
     def test_dml_clears_prepared_cache(self):
         nli = self._fresh_nli()
@@ -298,7 +302,7 @@ class TestDmlFreshness:
         nli.engine.execute(
             "INSERT INTO fleet VALUES (7, 'Caribbean', 'Atlantic', 'Key West')"
         )
-        answer = nli.ask("how many ships are in the caribbean fleet")
+        answer = nli.ask("how many ships are in the caribbean fleet").answer
         assert answer.result.scalar() == 0
         assert nli.stats["full_rebuilds"] == 1
         assert nli.stats["delta_refreshes"] == 1
@@ -322,7 +326,7 @@ class TestConfigKnobs:
             config=NliConfig(use_value_index=False),
         )
         # schema-only questions still work
-        assert nli.ask("how many ships are there").result.scalar() == 60
+        assert nli.ask("how many ships are there").answer.result.scalar() == 60
         # value-dependent questions cannot resolve
         assert nli.ask("ships from yokosuka").status is Status.FAILED
 
@@ -331,7 +335,7 @@ class TestConfigKnobs:
             fleet_db, domain=fleet.domain(),
             config=NliConfig(join_inference="pairwise"),
         )
-        answer = nli.ask("carriers in the pacific fleet")
+        answer = nli.ask("carriers in the pacific fleet").answer
         assert "JOIN" in answer.sql
 
     def test_explain_trace(self, nli):

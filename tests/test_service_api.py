@@ -17,7 +17,7 @@ import pytest
 from repro.baselines import KeywordBaseline, TemplateBaseline
 from repro.core import NaturalLanguageInterface, NliConfig, Session
 from repro.datasets import fleet, load_bundle
-from repro.errors import AmbiguityError, ClarificationError, ParseFailure
+from repro.errors import ClarificationError
 from repro.service import Choice, Diagnostic, NliService, Response, Status
 from repro.sqlengine.plancache import LruCache
 
@@ -53,16 +53,17 @@ class TestResponseEnvelope:
         wire = roundtrip(response)
         back = Response.from_dict(wire)
         assert back.status is Status.ANSWERED
-        assert back.sql == response.sql
-        assert back.result.rows == response.result.rows
-        assert back.result.columns == response.result.columns
-        assert back.paraphrase == response.paraphrase
+        assert back.answer is not None and response.answer is not None
+        assert back.answer.sql == response.answer.sql
+        assert back.answer.result.rows == response.answer.result.rows
+        assert back.answer.result.columns == response.answer.result.columns
+        assert back.answer.paraphrase == response.answer.paraphrase
 
     def test_parse_failure_envelope(self, nli):
         response = nli.ask("colorless green ideas sleep furiously")
         assert response.status is Status.FAILED
         assert response.answer is None
-        assert response.error is not None
+        assert response.error_type == "ParseFailure"
         codes = [d.code for d in response.diagnostics]
         assert "parse_failure" in codes
         primary = response.diagnostics[0]
@@ -151,7 +152,7 @@ class TestClarificationProtocol:
         chosen = ambiguous.choices[1]
         resolved = nli.resolve(ambiguous.clarification_id, 1)
         assert resolved.status is Status.ANSWERED
-        assert resolved.sql == chosen.sql
+        assert resolved.answer.sql == chosen.sql
         assert resolved.answer.interpretation is not None
 
     def test_resolution_shapes_followup_in_session(self, fleet_db):
@@ -171,8 +172,8 @@ class TestClarificationProtocol:
         # The follow-up merges with the *resolved* reading.
         followup = nli.ask("how many of them are submarines", session=session)
         assert followup.ok
-        assert "submarine" in followup.sql
-        assert "Norfolk" in followup.sql
+        assert "submarine" in followup.answer.sql
+        assert "Norfolk" in followup.answer.sql
 
     def test_clarification_is_single_use(self, fleet_db):
         nli = self._clarifying_nli(fleet_db)
@@ -234,11 +235,11 @@ class TestClarificationProtocol:
         assert response.diagnostics[0].code == "execution_error"
         assert session.pending_clarification is None
 
-    def test_legacy_ambiguity_error_carried(self, fleet_db):
+    def test_ambiguity_error_type_recorded(self, fleet_db):
         nli = self._clarifying_nli(fleet_db)
         response = nli.ask("ships from norfolk", clarify=True)
-        assert isinstance(response.error, AmbiguityError)
-        assert len(response.error.choices) == len(response.choices)
+        assert response.error_type == "AmbiguityError"
+        assert response.to_dict()["error_type"] == "AmbiguityError"
 
 
 class TestAskMany:
@@ -254,7 +255,7 @@ class TestAskMany:
         assert [r.status for r in responses] == [
             Status.ANSWERED, Status.ANSWERED, Status.ANSWERED, Status.FAILED,
         ]
-        assert responses[0].result.scalar() == responses[2].result.scalar()
+        assert responses[0].answer.result.scalar() == responses[2].answer.result.scalar()
 
     def test_batch_shares_one_freshness_pass(self):
         nli = NaturalLanguageInterface(
@@ -269,7 +270,7 @@ class TestAskMany:
             )
         responses = nli.ask_many(["how many ships are there"] * 3)
         assert all(r.ok for r in responses)
-        assert responses[0].result.scalar() == 64
+        assert responses[0].answer.result.scalar() == 64
         assert nli.stats["delta_refreshes"] == refreshes_before + 1
 
     def test_auto_refresh_restored_after_batch(self, fleet_db):
@@ -328,7 +329,7 @@ class TestNliServiceFacade:
         first = service.ask("how many ships are in the pacific fleet", session=sid)
         assert first.ok
         followup = service.ask("what about the atlantic fleet", session=sid)
-        assert followup.ok and followup.was_fragment
+        assert followup.ok and followup.answer.was_fragment
         assert len(service.session(sid).transcript) == 2
         service.close_session(sid)
         with pytest.raises(KeyError):
@@ -337,12 +338,12 @@ class TestNliServiceFacade:
     def test_dml_through_service_is_absorbed(self):
         bundle = load_bundle("fleet")
         service = NliService(bundle.database, domain=bundle.model)
-        before = service.ask("how many ships are there").result.scalar()
+        before = service.ask("how many ships are there").answer.result.scalar()
         service.execute(
             "INSERT INTO ship VALUES (901, 'Servicing', 3, 1, 1, 1, "
             "8000, 600, 30, 1976, 150)"
         )
-        assert service.ask("how many ships are there").result.scalar() == before + 1
+        assert service.ask("how many ships are there").answer.result.scalar() == before + 1
         assert service.stats["full_rebuilds"] == 1  # absorbed as a delta
 
     def test_select_passthrough_uses_read_lock(self):
@@ -365,7 +366,7 @@ class TestNliServiceFacade:
         assert ambiguous.status is Status.AMBIGUOUS
         resolved = service.resolve(ambiguous.clarification_id, 0)
         assert resolved.ok
-        assert resolved.sql == ambiguous.choices[0].sql
+        assert resolved.answer.sql == ambiguous.choices[0].sql
 
     def test_service_ask_many(self):
         bundle = load_bundle("fleet")
@@ -390,7 +391,7 @@ class TestBaselineResponseProtocol:
         baseline = TemplateBaseline(bundle.database, bundle.model)
         response = baseline.ask("verily the moon waxes gibbous")
         assert response.status is Status.FAILED
-        assert isinstance(response.error, ParseFailure)
+        assert response.error_type == "ParseFailure"
         assert response.diagnostics and response.diagnostics[0].span is not None
         roundtrip(response)
 

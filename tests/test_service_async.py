@@ -41,7 +41,7 @@ class TestAsyncFace:
         try:
             response = asyncio.run(service.ask_async("how many ships are there"))
             assert response.status is Status.ANSWERED
-            assert response.result.scalar() == 50
+            assert response.answer.result.scalar() == 50
         finally:
             service.close()
 
@@ -94,7 +94,7 @@ class TestAsyncFace:
         try:
             ambiguous, resolved = asyncio.run(main())
             assert resolved.status is Status.ANSWERED
-            assert resolved.sql == ambiguous.choices[0].sql
+            assert resolved.answer.sql == ambiguous.choices[0].sql
         finally:
             service.close()
 
@@ -309,7 +309,7 @@ class TestDurableSessions:
         try:
             followup = second.ask("how many of them are there", session="u")
             assert followup.ok
-            assert followup.sql.lower().startswith("select count")
+            assert followup.answer.sql.lower().startswith("select count")
         finally:
             second.close()
 
@@ -323,7 +323,7 @@ class TestDurableSessions:
         try:
             resolved = second.resolve(ambiguous.clarification_id, 0)
             assert resolved.status is Status.ANSWERED
-            assert resolved.sql == ambiguous.choices[0].sql
+            assert resolved.answer.sql == ambiguous.choices[0].sql
         finally:
             second.close()
 
@@ -420,6 +420,6 @@ class TestDurableSessions:
             assert second.session("u").pending_clarification is None
             followup = second.ask("how many of them are there", session="u")
             assert followup.ok
-            assert "pacific" in followup.sql.lower()
+            assert "pacific" in followup.answer.sql.lower()
         finally:
             second.close()

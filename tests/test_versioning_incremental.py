@@ -292,7 +292,7 @@ class TestInterleavedAsk:
         nli.engine.execute(
             "INSERT INTO fleet VALUES (8, 'Antarctic', 'Southern', 'McMurdo')"
         )
-        answer = nli.ask("how many ships are in the antarctic fleet")
+        answer = nli.ask("how many ships are in the antarctic fleet").answer
         assert answer.result.scalar() == 0
         assert "Antarctic" in answer.sql
         assert nli.stats["full_rebuilds"] == 1  # constructor only
@@ -332,14 +332,14 @@ class TestInterleavedAsk:
 
     def test_categorical_lexicon_follows_data(self):
         nli = self._fresh_nli()
-        before = nli.ask("how many submarines are there").result.scalar()
+        before = nli.ask("how many submarines are there").answer.result.scalar()
         # shiptype.name feeds categorical entity nouns; inserting a new
         # type must re-derive them without a full rebuild.
         nli.engine.execute(
             "INSERT INTO shiptype VALUES (9, 'corvette', 'surface')"
         )
-        assert nli.ask("how many corvettes are there").result.scalar() == 0
+        assert nli.ask("how many corvettes are there").answer.result.scalar() == 0
         assert nli.stats["full_rebuilds"] == 1
         assert (
-            nli.ask("how many submarines are there").result.scalar() == before
+            nli.ask("how many submarines are there").answer.result.scalar() == before
         )
