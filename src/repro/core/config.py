@@ -52,6 +52,13 @@ class NliConfig:
     #: larger results are executed but not cached, so a handful of
     #: ``SELECT *`` statements cannot pin copies of the database in memory.
     max_cached_result_rows: int = 10_000
+    #: Columnar batch execution for the hot SELECT path: covered plan
+    #: nodes run compiled batch kernels (selection vectors + tight
+    #: per-column loops) instead of the per-row interpreter; uncovered
+    #: constructs fall back per node.  Set False to force the row path —
+    #: the comparison baseline for ``benchmarks/bench_f12_columnar.py``
+    #: and the differential tests.
+    use_columnar: bool = True
     #: When this many row-level deltas pile up before the next question, a
     #: full language-layer rebuild is cheaper than replaying them one by
     #: one (bulk loads); below it, the value index updates incrementally.

@@ -145,6 +145,7 @@ class NaturalLanguageInterface:
             database,
             plan_cache_size=self.config.plan_cache_size,
             max_cached_result_rows=self.config.max_cached_result_rows,
+            use_columnar=self.config.use_columnar,
         )
         self.grammar = build_english_grammar()
         self.parser = EarleyParser(self.grammar)
@@ -213,6 +214,10 @@ class NaturalLanguageInterface:
             if self.config.use_value_index
             else None
         )
+        if value_index is not None and self.copy_on_refresh:
+            # Publish-mode owners need O(1) clones: persistent maps make a
+            # rebuilt index publishable without ever deep-copying again.
+            value_index.to_persistent()
         previous: LanguageLayers | None = getattr(self, "_layers", None)
         self._layers = LanguageLayers(
             epoch=previous.epoch + 1 if previous is not None else 0,
@@ -268,6 +273,20 @@ class NaturalLanguageInterface:
         """Database mutation callback: buffer the delta for the next ask."""
         self._pending_deltas.append(delta)
 
+    def enable_copy_on_refresh(self) -> None:
+        """Switch delta refreshes to publish mode (clone, patch, swap).
+
+        Also converts the live value index to persistent maps, so each
+        publish clones in O(1) and patches with structurally-shared
+        updates — the whole refresh is O(changed values), not O(index).
+        Call before concurrent readers start (the conversion itself
+        mutates the live index's storage representation).
+        """
+        self.copy_on_refresh = True
+        value_index = self._layers.value_index
+        if value_index is not None:
+            value_index.to_persistent()
+
     def refresh(self, *, full: bool = False) -> None:
         """Bring the language layers up to date after DML/DDL.
 
@@ -316,7 +335,9 @@ class NaturalLanguageInterface:
         if value_index is not None:
             if self.copy_on_refresh:
                 # Publish mode: patch a clone so concurrent readers pinned
-                # to the old bundle never see a half-applied delta.
+                # to the old bundle never see a half-applied delta.  With
+                # persistent maps (enable_copy_on_refresh) the clone is
+                # O(1) and the patches share all untouched structure.
                 value_index = value_index.clone()
             for delta in deltas:
                 value_index.apply_delta(delta)

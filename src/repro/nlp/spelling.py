@@ -10,6 +10,10 @@ tie-break.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (valueindex → nlp)
+    from repro.valueindex.pmap import PMap
 
 
 def damerau_levenshtein(a: str, b: str, cap: int | None = None) -> int:
@@ -85,12 +89,27 @@ class SpellingCorrector:
     """
 
     def __init__(self) -> None:
-        self._vocabulary: dict[str, int] = {}
-        self._by_length: dict[int, list[str]] = {}
+        self._vocabulary: dict[str, int] | PMap = {}
+        self._by_length: dict[int, list[str]] | PMap = {}
+        #: Persistent mode: the two maps are structurally-shared PMaps
+        #: (buckets become tuples), every mutation replaces the map
+        #: reference, and :meth:`clone` is O(1) reference copying.
+        self._persistent = False
 
     def add_word(self, word: str, weight: int = 1) -> None:
         lowered = word.lower()
         if not lowered:
+            return
+        if self._persistent:
+            remaining = self._vocabulary.get(lowered)
+            if remaining is None:
+                bucket = self._by_length.get(len(lowered), ())
+                self._by_length = self._by_length.set(
+                    len(lowered), bucket + (lowered,)
+                )
+                self._vocabulary = self._vocabulary.set(lowered, weight)
+            else:
+                self._vocabulary = self._vocabulary.set(lowered, remaining + weight)
             return
         if lowered not in self._vocabulary:
             self._by_length.setdefault(len(lowered), []).append(lowered)
@@ -113,6 +132,19 @@ class SpellingCorrector:
         remaining = self._vocabulary.get(lowered)
         if remaining is None:
             return
+        if self._persistent:
+            if remaining > weight:
+                self._vocabulary = self._vocabulary.set(lowered, remaining - weight)
+                return
+            self._vocabulary = self._vocabulary.delete(lowered)
+            bucket = tuple(
+                w for w in self._by_length.get(len(lowered), ()) if w != lowered
+            )
+            if bucket:
+                self._by_length = self._by_length.set(len(lowered), bucket)
+            else:
+                self._by_length = self._by_length.delete(len(lowered))
+            return
         if remaining > weight:
             self._vocabulary[lowered] = remaining - weight
             return
@@ -125,11 +157,34 @@ class SpellingCorrector:
         if not bucket:
             self._by_length.pop(len(lowered), None)
 
+    def to_persistent(self) -> None:
+        """Switch to persistent maps (in place); a no-op when already there.
+
+        After conversion every mutation builds a new structurally-shared
+        map, so clones share all untouched nodes with their source.
+        """
+        if self._persistent:
+            return
+        from repro.valueindex.pmap import PMap
+
+        self._vocabulary = PMap.from_dict(self._vocabulary)
+        self._by_length = PMap.from_dict(
+            {length: tuple(words) for length, words in self._by_length.items()}
+        )
+        self._persistent = True
+
     def clone(self) -> SpellingCorrector:
         """Independent copy of the vocabulary (weights included), used by
         copy-on-write publishers that patch a clone instead of mutating a
-        corrector other threads are reading."""
+        corrector other threads are reading.  In persistent mode this is
+        O(1): the clone aliases the current maps, and either side's next
+        mutation replaces its own reference without touching the other."""
         out = SpellingCorrector()
+        if self._persistent:
+            out._vocabulary = self._vocabulary
+            out._by_length = self._by_length
+            out._persistent = True
+            return out
         out._vocabulary = dict(self._vocabulary)
         out._by_length = {
             length: list(words) for length, words in self._by_length.items()

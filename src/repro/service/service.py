@@ -126,7 +126,7 @@ class NliService:
         #: in-flight readers keep a consistent bundle.
         self._mvcc = self._nli.config.mvcc_reads
         if self._mvcc:
-            self._nli.copy_on_refresh = True
+            self._nli.enable_copy_on_refresh()
         #: Reader-overlap gauge for the MVCC path: the RW lock no longer
         #: sees readers, so concurrency is observed here and merged into
         #: :attr:`lock_stats` (same keys the F6 benchmark asserts on).

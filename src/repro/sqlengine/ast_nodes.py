@@ -220,7 +220,9 @@ class Join(Node):
     kind: str = "INNER"  # INNER | LEFT | CROSS
 
     def render(self) -> str:
-        prefix = {"INNER": "JOIN", "LEFT": "LEFT JOIN", "CROSS": "CROSS JOIN"}[self.kind]
+        prefix = {"INNER": "JOIN", "LEFT": "LEFT JOIN", "CROSS": "CROSS JOIN"}[
+            self.kind
+        ]
         if self.condition is None:
             return f"{prefix} {self.table.render()}"
         return f"{prefix} {self.table.render()} ON {self.condition.render()}"

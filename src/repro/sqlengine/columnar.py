@@ -1,0 +1,687 @@
+"""Columnar batch execution kernels for the hot SELECT path.
+
+The row interpreter in :mod:`~repro.sqlengine.executor` evaluates every
+expression by allocating an :class:`~repro.sqlengine.expressions.Env` per
+row and dispatching through the :class:`Evaluator` — correct, but the
+per-row overhead dominates large scans and joins.  This module compiles a
+plan into *kernels* that run the same operators over batches:
+
+* a :class:`Batch` is shared row storage plus a selection vector of live
+  positions — filters narrow the selection without copying rows, and
+  output tuples materialize late (at joins and at projection);
+* scan predicates compile to **selectors** — tight list-comprehension
+  loops over one column (``[i for i in sel if rows[i][pos] > lit]``) when
+  the predicate's shape and the column's declared type guarantee the loop
+  cannot raise; anything else compiles to a per-row closure with exactly
+  the row evaluator's semantics (Kleene AND/OR short-circuit, NULL
+  propagation, error checks in the same order);
+* hash joins compile their key and residual expressions to closures and
+  run the executor's exact build/probe loops without Env allocation.
+
+Coverage is per node: a construct the compiler does not handle (subquery,
+outer-row reference, unknown function, ambiguous column) simply leaves
+that node without a kernel and the executor's row path runs it — the two
+paths compose within one plan.  Every covered construct replicates the
+row evaluator's observable behaviour: the same rows, in the same order,
+and an exception raised for exactly the same row/operand evaluations.
+Nodes that received a kernel report ``columnar=true`` in EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import ExecutionError, UnknownColumnError
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.expressions import Evaluator, Scope, like_to_regex
+from repro.sqlengine.functions import SCALAR_FUNCTIONS
+from repro.sqlengine.planner import (
+    FilterNode,
+    HashJoinNode,
+    JoinNode,
+    PlanNode,
+    ReorderNode,
+    ScanNode,
+)
+from repro.sqlengine.types import SqlType, compare_values, is_numeric
+
+#: A compiled expression: value of the expression for one row tuple.
+RowFn = Callable[[tuple], Any]
+
+#: A compiled scan predicate: narrows a selection over shared storage.
+SelectorFn = Callable[[list, Iterable[int]], list]
+
+
+def join_key(value: Any) -> Any:
+    """Normalise numeric join keys so 1 and 1.0 land in one bucket."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class Batch:
+    """Shared row storage plus the selection of live positions.
+
+    ``rows`` may be a table's internal storage (with ``None`` tombstones)
+    or an operator's materialized output; ``sel`` holds the positions that
+    are part of the batch, in output order.
+    """
+
+    __slots__ = ("rows", "sel")
+
+    def __init__(self, rows: list, sel: Iterable[int]) -> None:
+        self.rows = rows
+        self.sel = sel
+
+    def materialize(self) -> list[tuple[Any, ...]]:
+        rows = self.rows
+        return [rows[i] for i in self.sel]
+
+
+# -- expression compilation ----------------------------------------------------
+
+_CMP_OPS: dict[str, Callable[[int], bool]] = {
+    "=": lambda c: c == 0,
+    "!=": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def compile_expr(expr: ast.Expr, scope: Scope) -> RowFn | None:
+    """Compile ``expr`` to a closure over one row tuple, or None.
+
+    The closure reproduces :class:`Evaluator` exactly — value, NULL
+    semantics, evaluation order and raised errors — without Env
+    allocation or dispatch.  ``None`` means the construct is not covered
+    (subqueries, outer-row references, unknown functions/operators,
+    ambiguous columns): the caller falls back to the row path, which
+    either handles it or surfaces the identical error.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.ColumnRef):
+        try:
+            pos = scope.resolve(expr.name, expr.table)
+        except UnknownColumnError:
+            return None  # ambiguous: the row path raises it per query
+        if pos is None:
+            return None  # outer-environment reference
+        return lambda row: row[pos]
+    if isinstance(expr, ast.UnaryOp):
+        fn = compile_expr(expr.operand, scope)
+        if fn is None:
+            return None
+        if expr.op.upper() == "NOT":
+
+            def not_fn(row: tuple) -> Any:
+                value = fn(row)
+                return None if value is None else (not value)
+
+            return not_fn
+        if expr.op == "-":
+
+            def neg_fn(row: tuple) -> Any:
+                value = fn(row)
+                if value is None:
+                    return None
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ExecutionError(f"cannot negate {value!r}")
+                return -value
+
+            return neg_fn
+        return None
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, scope)
+    if isinstance(expr, ast.FunctionCall):
+        fn = SCALAR_FUNCTIONS.get(expr.name.lower())
+        if fn is None:
+            return None  # unknown function / aggregate: row path raises
+        arg_fns = [compile_expr(arg, scope) for arg in expr.args]
+        if any(arg_fn is None for arg_fn in arg_fns):
+            return None
+        return lambda row: fn(*[arg_fn(row) for arg_fn in arg_fns])
+    if isinstance(expr, ast.IsNull):
+        fn = compile_expr(expr.operand, scope)
+        if fn is None:
+            return None
+        if expr.negated:
+            return lambda row: fn(row) is not None
+        return lambda row: fn(row) is None
+    if isinstance(expr, ast.Between):
+        return _compile_between(expr, scope)
+    if isinstance(expr, ast.Like):
+        return _compile_like(expr, scope)
+    if isinstance(expr, ast.InList):
+        return _compile_in_list(expr, scope)
+    return None  # subqueries, Star, anything new: row path territory
+
+
+def _compile_binary(expr: ast.BinaryOp, scope: Scope) -> RowFn | None:
+    lf = compile_expr(expr.left, scope)
+    rf = compile_expr(expr.right, scope)
+    if lf is None or rf is None:
+        return None
+    op = expr.op.upper()
+    if op == "AND":
+        # Kleene AND with the evaluator's exact short-circuit: the right
+        # operand is evaluated (and may raise) unless the left is False.
+        def and_fn(row: tuple) -> Any:
+            left = lf(row)
+            if left is False:
+                return False
+            right = rf(row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+
+        return and_fn
+    if op == "OR":
+
+        def or_fn(row: tuple) -> Any:
+            left = lf(row)
+            if left is True:
+                return True
+            right = rf(row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+
+        return or_fn
+    cmp_op = _CMP_OPS.get(expr.op)
+    if cmp_op is not None:
+
+        def cmp_fn(row: tuple) -> Any:
+            cmp = compare_values(lf(row), rf(row))
+            return None if cmp is None else cmp_op(cmp)
+
+        return cmp_fn
+    if op == "+":
+
+        def add_fn(row: tuple) -> Any:
+            left, right = lf(row), rf(row)
+            if left is None or right is None:
+                return None
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            return Evaluator._arith(left, right, lambda a, b: a + b, "+")
+
+        return add_fn
+    if op in ("-", "*"):
+        arith = (lambda a, b: a - b) if op == "-" else (lambda a, b: a * b)
+
+        def sub_mul_fn(row: tuple, arith=arith, op=op) -> Any:
+            left, right = lf(row), rf(row)
+            if left is None or right is None:
+                return None
+            return Evaluator._arith(left, right, arith, op)
+
+        return sub_mul_fn
+    if op in ("/", "%"):
+        message = "division by zero" if op == "/" else "modulo by zero"
+        arith = (lambda a, b: a / b) if op == "/" else (lambda a, b: a % b)
+
+        def div_mod_fn(row: tuple, arith=arith, op=op, message=message) -> Any:
+            left, right = lf(row), rf(row)
+            if left is None or right is None:
+                return None
+            if right == 0:
+                raise ExecutionError(message)
+            return Evaluator._arith(left, right, arith, op)
+
+        return div_mod_fn
+    return None  # unknown operator: row path raises
+
+
+def _compile_between(expr: ast.Between, scope: Scope) -> RowFn | None:
+    vf = compile_expr(expr.operand, scope)
+    lof = compile_expr(expr.low, scope)
+    hif = compile_expr(expr.high, scope)
+    if vf is None or lof is None or hif is None:
+        return None
+    negated = expr.negated
+
+    def between_fn(row: tuple) -> Any:
+        value, low, high = vf(row), lof(row), hif(row)
+        lo_cmp = (
+            compare_values(value, low)
+            if value is not None and low is not None
+            else None
+        )
+        hi_cmp = (
+            compare_values(value, high)
+            if value is not None and high is not None
+            else None
+        )
+        if lo_cmp is None or hi_cmp is None:
+            return None
+        result = lo_cmp >= 0 and hi_cmp <= 0
+        return (not result) if negated else result
+
+    return between_fn
+
+
+def _compile_like(expr: ast.Like, scope: Scope) -> RowFn | None:
+    vf = compile_expr(expr.operand, scope)
+    pf = compile_expr(expr.pattern, scope)
+    if vf is None or pf is None:
+        return None
+    negated = expr.negated
+    if isinstance(expr.pattern, ast.Literal) and isinstance(expr.pattern.value, str):
+        regex = like_to_regex(expr.pattern.value)
+
+        def like_lit_fn(row: tuple) -> Any:
+            value = vf(row)
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                raise ExecutionError("LIKE requires string operands")
+            result = regex.match(value) is not None
+            return (not result) if negated else result
+
+        return like_lit_fn
+
+    def like_fn(row: tuple) -> Any:
+        value, pattern = vf(row), pf(row)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise ExecutionError("LIKE requires string operands")
+        result = like_to_regex(pattern).match(value) is not None
+        return (not result) if negated else result
+
+    return like_fn
+
+
+def _compile_in_list(expr: ast.InList, scope: Scope) -> RowFn | None:
+    vf = compile_expr(expr.operand, scope)
+    if vf is None:
+        return None
+    item_fns = [compile_expr(item, scope) for item in expr.items]
+    if any(item_fn is None for item_fn in item_fns):
+        return None
+    negated = expr.negated
+
+    def in_fn(row: tuple) -> Any:
+        value = vf(row)
+        if value is None:
+            return None
+        saw_null = False
+        for item_fn in item_fns:
+            candidate = item_fn(row)
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(value, candidate) == 0:
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    return in_fn
+
+
+# -- fused scan selectors ------------------------------------------------------
+
+
+def _literal_of(expr: ast.Expr) -> tuple[bool, Any]:
+    """Literal (or negated numeric literal) value of ``expr``."""
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and expr.op == "-"
+        and isinstance(expr.operand, ast.Literal)
+    ):
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True, -value
+    return False, None
+
+
+def _typed_column(expr: ast.Expr, scope: Scope, schema: Any) -> tuple[int, Any] | None:
+    """(position, sql_type) when ``expr`` is a column of this scan."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if not schema.has_column(expr.name):
+        return None
+    try:
+        pos = scope.resolve(expr.name, expr.table)
+    except UnknownColumnError:
+        return None
+    if pos is None:
+        return None
+    return pos, schema.column(expr.name).sql_type
+
+
+def _fits(sql_type: Any, value: Any) -> bool:
+    """True when comparing ``value`` against the column cannot type-error.
+
+    Mirrors the optimizer's index-hint gate: declared column types
+    guarantee stored values share the literal's comparison family, so the
+    fused loop can use plain Python operators.
+    """
+    if isinstance(value, bool):
+        return sql_type is SqlType.BOOL
+    if isinstance(value, (int, float)):
+        return is_numeric(sql_type)
+    if isinstance(value, str):
+        return sql_type is SqlType.TEXT
+    return False
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _fused_selector(conjunct: ast.Expr, scope: Scope, schema: Any) -> SelectorFn | None:
+    """A no-raise tight-loop selector for a common predicate shape, or None.
+
+    Only produced when the declared column type guarantees the comparison
+    cannot raise — everything else goes through the generic compiled
+    predicate, which replicates the evaluator's error behaviour.
+    """
+    if isinstance(conjunct, ast.IsNull):
+        col = _typed_column(conjunct.operand, scope, schema)
+        if col is None:
+            return None
+        pos = col[0]
+        if conjunct.negated:
+            return lambda rows, sel: [i for i in sel if rows[i][pos] is not None]
+        return lambda rows, sel: [i for i in sel if rows[i][pos] is None]
+    if isinstance(conjunct, ast.Between):
+        col = _typed_column(conjunct.operand, scope, schema)
+        lo_lit, low = _literal_of(conjunct.low)
+        hi_lit, high = _literal_of(conjunct.high)
+        if col is None or not lo_lit or not hi_lit:
+            return None
+        pos, sql_type = col
+        if not _fits(sql_type, low) or not _fits(sql_type, high):
+            return None
+        if conjunct.negated:
+            return lambda rows, sel: [
+                i
+                for i in sel
+                if (v := rows[i][pos]) is not None and not low <= v <= high
+            ]
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and low <= v <= high
+        ]
+    if isinstance(conjunct, ast.InList):
+        col = _typed_column(conjunct.operand, scope, schema)
+        if col is None:
+            return None
+        pos, sql_type = col
+        values = []
+        for item in conjunct.items:
+            is_lit, value = _literal_of(item)
+            if not is_lit or value is None or not _fits(sql_type, value):
+                return None  # NULL items need three-valued IN semantics
+            values.append(value)
+        members = frozenset(values)
+        if conjunct.negated:
+            return lambda rows, sel: [
+                i for i in sel if (v := rows[i][pos]) is not None and v not in members
+            ]
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v in members
+        ]
+    if isinstance(conjunct, ast.Like) and isinstance(conjunct.pattern, ast.Literal):
+        pattern = conjunct.pattern.value
+        col = _typed_column(conjunct.operand, scope, schema)
+        if col is None or not isinstance(pattern, str):
+            return None
+        pos, sql_type = col
+        if sql_type is not SqlType.TEXT:
+            return None  # non-text operands must raise like the row path
+        match = like_to_regex(pattern).match
+        if conjunct.negated:
+            return lambda rows, sel: [
+                i for i in sel if (v := rows[i][pos]) is not None and match(v) is None
+            ]
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and match(v) is not None
+        ]
+    if not isinstance(conjunct, ast.BinaryOp) or conjunct.op not in _CMP_OPS:
+        return None
+    op = conjunct.op
+    col = _typed_column(conjunct.left, scope, schema)
+    is_lit, literal = _literal_of(conjunct.right)
+    if col is None:
+        col = _typed_column(conjunct.right, scope, schema)
+        is_lit, literal = _literal_of(conjunct.left)
+        if op in _FLIP:
+            op = _FLIP[op]
+    if col is None or not is_lit or literal is None:
+        return None
+    pos, sql_type = col
+    if not _fits(sql_type, literal):
+        return None
+    if op == "=":
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v == literal
+        ]
+    if op == "!=":
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v != literal
+        ]
+    if op == "<":
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v < literal
+        ]
+    if op == "<=":
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v <= literal
+        ]
+    if op == ">":
+        return lambda rows, sel: [
+            i for i in sel if (v := rows[i][pos]) is not None and v > literal
+        ]
+    return lambda rows, sel: [
+        i for i in sel if (v := rows[i][pos]) is not None and v >= literal
+    ]
+
+
+def compile_selector(
+    conjunct: ast.Expr, scope: Scope, schema: Any
+) -> SelectorFn | None:
+    """Compile one scan residual conjunct to a selection-vector narrowing."""
+    fused = _fused_selector(conjunct, scope, schema)
+    if fused is not None:
+        return fused
+    pred = compile_expr(conjunct, scope)
+    if pred is None:
+        return None
+    return lambda rows, sel: [i for i in sel if pred(rows[i]) is True]
+
+
+# -- kernel installation -------------------------------------------------------
+
+
+def install_kernels(plan: PlanNode, database: Any) -> Scope:
+    """Attach columnar kernels bottom-up; returns the plan's output scope.
+
+    Nodes whose expressions fully compile get a ``_kernel`` attribute (a
+    callable ``kernel(engine, outer_env) -> (Scope, Batch)``) and have
+    ``columnar`` set for EXPLAIN; uncovered nodes are left untouched and
+    run on the executor's row path.  Kernels capture only plan structure
+    and column positions — never table data — so cached plans revalidate
+    against fresh storage on every execution.
+    """
+    if isinstance(plan, ScanNode):
+        return _install_scan(plan, database)
+    if isinstance(plan, FilterNode):
+        return _install_filter(plan, database)
+    if isinstance(plan, HashJoinNode):
+        return _install_hash_join(plan, database)
+    if isinstance(plan, ReorderNode):
+        return _install_reorder(plan, database)
+    if isinstance(plan, JoinNode):
+        # Nested-loop joins stay on the row path (they are the fallback
+        # operator for non-equi conditions), but their inputs may still
+        # run columnar kernels underneath.
+        left = install_kernels(plan.left, database)
+        right = install_kernels(plan.right, database)
+        return left.merge(right)
+    raise ExecutionError(f"unknown plan node {type(plan).__name__}")
+
+
+def _install_scan(plan: ScanNode, database: Any) -> Scope:
+    schema = database.table(plan.table_name).schema
+    scope = Scope([(plan.binding, col) for col in schema.column_names])
+    selectors: list[SelectorFn] = []
+    for conjunct in plan.residual_filters:
+        selector = compile_selector(conjunct, scope, schema)
+        if selector is None:
+            return scope  # subquery/outer ref residual: row path scan
+        selectors.append(selector)
+    table_name = plan.table_name
+
+    def kernel(engine: Any, outer_env: Any) -> tuple[Scope, Batch]:
+        table = engine._source().table(table_name)
+        rows, sel = table.batch_storage()
+        candidate_ids = engine._scan_candidate_ids(plan, table)
+        if candidate_ids is not None:
+            sel = [i for i in sorted(candidate_ids) if rows[i] is not None]
+        # Applying selectors in conjunct order over the shrinking selection
+        # is exactly the row path's short-circuit across conjuncts: a later
+        # predicate only ever evaluates rows the earlier ones accepted.
+        for selector in selectors:
+            if not sel:
+                break
+            sel = selector(rows, sel)
+        return scope, Batch(rows, sel)
+
+    plan._kernel = kernel
+    plan.columnar = True
+    return scope
+
+
+def _install_filter(plan: FilterNode, database: Any) -> Scope:
+    scope = install_kernels(plan.child, database)
+    pred = compile_expr(plan.predicate, scope)
+    if pred is None:
+        return scope
+
+    def kernel(engine: Any, outer_env: Any) -> tuple[Scope, Batch]:
+        child_scope, batch = engine._run_plan_batch(plan.child, outer_env)
+        rows = batch.rows
+        sel = [i for i in batch.sel if pred(rows[i]) is True]
+        return child_scope, Batch(rows, sel)
+
+    plan._kernel = kernel
+    plan.columnar = True
+    return scope
+
+
+def _install_hash_join(plan: HashJoinNode, database: Any) -> Scope:
+    left_scope = install_kernels(plan.left, database)
+    right_scope = install_kernels(plan.right, database)
+    scope = left_scope.merge(right_scope)
+    left_key = compile_expr(plan.left_key, left_scope)
+    right_key = compile_expr(plan.right_key, right_scope)
+    residual: RowFn | None = None
+    if plan.residual is not None:
+        residual = compile_expr(plan.residual, scope)
+        if residual is None:
+            return scope
+    if left_key is None or right_key is None:
+        return scope
+    build_left = plan.build == "left" and plan.kind == "INNER"
+    left_join = plan.kind == "LEFT"
+
+    def kernel(engine: Any, outer_env: Any) -> tuple[Scope, Batch]:
+        lscope, lbatch = engine._run_plan_batch(plan.left, outer_env)
+        rscope, rbatch = engine._run_plan_batch(plan.right, outer_env)
+        out_scope = lscope.merge(rscope)
+        lrows, lsel = lbatch.rows, lbatch.sel
+        rrows, rsel = rbatch.rows, rbatch.sel
+        buckets: dict[Any, list[tuple[Any, ...]]] = {}
+        out: list[tuple[Any, ...]] = []
+        if build_left:
+            for i in lsel:
+                row = lrows[i]
+                key = left_key(row)
+                if key is None:
+                    continue
+                buckets.setdefault(join_key(key), []).append(row)
+            for j in rsel:
+                right_row = rrows[j]
+                key = right_key(right_row)
+                if key is None:
+                    continue
+                bucket = buckets.get(join_key(key))
+                if not bucket:
+                    continue
+                if residual is None:
+                    for left_row in bucket:
+                        out.append(left_row + right_row)
+                else:
+                    for left_row in bucket:
+                        combined = left_row + right_row
+                        if residual(combined) is True:
+                            out.append(combined)
+            return out_scope, Batch(out, range(len(out)))
+        for j in rsel:
+            row = rrows[j]
+            key = right_key(row)
+            if key is None:
+                continue
+            buckets.setdefault(join_key(key), []).append(row)
+        null_pad = (None,) * len(rscope)
+        for i in lsel:
+            left_row = lrows[i]
+            key = left_key(left_row)
+            matched = False
+            if key is not None:
+                bucket = buckets.get(join_key(key))
+                if bucket:
+                    if residual is None:
+                        matched = True
+                        for right_row in bucket:
+                            out.append(left_row + right_row)
+                    else:
+                        for right_row in bucket:
+                            combined = left_row + right_row
+                            if residual(combined) is True:
+                                matched = True
+                                out.append(combined)
+            if left_join and not matched:
+                out.append(left_row + null_pad)
+        return out_scope, Batch(out, range(len(out)))
+
+    plan._kernel = kernel
+    plan.columnar = True
+    return scope
+
+
+def _install_reorder(plan: ReorderNode, database: Any) -> Scope:
+    child_scope = install_kernels(plan.child, database)
+    segments: dict[str, tuple[int, int]] = {}
+    for i, (binding, _) in enumerate(child_scope.entries):
+        start, _end = segments.get(binding, (i, i))
+        segments[binding] = (start, i + 1)
+    slices = [slice(*segments[binding]) for binding in plan.order]
+    entries: list[tuple[str, str]] = []
+    for binding in plan.order:
+        start, end = segments[binding]
+        entries.extend(child_scope.entries[start:end])
+    scope = Scope(entries)
+
+    def kernel(engine: Any, outer_env: Any) -> tuple[Scope, Batch]:
+        _child_scope, batch = engine._run_plan_batch(plan.child, outer_env)
+        rows = batch.rows
+        out = [
+            tuple(value for s in slices for value in rows[i][s]) for i in batch.sel
+        ]
+        return scope, Batch(out, range(len(out)))
+
+    plan._kernel = kernel
+    plan.columnar = True
+    return scope

@@ -210,7 +210,9 @@ class Database:
         else (plain functions, builtin methods) is held strongly.
         """
         try:
-            ref: Callable[[], Any] = weakref.WeakMethod(listener)  # type: ignore[arg-type]
+            ref: Callable[[], Any] = weakref.WeakMethod(
+                listener
+            )  # type: ignore[arg-type]
         except TypeError:
             ref = lambda fn=listener: fn  # noqa: E731 - strong holder
         self._delta_listeners.append(ref)

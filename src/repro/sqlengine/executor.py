@@ -22,6 +22,12 @@ from repro.errors import (
 )
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.aggregates import AGGREGATE_NAMES, AGGREGATES
+from repro.sqlengine.columnar import (
+    Batch,
+    compile_expr,
+    install_kernels,
+    join_key as _join_key,
+)
 from repro.sqlengine.database import Database
 from repro.sqlengine.expressions import Env, Evaluator, Scope
 from repro.sqlengine.optimizer import install_index_hints, optimize
@@ -106,10 +112,14 @@ class Engine:
         use_plan_cache: bool = True,
         plan_cache_size: int = 256,
         max_cached_result_rows: int = 10_000,
+        use_columnar: bool = True,
     ) -> None:
         self.database = database
         self.use_optimizer = use_optimizer
         self.use_indexes = use_indexes
+        #: Attach columnar batch kernels to covered plan nodes; uncovered
+        #: constructs fall back to the row interpreter per node.
+        self.use_columnar = use_columnar
         self.plan_cache = (
             PlanCache(plan_cache_size, max_cached_result_rows)
             if use_plan_cache
@@ -313,16 +323,23 @@ class Engine:
         if self.plan_cache is not None:
             if cache_key is None:
                 cache_key = self._statement_key(select)
-            hit, plan = self.plan_cache.plan(cache_key, source.table_version)
+            hit, plan = self.plan_cache.plan(
+                cache_key, source.table_version, columnar=self.use_columnar
+            )
             if hit:
                 return plan
         plan = build_plan(select, source)
         if self.use_optimizer:
             plan = optimize(plan, source, use_indexes=self.use_indexes)
+        if self.use_columnar and plan is not None:
+            install_kernels(plan, source)
         if self.plan_cache is not None:
             assert cache_key is not None
             self.plan_cache.store_plan(
-                cache_key, self._dependency_stamps(select), plan
+                cache_key,
+                self._dependency_stamps(select),
+                plan,
+                columnar=self.use_columnar,
             )
         return plan
 
@@ -349,20 +366,31 @@ class Engine:
                     columns, rows = cached
                     return ResultSet(list(columns), list(rows))
         plan = self._plan_for(select, cache_key)
+        projected = None
         if plan is None:
             scope = Scope([])
             rows: list[tuple[Any, ...]] = [()]
         else:
-            scope, rows = self._run_plan(plan, outer_env)
+            kernel = getattr(plan, "_kernel", None)
+            if kernel is not None and not self._is_aggregate_query(select):
+                # Columnar fast path: project straight off the batch with
+                # compiled closures, skipping per-row Env allocation.  Falls
+                # back to the row projection when any output or ORDER BY
+                # expression is outside the compilable subset.
+                scope, batch = kernel(self, outer_env)
+                projected = self._project_batch(select, scope, batch)
+                rows = [] if projected is not None else batch.materialize()
+            else:
+                scope, rows = self._run_plan(plan, outer_env)
 
-        envs = [Env(scope, row, outer_env) for row in rows]
-
-        if self._is_aggregate_query(select):
-            projected = self._project_groups(select, scope, envs, outer_env)
-        else:
-            if select.having is not None:
-                raise PlanError("HAVING requires GROUP BY or aggregates")
-            projected = self._project_rows(select, scope, envs)
+        if projected is None:
+            envs = [Env(scope, row, outer_env) for row in rows]
+            if self._is_aggregate_query(select):
+                projected = self._project_groups(select, scope, envs, outer_env)
+            else:
+                if select.having is not None:
+                    raise PlanError("HAVING requires GROUP BY or aggregates")
+                projected = self._project_rows(select, scope, envs)
 
         columns, keyed_rows = projected
         if select.distinct:
@@ -460,7 +488,11 @@ class Engine:
                     raise PlanError(f"ORDER BY ordinal {expr.value} out of range")
                 resolved.append((None, index))
                 continue
-            if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in names:
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in names
+            ):
                 resolved.append((None, names.index(expr.name)))
                 continue
             resolved.append((expr, None))
@@ -478,6 +510,50 @@ class Engine:
             keys = tuple(
                 row[index] if expr is None else self._evaluator.evaluate(expr, env)
                 for expr, index in order
+            )
+            keyed_rows.append((row, keys))
+        return columns, keyed_rows
+
+    def _project_batch(
+        self, select: ast.Select, scope: Scope, batch: Batch
+    ) -> tuple[list[str], list[tuple[tuple[Any, ...], tuple[Any, ...]]]] | None:
+        """Project a columnar batch with compiled row closures.
+
+        Returns None when any output or ORDER BY expression falls outside
+        the compilable subset (subquery, outer reference, unknown
+        function), in which case the caller materializes the batch and
+        takes the row projection.
+        """
+        items = self._expand_items(select, scope)
+        item_fns = []
+        for expr, _ in items:
+            fn = compile_expr(expr, scope)
+            if fn is None:
+                return None
+            item_fns.append(fn)
+        #: int -> projected-column index; callable -> compiled expression.
+        order_keys: list[Any] = []
+        for expr, index in self._order_exprs(select, items):
+            if expr is None:
+                order_keys.append(index)
+                continue
+            fn = compile_expr(expr, scope)
+            if fn is None:
+                return None
+            order_keys.append(fn)
+        columns = [name for _, name in items]
+        rows = batch.rows
+        keyed_rows = []
+        if not order_keys:
+            for i in batch.sel:
+                r = rows[i]
+                keyed_rows.append((tuple(fn(r) for fn in item_fns), ()))
+            return columns, keyed_rows
+        for i in batch.sel:
+            r = rows[i]
+            row = tuple(fn(r) for fn in item_fns)
+            keys = tuple(
+                row[key] if isinstance(key, int) else key(r) for key in order_keys
             )
             keyed_rows.append((row, keys))
         return columns, keyed_rows
@@ -538,6 +614,10 @@ class Engine:
     def _run_plan(
         self, plan: PlanNode, outer_env: Env | None
     ) -> tuple[Scope, list[tuple[Any, ...]]]:
+        kernel = getattr(plan, "_kernel", None)
+        if kernel is not None:
+            scope, batch = kernel(self, outer_env)
+            return scope, batch.materialize()
         if isinstance(plan, ScanNode):
             return self._run_scan(plan, outer_env)
         if isinstance(plan, FilterNode):
@@ -556,16 +636,35 @@ class Engine:
             return self._run_reorder(plan, outer_env)
         raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
+    def _run_plan_batch(
+        self, plan: PlanNode, outer_env: Env | None
+    ) -> tuple[Scope, Batch]:
+        """Run a sub-plan as a batch: its kernel when it has one, else the
+        row path wrapped in a full-selection batch."""
+        kernel = getattr(plan, "_kernel", None)
+        if kernel is not None:
+            return kernel(self, outer_env)
+        scope, rows = self._run_plan(plan, outer_env)
+        return scope, Batch(rows, range(len(rows)))
+
     def _scan_candidate_ids(self, plan: ScanNode, table: Any) -> set[int] | None:
         """Row ids selected by the scan's index hints (None = all rows)."""
         candidate_ids: set[int] | None = None
         for column, value in plan.eq_filters:
-            index = table.hash_index(column) or table.sorted_index(column)
+            # `is None` (not `or`): index truthiness calls the O(distinct)
+            # __len__, which would put a full-index sum on every lookup.
+            index = table.hash_index(column)
+            if index is None:
+                index = table.sorted_index(column)
             assert index is not None
             ids = set(index.lookup(value))
             candidate_ids = ids if candidate_ids is None else candidate_ids & ids
         for column, values in plan.in_filters:
-            index = table.hash_index(column) or table.sorted_index(column)
+            # `is None` (not `or`): index truthiness calls the O(distinct)
+            # __len__, which would put a full-index sum on every lookup.
+            index = table.hash_index(column)
+            if index is None:
+                index = table.sorted_index(column)
             assert index is not None
             ids = set()
             for value in values:
@@ -820,10 +919,3 @@ class Engine:
         # violation leaves the table untouched.
         self.database.update_rows(stmt.table, updated_rows)
         return ResultSet(["rows_affected"], [(len(ids),)])
-
-
-def _join_key(value: Any) -> Any:
-    """Normalise numeric join keys so 1 and 1.0 land in one bucket."""
-    if isinstance(value, float) and value.is_integer():
-        return int(value)
-    return value

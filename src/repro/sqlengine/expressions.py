@@ -235,8 +235,16 @@ class Evaluator:
         value = self.evaluate(expr.operand, env)
         low = self.evaluate(expr.low, env)
         high = self.evaluate(expr.high, env)
-        lo_cmp = compare_values(value, low) if value is not None and low is not None else None
-        hi_cmp = compare_values(value, high) if value is not None and high is not None else None
+        lo_cmp = (
+            compare_values(value, low)
+            if value is not None and low is not None
+            else None
+        )
+        hi_cmp = (
+            compare_values(value, high)
+            if value is not None and high is not None
+            else None
+        )
         if lo_cmp is None or hi_cmp is None:
             return None
         result = lo_cmp >= 0 and hi_cmp <= 0

@@ -39,7 +39,7 @@ from repro.sqlengine.planner import (
     expr_bindings,
     split_conjuncts,
 )
-from repro.sqlengine.statistics import DEFAULT_SELECTIVITY
+from repro.sqlengine.statistics import DEFAULT_SELECTIVITY, estimate_equi_join_rows
 from repro.sqlengine.types import SqlType, is_numeric
 
 _RANGE_OPS = {"<", "<=", ">", ">="}
@@ -49,7 +49,9 @@ _RANGE_OPS = {"<", "<=", ">", ">="}
 _FILTER_GUESS = DEFAULT_SELECTIVITY
 
 
-def optimize(plan: PlanNode | None, database: Database, use_indexes: bool = True) -> PlanNode | None:
+def optimize(
+    plan: PlanNode | None, database: Database, use_indexes: bool = True
+) -> PlanNode | None:
     """Optimize ``plan`` (may return a new tree)."""
     if plan is None:
         return None
@@ -128,7 +130,11 @@ def _try_push(plan: PlanNode, conjunct: ast.Expr) -> tuple[PlanNode, bool]:
 def _literal_value(expr: ast.Expr) -> tuple[bool, Any]:
     if isinstance(expr, ast.Literal):
         return True, expr.value
-    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.Literal):
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and expr.op == "-"
+        and isinstance(expr.operand, ast.Literal)
+    ):
         value = expr.operand.value
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             return True, -value
@@ -159,7 +165,13 @@ def _classify_predicate(conjunct: ast.Expr, binding: str, table: Any):
         column = _own_column(conjunct.operand, binding, table)
         low_lit, low = _literal_value(conjunct.low)
         high_lit, high = _literal_value(conjunct.high)
-        if column is not None and low_lit and high_lit and low is not None and high is not None:
+        if (
+            column is not None
+            and low_lit
+            and high_lit
+            and low is not None
+            and high is not None
+        ):
             return "between", column, low, high
         return None
     if isinstance(conjunct, ast.InList) and not conjunct.negated:
@@ -241,6 +253,69 @@ def estimate_scan_rows(scan: ScanNode, database: Database) -> float:
     return rows * selectivity
 
 
+def _binding_tables(plan: PlanNode) -> dict[str, str]:
+    """Map every scan binding in ``plan`` to its base table name."""
+    out: dict[str, str] = {}
+
+    def walk(node: PlanNode) -> None:
+        if isinstance(node, ScanNode):
+            out[node.binding] = node.table_name
+        elif isinstance(node, (JoinNode, HashJoinNode)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (FilterNode, ReorderNode)):
+            walk(node.child)
+
+    walk(plan)
+    return out
+
+
+def _join_key_distinct(
+    database: Database, table_name: str, column: str
+) -> float | None:
+    """FK/PK-aware distinct count of a join-key column, or None if unknown.
+
+    A primary key has exactly ``row_count`` distinct values; a foreign key
+    can reference at most the parent table's row count — both bounds are
+    usually far sharper than the maintained per-column distinct count on
+    freshly-filtered or growing tables.
+    """
+    if not database.has_table(table_name):
+        return None
+    table = database.table(table_name)
+    schema = table.schema
+    if not schema.has_column(column):
+        return None
+    column = column.lower()
+    stats = table.statistics
+    if schema.primary_key == column:
+        return float(stats.row_count)
+    distinct = stats.column_distinct(column)
+    result = float(distinct) if distinct else None
+    fk = schema.foreign_key_for(column)
+    if fk is not None and database.has_table(fk.ref_table):
+        cap = float(database.statistics(fk.ref_table).row_count)
+        result = cap if result is None else min(result, cap)
+    return result
+
+
+def _key_distinct(
+    key: ast.Expr, bindings: dict[str, str], database: Database
+) -> float | None:
+    """Distinct count of a join-key expression when it is a base column."""
+    if not isinstance(key, ast.ColumnRef):
+        return None
+    if key.table is not None:
+        table_name = bindings.get(key.table)
+    elif len(bindings) == 1:
+        table_name = next(iter(bindings.values()))
+    else:
+        return None  # unqualified key over multiple scans: ambiguous
+    if table_name is None:
+        return None
+    return _join_key_distinct(database, table_name, key.name)
+
+
 def estimate_rows(plan: PlanNode, database: Database) -> float:
     """Estimated output rows of any plan subtree."""
     if isinstance(plan, ScanNode):
@@ -253,13 +328,29 @@ def estimate_rows(plan: PlanNode, database: Database) -> float:
     if isinstance(plan, HashJoinNode):
         left = estimate_rows(plan.left, database)
         right = estimate_rows(plan.right, database)
-        return max(left, right)
+        return estimate_equi_join_rows(
+            left,
+            right,
+            _key_distinct(plan.left_key, _binding_tables(plan.left), database),
+            _key_distinct(plan.right_key, _binding_tables(plan.right), database),
+        )
     if isinstance(plan, JoinNode):
         left = estimate_rows(plan.left, database)
         right = estimate_rows(plan.right, database)
         if plan.condition is None:  # cross product
             return left * right
-        # Equi-joins over keys produce about max(|L|, |R|) rows.
+        left_scope = set(plan.left.bindings())
+        right_scope = set(plan.right.bindings())
+        for conjunct in split_conjuncts(plan.condition):
+            keys = _equi_key(conjunct, left_scope, right_scope)
+            if keys is not None:
+                return estimate_equi_join_rows(
+                    left,
+                    right,
+                    _key_distinct(keys[0], _binding_tables(plan.left), database),
+                    _key_distinct(keys[1], _binding_tables(plan.right), database),
+                )
+        # Non-equi condition: fall back to the key-join guess.
         return max(left, right)
     return 0.0  # pragma: no cover - defensive
 
@@ -307,6 +398,7 @@ def _reorder_joins(plan: PlanNode, database: Database) -> PlanNode:
         conjunct_refs.append((conjunct, refs))
 
     estimates = {scan.binding: estimate_scan_rows(scan, database) for scan in scans}
+    tables = {scan.binding: scan.table_name for scan in scans}
     original_order = [scan.binding for scan in scans]
     position = {binding: i for i, binding in enumerate(original_order)}
 
@@ -316,6 +408,36 @@ def _reorder_joins(plan: PlanNode, database: Database) -> PlanNode:
     order = [min(all_bindings, key=rank)]
     placed = {order[0]}
     remaining = all_bindings - placed
+    current_rows = estimates[order[0]]
+
+    def joined_rows(binding: str) -> float:
+        """Estimated rows after joining ``binding`` into the placed set.
+
+        Uses the FK/PK-aware equi-join formula over the connecting
+        conjuncts; several connecting keys keep the tightest estimate.
+        """
+        best: float | None = None
+        for conjunct, refs in conjunct_refs:
+            if (
+                binding not in refs
+                or not refs - {binding} <= placed
+                or refs == {binding}
+            ):
+                continue
+            keys = _equi_key(conjunct, placed, {binding})
+            if keys is None:
+                continue
+            est = estimate_equi_join_rows(
+                current_rows,
+                estimates[binding],
+                _key_distinct(keys[0], tables, database),
+                _key_distinct(keys[1], tables, database),
+            )
+            best = est if best is None else min(best, est)
+        if best is None:  # connected by a non-equi conjunct only
+            best = max(current_rows, estimates[binding])
+        return best
+
     while remaining:
         connected = [
             binding
@@ -325,10 +447,16 @@ def _reorder_joins(plan: PlanNode, database: Database) -> PlanNode:
                 for _, refs in conjunct_refs
             )
         ]
-        nxt = min(connected or remaining, key=rank)
+        if connected:
+            nxt = min(connected, key=lambda b: (joined_rows(b),) + rank(b))
+            next_rows = joined_rows(nxt)
+        else:  # cartesian island: fall back to smallest scan first
+            nxt = min(remaining, key=rank)
+            next_rows = current_rows * estimates[nxt]
         order.append(nxt)
         placed.add(nxt)
         remaining.remove(nxt)
+        current_rows = next_rows
 
     if order == original_order:
         return plan

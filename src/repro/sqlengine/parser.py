@@ -441,7 +441,9 @@ class Parser:
                 references = (ref_table, ref_column)
                 continue
             break
-        return ast.ColumnDef(name, type_token.value.upper(), not_null, primary, references)
+        return ast.ColumnDef(
+            name, type_token.value.upper(), not_null, primary, references
+        )
 
     def _parse_insert(self) -> ast.Insert:
         self._expect_keyword("insert")

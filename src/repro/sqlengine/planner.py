@@ -49,6 +49,9 @@ class ScanNode(PlanNode):
     range_filters: list[tuple[str, str, Any]] = field(default_factory=list)
     in_filters: list[tuple[str, tuple[Any, ...]]] = field(default_factory=list)
     residual_filters: list[ast.Expr] = field(default_factory=list)
+    #: True when the executor attached a columnar kernel to this node
+    #: (set by :func:`repro.sqlengine.columnar.install_kernels`).
+    columnar: bool = field(default=False, compare=False)
 
     def bindings(self) -> list[str]:
         return [self.binding]
@@ -64,6 +67,8 @@ class ScanNode(PlanNode):
             hints.append("in=" + ",".join(c for c, _ in self.in_filters))
         if self.residual_filters:
             hints.append(f"residual={len(self.residual_filters)}")
+        if self.columnar:
+            hints.append("columnar=true")
         tail = f" [{' '.join(hints)}]" if hints else ""
         return f"{pad}Scan({self.table_name} AS {self.binding}){tail}"
 
@@ -108,6 +113,7 @@ class HashJoinNode(PlanNode):
     build: str = "right"  # left | right
     est_left: float | None = None
     est_right: float | None = None
+    columnar: bool = field(default=False, compare=False)
 
     def bindings(self) -> list[str]:
         return self.left.bindings() + self.right.bindings()
@@ -118,8 +124,9 @@ class HashJoinNode(PlanNode):
         est = ""
         if self.est_left is not None and self.est_right is not None:
             est = f" est={self.est_left:.0f}x{self.est_right:.0f}"
+        col = " columnar=true" if self.columnar else ""
         return (
-            f"{pad}HashJoin[{self.kind} build={self.build}{est}] "
+            f"{pad}HashJoin[{self.kind} build={self.build}{est}{col}] "
             f"{self.left_key.render()} = {self.right_key.render()}{res}\n"
             f"{self.left.describe(indent + 1)}\n{self.right.describe(indent + 1)}"
         )
@@ -137,13 +144,18 @@ class ReorderNode(PlanNode):
 
     child: PlanNode
     order: tuple[str, ...]  # binding order to present
+    columnar: bool = field(default=False, compare=False)
 
     def bindings(self) -> list[str]:
         return list(self.order)
 
     def describe(self, indent: int = 0) -> str:
         pad = "  " * indent
-        return f"{pad}Reorder({', '.join(self.order)})\n{self.child.describe(indent + 1)}"
+        col = " [columnar=true]" if self.columnar else ""
+        return (
+            f"{pad}Reorder({', '.join(self.order)}){col}\n"
+            f"{self.child.describe(indent + 1)}"
+        )
 
 
 @dataclass
@@ -152,13 +164,18 @@ class FilterNode(PlanNode):
 
     child: PlanNode
     predicate: ast.Expr
+    columnar: bool = field(default=False, compare=False)
 
     def bindings(self) -> list[str]:
         return self.child.bindings()
 
     def describe(self, indent: int = 0) -> str:
         pad = "  " * indent
-        return f"{pad}Filter({self.predicate.render()})\n{self.child.describe(indent + 1)}"
+        col = " [columnar=true]" if self.columnar else ""
+        return (
+            f"{pad}Filter({self.predicate.render()}){col}\n"
+            f"{self.child.describe(indent + 1)}"
+        )
 
 
 def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:

@@ -55,8 +55,12 @@ class ForeignKey:
     ref_column: str
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "column", validate_identifier(self.column, "fk column"))
-        object.__setattr__(self, "ref_table", validate_identifier(self.ref_table, "fk table"))
+        object.__setattr__(
+            self, "column", validate_identifier(self.column, "fk column")
+        )
+        object.__setattr__(
+            self, "ref_table", validate_identifier(self.ref_table, "fk table")
+        )
         object.__setattr__(
             self, "ref_column", validate_identifier(self.ref_column, "fk ref column")
         )
@@ -103,7 +107,9 @@ class TableSchema:
         seen: set[str] = set()
         for col in self.columns:
             if col.name in seen:
-                raise SchemaError(f"duplicate column {col.name!r} in table {self.name!r}")
+                raise SchemaError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
             seen.add(col.name)
         if self.primary_key is not None and self.primary_key not in seen:
             raise SchemaError(

@@ -109,6 +109,13 @@ class TableSnapshot:
     def rows_with_ids(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
         return ((i, row) for i, row in enumerate(self._rows) if row is not None)
 
+    def batch_storage(self) -> tuple[list, "range | list[int]"]:
+        """Pinned row storage plus live positions, for columnar scans."""
+        rows = self._rows
+        if self._live_count == len(rows):
+            return rows, range(len(rows))
+        return rows, [i for i, row in enumerate(rows) if row is not None]
+
     def row_by_id(self, row_id: int) -> tuple[Any, ...] | None:
         if 0 <= row_id < len(self._rows):
             return self._rows[row_id]

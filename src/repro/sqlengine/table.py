@@ -208,6 +208,16 @@ class Table:
     def rows_with_ids(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
         return ((i, row) for i, row in enumerate(self._rows) if row is not None)
 
+    def batch_storage(self) -> tuple[list, "range | list[int]"]:
+        """Row storage plus the selection of live positions, for columnar
+        scans.  Callers must treat both as read-only — the storage is the
+        table's own (with ``None`` tombstones when rows were deleted).
+        """
+        rows = self._rows
+        if self._live_count == len(rows):
+            return rows, range(len(rows))
+        return rows, [i for i, row in enumerate(rows) if row is not None]
+
     def row_by_id(self, row_id: int) -> tuple[Any, ...] | None:
         if 0 <= row_id < len(self._rows):
             return self._rows[row_id]
@@ -251,7 +261,9 @@ class Table:
         for callers — the FK-checking database — that prepared it)."""
         with self._write_lock:
             if self._pk_index is not None:
-                pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+                pk_pos = self.schema.column_index(
+                    self.schema.primary_key
+                )  # type: ignore[arg-type]
                 pk_val = row[pk_pos]
                 if pk_val is None:
                     raise IntegrityError(
@@ -366,7 +378,9 @@ class Table:
         self, prepared: list[tuple[int, tuple[Any, ...], tuple[Any, ...]]]
     ) -> int:
         if self._pk_index is not None and prepared:
-            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            pk_pos = self.schema.column_index(
+                self.schema.primary_key
+            )  # type: ignore[arg-type]
             updating = {row_id for row_id, _, _ in prepared}
             seen: set[Any] = set()
             for row_id, new, _ in prepared:
@@ -412,7 +426,9 @@ class Table:
 
     def _index_row(self, row_id: int, row: tuple[Any, ...]) -> None:
         if self._pk_index is not None:
-            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            pk_pos = self.schema.column_index(
+                self.schema.primary_key
+            )  # type: ignore[arg-type]
             self._pk_index.add(row[pk_pos], row_id)
         for col, idx in self._hash_indexes.items():
             idx.add(row[self.schema.column_index(col)], row_id)
@@ -421,7 +437,9 @@ class Table:
 
     def _unindex_row(self, row_id: int, row: tuple[Any, ...]) -> None:
         if self._pk_index is not None:
-            pk_pos = self.schema.column_index(self.schema.primary_key)  # type: ignore[arg-type]
+            pk_pos = self.schema.column_index(
+                self.schema.primary_key
+            )  # type: ignore[arg-type]
             self._pk_index.remove(row[pk_pos], row_id)
         for col, idx in self._hash_indexes.items():
             idx.remove(row[self.schema.column_index(col)], row_id)

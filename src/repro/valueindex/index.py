@@ -23,6 +23,7 @@ from repro.nlp.stemmer import stem
 from repro.sqlengine.database import Database
 from repro.sqlengine.table import TableDelta
 from repro.sqlengine.types import SqlType
+from repro.valueindex.pmap import PMap
 
 
 @dataclass(frozen=True)
@@ -57,15 +58,19 @@ class ValueIndex:
         self.database = database
         self._max_values_per_column = max_values_per_column
         self._excluded = excluded_columns or set()
-        self._phrase_map: dict[tuple[str, ...], list[ValueHit]] = {}
-        self._stem_map: dict[tuple[str, ...], list[ValueHit]] = {}
+        self._phrase_map: dict[tuple[str, ...], list[ValueHit]] | PMap = {}
+        self._stem_map: dict[tuple[str, ...], list[ValueHit]] | PMap = {}
         self._word_vocabulary = SpellingCorrector()
         self._max_phrase_len = 1
+        #: Persistent mode (:meth:`to_persistent`): the maps become
+        #: structurally-shared PMaps with tuple buckets, mutations replace
+        #: map references, and :meth:`clone` is O(1).
+        self._persistent = False
         #: Live-row reference count per (table, column, value): entries are
         #: only unindexed when the *last* row holding the value goes away.
-        self._occurrences: dict[tuple[str, str, str], int] = {}
+        self._occurrences: dict[tuple[str, str, str], int] | PMap = {}
         #: Occurrences admitted per (table, column), for the cap.
-        self._column_seen: dict[tuple[str, str], int] = {}
+        self._column_seen: dict[tuple[str, str], int] | PMap = {}
         for table in database.tables():
             for column in table.schema.columns:
                 if column.sql_type is not SqlType.TEXT:
@@ -80,23 +85,53 @@ class ValueIndex:
 
     # -- incremental maintenance --------------------------------------------
 
+    def to_persistent(self) -> None:
+        """Convert to persistent (structurally-shared) maps, in place.
+
+        Done once when an owner enables publish-mode refreshes; afterwards
+        every mutation is a functional map update and :meth:`clone` costs
+        O(1), so a publish round-trip is O(changed values) instead of the
+        dict copy's O(indexed values).
+        """
+        if self._persistent:
+            return
+        self._phrase_map = PMap.from_dict(
+            {key: tuple(hits) for key, hits in self._phrase_map.items()}
+        )
+        self._stem_map = PMap.from_dict(
+            {key: tuple(hits) for key, hits in self._stem_map.items()}
+        )
+        self._occurrences = PMap.from_dict(self._occurrences)
+        self._column_seen = PMap.from_dict(self._column_seen)
+        self._word_vocabulary.to_persistent()
+        self._persistent = True
+
     def clone(self) -> ValueIndex:
-        """Independent copy sharing nothing mutable with the original.
+        """Independent copy sharing nothing *mutable* with the original.
 
         Used for copy-on-write refreshes: a publisher patches the clone
         with pending deltas and swaps it in atomically, so readers on the
-        old index never observe a half-applied delta.  Cost is
-        O(indexed values) — far below the full rebuild's O(database rows)
-        re-scan and re-tokenization.
+        old index never observe a half-applied delta.  In persistent mode
+        the clone aliases the current maps — O(1) — and both sides'
+        subsequent mutations build new structure without touching shared
+        nodes.  Dict mode deep-copies (O(indexed values), still far below
+        the full rebuild's O(database rows) re-scan).
         """
         out = ValueIndex.__new__(ValueIndex)
         out.database = self.database
         out._max_values_per_column = self._max_values_per_column
         out._excluded = self._excluded
-        out._phrase_map = {key: list(hits) for key, hits in self._phrase_map.items()}
-        out._stem_map = {key: list(hits) for key, hits in self._stem_map.items()}
+        out._persistent = self._persistent
         out._word_vocabulary = self._word_vocabulary.clone()
         out._max_phrase_len = self._max_phrase_len
+        if self._persistent:
+            out._phrase_map = self._phrase_map
+            out._stem_map = self._stem_map
+            out._occurrences = self._occurrences
+            out._column_seen = self._column_seen
+            return out
+        out._phrase_map = {key: list(hits) for key, hits in self._phrase_map.items()}
+        out._stem_map = {key: list(hits) for key, hits in self._stem_map.items()}
         out._occurrences = dict(self._occurrences)
         out._column_seen = dict(self._column_seen)
         return out
@@ -119,8 +154,12 @@ class ValueIndex:
             and seen >= self._max_values_per_column
         ):
             return False
-        self._column_seen[column_key] = seen + 1
-        self._occurrences[occurrence_key] = count + 1
+        if self._persistent:
+            self._column_seen = self._column_seen.set(column_key, seen + 1)
+            self._occurrences = self._occurrences.set(occurrence_key, count + 1)
+        else:
+            self._column_seen[column_key] = seen + 1
+            self._occurrences[occurrence_key] = count + 1
         phrase = _normalise_phrase(value)
         if not phrase:
             return True
@@ -139,16 +178,24 @@ class ValueIndex:
         if count == 0:
             return  # never admitted (cap) or already gone
         column_key = (table, column)
-        self._column_seen[column_key] = max(
-            0, self._column_seen.get(column_key, 0) - 1
-        )
+        seen = max(0, self._column_seen.get(column_key, 0) - 1)
+        if self._persistent:
+            self._column_seen = self._column_seen.set(column_key, seen)
+        else:
+            self._column_seen[column_key] = seen
         phrase = _normalise_phrase(value)
         if count > 1:
-            self._occurrences[occurrence_key] = count - 1
+            if self._persistent:
+                self._occurrences = self._occurrences.set(occurrence_key, count - 1)
+            else:
+                self._occurrences[occurrence_key] = count - 1
             for word in phrase:
                 self._word_vocabulary.remove_word(word)
             return
-        del self._occurrences[occurrence_key]
+        if self._persistent:
+            self._occurrences = self._occurrences.delete(occurrence_key)
+        else:
+            del self._occurrences[occurrence_key]
         if not phrase:
             return
         for word in phrase:
@@ -172,14 +219,24 @@ class ValueIndex:
     def _index_phrase(
         self, phrase: tuple[str, ...], table: str, column: str, value: str
     ) -> None:
-        self._phrase_map.setdefault(phrase, []).append(
-            ValueHit(table, column, value, exact=True)
-        )
+        exact_hit = ValueHit(table, column, value, exact=True)
         stemmed = tuple(stem(word) for word in phrase)
-        if stemmed != phrase:
-            self._stem_map.setdefault(stemmed, []).append(
-                ValueHit(table, column, value, exact=False)
+        if self._persistent:
+            self._phrase_map = self._phrase_map.set(
+                phrase, self._phrase_map.get(phrase, ()) + (exact_hit,)
             )
+            if stemmed != phrase:
+                self._stem_map = self._stem_map.set(
+                    stemmed,
+                    self._stem_map.get(stemmed, ())
+                    + (ValueHit(table, column, value, exact=False),),
+                )
+        else:
+            self._phrase_map.setdefault(phrase, []).append(exact_hit)
+            if stemmed != phrase:
+                self._stem_map.setdefault(stemmed, []).append(
+                    ValueHit(table, column, value, exact=False)
+                )
         self._max_phrase_len = max(self._max_phrase_len, len(phrase))
 
     def _unindex_phrase(
@@ -187,6 +244,25 @@ class ValueIndex:
     ) -> None:
         # _max_phrase_len stays a (harmless) upper bound: lookup_prefix
         # just probes lengths that no longer exist.
+        doomed = (table, column, value)
+        if self._persistent:
+            for attr, key in (
+                ("_phrase_map", phrase),
+                ("_stem_map", tuple(stem(word) for word in phrase)),
+            ):
+                mapping = getattr(self, attr)
+                bucket = mapping.get(key)
+                if bucket is None:
+                    continue
+                bucket = tuple(
+                    h for h in bucket if (h.table, h.column, h.value) != doomed
+                )
+                setattr(
+                    self,
+                    attr,
+                    mapping.set(key, bucket) if bucket else mapping.delete(key),
+                )
+            return
         for mapping, key in (
             (self._phrase_map, phrase),
             (self._stem_map, tuple(stem(word) for word in phrase)),
@@ -195,9 +271,7 @@ class ValueIndex:
             if bucket is None:
                 continue
             bucket[:] = [
-                h
-                for h in bucket
-                if (h.table, h.column, h.value) != (table, column, value)
+                h for h in bucket if (h.table, h.column, h.value) != doomed
             ]
             if not bucket:
                 del mapping[key]

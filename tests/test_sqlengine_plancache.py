@@ -94,7 +94,9 @@ class TestInvalidation:
         version = engine.database.version
         engine.execute("CREATE TABLE extra (id INT PRIMARY KEY)")
         assert engine.database.version > version
-        hit, _ = engine.plan_cache.plan(SQL, engine.database.table_version)
+        hit, _ = engine.plan_cache.plan(
+            SQL, engine.database.table_version, columnar=engine.use_columnar
+        )
         assert hit
 
     def test_drop_table_invalidates_its_plans(self, engine):

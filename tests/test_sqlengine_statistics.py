@@ -2,8 +2,20 @@
 
 import pytest
 
-from repro.sqlengine import Database, Engine
-from repro.sqlengine.statistics import DEFAULT_SELECTIVITY
+from repro.sqlengine import (
+    Column,
+    Database,
+    Engine,
+    ForeignKey,
+    SqlType,
+    TableSchema,
+)
+from repro.sqlengine.statistics import (
+    MCV_ENTRIES,
+    ColumnStats,
+    _build_histogram,
+    estimate_equi_join_rows,
+)
 
 from tests.conftest import make_library_db
 
@@ -93,27 +105,275 @@ class TestSelectivity:
         assert sel == pytest.approx(0.75)
         assert table.statistics.in_selectivity("tag", ["a", "b", "c", "a"]) <= 1.0
 
-    def test_range_interpolates(self, engine):
+    def test_range_counts_histogram_rows(self, engine):
         table = setup_t(engine)
-        # v spans 10..30; "> 20" covers half the span.
+        # v holds {10, 20, 30} plus one NULL: exactly one of four rows
+        # satisfies "> 20" (the NULL row satisfies nothing).
         sel = table.statistics.range_selectivity("v", ">", 20)
         assert 0.0 <= sel <= 1.0
-        assert sel == pytest.approx(0.5)
+        assert sel == pytest.approx(0.25)
 
     def test_range_clamps_out_of_bounds(self, engine):
         table = setup_t(engine)
         assert table.statistics.range_selectivity("v", ">", 1000) == 0.0
-        assert table.statistics.range_selectivity("v", "<", 1000) == 1.0
+        # "< 1000" matches every non-null v: 3 of 4 rows.
+        assert table.statistics.range_selectivity("v", "<", 1000) == pytest.approx(
+            0.75
+        )
 
-    def test_text_range_falls_back(self, engine):
+    def test_text_range_estimates_from_histogram(self, engine):
         table = setup_t(engine)
+        # tags are {a: 2, b: 1, c: 1}; strictly above 'a' leaves b and c.
         sel = table.statistics.range_selectivity("tag", ">", "a")
-        assert sel == pytest.approx(DEFAULT_SELECTIVITY)
+        assert sel == pytest.approx(0.5)
 
     def test_empty_table_selectivity_zero(self, engine):
         engine.execute("CREATE TABLE e (id INT PRIMARY KEY)")
         stats = engine.database.statistics("e")
         assert stats.eq_selectivity("id", 1) == 0.0
+
+
+class TestHistogram:
+    """Equi-depth histogram construction and row estimates."""
+
+    @staticmethod
+    def _counts(values):
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    def test_small_domains_are_all_mcv(self):
+        hist = _build_histogram(self._counts([1, 1, 2, 3]))
+        assert hist.mcv == {1: 2, 2: 1, 3: 1}
+        assert hist.buckets == []
+
+    def test_uniform_data_has_no_mcvs_and_even_depths(self):
+        hist = _build_histogram(self._counts(range(640)), n_buckets=32)
+        assert hist.mcv == {}
+        bounds = hist.bucket_bounds()
+        assert len(bounds) == 32
+        depths = [rows for _, _, rows, _ in bounds]
+        # Equi-depth: 640 uniform values over 32 buckets → 20 rows each.
+        assert all(d == 20 for d in depths)
+        # Buckets are sorted and non-overlapping.
+        for (_, high, _, _), (low, _, _, _) in zip(bounds, bounds[1:]):
+            assert high < low
+
+    def test_skewed_data_promotes_heavy_hitters_to_mcv(self):
+        values = [0] * 500 + [1] * 300 + list(range(2, 102))
+        hist = _build_histogram(self._counts(values))
+        assert hist.mcv[0] == 500 and hist.mcv[1] == 300
+        assert hist.eq_rows(0) == 500.0  # MCV answers are exact
+        # Bucketed tail: estimate within a factor of the truth (1 row).
+        assert 0.0 < hist.eq_rows(50) <= 10.0
+
+    def test_unsortable_values_yield_none(self):
+        assert _build_histogram({1: 1, "x": 1}) is None
+
+    def test_eq_outside_all_buckets_is_zero(self):
+        hist = _build_histogram(self._counts(range(100)))
+        assert hist.eq_rows(-5) == 0.0
+        assert hist.eq_rows(1000) == 0.0
+
+    def test_cmp_rows_bounds_and_complement(self):
+        hist = _build_histogram(self._counts(range(100)))
+        total = hist.total_rows
+        for probe in (0, 17, 50, 99):
+            below = hist.cmp_rows("<=", probe)
+            above = hist.cmp_rows(">", probe)
+            assert below + above == pytest.approx(total)
+            # Interpolated estimate stays within one bucket of the truth.
+            assert below == pytest.approx(probe + 1, abs=total / 16)
+
+    def test_between_rows_matches_difference(self):
+        hist = _build_histogram(self._counts(range(100)))
+        est = hist.between_rows(20, 40)
+        assert est == pytest.approx(21, abs=hist.total_rows / 16)
+        assert hist.between_rows(40, 20) == 0.0
+
+    def test_range_error_vs_exact_counts_on_skew(self, engine):
+        # Zipf-ish data: estimator error must stay within 10% of the
+        # table for every decile probe, eq error within 5%.
+        engine.execute("CREATE TABLE z (id INT PRIMARY KEY, v INT)")
+        values = []
+        for v in range(1, 200):
+            values.extend([v] * (1 + 2000 // v))
+        rows = ", ".join(f"({i}, {v})" for i, v in enumerate(values))
+        engine.execute(f"INSERT INTO z VALUES {rows}")
+        stats = engine.database.table("z").statistics
+        n = len(values)
+        for probe in range(10, 200, 20):
+            truth = sum(1 for v in values if v > probe) / n
+            est = stats.range_selectivity("v", ">", probe)
+            assert abs(est - truth) <= 0.10
+            eq_truth = sum(1 for v in values if v == probe) / n
+            eq_est = stats.eq_selectivity("v", probe)
+            assert abs(eq_est - eq_truth) <= 0.05
+
+    def test_null_heavy_column_estimates_over_all_rows(self, engine):
+        engine.execute("CREATE TABLE n (id INT PRIMARY KEY, v INT)")
+        rows = ", ".join(
+            f"({i}, {i if i % 4 == 0 else 'NULL'})" for i in range(100)
+        )
+        engine.execute(f"INSERT INTO n VALUES {rows}")
+        stats = engine.database.table("n").statistics
+        # 25 non-null values 0,4,...,96; half are < 48 → 13/100 rows.
+        sel = stats.range_selectivity("v", "<", 48)
+        assert sel == pytest.approx(0.12, abs=0.03)
+        assert stats.column("v").null_count == 75
+
+    def test_histogram_rebuilds_after_mutation(self, engine):
+        table = setup_t(engine)
+        stats = table.statistics
+        assert stats.range_selectivity("v", ">", 25) == pytest.approx(0.25)
+        engine.execute("INSERT INTO t VALUES (5, 40, 'd'), (6, 50, 'e')")
+        assert stats.range_selectivity("v", ">", 25) == pytest.approx(3 / 6)
+
+
+class TestCompression:
+    """Bounded-memory mode once a column exceeds max_tracked distincts."""
+
+    @pytest.fixture(autouse=True)
+    def small_cap(self, monkeypatch):
+        monkeypatch.setattr(ColumnStats, "max_tracked", 64)
+
+    def test_compression_bounds_tracked_values(self):
+        col = ColumnStats()
+        for v in range(200):
+            col.add(v)
+        assert col.compressed
+        assert len(col._counts) <= MCV_ENTRIES
+        # Distinct estimate survives compression.
+        assert col.distinct == pytest.approx(200, rel=0.35)
+        assert (col.min_value, col.max_value) == (0, 199)
+
+    def test_compressed_add_remove_adjust_estimates(self):
+        col = ColumnStats()
+        for v in range(100):
+            col.add(v)
+        assert col.compressed
+        before = col.distinct
+        for v in range(100, 150):
+            col.add(v)
+        assert col.distinct > before
+        assert col.max_value == 149
+        for v in range(100, 150):
+            col.remove(v)
+        assert col.distinct == pytest.approx(before, rel=0.35)
+        assert col.non_null_count == 100
+
+    def test_compressed_frequency_is_estimate(self):
+        col = ColumnStats()
+        for _ in range(50):
+            col.add(-1)
+        for v in range(100):
+            col.add(v)
+        assert col.compressed
+        assert col.frequency(-1) == 50  # heavy hitter stays MCV-exact
+        assert col.frequency(3) >= 0
+        assert col.frequency(None) == 0
+
+    def test_unsortable_domain_declines_to_compress(self):
+        col = ColumnStats()
+        for _ in range(50):
+            col.add("hot")  # str mixed with ints below: unsortable
+        for v in range(100):
+            col.add(v)
+        assert not col.compressed  # exact substrate kept; still correct
+        assert col.frequency("hot") == 50
+
+    def test_clone_of_compressed_column_is_independent(self):
+        col = ColumnStats()
+        for v in range(100):
+            col.add(v)
+        assert col.compressed
+        twin = col.clone()
+        assert twin.compressed
+        assert twin._counts is twin.histogram().mcv  # aliasing invariant
+        col.add(500)
+        col.add(500)
+        assert twin.max_value == 99
+        assert twin.frequency(500) == 0
+
+
+class TestJoinCardinality:
+    def test_distinct_scales_the_product(self):
+        assert estimate_equi_join_rows(1000, 50, 50, 50) == pytest.approx(1000)
+        assert estimate_equi_join_rows(1000, 50, 1000, 50) == pytest.approx(50)
+
+    def test_unknown_distincts_fall_back_to_max(self):
+        assert estimate_equi_join_rows(1000, 50, None, None) == 1000
+        assert estimate_equi_join_rows(10, 50, 0, 0) == 50
+
+    def test_fk_join_estimates_child_rows(self, engine):
+        # Classic PK–FK join: |child ⋈ parent| ≈ |child|.
+        db = engine.database
+        db.create_table(
+            TableSchema(
+                "parent",
+                [Column("id", SqlType.INT), Column("name", SqlType.TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "child",
+                [Column("id", SqlType.INT), Column("parent_id", SqlType.INT)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("parent_id", "parent", "id")],
+            )
+        )
+        engine.execute(
+            "INSERT INTO parent VALUES "
+            + ", ".join(f"({i}, 'p{i}')" for i in range(10))
+        )
+        engine.execute(
+            "INSERT INTO child VALUES "
+            + ", ".join(f"({i}, {i % 10})" for i in range(200))
+        )
+        db = engine.database
+        left = db.statistics("child")
+        right = db.statistics("parent")
+        est = estimate_equi_join_rows(
+            left.row_count,
+            right.row_count,
+            left.column_distinct("parent_id"),
+            right.column_distinct("id"),
+        )
+        assert est == pytest.approx(200)
+
+
+class TestMaintenanceInvariants:
+    def test_clone_isolated_from_source(self, engine):
+        table = setup_t(engine)
+        stats = table.statistics
+        twin = stats.clone()
+        engine.execute("INSERT INTO t VALUES (5, 99, 'z')")
+        assert stats.row_count == 5 and twin.row_count == 4
+        assert twin.column("v").max_value == 30
+        assert twin.column("tag").frequency("z") == 0
+
+    def test_on_update_keeps_histogram_current(self, engine):
+        table = setup_t(engine)
+        stats = table.statistics
+        assert stats.eq_selectivity("v", 10) == pytest.approx(0.25)
+        engine.execute("UPDATE t SET v = 10 WHERE id = 2")
+        assert stats.eq_selectivity("v", 10) == pytest.approx(0.5)
+        assert stats.eq_selectivity("v", 20) == 0.0
+
+    def test_stats_version_bumps_on_mutations(self, engine):
+        table = setup_t(engine)
+        stats = table.statistics
+        v0 = stats.version
+        engine.execute("INSERT INTO t VALUES (5, 50, 'd')")
+        v1 = stats.version
+        assert v1 > v0
+        engine.execute("UPDATE t SET v = 51 WHERE id = 5")
+        v2 = stats.version
+        assert v2 > v1
+        engine.execute("DELETE FROM t WHERE id = 5")
+        assert stats.version > v2
 
 
 class TestVersionCounter:
